@@ -1,0 +1,1 @@
+bench/ablations.ml: Int64 List Lp Mip Printf Statsutil Tvnep Workload

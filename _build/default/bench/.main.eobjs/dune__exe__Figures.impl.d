@@ -1,0 +1,1 @@
+bench/figures.ml: Array Float Fun Int64 List Mip Option Printf Statsutil Tvnep Workload

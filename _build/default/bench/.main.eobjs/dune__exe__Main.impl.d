@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Cmd Cmdliner Figures Int64 List Micro Printf Term Tvnep

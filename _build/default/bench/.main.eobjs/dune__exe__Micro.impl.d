@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Float Graphs Hashtbl Instance Lina List Lp Measure Printf Staged Statsutil Test Time Toolkit Tvnep Workload

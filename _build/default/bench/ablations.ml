@@ -1,0 +1,267 @@
+(* Ablation benches for the design choices called out in DESIGN.md:
+   A1  temporal dependency graph cuts (Constraint (19)/(20) + presolve),
+   A2  MIP engine features (domain propagation, warm dual-simplex sessions),
+   A3  continuous cΣ vs the discrete-time formulation,
+   A4  greedy seeding of the exact search. *)
+
+type config = {
+  seed : int64;
+  scenarios : int;
+  flex : float;
+  time_limit : float;
+  params : Tvnep.Scenario.params;
+}
+
+let default_config =
+  {
+    seed = 7L;
+    scenarios = 3;
+    flex = 1.5;
+    time_limit = 15.0;
+    params = Tvnep.Scenario.scaled;
+  }
+
+let instances cfg =
+  List.init cfg.scenarios (fun scenario ->
+      let seed = Int64.add cfg.seed (Int64.of_int (1000 * scenario)) in
+      let rng = Workload.Rng.create seed in
+      Tvnep.Scenario.generate rng
+        { cfg.params with Tvnep.Scenario.flexibility = cfg.flex })
+
+let med xs =
+  match xs with [] -> nan | _ -> Statsutil.Stats.median xs
+
+let header title = Printf.printf "\n== Ablation — %s ==\n" title
+
+let cuts cfg =
+  header "temporal dependency graph cuts (A1)";
+  let variants =
+    [
+      ("no cuts", false, false);
+      ("ranges (19) only", true, false);
+      ("ranges + pairwise (20)", true, true);
+    ]
+  in
+  let table =
+    Statsutil.Table.create
+      ~headers:[ "variant"; "LP bound"; "vars"; "runtime (s)"; "nodes"; "solved" ]
+  in
+  List.iter
+    (fun (label, use_cuts, pairwise_cuts) ->
+      let runs =
+        List.map
+          (fun inst ->
+            let opts =
+              {
+                Tvnep.Solver.default_options with
+                use_cuts;
+                pairwise_cuts;
+                mip =
+                  {
+                    Mip.Branch_bound.default_params with
+                    time_limit = cfg.time_limit;
+                  };
+              }
+            in
+            let lp = Tvnep.Solver.solve_lp_relaxation inst opts in
+            let o = Tvnep.Solver.solve inst opts in
+            (lp.Lp.Simplex.objective, o))
+          (instances cfg)
+      in
+      let solved =
+        List.length
+          (List.filter
+             (fun (_, (o : Tvnep.Solver.outcome)) ->
+               o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+             runs)
+      in
+      Statsutil.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.2f" (med (List.map fst runs));
+          Printf.sprintf "%d"
+            (match runs with
+            | (_, o) :: _ -> o.Tvnep.Solver.model_vars
+            | [] -> 0);
+          Printf.sprintf "%.2f"
+            (med (List.map (fun (_, o) -> o.Tvnep.Solver.runtime) runs));
+          Printf.sprintf "%.0f"
+            (med
+               (List.map
+                  (fun (_, o) -> float_of_int o.Tvnep.Solver.nodes)
+                  runs));
+          Printf.sprintf "%d/%d" solved cfg.scenarios;
+        ])
+    variants;
+  Statsutil.Table.print table;
+  Printf.printf
+    "(a lower LP bound on this maximization = a tighter relaxation; fewer \
+     variables = the state-space reduction at work)\n"
+
+let engine cfg =
+  header "MIP engine features (A2)";
+  let variants =
+    [
+      ("propagation + sessions", true, true);
+      ("sessions only", false, true);
+      ("propagation only", true, false);
+      ("neither", false, false);
+    ]
+  in
+  let table =
+    Statsutil.Table.create
+      ~headers:[ "variant"; "runtime (s)"; "nodes"; "LP iters"; "solved" ]
+  in
+  List.iter
+    (fun (label, propagate, warm_sessions) ->
+      let runs =
+        List.map
+          (fun inst ->
+            Tvnep.Solver.solve inst
+              {
+                Tvnep.Solver.default_options with
+                mip =
+                  {
+                    Mip.Branch_bound.default_params with
+                    time_limit = cfg.time_limit;
+                    propagate;
+                    warm_sessions;
+                  };
+              })
+          (instances cfg)
+      in
+      let solved =
+        List.length
+          (List.filter
+             (fun (o : Tvnep.Solver.outcome) ->
+               o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+             runs)
+      in
+      Statsutil.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.2f"
+            (med (List.map (fun o -> o.Tvnep.Solver.runtime) runs));
+          Printf.sprintf "%.0f"
+            (med (List.map (fun o -> float_of_int o.Tvnep.Solver.nodes) runs));
+          Printf.sprintf "%.0f"
+            (med
+               (List.map
+                  (fun o -> float_of_int o.Tvnep.Solver.lp_iterations)
+                  runs));
+          Printf.sprintf "%d/%d" solved cfg.scenarios;
+        ])
+    variants;
+  Statsutil.Table.print table
+
+let discrete cfg =
+  header "continuous cΣ vs discrete-time formulation (A3)";
+  let table =
+    Statsutil.Table.create
+      ~headers:
+        [ "formulation"; "vars"; "rows"; "runtime (s)"; "objective"; "solved" ]
+  in
+  let insts = instances cfg in
+  let row label runs =
+    let solved =
+      List.length
+        (List.filter
+           (fun (o : Tvnep.Solver.outcome) ->
+             o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+           runs)
+    in
+    Statsutil.Table.add_row table
+      [
+        label;
+        Printf.sprintf "%d"
+          (match runs with o :: _ -> o.Tvnep.Solver.model_vars | [] -> 0);
+        Printf.sprintf "%d"
+          (match runs with o :: _ -> o.Tvnep.Solver.model_rows | [] -> 0);
+        Printf.sprintf "%.2f"
+          (med (List.map (fun o -> o.Tvnep.Solver.runtime) runs));
+        Printf.sprintf "%.2f"
+          (med
+             (List.filter_map (fun o -> o.Tvnep.Solver.objective) runs));
+        Printf.sprintf "%d/%d" solved cfg.scenarios;
+      ]
+  in
+  let mip =
+    { Mip.Branch_bound.default_params with time_limit = cfg.time_limit }
+  in
+  row "cΣ (continuous)"
+    (List.map
+       (fun inst ->
+         Tvnep.Solver.solve inst { Tvnep.Solver.default_options with mip })
+       insts);
+  List.iter
+    (fun width ->
+      row
+        (Printf.sprintf "discrete, slot %.2gh" width)
+        (List.map
+           (fun inst ->
+             Tvnep.Discrete_model.solve
+               ~options:
+                 { Tvnep.Discrete_model.default_options with slot_width = width }
+               ~mip inst)
+           insts))
+    [ 2.0; 1.0; 0.5 ];
+  Statsutil.Table.print table;
+  Printf.printf
+    "(the discrete objective is at most the continuous one — start times \
+     snap to the grid — while fine grids inflate the model: the paper's \
+     argument for continuous time)\n"
+
+let seeding cfg =
+  header "greedy seeding of the exact search (A4)";
+  let table =
+    Statsutil.Table.create
+      ~headers:[ "variant"; "runtime (s)"; "gap"; "solved" ]
+  in
+  List.iter
+    (fun (label, seed_with_greedy) ->
+      let runs =
+        List.map
+          (fun inst ->
+            Tvnep.Solver.solve inst
+              {
+                Tvnep.Solver.default_options with
+                seed_with_greedy;
+                mip =
+                  {
+                    Mip.Branch_bound.default_params with
+                    time_limit = cfg.time_limit;
+                  };
+              })
+          (instances cfg)
+      in
+      let solved =
+        List.length
+          (List.filter
+             (fun (o : Tvnep.Solver.outcome) ->
+               o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+             runs)
+      in
+      let gaps =
+        List.map
+          (fun (o : Tvnep.Solver.outcome) ->
+            if o.Tvnep.Solver.objective = None then infinity
+            else o.Tvnep.Solver.gap)
+          runs
+      in
+      Statsutil.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.2f"
+            (med (List.map (fun o -> o.Tvnep.Solver.runtime) runs));
+          (if List.exists (fun g -> g = infinity) gaps then "inf"
+           else Printf.sprintf "%.4f" (med gaps));
+          Printf.sprintf "%d/%d" solved cfg.scenarios;
+        ])
+    [ ("cold start", false); ("seeded with greedy", true) ];
+  Statsutil.Table.print table
+
+let run_all cfg =
+  cuts cfg;
+  engine cfg;
+  discrete cfg;
+  seeding cfg

@@ -1,0 +1,98 @@
+(* Bechamel micro-benchmarks of the solver's computational kernels. *)
+
+open Bechamel
+open Toolkit
+
+let lu_input n =
+  let rng = Workload.Rng.create 5L in
+  Lina.Dense_matrix.of_rows
+    (Array.init n (fun _ ->
+         Array.init n (fun _ -> Workload.Rng.float_range rng (-2.0) 2.0)))
+
+let small_lp () =
+  (* A fixed 30-var, 20-row random LP. *)
+  let rng = Workload.Rng.create 11L in
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init 30 (fun i ->
+        Lp.Model.add_var m ~ub:(Workload.Rng.float_range rng 1.0 4.0)
+          (Printf.sprintf "x%d" i))
+  in
+  for _ = 1 to 20 do
+    Lp.Model.add_le m
+      (Lp.Expr.of_terms
+         (Array.to_list
+            (Array.map
+               (fun (x : Lp.Model.var) ->
+                 ((x :> int), Workload.Rng.float_range rng 0.0 2.0))
+               vars)))
+      (Workload.Rng.float_range rng 2.0 8.0)
+  done;
+  Lp.Model.set_objective m Lp.Model.Maximize
+    (Lp.Expr.sum
+       (Array.to_list
+          (Array.map (fun (x : Lp.Model.var) -> Lp.Expr.var (x :> int)) vars)));
+  Lp.Std_form.of_model m
+
+let bench_instance () =
+  let rng = Workload.Rng.create 3L in
+  Tvnep.Scenario.generate rng
+    { Tvnep.Scenario.scaled with num_requests = 4; flexibility = 1.0 }
+
+let tests () =
+  let lu60 = lu_input 60 in
+  let lp = small_lp () in
+  let inst = bench_instance () in
+  let grid = Graphs.Generators.grid ~rows:4 ~cols:5 in
+  [
+    Test.make ~name:"lu-factorize-60x60"
+      (Staged.stage (fun () -> ignore (Lina.Lu.factorize lu60)));
+    Test.make ~name:"simplex-30v-20r"
+      (Staged.stage (fun () -> ignore (Lp.Simplex.solve lp)));
+    Test.make ~name:"floyd-warshall-grid-4x5"
+      (Staged.stage (fun () ->
+           ignore (Graphs.Paths.floyd_warshall grid ~weight:(fun _ -> 1.0))));
+    Test.make ~name:"csigma-build-k4"
+      (Staged.stage (fun () -> ignore (Tvnep.Csigma_model.build inst)));
+    Test.make ~name:"depgraph-ranges-k4"
+      (Staged.stage (fun () ->
+           ignore (Tvnep.Depgraph.csigma_event_ranges inst)));
+    Test.make ~name:"greedy-k4"
+      (Staged.stage (fun () -> ignore (Tvnep.Greedy.solve inst)));
+  ]
+
+let run () =
+  Printf.printf "\n== Microbenchmarks (Bechamel, monotonic clock) ==\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Statsutil.Table.create ~headers:[ "kernel"; "time per run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Statsutil.Table.add_row table [ name; pretty ])
+    (List.sort compare !rows);
+  Statsutil.Table.print table

@@ -1,0 +1,269 @@
+(* Command-line interface to the TVNEP library.
+
+     tvnep_solve generate -o day.tvnep --requests 5 --flexibility 2
+     tvnep_solve solve day.tvnep --model csigma --objective access
+     tvnep_solve greedy day.tvnep
+     tvnep_solve show day.tvnep *)
+
+open Cmdliner
+
+(* ---- shared arguments ------------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Instance file (see Tvnep.Instance_io).")
+
+let time_limit_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"Solver time limit.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("delta", `Delta); ("sigma", `Sigma); ("csigma", `Csigma);
+             ("discrete", `Discrete) ])
+        `Csigma
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Formulation: delta, sigma, csigma (default) or the \
+              discrete-time baseline.")
+
+let objective_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("access", `Access); ("earliness", `Earliness);
+             ("balance", `Balance); ("disable", `Disable);
+             ("makespan", `Makespan) ])
+        `Access
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:"access (control, default), earliness, balance (node load, \
+              f=0.5), disable (links) or makespan.")
+
+let no_cuts_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cuts" ]
+        ~doc:"Disable the temporal dependency graph cuts (cΣ only).")
+
+let seed_greedy_arg =
+  Arg.(
+    value & flag
+    & info [ "seed-greedy" ]
+        ~doc:"Seed the exact search with the greedy solution.")
+
+let slot_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "slot-width" ] ~docv:"HOURS"
+        ~doc:"Slot width for --model discrete.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log solver progress.")
+
+let gantt_arg =
+  Arg.(
+    value & flag
+    & info [ "gantt" ] ~doc:"Render the schedule as an ASCII Gantt chart.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+(* ---- solve ------------------------------------------------------------ *)
+
+let print_solution ?(gantt = false) inst (sol : Tvnep.Solution.t) =
+  if gantt then Tvnep.Gantt.print inst sol;
+  Printf.printf "schedule:\n";
+  Array.iteri
+    (fun i (a : Tvnep.Solution.assignment) ->
+      let r = Tvnep.Instance.request inst i in
+      if a.Tvnep.Solution.accepted then
+        Printf.printf "  %-8s accepted  [%8.3f, %8.3f]  hosts: %s\n"
+          r.Tvnep.Request.name a.Tvnep.Solution.t_start a.Tvnep.Solution.t_end
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int a.Tvnep.Solution.node_map)))
+      else Printf.printf "  %-8s rejected\n" r.Tvnep.Request.name)
+    sol.Tvnep.Solution.assignments;
+  Printf.printf "validator: %s\n" (Tvnep.Validator.explain inst sol)
+
+let report_outcome ?gantt inst (o : Tvnep.Solver.outcome) =
+  Printf.printf "status:    %s\n"
+    (Mip.Branch_bound.status_to_string o.Tvnep.Solver.status);
+  (match o.Tvnep.Solver.objective with
+  | Some v -> Printf.printf "objective: %g (bound %g, gap %.4f)\n" v
+                o.Tvnep.Solver.bound o.Tvnep.Solver.gap
+  | None -> Printf.printf "objective: none (bound %g)\n" o.Tvnep.Solver.bound);
+  Printf.printf "model:     %d vars, %d rows | %d nodes, %d LP iterations, \
+                 %.2fs\n"
+    o.Tvnep.Solver.model_vars o.Tvnep.Solver.model_rows o.Tvnep.Solver.nodes
+    o.Tvnep.Solver.lp_iterations o.Tvnep.Solver.runtime;
+  match o.Tvnep.Solver.solution with
+  | Some sol ->
+    print_solution ?gantt inst sol;
+    if Tvnep.Validator.is_feasible inst sol then 0 else 3
+  | None -> if o.Tvnep.Solver.status = Mip.Branch_bound.Infeasible then 2 else 1
+
+let solve_cmd =
+  let run file model objective no_cuts seed_greedy slot time_limit verbose
+      gantt =
+    setup_logs verbose;
+    let inst = Tvnep.Instance_io.load file in
+    let mip =
+      { Mip.Branch_bound.default_params with time_limit }
+    in
+    match model with
+    | `Discrete ->
+      let o =
+        Tvnep.Discrete_model.solve
+          ~options:
+            { Tvnep.Discrete_model.default_options with slot_width = slot }
+          ~mip inst
+      in
+      report_outcome ~gantt inst o
+    | (`Delta | `Sigma | `Csigma) as kind ->
+      let objective =
+        match objective with
+        | `Access -> Tvnep.Objective.Access_control
+        | `Earliness -> Tvnep.Objective.Max_earliness
+        | `Balance -> Tvnep.Objective.Balance_node_load 0.5
+        | `Disable -> Tvnep.Objective.Disable_links
+        | `Makespan -> Tvnep.Objective.Min_makespan
+      in
+      let kind =
+        match kind with
+        | `Delta -> Tvnep.Solver.Delta
+        | `Sigma -> Tvnep.Solver.Sigma
+        | `Csigma -> Tvnep.Solver.Csigma
+      in
+      let o =
+        Tvnep.Solver.solve inst
+          {
+            Tvnep.Solver.kind;
+            objective;
+            use_cuts = not no_cuts;
+            pairwise_cuts = not no_cuts;
+            seed_with_greedy = seed_greedy;
+            mip;
+          }
+      in
+      report_outcome ~gantt inst o
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an instance exactly with a chosen model")
+    Term.(
+      const run $ file_arg $ model_arg $ objective_arg $ no_cuts_arg
+      $ seed_greedy_arg $ slot_arg $ time_limit_arg $ verbose_arg $ gantt_arg)
+
+(* ---- greedy ------------------------------------------------------------ *)
+
+let greedy_cmd =
+  let run file verbose gantt =
+    setup_logs verbose;
+    let inst = Tvnep.Instance_io.load file in
+    let sol, stats = Tvnep.Greedy.solve inst in
+    Printf.printf "greedy cΣ_A^G: revenue %g, %d/%d accepted (%d LPs, %.0f ms)\n"
+      sol.Tvnep.Solution.objective
+      (Tvnep.Solution.num_accepted sol)
+      (Tvnep.Instance.num_requests inst)
+      stats.Tvnep.Greedy.lp_solves
+      (stats.Tvnep.Greedy.runtime *. 1000.0);
+    print_solution ~gantt inst sol;
+    if Tvnep.Validator.is_feasible inst sol then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "greedy" ~doc:"Run the greedy heuristic on an instance")
+    Term.(const run $ file_arg $ verbose_arg $ gantt_arg)
+
+(* ---- generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output instance file.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 5 & info [ "requests" ] ~docv:"K" ~doc:"Request count.")
+  in
+  let rows_arg =
+    Arg.(value & opt int 3 & info [ "rows" ] ~docv:"R" ~doc:"Grid rows.")
+  in
+  let cols_arg =
+    Arg.(value & opt int 3 & info [ "cols" ] ~docv:"C" ~doc:"Grid columns.")
+  in
+  let leaves_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "star-leaves" ] ~docv:"L" ~doc:"Leaves per request star.")
+  in
+  let flex_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "flexibility" ] ~docv:"HOURS" ~doc:"Temporal flexibility.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let paper_arg =
+    Arg.(
+      value & flag
+      & info [ "paper" ]
+          ~doc:"Use the paper's parameters (4x5 grid, 5-node stars, 20 \
+                requests) instead of the scaled defaults.")
+  in
+  let run output requests rows cols leaves flex seed paper =
+    let base =
+      if paper then Tvnep.Scenario.paper
+      else
+        {
+          Tvnep.Scenario.scaled with
+          num_requests = requests;
+          grid_rows = rows;
+          grid_cols = cols;
+          star_leaves = leaves;
+        }
+    in
+    let rng = Workload.Rng.create (Int64.of_int seed) in
+    let inst =
+      Tvnep.Scenario.generate rng
+        { base with Tvnep.Scenario.flexibility = flex }
+    in
+    Tvnep.Instance_io.save output inst;
+    Printf.printf "wrote %s (%d requests, %d substrate nodes, horizon %g)\n"
+      output
+      (Tvnep.Instance.num_requests inst)
+      (Tvnep.Substrate.num_nodes inst.Tvnep.Instance.substrate)
+      inst.Tvnep.Instance.horizon;
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic workload instance")
+    Term.(
+      const run $ out_arg $ requests_arg $ rows_arg $ cols_arg $ leaves_arg
+      $ flex_arg $ seed_arg $ paper_arg)
+
+(* ---- show --------------------------------------------------------------- *)
+
+let show_cmd =
+  let run file =
+    let inst = Tvnep.Instance_io.load file in
+    Format.printf "%a@." Tvnep.Instance.pp inst;
+    0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Pretty-print an instance file")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "tvnep_solve"
+      ~doc:"Temporal virtual network embedding (TVNEP) toolkit"
+  in
+  exit (Cmd.eval' (Cmd.group info [ solve_cmd; greedy_cmd; generate_cmd; show_cmd ]))

@@ -1,0 +1,1 @@
+examples/batch_admission.ml: Array Filename Float Mip Printf Sys Tvnep Workload

@@ -1,0 +1,1 @@
+examples/datacenter_day.ml: Array Int64 List Mip Printf Statsutil Sys Tvnep

@@ -1,0 +1,1 @@
+examples/energy_saving.ml: Mip Printf Tvnep

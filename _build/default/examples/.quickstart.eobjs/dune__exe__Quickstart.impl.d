@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Graphs Mip Printf Tvnep

@@ -1,0 +1,1 @@
+lib/graphs/generators.ml: Digraph

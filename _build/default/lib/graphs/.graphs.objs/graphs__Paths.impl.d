@@ -1,0 +1,1 @@
+lib/graphs/paths.ml: Array Digraph List Queue

@@ -1,0 +1,1 @@
+lib/graphs/paths.mli: Digraph

@@ -1,0 +1,48 @@
+(** Simple directed multigraphs over integer nodes [0 .. n-1].
+
+    Both the substrate network and the virtual network requests of the
+    TVNEP are digraphs of this type; edges carry no payload here — capacity
+    and demand functions live in the TVNEP layer, keyed by edge id. *)
+
+type t
+
+type edge = { id : int; src : int; dst : int }
+
+val create : int -> t
+(** [create n] is an empty graph on [n] nodes.
+    @raise Invalid_argument when [n < 0]. *)
+
+val add_edge : t -> src:int -> dst:int -> int
+(** Appends a directed edge and returns its dense id (insertion order).
+    Self-loops and parallel edges are allowed (the model layers reject
+    self-loops where the paper's formulation requires it).
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val edge : t -> int -> edge
+(** @raise Invalid_argument on an unknown id. *)
+
+val edges : t -> edge list
+(** All edges in id order. *)
+
+val out_edges : t -> int -> edge list
+(** Outgoing edges of a node — the [δ⁺] of the paper. *)
+
+val in_edges : t -> int -> edge list
+(** Incoming edges — [δ⁻]. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val nodes : t -> int list
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+
+val has_edge : t -> src:int -> dst:int -> bool
+
+val reverse : t -> t
+(** Graph with every edge flipped (edge ids preserved). *)
+
+val pp : Format.formatter -> t -> unit

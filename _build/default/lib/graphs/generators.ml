@@ -1,0 +1,65 @@
+let grid_node ~cols r c = (r * cols) + c
+
+let grid ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Generators.grid";
+  let g = Digraph.create (rows * cols) in
+  let both u v =
+    ignore (Digraph.add_edge g ~src:u ~dst:v);
+    ignore (Digraph.add_edge g ~src:v ~dst:u)
+  in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let u = grid_node ~cols r c in
+      if c + 1 < cols then both u (grid_node ~cols r (c + 1));
+      if r + 1 < rows then both u (grid_node ~cols (r + 1) c)
+    done
+  done;
+  g
+
+type star_orientation = To_center | From_center
+
+let star ~leaves ~orientation =
+  if leaves < 0 then invalid_arg "Generators.star";
+  let g = Digraph.create (leaves + 1) in
+  for leaf = 1 to leaves do
+    match orientation with
+    | To_center -> ignore (Digraph.add_edge g ~src:leaf ~dst:0)
+    | From_center -> ignore (Digraph.add_edge g ~src:0 ~dst:leaf)
+  done;
+  g
+
+let path n =
+  if n <= 0 then invalid_arg "Generators.path";
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    ignore (Digraph.add_edge g ~src:i ~dst:(i + 1))
+  done;
+  g
+
+let ring n =
+  if n <= 0 then invalid_arg "Generators.ring";
+  let g = Digraph.create n in
+  for i = 0 to n - 1 do
+    ignore (Digraph.add_edge g ~src:i ~dst:((i + 1) mod n))
+  done;
+  g
+
+let complete_bidirected n =
+  if n < 0 then invalid_arg "Generators.complete_bidirected";
+  let g = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then ignore (Digraph.add_edge g ~src:u ~dst:v)
+    done
+  done;
+  g
+
+let random_gnp ~n ~p ~uniform =
+  if n < 0 || p < 0.0 || p > 1.0 then invalid_arg "Generators.random_gnp";
+  let g = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && uniform () < p then ignore (Digraph.add_edge g ~src:u ~dst:v)
+    done
+  done;
+  g

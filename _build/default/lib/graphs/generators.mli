@@ -1,0 +1,31 @@
+(** Topology generators.
+
+    All generators produce {!Digraph.t} values; "bidirected" means each
+    undirected edge is materialized as two antiparallel directed edges, as
+    in the paper's 4×5 grid substrate with 62 directed links. *)
+
+val grid : rows:int -> cols:int -> Digraph.t
+(** Bidirected grid; node [(r, c)] has index [r * cols + c]. *)
+
+val grid_node : cols:int -> int -> int -> int
+(** [grid_node ~cols r c] is the node index convention used by {!grid}. *)
+
+type star_orientation = To_center | From_center
+
+(** A star on [leaves + 1] nodes, node 0 being the center — the paper's
+    request topology ("classical master-slave relationship or a Virtual
+    Cluster").  [To_center] directs every edge leaf→center. *)
+val star : leaves:int -> orientation:star_orientation -> Digraph.t
+
+val path : int -> Digraph.t
+(** Directed path [0 -> 1 -> ... -> n-1]. *)
+
+val ring : int -> Digraph.t
+(** Directed cycle. *)
+
+val complete_bidirected : int -> Digraph.t
+
+val random_gnp : n:int -> p:float -> uniform:(unit -> float) -> Digraph.t
+(** Erdős–Rényi digraph: each ordered pair (no self-loops) becomes an edge
+    with probability [p]; [uniform] supplies U(0,1) samples so callers
+    control determinism. *)

@@ -1,0 +1,106 @@
+let bfs_distances g src =
+  let n = Digraph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Paths.bfs_distances";
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (e : Digraph.edge) ->
+        if dist.(e.dst) < 0 then begin
+          dist.(e.dst) <- dist.(u) + 1;
+          Queue.push e.dst q
+        end)
+      (Digraph.out_edges g u)
+  done;
+  dist
+
+let is_reachable g ~src ~dst = src = dst || (bfs_distances g src).(dst) >= 0
+
+let reachability g =
+  let n = Digraph.num_nodes g in
+  Array.init n (fun u ->
+      let d = bfs_distances g u in
+      Array.init n (fun v -> u = v || d.(v) >= 0))
+
+let topological_sort g =
+  let n = Digraph.num_nodes g in
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun (e : Digraph.edge) -> indeg.(e.dst) <- indeg.(e.dst) + 1)
+    (Digraph.edges g);
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.push v q
+  done;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    incr seen;
+    List.iter
+      (fun (e : Digraph.edge) ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then Queue.push e.dst q)
+      (Digraph.out_edges g u)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let is_acyclic g = topological_sort g <> None
+
+let floyd_warshall g ~weight =
+  let n = Digraph.num_nodes g in
+  let d = Array.make_matrix n n infinity in
+  for v = 0 to n - 1 do
+    d.(v).(v) <- 0.0
+  done;
+  List.iter
+    (fun (e : Digraph.edge) ->
+      let w = weight e in
+      if w < d.(e.src).(e.dst) then d.(e.src).(e.dst) <- w)
+    (Digraph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if d.(i).(k) < infinity then
+        for j = 0 to n - 1 do
+          let via = d.(i).(k) +. d.(k).(j) in
+          if via < d.(i).(j) then d.(i).(j) <- via
+        done
+    done
+  done;
+  d
+
+let max_distances g ~weight =
+  if not (is_acyclic g) then invalid_arg "Paths.max_distances: cyclic graph";
+  let neg = floyd_warshall g ~weight:(fun e -> -.weight e) in
+  Array.map (Array.map (fun w -> if w = infinity then 0.0 else -.w)) neg
+
+let shortest_path g ~src ~dst =
+  let n = Digraph.num_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Paths.shortest_path";
+  let parent = Array.make n (-1) in
+  let visited = Array.make n false in
+  visited.(src) <- true;
+  let q = Queue.create () in
+  Queue.push src q;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (e : Digraph.edge) ->
+        if not visited.(e.dst) then begin
+          visited.(e.dst) <- true;
+          parent.(e.dst) <- u;
+          if e.dst = dst then found := true;
+          Queue.push e.dst q
+        end)
+      (Digraph.out_edges g u)
+  done;
+  if not !found then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end

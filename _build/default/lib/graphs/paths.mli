@@ -1,0 +1,35 @@
+(** Path and ordering algorithms on {!Digraph.t}.
+
+    The temporal dependency graph machinery of the cΣ-Model needs DAG
+    checks, reachability closures and maximal (longest) weighted distances;
+    the paper computes the latter with Floyd–Warshall on negated weights,
+    which {!max_distances} mirrors. *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** Hop distances from a source; [-1] marks unreachable nodes. *)
+
+val is_reachable : Digraph.t -> src:int -> dst:int -> bool
+
+val reachability : Digraph.t -> bool array array
+(** [reachability g] is the transitive closure: [(closure.(u)).(v)] is true
+    iff there is a (possibly empty) path u→v.  Diagonal entries are true. *)
+
+val topological_sort : Digraph.t -> int list option
+(** [Some order] (sources first) when the graph is acyclic, [None]
+    otherwise. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val floyd_warshall : Digraph.t -> weight:(Digraph.edge -> float) -> float array array
+(** All-pairs shortest path weights; [infinity] marks unreachable pairs and
+    the diagonal is 0.  Negative cycles produce negative diagonal entries
+    (callers must check when weights can be negative). *)
+
+val max_distances : Digraph.t -> weight:(Digraph.edge -> float) -> float array array
+(** All-pairs {e longest} path weights on an acyclic graph, computed — as
+    in the paper — by Floyd–Warshall on negated weights.  Unreachable pairs
+    are 0 (the paper's convention for [dist_max]); the diagonal is 0.
+    @raise Invalid_argument when the graph has a cycle. *)
+
+val shortest_path : Digraph.t -> src:int -> dst:int -> int list option
+(** Minimum-hop path as a node list (inclusive), [None] if unreachable. *)

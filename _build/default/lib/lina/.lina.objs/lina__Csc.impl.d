@@ -1,0 +1,1 @@
+lib/lina/csc.ml: Array Format List Sparse_vec Tol

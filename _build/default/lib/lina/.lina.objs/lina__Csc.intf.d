@@ -1,0 +1,1 @@
+lib/lina/csc.mli: Format Sparse_vec

@@ -1,0 +1,1 @@
+lib/lina/dense_matrix.ml: Array Float Format Tol

@@ -1,0 +1,1 @@
+lib/lina/dense_matrix.mli: Format

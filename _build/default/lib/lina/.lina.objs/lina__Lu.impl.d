@@ -1,0 +1,1 @@
+lib/lina/lu.ml: Array Dense_matrix Float Tol

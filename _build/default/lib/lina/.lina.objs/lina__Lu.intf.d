@@ -1,0 +1,1 @@
+lib/lina/lu.mli: Dense_matrix

@@ -1,0 +1,1 @@
+lib/lina/sparse_vec.ml: Array Format List Tol

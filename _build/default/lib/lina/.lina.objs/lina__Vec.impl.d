@@ -1,0 +1,1 @@
+lib/lina/vec.ml: Array Float Format Tol

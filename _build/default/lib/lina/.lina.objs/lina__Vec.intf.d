@@ -1,0 +1,1 @@
+lib/lina/vec.mli: Format

@@ -1,0 +1,34 @@
+(** Dense LU factorization with partial pivoting.
+
+    Used to (re)factorize the simplex basis periodically, bounding the
+    numerical drift of the product-form inverse updates, and to solve
+    general small dense systems in tests. *)
+
+type t
+(** An LU factorization [P·A = L·U] of a square matrix. *)
+
+exception Singular of int
+(** Raised (with the offending elimination step) when no pivot of
+    magnitude at least {!Tol.pivot} exists. *)
+
+val factorize : Dense_matrix.t -> t
+(** @raise Singular when the matrix is (numerically) singular.
+    @raise Invalid_argument on a non-square matrix. *)
+
+val dim : t -> int
+
+val solve : t -> float array -> float array
+(** [solve lu b] returns [x] with [A x = b]. *)
+
+val solve_transpose : t -> float array -> float array
+(** [solve_transpose lu b] returns [x] with [Aᵀ x = b] — the BTRAN
+    operation of the simplex method. *)
+
+val inverse : t -> Dense_matrix.t
+(** Explicit inverse, column by column. *)
+
+val determinant : t -> float
+
+val condition_estimate : t -> float
+(** Cheap lower bound on the 1-norm condition number (ratio of extreme
+    |U| diagonal entries); used to decide when to refactorize. *)

@@ -1,0 +1,77 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let copy = Array.copy
+let fill v x = Array.fill v 0 (Array.length v) x
+let dim = Array.length
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let check_dim x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Vec: dimension mismatch"
+
+let dot x y =
+  check_dim x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let nrm2 x = sqrt (dot x x)
+
+let nrm_inf x =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !acc then acc := a
+  done;
+  !acc
+
+let axpy a x y =
+  check_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let add x y =
+  check_dim x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_dim x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let max_abs_index x =
+  let best = ref (-1) and best_v = ref neg_infinity in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !best_v then begin
+      best_v := a;
+      best := i
+    end
+  done;
+  !best
+
+let approx_eq ?tol x y =
+  Array.length x = Array.length y
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length x - 1 do
+         if not (Tol.approx_eq ?tol x.(i) y.(i)) then ok := false
+       done;
+       !ok
+     end
+
+let pp ppf v =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list v)

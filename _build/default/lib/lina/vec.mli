@@ -1,0 +1,51 @@
+(** Dense float vectors.
+
+    Thin helpers over [float array]; all operations are written to be
+    allocation-conscious because the simplex inner loops call them on every
+    iteration.  Functions suffixed [_into] write into a caller-provided
+    destination. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val dot : t -> t -> float
+(** Euclidean inner product.  @raise Invalid_argument on dimension
+    mismatch. *)
+
+val nrm2 : t -> float
+(** Euclidean norm. *)
+
+val nrm_inf : t -> float
+(** Max-norm. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val scale : float -> t -> unit
+(** [scale a x] performs [x <- a*x] in place. *)
+
+val add : t -> t -> t
+(** Fresh element-wise sum. *)
+
+val sub : t -> t -> t
+(** Fresh element-wise difference. *)
+
+val max_abs_index : t -> int
+(** Index of the entry of largest magnitude; [-1] on the empty vector. *)
+
+val approx_eq : ?tol:float -> t -> t -> bool
+(** Element-wise {!Tol.approx_eq}; [false] on dimension mismatch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lp/expr.ml: Float Format Int Lina List Map Printf

@@ -1,0 +1,1 @@
+lib/lp/std_form.ml: Array Expr Float Lina List Model

@@ -1,0 +1,48 @@
+(** Linear expressions over integer variable ids.
+
+    An expression is a finite map from variable id to coefficient plus a
+    constant term.  This is the currency of the modeling layer: objective
+    functions and constraint left-hand sides are expressions. *)
+
+type t
+
+val zero : t
+
+val const : float -> t
+
+val var : ?coeff:float -> int -> t
+(** [var v] is the expression [1.0 * x_v]; [~coeff] scales it. *)
+
+val of_terms : ?const:float -> (int * float) list -> t
+(** Sums duplicate variables. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val add_term : t -> int -> float -> t
+(** [add_term e v c] is [e + c * x_v]. *)
+
+val add_const : t -> float -> t
+
+val sum : t list -> t
+
+val coeff : t -> int -> float
+
+val constant : t -> float
+
+val terms : t -> (int * float) list
+(** Non-zero terms in increasing variable order. *)
+
+val num_terms : t -> int
+
+val eval : t -> (int -> float) -> float
+(** [eval e value_of] substitutes variable values. *)
+
+val map_vars : (int -> int) -> t -> t
+(** Renames variables (merging coefficients on collision). *)
+
+val pp : ?name:(int -> string) -> unit -> Format.formatter -> t -> unit
+(** Pretty-printer; [~name] customizes how variable ids render. *)

@@ -1,0 +1,95 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '!' | '#' -> c
+      | _ -> '_')
+    name
+
+let var_name m v = sanitize (Model.var_name m (Model.var_of_id m v))
+
+let pp_terms buf m e =
+  let first = ref true in
+  List.iter
+    (fun (v, c) ->
+      if !first then begin
+        Buffer.add_string buf (Printf.sprintf "%g %s" c (var_name m v));
+        first := false
+      end
+      else if c >= 0.0 then
+        Buffer.add_string buf (Printf.sprintf " + %g %s" c (var_name m v))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf " - %g %s" (Float.abs c) (var_name m v)))
+    (Expr.terms e);
+  if !first then Buffer.add_string buf "0"
+
+let to_string m =
+  let buf = Buffer.create 4096 in
+  let sense, obj = Model.objective m in
+  Buffer.add_string buf
+    (match sense with
+    | Model.Minimize -> "Minimize\n obj: "
+    | Model.Maximize -> "Maximize\n obj: ");
+  pp_terms buf m obj;
+  Buffer.add_string buf "\nSubject To\n";
+  List.iteri
+    (fun i (r : Model.row) ->
+      let name = sanitize r.Model.row_name in
+      let emit suffix op rhs =
+        Buffer.add_string buf (Printf.sprintf " %s%s: " name suffix);
+        pp_terms buf m r.Model.expr;
+        Buffer.add_string buf (Printf.sprintf " %s %g\n" op rhs)
+      in
+      ignore i;
+      if r.Model.lo = r.Model.hi then emit "" "=" r.Model.lo
+      else begin
+        if r.Model.hi < infinity then emit "" "<=" r.Model.hi;
+        if r.Model.lo > neg_infinity then emit "_lo" ">=" r.Model.lo
+      end)
+    (Model.rows m);
+  Buffer.add_string buf "Bounds\n";
+  for v = 0 to Model.num_vars m - 1 do
+    let hv = Model.var_of_id m v in
+    let lb = Model.var_lb m hv and ub = Model.var_ub m hv in
+    let name = var_name m v in
+    if lb = neg_infinity && ub = infinity then
+      Buffer.add_string buf (Printf.sprintf " %s free\n" name)
+    else if lb = ub then
+      Buffer.add_string buf (Printf.sprintf " %s = %g\n" name lb)
+    else begin
+      if lb <> 0.0 && lb > neg_infinity then
+        Buffer.add_string buf (Printf.sprintf " %g <= %s\n" lb name)
+      else if lb = neg_infinity then
+        Buffer.add_string buf (Printf.sprintf " -inf <= %s\n" name);
+      if ub < infinity then
+        Buffer.add_string buf (Printf.sprintf " %s <= %g\n" name ub)
+    end
+  done;
+  let general, binary =
+    List.partition
+      (fun v -> Model.var_kind m v = Model.Integer)
+      (Model.integer_vars m)
+  in
+  if general <> [] then begin
+    Buffer.add_string buf "General\n";
+    List.iter
+      (fun (v : Model.var) ->
+        Buffer.add_string buf (Printf.sprintf " %s\n" (var_name m (v :> int))))
+      general
+  end;
+  if binary <> [] then begin
+    Buffer.add_string buf "Binary\n";
+    List.iter
+      (fun (v : Model.var) ->
+        Buffer.add_string buf (Printf.sprintf " %s\n" (var_name m (v :> int))))
+      binary
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let save path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string m))

@@ -1,0 +1,16 @@
+(** CPLEX-LP-format writer.
+
+    Dumps a {!Model.t} in the ubiquitous `.lp` text format so models can
+    be inspected by hand or cross-checked with external solvers when one
+    is available.  Only writing is supported — the repository's own solver
+    consumes models directly. *)
+
+val to_string : Model.t -> string
+(** Sections: Maximize/Minimize, Subject To (ranged rows are split into
+    two inequalities), Bounds (free/fixed/one-sided all handled), General
+    and Binary.  Variable names are sanitized to the LP-format character
+    set (offending characters become '_'); names are assumed distinct
+    after sanitization. *)
+
+val save : string -> Model.t -> unit
+(** @raise Sys_error on I/O failure. *)

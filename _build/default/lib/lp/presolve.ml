@@ -1,0 +1,157 @@
+type t = {
+  reduced : Model.t;
+  var_map : int array;
+  fixed_value : float array;
+  rows_kept : int;
+  rows_dropped : int;
+  vars_fixed : int;
+}
+
+type outcome = Infeasible | Reduced of t
+
+exception Proved_infeasible
+
+let tol = Lina.Tol.feas
+
+(* Working copies of bounds plus a fixed? flag per variable. *)
+type work = {
+  lb : float array;
+  ub : float array;
+  mutable live_rows : (string * Expr.t * float * float) list;  (* reversed *)
+  mutable dropped : int;
+}
+
+let tighten w v ~lo ~hi =
+  if lo > w.lb.(v) then w.lb.(v) <- lo;
+  if hi < w.ub.(v) then w.ub.(v) <- hi;
+  if w.lb.(v) > w.ub.(v) +. (tol *. Float.max 1.0 (Float.abs w.lb.(v))) then
+    raise Proved_infeasible;
+  (* Collapse micro-crossings from round-off. *)
+  if w.lb.(v) > w.ub.(v) then begin
+    let mid = 0.5 *. (w.lb.(v) +. w.ub.(v)) in
+    w.lb.(v) <- mid;
+    w.ub.(v) <- mid
+  end
+
+let is_fixed w v = w.lb.(v) = w.ub.(v)
+
+(* Substitutes all currently-fixed variables out of an expression,
+   returning the cleaned expression (constant folded in). *)
+let substitute w e =
+  List.fold_left
+    (fun acc (v, c) ->
+      if is_fixed w v then Expr.add_const acc (c *. w.lb.(v))
+      else Expr.add_term acc v c)
+    (Expr.const (Expr.constant e))
+    (Expr.terms e)
+
+let presolve model =
+  let n = Model.num_vars model in
+  let w =
+    {
+      lb = Array.init n (fun v -> Model.var_lb model (Model.var_of_id model v));
+      ub = Array.init n (fun v -> Model.var_ub model (Model.var_of_id model v));
+      live_rows = [];
+      dropped = 0;
+    }
+  in
+  let integer =
+    Array.init n (fun v ->
+        match Model.var_kind model (Model.var_of_id model v) with
+        | Model.Integer | Model.Binary -> true
+        | Model.Continuous -> false)
+  in
+  try
+    (* Fixpoint over rows: each pass substitutes currently-fixed variables
+       and converts singleton/empty rows. *)
+    let pending = ref (Model.rows model) in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let remaining = ref [] in
+      List.iter
+        (fun (r : Model.row) ->
+          let e = substitute w r.Model.expr in
+          let c = Expr.constant e in
+          let lo = r.Model.lo -. c and hi = r.Model.hi +. 0.0 -. c in
+          match Expr.terms e with
+          | [] ->
+            (* Empty row: consistency check, then drop. *)
+            if 0.0 < lo -. tol *. Float.max 1.0 (Float.abs lo)
+               || 0.0 > hi +. (tol *. Float.max 1.0 (Float.abs hi))
+            then raise Proved_infeasible;
+            w.dropped <- w.dropped + 1;
+            progress := true
+          | [ (v, a) ] ->
+            (* Singleton row: fold into the variable's bounds. *)
+            let lo', hi' =
+              if a > 0.0 then (lo /. a, hi /. a) else (hi /. a, lo /. a)
+            in
+            let lo' = if integer.(v) then Float.ceil (lo' -. 1e-6) else lo' in
+            let hi' = if integer.(v) then Float.floor (hi' +. 1e-6) else hi' in
+            tighten w v ~lo:lo' ~hi:hi';
+            w.dropped <- w.dropped + 1;
+            progress := true
+          | _ :: _ :: _ ->
+            remaining :=
+              (r.Model.row_name, Expr.add_const e (-.c), lo, hi) :: !remaining)
+        !pending;
+      pending :=
+        List.rev_map (fun (name, e, lo, hi) ->
+            { Model.row_name = name; expr = e; lo; hi })
+          !remaining
+    done;
+    (* Assemble the reduced model. *)
+    let reduced = Model.create ~name:(Model.name model ^ "-presolved") () in
+    let var_map = Array.make n (-1) in
+    let fixed_value = Array.make n 0.0 in
+    let vars_fixed = ref 0 in
+    for v = 0 to n - 1 do
+      if is_fixed w v then begin
+        fixed_value.(v) <- w.lb.(v);
+        incr vars_fixed
+      end
+      else begin
+        let hv = Model.var_of_id model v in
+        let nv =
+          Model.add_var reduced ~lb:w.lb.(v) ~ub:w.ub.(v)
+            ~kind:(Model.var_kind model hv) (Model.var_name model hv)
+        in
+        var_map.(v) <- (nv :> int)
+      end
+    done;
+    let rename e =
+      List.fold_left
+        (fun acc (v, c) ->
+          assert (var_map.(v) >= 0);
+          Expr.add_term acc var_map.(v) c)
+        (Expr.const (Expr.constant e))
+        (Expr.terms e)
+    in
+    let rows_kept = ref 0 in
+    List.iter
+      (fun (r : Model.row) ->
+        incr rows_kept;
+        Model.add_range reduced ~name:r.Model.row_name
+          ~lo:(Float.min r.Model.lo r.Model.hi)
+          ~hi:r.Model.hi (rename r.Model.expr))
+      !pending;
+    let sense, obj = Model.objective model in
+    Model.set_objective reduced sense (rename (substitute w obj));
+    Reduced
+      {
+        reduced;
+        var_map;
+        fixed_value;
+        rows_kept = !rows_kept;
+        rows_dropped = w.dropped;
+        vars_fixed = !vars_fixed;
+      }
+  with Proved_infeasible -> Infeasible
+
+let restore p x_reduced =
+  if Array.length x_reduced <> Model.num_vars p.reduced then
+    invalid_arg "Presolve.restore: arity";
+  Array.init (Array.length p.var_map) (fun v ->
+      if p.var_map.(v) >= 0 then x_reduced.(p.var_map.(v))
+      else p.fixed_value.(v))

@@ -1,0 +1,38 @@
+(** Model-level presolve.
+
+    Standard reductions applied before compiling a model:
+
+    - {b fixed variables} ([lb = ub]) are substituted into every row and
+      the objective;
+    - {b singleton rows} (one remaining variable) become bounds on that
+      variable and are dropped — possibly fixing it and cascading;
+    - {b empty rows} are checked for consistency and removed.
+
+    Reductions iterate to a fixpoint.  The result carries a
+    [restore] mapping that lifts a solution of the reduced model back to
+    the original variable space, so callers can present solutions in the
+    coordinates they built.  Objective values are preserved exactly (the
+    constant contribution of fixed variables moves into the reduced
+    objective's offset). *)
+
+type t = {
+  reduced : Model.t;
+  var_map : int array;
+      (** original variable id → reduced id, or [-1] when eliminated *)
+  fixed_value : float array;
+      (** value of each original variable if eliminated (0 otherwise) *)
+  rows_kept : int;
+  rows_dropped : int;
+  vars_fixed : int;
+}
+
+type outcome =
+  | Infeasible  (** presolve proved the model infeasible *)
+  | Reduced of t
+
+val presolve : Model.t -> outcome
+(** The input model is not modified. *)
+
+val restore : t -> float array -> float array
+(** [restore p x_reduced] is the solution in the original variable space;
+    [x_reduced] must have the reduced model's arity. *)

@@ -1,0 +1,947 @@
+module Dm = Lina.Dense_matrix
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+  | Time_limit
+  | Numerical_failure
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Iter_limit -> "iteration limit"
+  | Time_limit -> "time limit"
+  | Numerical_failure -> "numerical failure"
+
+type vstat = Basic | At_lower | At_upper | Free_nb
+
+type basis = { basic : int array; stat : vstat array }
+
+type params = {
+  max_iters : int;
+  time_limit : float;
+  refactor_every : int;
+  dual_feas_tol : float;
+  primal_feas_tol : float;
+}
+
+let default_params =
+  {
+    max_iters = 200_000;
+    time_limit = infinity;
+    refactor_every = 100;
+    dual_feas_tol = 1e-7;
+    primal_feas_tol = Lina.Tol.feas;
+  }
+
+type result = {
+  status : status;
+  x : float array;
+  objective : float;
+  internal_objective : float;
+  duals : float array;
+  reduced_costs : float array;
+  iterations : int;
+  final_basis : basis option;
+}
+
+(* Internal solver state.  Columns 0 .. n_total-1 are the structural and
+   logical columns of the standard form; columns n_total .. n_total+m-1 are
+   phase-1 artificials (one per row, sign [art_sign.(i)], unused ones kept
+   fixed at zero). *)
+type state = {
+  sf : Std_form.t;
+  m : int;
+  n_total : int;
+  lb : float array;  (* length n_total + m *)
+  ub : float array;
+  cost : float array;  (* current phase objective *)
+  real_cost : float array;
+  xval : float array;
+  vstat : vstat array;
+  basis : int array;
+  art_sign : float array;
+  mutable binv : Dm.t;
+  mutable pivots_since_refactor : int;
+  mutable iterations : int;
+  mutable bland : bool;
+  mutable degenerate_run : int;
+  params : params;
+  start_time : float;
+  (* scratch buffers *)
+  w : float array;  (* FTRAN result *)
+  y : float array;  (* duals *)
+  cb : float array; (* basic costs *)
+}
+
+exception Solver_stop of status
+
+let now () = Unix.gettimeofday ()
+
+(* --- column access -------------------------------------------------- *)
+
+let col_iter st j f =
+  if j < st.n_total then Lina.Csc.iter_col st.sf.Std_form.a j f
+  else f (j - st.n_total) st.art_sign.(j - st.n_total)
+
+let col_dot_dense st j y =
+  if j < st.n_total then Lina.Csc.col_dot st.sf.Std_form.a j y
+  else st.art_sign.(j - st.n_total) *. y.(j - st.n_total)
+
+(* w <- B^-1 A_j *)
+let ftran st j =
+  Array.fill st.w 0 st.m 0.0;
+  col_iter st j (fun i v -> Dm.col_axpy st.binv i v st.w)
+
+(* --- (re)factorization ---------------------------------------------- *)
+
+(* rhs_i = - sum over nonbasic columns of a_ij * x_j *)
+let nonbasic_rhs st =
+  let rhs = Array.make st.m 0.0 in
+  for j = 0 to st.n_total + st.m - 1 do
+    if st.vstat.(j) <> Basic && st.xval.(j) <> 0.0 then
+      col_iter st j
+        (let xj = st.xval.(j) in
+         fun i v -> rhs.(i) <- rhs.(i) -. (v *. xj))
+  done;
+  rhs
+
+(* Recomputes basic values through the current (product-form) inverse:
+   cheap O(m² + nnz) drift control between full refactorizations. *)
+let recompute_basics st =
+  let rhs = nonbasic_rhs st in
+  let xb = Dm.mult_vec st.binv rhs in
+  Array.iteri (fun pos j -> st.xval.(j) <- xb.(pos)) st.basis
+
+(* Max-norm of A·x over all columns — exact feasibility residual of the
+   equality system, O(nnz). *)
+let equation_residual st =
+  let r = Array.make st.m 0.0 in
+  for j = 0 to st.n_total + st.m - 1 do
+    if st.xval.(j) <> 0.0 then
+      col_iter st j
+        (let xj = st.xval.(j) in
+         fun i v -> r.(i) <- r.(i) +. (v *. xj))
+  done;
+  Lina.Vec.nrm_inf r
+
+(* Rebuilds the dense basis matrix, factorizes it, replaces the explicit
+   inverse and recomputes basic values from the nonbasic ones. *)
+let full_refactorize st =
+  let b = Dm.create ~rows:st.m ~cols:st.m in
+  Array.iteri
+    (fun pos j -> col_iter st j (fun i v -> Dm.set b i pos v))
+    st.basis;
+  let lu = Lina.Lu.factorize b in
+  st.binv <- Lina.Lu.inverse lu;
+  st.pivots_since_refactor <- 0;
+  let xb = Lina.Lu.solve lu (nonbasic_rhs st) in
+  Array.iteri (fun pos j -> st.xval.(j) <- xb.(pos)) st.basis
+
+(* Periodic hygiene: recompute basics through the current inverse and only
+   pay for a full LU refactorization when the equation residual shows real
+   numerical drift. *)
+let refactorize st =
+  recompute_basics st;
+  st.pivots_since_refactor <- 0;
+  (* Relative residual: values scale with capacities and the time horizon,
+     so an absolute 1e-7 would trigger O(m³) refactorizations constantly. *)
+  let scale = ref 1.0 in
+  for j = 0 to st.n_total - 1 do
+    let a = Float.abs st.xval.(j) in
+    if a > !scale then scale := a
+  done;
+  if equation_residual st > 1e-7 *. !scale then full_refactorize st
+
+(* --- pricing --------------------------------------------------------- *)
+
+let compute_duals st =
+  Array.iteri (fun pos j -> st.cb.(pos) <- st.cost.(j)) st.basis;
+  (* y = binvᵀ c_B, written in place on the raw storage: this runs every
+     iteration and dominates the per-iteration cost together with the
+     pivot update. *)
+  let raw = Dm.raw st.binv in
+  let m = st.m in
+  Array.fill st.y 0 m 0.0;
+  for i = 0 to m - 1 do
+    let ci = st.cb.(i) in
+    if ci <> 0.0 then begin
+      let base = i * m in
+      for k = 0 to m - 1 do
+        st.y.(k) <- st.y.(k) +. (ci *. raw.(base + k))
+      done
+    end
+  done
+
+(* Returns [Some (j, dir)] for the entering column and its direction of
+   movement (+1 increase, -1 decrease), or [None] at (phase) optimality. *)
+let price st =
+  let tol = st.params.dual_feas_tol in
+  let best = ref None and best_score = ref tol in
+  let consider j =
+    if st.vstat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+      let d = st.cost.(j) -. col_dot_dense st j st.y in
+      let candidate =
+        match st.vstat.(j) with
+        | At_lower -> if d < -.tol then Some 1.0 else None
+        | At_upper -> if d > tol then Some (-1.0) else None
+        | Free_nb ->
+          if d < -.tol then Some 1.0 else if d > tol then Some (-1.0) else None
+        | Basic -> None
+      in
+      match candidate with
+      | None -> ()
+      | Some dir ->
+        let score = Float.abs d in
+        if st.bland then begin
+          (* Bland: first eligible index wins. *)
+          if !best = None then begin
+            best := Some (j, dir);
+            best_score := score
+          end
+        end
+        else if score > !best_score then begin
+          best := Some (j, dir);
+          best_score := score
+        end
+    end
+  in
+  let ncols = st.n_total + st.m in
+  (try
+     for j = 0 to ncols - 1 do
+       consider j;
+       if st.bland && !best <> None then raise Exit
+     done
+   with Exit -> ());
+  !best
+
+(* --- ratio test ------------------------------------------------------ *)
+
+let ratio_test st dir =
+  let piv_tol = Lina.Tol.pivot in
+  let t_best = ref infinity in
+  let leave = ref None in
+  let leave_piv = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let rate = -.dir *. st.w.(i) in
+    if Float.abs rate > piv_tol then begin
+      let bj = st.basis.(i) in
+      let t, hit =
+        if rate < 0.0 then
+          if st.lb.(bj) > neg_infinity then
+            (Float.max 0.0 ((st.xval.(bj) -. st.lb.(bj)) /. -.rate), At_lower)
+          else (infinity, At_lower)
+        else if st.ub.(bj) < infinity then
+          (Float.max 0.0 ((st.ub.(bj) -. st.xval.(bj)) /. rate), At_upper)
+        else (infinity, At_upper)
+      in
+      if t < infinity then begin
+        let better =
+          if st.bland then
+            t < !t_best -. 1e-12
+            || (t <= !t_best +. 1e-12
+               && (match !leave with
+                  | Some (r, _, _) -> bj < st.basis.(r)
+                  | None -> true))
+          else
+            t < !t_best -. 1e-12
+            || (t <= !t_best +. 1e-12 && Float.abs st.w.(i) > Float.abs !leave_piv)
+        in
+        if better then begin
+          t_best := Float.min t !t_best;
+          leave := Some (i, hit, Float.min t !t_best);
+          leave_piv := st.w.(i)
+        end
+      end
+    end
+  done;
+  (!t_best, !leave)
+
+(* --- pivot application ----------------------------------------------- *)
+
+let apply_step st q dir t =
+  if t <> 0.0 then begin
+    for i = 0 to st.m - 1 do
+      let rate = -.dir *. st.w.(i) in
+      if rate <> 0.0 then begin
+        let bj = st.basis.(i) in
+        st.xval.(bj) <- st.xval.(bj) +. (rate *. t)
+      end
+    done;
+    st.xval.(q) <- st.xval.(q) +. (dir *. t)
+  end
+
+let do_pivot st q dir r hit =
+  let leaving = st.basis.(r) in
+  (* Pin the leaving variable exactly onto its bound to stop drift. *)
+  (match hit with
+  | At_lower -> st.xval.(leaving) <- st.lb.(leaving)
+  | At_upper -> st.xval.(leaving) <- st.ub.(leaving)
+  | Basic | Free_nb -> ());
+  st.vstat.(leaving) <- hit;
+  st.basis.(r) <- q;
+  st.vstat.(q) <- Basic;
+  (match
+     try
+       Dm.pivot_update st.binv st.w r;
+       None
+     with Invalid_argument _ -> Some ()
+   with
+  | None -> ()
+  | Some () -> raise (Solver_stop Numerical_failure));
+  ignore dir;
+  st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+  if st.pivots_since_refactor >= st.params.refactor_every then
+    try refactorize st
+    with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure)
+
+(* --- main loop -------------------------------------------------------- *)
+
+let check_limits st =
+  if st.iterations >= st.params.max_iters then raise (Solver_stop Iter_limit);
+  if
+    st.iterations land 15 = 0
+    && st.params.time_limit < infinity
+    && now () -. st.start_time > st.params.time_limit
+  then raise (Solver_stop Time_limit)
+
+(* Runs simplex iterations on the current cost vector until (phase)
+   optimality.  Raises [Solver_stop] on limits or numerical trouble. *)
+let optimize st ~allow_unbounded =
+  let continue_ = ref true in
+  while !continue_ do
+    check_limits st;
+    st.iterations <- st.iterations + 1;
+    compute_duals st;
+    match price st with
+    | None -> continue_ := false
+    | Some (q, dir) ->
+      ftran st q;
+      let t_flip =
+        if st.lb.(q) > neg_infinity && st.ub.(q) < infinity then
+          st.ub.(q) -. st.lb.(q)
+        else infinity
+      in
+      let t_leave, leave = ratio_test st dir in
+      let t = Float.min t_flip t_leave in
+      if t = infinity then
+        if allow_unbounded then raise (Solver_stop Unbounded)
+        else raise (Solver_stop Numerical_failure)
+      else begin
+        if t > 1e-10 then st.degenerate_run <- 0
+        else begin
+          st.degenerate_run <- st.degenerate_run + 1;
+          if st.degenerate_run > 100 + (2 * st.m) then st.bland <- true
+        end;
+        apply_step st q dir t;
+        if t_flip <= t_leave then begin
+          (* bound-to-bound flip: no basis change *)
+          st.vstat.(q) <-
+            (match st.vstat.(q) with
+            | At_lower -> At_upper
+            | At_upper -> At_lower
+            | Free_nb | Basic -> st.vstat.(q));
+          st.xval.(q) <- (match st.vstat.(q) with
+            | At_upper -> st.ub.(q)
+            | _ -> st.lb.(q))
+        end
+        else
+          match leave with
+          | Some (r, hit, _) -> do_pivot st q dir r hit
+          | None -> raise (Solver_stop Numerical_failure)
+      end
+  done
+
+(* --- phase 1 ---------------------------------------------------------- *)
+
+(* Drives remaining basic artificials out of the basis (or leaves them
+   pinned at zero on redundant rows). *)
+let expel_artificials st =
+  for r = 0 to st.m - 1 do
+    if st.basis.(r) >= st.n_total then begin
+      (* Row r of the inverse gives the pivot weights of every column. *)
+      let rho = Array.init st.m (fun k -> Dm.get st.binv r k) in
+      let best = ref (-1) and best_w = ref Lina.Tol.pivot in
+      for j = 0 to st.n_total - 1 do
+        if st.vstat.(j) <> Basic then begin
+          let wj = col_dot_dense st j rho in
+          if Float.abs wj > !best_w then begin
+            best := j;
+            best_w := Float.abs wj
+          end
+        end
+      done;
+      if !best >= 0 then begin
+        let q = !best in
+        ftran st q;
+        let art = st.basis.(r) in
+        (* Degenerate exchange: the entering variable keeps its value. *)
+        st.basis.(r) <- q;
+        st.vstat.(q) <- Basic;
+        st.vstat.(art) <- At_lower;
+        st.xval.(art) <- 0.0;
+        (try Dm.pivot_update st.binv st.w r
+         with Invalid_argument _ -> raise (Solver_stop Numerical_failure));
+        st.pivots_since_refactor <- st.pivots_since_refactor + 1
+      end
+    end
+  done
+
+let phase1 st ~any_artificial =
+  if any_artificial then begin
+    optimize st ~allow_unbounded:false;
+    let infeas = ref 0.0 in
+    for i = 0 to st.m - 1 do
+      infeas := !infeas +. st.xval.(st.n_total + i)
+    done;
+    if !infeas > st.params.primal_feas_tol *. float_of_int (st.m + 1) then
+      raise (Solver_stop Infeasible);
+    expel_artificials st
+  end;
+  (* Fix artificials out of the problem and install the real objective. *)
+  for i = 0 to st.m - 1 do
+    let j = st.n_total + i in
+    st.lb.(j) <- 0.0;
+    st.ub.(j) <- 0.0;
+    st.xval.(j) <- 0.0;
+    st.cost.(j) <- 0.0
+  done;
+  Array.blit st.real_cost 0 st.cost 0 st.n_total
+
+(* --- initial basis construction --------------------------------------- *)
+
+let nearest_bound lo hi =
+  if lo = neg_infinity && hi = infinity then (0.0, Free_nb)
+  else if lo = neg_infinity then (hi, At_upper)
+  else if hi = infinity then (lo, At_lower)
+  else if Float.abs lo <= Float.abs hi then (lo, At_lower)
+  else (hi, At_upper)
+
+(* Cold start: structurals at their nearest bound, logicals basic where the
+   initial activity is inside the row range, artificials elsewhere. *)
+let cold_start st =
+  let n_struct = st.sf.Std_form.n_struct in
+  let any_artificial = ref false in
+  for j = 0 to n_struct - 1 do
+    let v, s = nearest_bound st.lb.(j) st.ub.(j) in
+    st.xval.(j) <- v;
+    st.vstat.(j) <- s
+  done;
+  (* Row activities from structural columns only. *)
+  let act = Array.make st.m 0.0 in
+  for j = 0 to n_struct - 1 do
+    if st.xval.(j) <> 0.0 then
+      Lina.Csc.iter_col st.sf.Std_form.a j
+        (let xj = st.xval.(j) in
+         fun i v -> act.(i) <- act.(i) +. (v *. xj))
+  done;
+  let binv = Dm.create ~rows:st.m ~cols:st.m in
+  for i = 0 to st.m - 1 do
+    let slack = n_struct + i in
+    let art = st.n_total + i in
+    if act.(i) >= st.lb.(slack) && act.(i) <= st.ub.(slack) then begin
+      (* logical basic at the activity value; basis column is -e_i *)
+      st.basis.(i) <- slack;
+      st.vstat.(slack) <- Basic;
+      st.xval.(slack) <- act.(i);
+      st.vstat.(art) <- At_lower;
+      st.xval.(art) <- 0.0;
+      st.lb.(art) <- 0.0;
+      st.ub.(art) <- 0.0;
+      st.cost.(art) <- 0.0;
+      Dm.set binv i i (-1.0)
+    end
+    else begin
+      let target, s =
+        if act.(i) < st.lb.(slack) then (st.lb.(slack), At_lower)
+        else (st.ub.(slack), At_upper)
+      in
+      st.vstat.(slack) <- s;
+      st.xval.(slack) <- target;
+      let resid = target -. act.(i) in
+      let sign = if resid >= 0.0 then 1.0 else -1.0 in
+      st.art_sign.(i) <- sign;
+      st.basis.(i) <- art;
+      st.vstat.(art) <- Basic;
+      st.xval.(art) <- Float.abs resid;
+      st.lb.(art) <- 0.0;
+      st.ub.(art) <- infinity;
+      st.cost.(art) <- 1.0;
+      any_artificial := true;
+      Dm.set binv i i sign
+    end
+  done;
+  st.binv <- binv;
+  if !any_artificial then
+    (* phase-1 objective: zero on real columns *)
+    Array.fill st.cost 0 st.n_total 0.0
+  else Array.blit st.real_cost 0 st.cost 0 st.n_total;
+  !any_artificial
+
+(* Installs a caller-provided basis over the real columns: nonbasics onto
+   their (possibly changed) bounds, artificials fixed out, basis matrix
+   factorized.  Returns false when the basis is malformed or singular. *)
+let install_warm_basis st (warm : basis) =
+  if
+    Array.length warm.basic <> st.m
+    || Array.length warm.stat <> st.n_total
+  then false
+  else begin
+    let ok = ref true in
+    Array.iter (fun j -> if j < 0 || j >= st.n_total then ok := false) warm.basic;
+    if !ok then begin
+      for j = 0 to st.n_total - 1 do
+        (* A nonbasic status pointing at an infinite bound is re-homed
+           rather than rejected (bounds may differ from the basis' LP). *)
+        let stat =
+          match warm.stat.(j) with
+          | At_lower when st.lb.(j) = neg_infinity ->
+            if st.ub.(j) < infinity then At_upper else Free_nb
+          | At_upper when st.ub.(j) = infinity ->
+            if st.lb.(j) > neg_infinity then At_lower else Free_nb
+          | s -> s
+        in
+        st.vstat.(j) <- stat;
+        match stat with
+        | At_lower -> st.xval.(j) <- st.lb.(j)
+        | At_upper -> st.xval.(j) <- st.ub.(j)
+        | Free_nb -> st.xval.(j) <- 0.0
+        | Basic -> ()
+      done;
+      for i = 0 to st.m - 1 do
+        let art = st.n_total + i in
+        st.vstat.(art) <- At_lower;
+        st.xval.(art) <- 0.0;
+        st.lb.(art) <- 0.0;
+        st.ub.(art) <- 0.0;
+        st.cost.(art) <- 0.0
+      done;
+      Array.blit warm.basic 0 st.basis 0 st.m;
+      Array.blit st.real_cost 0 st.cost 0 st.n_total;
+      match full_refactorize st with
+      | () -> true
+      | exception Lina.Lu.Singular _ -> false
+    end
+    else false
+  end
+
+let basics_primal_feasible st =
+  let tol = st.params.primal_feas_tol in
+  Array.for_all
+    (fun j -> st.xval.(j) >= st.lb.(j) -. tol && st.xval.(j) <= st.ub.(j) +. tol)
+    st.basis
+
+(* One pricing pass: is the installed basis dual feasible (so that the
+   dual simplex's "no entering candidate" verdict proves infeasibility)? *)
+let dual_feasible st =
+  compute_duals st;
+  let tol = 10.0 *. st.params.dual_feas_tol in
+  let ok = ref true in
+  for j = 0 to st.n_total - 1 do
+    if st.vstat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+      let d = st.cost.(j) -. col_dot_dense st j st.y in
+      match st.vstat.(j) with
+      | At_lower -> if d < -.tol then ok := false
+      | At_upper -> if d > tol then ok := false
+      | Free_nb -> if Float.abs d > tol then ok := false
+      | Basic -> ()
+    end
+  done;
+  !ok
+
+(* --- dual simplex ------------------------------------------------------ *)
+
+(* Bounded-variable dual simplex: starting from a dual-feasible basis
+   (typically the parent LP optimum in branch-and-bound, with child bounds
+   installed), repairs primal feasibility while maintaining dual
+   feasibility.  Raises [Solver_stop Infeasible] when the dual is
+   unbounded, i.e. the primal is infeasible. *)
+let dual_optimize st =
+  let tol = st.params.primal_feas_tol in
+  let piv_tol = Lina.Tol.pivot in
+  let rho = Array.make st.m 0.0 in
+  let continue_ = ref true in
+  (* Degenerate dual pivots can cycle; after a stall we fall back to a
+     Bland-style smallest-index entering rule, and a hard per-call pivot
+     budget turns pathological cases into a cold primal restart. *)
+  let stall = ref 0 and bland = ref false in
+  let budget = 500 + (5 * st.m) in
+  let pivots = ref 0 in
+  while !continue_ do
+    check_limits st;
+    st.iterations <- st.iterations + 1;
+    incr pivots;
+    if !pivots > budget then raise (Solver_stop Numerical_failure);
+    if !stall > 50 + st.m then bland := true;
+    (* Leaving variable: the basic with the largest bound violation. *)
+    let r = ref (-1) and worst = ref tol and too_high = ref false in
+    for i = 0 to st.m - 1 do
+      let bj = st.basis.(i) in
+      let below = st.lb.(bj) -. st.xval.(bj)
+      and above = st.xval.(bj) -. st.ub.(bj) in
+      if below > !worst then begin
+        worst := below;
+        r := i;
+        too_high := false
+      end;
+      if above > !worst then begin
+        worst := above;
+        r := i;
+        too_high := true
+      end
+    done;
+    if !r < 0 then continue_ := false
+    else begin
+      let r = !r in
+      let e = if !too_high then 1.0 else -1.0 in
+      (* Row r of the inverse, then the pivot row alpha_j = rho · A_j. *)
+      let raw = Dm.raw st.binv in
+      Array.blit raw (r * st.m) rho 0 st.m;
+      compute_duals st;
+      (* Dual ratio test: smallest d_j / (e·alpha_j) over admissible j. *)
+      let best = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0.0 in
+      for j = 0 to st.n_total - 1 do
+        if st.vstat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+          let alpha = col_dot_dense st j rho in
+          let alpha' = e *. alpha in
+          let admissible =
+            match st.vstat.(j) with
+            | At_lower -> alpha' > piv_tol
+            | At_upper -> alpha' < -.piv_tol
+            | Free_nb -> Float.abs alpha' > piv_tol
+            | Basic -> false
+          in
+          if admissible then begin
+            let d = st.cost.(j) -. col_dot_dense st j st.y in
+            let ratio = Float.max 0.0 (d /. alpha') in
+            let better =
+              if !bland then
+                ratio < !best_ratio -. 1e-12
+                || (ratio <= !best_ratio +. 1e-12
+                   && (!best < 0 || j < !best))
+              else
+                ratio < !best_ratio -. 1e-12
+                || (ratio <= !best_ratio +. 1e-12
+                   && Float.abs alpha > Float.abs !best_alpha)
+            in
+            if better then begin
+              best := j;
+              best_ratio := ratio;
+              best_alpha := alpha
+            end
+          end
+        end
+      done;
+      if !best < 0 then raise (Solver_stop Infeasible)
+      else begin
+        let q = !best in
+        ftran st q;
+        let alpha_q = st.w.(r) in
+        if Float.abs alpha_q < piv_tol then raise (Solver_stop Numerical_failure);
+        let leaving = st.basis.(r) in
+        let target = if !too_high then st.ub.(leaving) else st.lb.(leaving) in
+        let delta_q = (st.xval.(leaving) -. target) /. alpha_q in
+        if Float.abs delta_q > 1e-10 then stall := 0 else incr stall;
+        (* Primal update: x_q moves off its bound by delta_q; every basic
+           moves by -w_i · delta_q (which lands the leaving variable
+           exactly on its violated bound). *)
+        for i = 0 to st.m - 1 do
+          if st.w.(i) <> 0.0 then begin
+            let bj = st.basis.(i) in
+            st.xval.(bj) <- st.xval.(bj) -. (st.w.(i) *. delta_q)
+          end
+        done;
+        st.xval.(q) <- st.xval.(q) +. delta_q;
+        st.xval.(leaving) <- target;
+        st.vstat.(leaving) <- (if !too_high then At_upper else At_lower);
+        st.basis.(r) <- q;
+        st.vstat.(q) <- Basic;
+        (try Dm.pivot_update st.binv st.w r
+         with Invalid_argument _ -> raise (Solver_stop Numerical_failure));
+        st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+        if st.pivots_since_refactor >= st.params.refactor_every then
+          try refactorize st
+          with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure)
+      end
+    end
+  done
+
+(* --- result extraction ------------------------------------------------ *)
+
+let extract st status =
+  let sf = st.sf in
+  let n_struct = sf.Std_form.n_struct in
+  (* Tighten values with one final refactorization when the basis is sane. *)
+  (if status = Optimal then
+     try refactorize st with Lina.Lu.Singular _ -> ());
+  Array.blit st.real_cost 0 st.cost 0 st.n_total;
+  (* A state rejected before any basis was built (e.g. crossed bounds)
+     carries an empty basis; duals stay zero then. *)
+  if Array.for_all (fun j -> j >= 0) st.basis then compute_duals st
+  else Array.fill st.y 0 st.m 0.0;
+  let x = Array.sub st.xval 0 n_struct in
+  let internal =
+    let acc = ref 0.0 in
+    for j = 0 to st.n_total - 1 do
+      acc := !acc +. (st.real_cost.(j) *. st.xval.(j))
+    done;
+    !acc
+  in
+  (* Internal duals are in minimization sense; expose them in the model's
+     objective sense so that a user dual is d(user obj)/d(rhs). *)
+  let factor = sf.Std_form.obj_factor in
+  let duals = Array.init st.m (fun i -> factor *. st.y.(i)) in
+  let reduced =
+    Array.init n_struct (fun j ->
+        factor *. (st.real_cost.(j) -. col_dot_dense st j st.y))
+  in
+  let final_basis =
+    match status with
+    | Optimal | Iter_limit | Time_limit ->
+      (* Only meaningful when no artificial remains basic. *)
+      if Array.for_all (fun j -> j < st.n_total) st.basis then
+        Some
+          {
+            basic = Array.copy st.basis;
+            stat = Array.sub st.vstat 0 st.n_total;
+          }
+      else None
+    | Infeasible | Unbounded | Numerical_failure -> None
+  in
+  {
+    status;
+    x;
+    objective = Std_form.user_objective sf internal;
+    internal_objective = internal;
+    duals;
+    reduced_costs = reduced;
+    iterations = st.iterations;
+    final_basis;
+  }
+
+let solve ?(params = default_params) ?lb ?ub ?warm sf =
+  let m = sf.Std_form.n_rows in
+  let n_total = Std_form.n_total sf in
+  let pick_bounds default override =
+    match override with
+    | None -> Array.copy default
+    | Some o ->
+      if Array.length o <> n_total then
+        invalid_arg "Simplex.solve: bound override length";
+      Array.copy o
+  in
+  let lb_full = Array.append (pick_bounds sf.Std_form.lb lb) (Array.make m 0.0) in
+  let ub_full = Array.append (pick_bounds sf.Std_form.ub ub) (Array.make m 0.0) in
+  (* Quick infeasibility check on crossed bounds.  Crossings within the
+     feasibility tolerance (propagation round-off) are repaired by
+     collapsing the interval instead of declaring infeasibility. *)
+  let crossed = ref false in
+  for j = 0 to n_total - 1 do
+    if lb_full.(j) > ub_full.(j) then begin
+      let scale = Float.max 1.0 (Float.abs lb_full.(j)) in
+      if lb_full.(j) -. ub_full.(j) <= params.primal_feas_tol *. scale then begin
+        let mid = 0.5 *. (lb_full.(j) +. ub_full.(j)) in
+        lb_full.(j) <- mid;
+        ub_full.(j) <- mid
+      end
+      else crossed := true
+    end
+  done;
+  let real_cost = Array.copy sf.Std_form.cost in
+  let st =
+    {
+      sf;
+      m;
+      n_total;
+      lb = lb_full;
+      ub = ub_full;
+      cost = Array.append (Array.copy sf.Std_form.cost) (Array.make m 0.0);
+      real_cost;
+      xval = Array.make (n_total + m) 0.0;
+      vstat = Array.make (n_total + m) At_lower;
+      basis = Array.make m (-1);
+      art_sign = Array.make m 1.0;
+      binv = Dm.identity m;
+      pivots_since_refactor = 0;
+      iterations = 0;
+      bland = false;
+      degenerate_run = 0;
+      params;
+      start_time = now ();
+      w = Array.make m 0.0;
+      y = Array.make m 0.0;
+      cb = Array.make m 0.0;
+    }
+  in
+  if !crossed then extract st Infeasible
+  else
+    let run () =
+      let warm_ok =
+        match warm with
+        | None -> false
+        | Some wb ->
+          install_warm_basis st wb
+          && begin
+               if dual_feasible st then begin
+                 (* Dual simplex repairs primal feasibility; the primal
+                    clean-up pass below then certifies optimality. *)
+                 dual_optimize st;
+                 true
+               end
+               else basics_primal_feasible st
+             end
+      in
+      if not warm_ok then begin
+        let any_artificial = cold_start st in
+        phase1 st ~any_artificial
+      end;
+      optimize st ~allow_unbounded:true;
+      Optimal
+    in
+    let status = try run () with Solver_stop s -> s in
+    extract st status
+
+let solve_model ?params m =
+  let sf = Std_form.of_model m in
+  solve ?params sf
+
+(* --- persistent sessions ----------------------------------------------- *)
+
+type session = {
+  s_sf : Std_form.t;
+  s_params : params;
+  mutable s_state : state option;  (* carries basis + inverse across solves *)
+}
+
+let create_session ?(params = default_params) sf =
+  { s_sf = sf; s_params = params; s_state = None }
+
+let fresh_state sf params lb ub =
+  let m = sf.Std_form.n_rows in
+  let n_total = Std_form.n_total sf in
+  {
+    sf;
+    m;
+    n_total;
+    lb = Array.append (Array.copy lb) (Array.make m 0.0);
+    ub = Array.append (Array.copy ub) (Array.make m 0.0);
+    cost = Array.append (Array.copy sf.Std_form.cost) (Array.make m 0.0);
+    real_cost = Array.copy sf.Std_form.cost;
+    xval = Array.make (n_total + m) 0.0;
+    vstat = Array.make (n_total + m) At_lower;
+    basis = Array.make m (-1);
+    art_sign = Array.make m 1.0;
+    binv = Dm.identity m;
+    pivots_since_refactor = 0;
+    iterations = 0;
+    bland = false;
+    degenerate_run = 0;
+    params;
+    start_time = now ();
+    w = Array.make m 0.0;
+    y = Array.make m 0.0;
+    cb = Array.make m 0.0;
+  }
+
+(* Mutable reset of the session state for new bounds, keeping basis, basis
+   inverse and variable statuses intact. *)
+let rebound_state st lb ub =
+  Array.blit lb 0 st.lb 0 st.n_total;
+  Array.blit ub 0 st.ub 0 st.n_total;
+  for j = 0 to st.n_total - 1 do
+    if st.vstat.(j) <> Basic then begin
+      (* Re-home nonbasics whose bound moved or vanished. *)
+      let stat =
+        match st.vstat.(j) with
+        | At_lower when st.lb.(j) = neg_infinity ->
+          if st.ub.(j) < infinity then At_upper else Free_nb
+        | At_upper when st.ub.(j) = infinity ->
+          if st.lb.(j) > neg_infinity then At_lower else Free_nb
+        | s -> s
+      in
+      st.vstat.(j) <- stat;
+      match stat with
+      | At_lower -> st.xval.(j) <- st.lb.(j)
+      | At_upper -> st.xval.(j) <- st.ub.(j)
+      | Free_nb -> st.xval.(j) <- 0.0
+      | Basic -> ()
+    end
+  done
+
+let session_solve session ?time_limit ~lb ~ub () =
+  let sf = session.s_sf in
+  let n_total = Std_form.n_total sf in
+  if Array.length lb <> n_total || Array.length ub <> n_total then
+    invalid_arg "Simplex.session_solve: bound length";
+  let params =
+    match time_limit with
+    | None -> session.s_params
+    | Some t -> { session.s_params with time_limit = t }
+  in
+  let lb = Array.copy lb and ub = Array.copy ub in
+  let crossed = ref false in
+  for j = 0 to n_total - 1 do
+    if lb.(j) > ub.(j) then begin
+      let scale = Float.max 1.0 (Float.abs lb.(j)) in
+      if lb.(j) -. ub.(j) <= params.primal_feas_tol *. scale then begin
+        let mid = 0.5 *. (lb.(j) +. ub.(j)) in
+        lb.(j) <- mid;
+        ub.(j) <- mid
+      end
+      else crossed := true
+    end
+  done;
+  let cold_solve () =
+    let st = fresh_state sf params lb ub in
+    session.s_state <- Some st;
+    let status =
+      try
+        let any_artificial = cold_start st in
+        phase1 st ~any_artificial;
+        optimize st ~allow_unbounded:true;
+        Optimal
+      with Solver_stop s -> s
+    in
+    extract st status
+  in
+  if !crossed then begin
+    let st = fresh_state sf params lb ub in
+    extract st Infeasible
+  end
+  else
+    match session.s_state with
+    | None -> cold_solve ()
+    | Some st ->
+      st.iterations <- 0;
+      st.bland <- false;
+      st.degenerate_run <- 0;
+      let st = { st with params; start_time = now () } in
+      session.s_state <- Some st;
+      rebound_state st lb ub;
+      let usable =
+        (* A valid basis (no artificial columns) that is still dual
+           feasible lets the dual simplex re-solve in place. *)
+        Array.for_all (fun j -> j >= 0 && j < st.n_total) st.basis
+        && begin
+             recompute_basics st;
+             dual_feasible st
+           end
+      in
+      if not usable then cold_solve ()
+      else begin
+        let status =
+          try
+            dual_optimize st;
+            optimize st ~allow_unbounded:true;
+            Optimal
+          with Solver_stop s -> s
+        in
+        match status with
+        | Numerical_failure ->
+          (* Drift or a bad pivot: one authoritative cold retry. *)
+          cold_solve ()
+        | s -> extract st s
+      end

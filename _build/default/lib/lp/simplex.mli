@@ -1,0 +1,90 @@
+(** Bounded-variable two-phase revised primal simplex.
+
+    Solves the computational form produced by {!Std_form}:
+    [min cᵀx  s.t.  A·x = 0,  lb <= x <= ub].  The basis inverse is kept
+    explicitly (dense) and updated in product form on every pivot, with
+    periodic LU refactorization from scratch to bound numerical drift.
+    Phase 1 minimizes the sum of artificial variables introduced only on
+    rows whose logical variable cannot start feasibly.
+
+    Anti-cycling: Dantzig pricing by default, with an automatic switch to
+    Bland's rule after a run of degenerate pivots. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+  | Time_limit
+  | Numerical_failure
+
+val status_to_string : status -> string
+
+type vstat = Basic | At_lower | At_upper | Free_nb
+(** Nonbasic/basic status of a column; part of a warm-start basis. *)
+
+type basis = { basic : int array; stat : vstat array }
+(** [basic.(i)] is the column basic in row [i]; [stat] has one entry per
+    column of the (logical-extended) matrix. *)
+
+type params = {
+  max_iters : int;
+  time_limit : float;       (** seconds of wall-clock; [infinity] = none *)
+  refactor_every : int;     (** pivots between LU refactorizations *)
+  dual_feas_tol : float;    (** reduced-cost tolerance *)
+  primal_feas_tol : float;  (** bound-violation tolerance *)
+}
+
+val default_params : params
+
+type result = {
+  status : status;
+  x : float array;              (** structural values, length [n_struct] *)
+  objective : float;            (** user-facing objective (sense/offset applied) *)
+  internal_objective : float;   (** minimization objective on the internal form *)
+  duals : float array;          (** row duals, length [n_rows] *)
+  reduced_costs : float array;  (** structural reduced costs (internal sense) *)
+  iterations : int;
+  final_basis : basis option;   (** present when the run ended cleanly *)
+}
+
+val solve :
+  ?params:params ->
+  ?lb:float array ->
+  ?ub:float array ->
+  ?warm:basis ->
+  Std_form.t ->
+  result
+(** [solve sf] optimizes the compiled form.  [?lb]/[?ub] override the
+    column bounds of the {e full} column space (structurals followed by
+    logicals); arrays must then have length [Std_form.n_total sf].  [?warm]
+    restarts from a previous basis (falling back to a cold start when the
+    basis is numerically singular). *)
+
+val solve_model : ?params:params -> Model.t -> result
+(** Convenience wrapper: compiles the model's continuous relaxation
+    (integrality dropped) and solves it. *)
+
+(** {2 Persistent sessions}
+
+    A branch-and-bound search solves thousands of LPs that differ only in
+    variable bounds.  A [session] keeps the factorized basis and solution
+    state alive between solves: after a bound change the previous optimal
+    basis stays {e dual} feasible, so each re-solve is a handful of dual
+    simplex pivots — no O(m³) refactorization, no phase 1. *)
+
+type session
+
+val create_session : ?params:params -> Std_form.t -> session
+
+val session_solve :
+  session ->
+  ?time_limit:float ->
+  lb:float array ->
+  ub:float array ->
+  unit ->
+  result
+(** Re-optimizes under new full-column-space bounds (length
+    [Std_form.n_total]).  Falls back to a cold start internally whenever
+    the carried basis is unusable; the result is always as authoritative
+    as a fresh {!solve}. *)

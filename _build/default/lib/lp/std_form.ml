@@ -1,0 +1,97 @@
+type t = {
+  n_struct : int;
+  n_rows : int;
+  a : Lina.Csc.t;
+  cost : float array;
+  lb : float array;
+  ub : float array;
+  obj_const : float;
+  obj_factor : float;
+  integer : bool array;
+  var_names : string array;
+  row_names : string array;
+}
+
+let of_model m =
+  let n = Model.num_vars m in
+  let rows = Model.rows m in
+  let nr = List.length rows in
+  let total = n + nr in
+  let b = Lina.Csc.Builder.create ~rows:nr ~cols:total in
+  List.iteri
+    (fun i (r : Model.row) ->
+      List.iter
+        (fun (v, c) -> Lina.Csc.Builder.add b ~row:i ~col:v c)
+        (Expr.terms r.expr);
+      Lina.Csc.Builder.add b ~row:i ~col:(n + i) (-1.0))
+    rows;
+  let a = Lina.Csc.Builder.finish b in
+  let sense, obj = Model.objective m in
+  let obj_factor = match sense with Model.Minimize -> 1.0 | Model.Maximize -> -1.0 in
+  let cost = Array.make total 0.0 in
+  List.iter (fun (v, c) -> cost.(v) <- obj_factor *. c) (Expr.terms obj);
+  let lb = Array.make total 0.0 and ub = Array.make total 0.0 in
+  let integer = Array.make n false in
+  let var_names = Array.make n "" in
+  for v = 0 to n - 1 do
+    let hv = Model.var_of_id m v in
+    lb.(v) <- Model.var_lb m hv;
+    ub.(v) <- Model.var_ub m hv;
+    var_names.(v) <- Model.var_name m hv;
+    (match Model.var_kind m hv with
+    | Model.Integer | Model.Binary -> integer.(v) <- true
+    | Model.Continuous -> ())
+  done;
+  let row_names = Array.make nr "" in
+  List.iteri
+    (fun i (r : Model.row) ->
+      lb.(n + i) <- r.lo;
+      ub.(n + i) <- r.hi;
+      row_names.(i) <- r.row_name)
+    rows;
+  {
+    n_struct = n;
+    n_rows = nr;
+    a;
+    cost;
+    lb;
+    ub;
+    obj_const = Expr.constant obj;
+    obj_factor;
+    integer;
+    var_names;
+    row_names;
+  }
+
+let n_total sf = sf.n_struct + sf.n_rows
+
+let user_objective sf internal = (sf.obj_factor *. internal) +. sf.obj_const
+
+let row_activity sf x =
+  if Array.length x <> sf.n_struct then invalid_arg "Std_form.row_activity";
+  let act = Array.make sf.n_rows 0.0 in
+  for j = 0 to sf.n_struct - 1 do
+    let xj = x.(j) in
+    if xj <> 0.0 then
+      Lina.Csc.iter_col sf.a j (fun i v -> act.(i) <- act.(i) +. (v *. xj))
+  done;
+  act
+
+let is_feasible_point ?(tol = Lina.Tol.feas) sf ?lb ?ub x =
+  let lbs = match lb with Some l -> l | None -> sf.lb in
+  let ubs = match ub with Some u -> u | None -> sf.ub in
+  let ok = ref true in
+  for j = 0 to sf.n_struct - 1 do
+    if x.(j) < lbs.(j) -. tol || x.(j) > ubs.(j) +. tol then ok := false
+  done;
+  if !ok then begin
+    let act = row_activity sf x in
+    for i = 0 to sf.n_rows - 1 do
+      let scale = Float.max 1.0 (Float.abs act.(i)) in
+      if
+        act.(i) < sf.lb.(sf.n_struct + i) -. (tol *. scale)
+        || act.(i) > sf.ub.(sf.n_struct + i) +. (tol *. scale)
+      then ok := false
+    done
+  end;
+  !ok

@@ -1,0 +1,43 @@
+(** Computational standard form.
+
+    A {!Model.t} is compiled once into
+    [minimize cᵀx  s.t.  A·x = 0,  lb <= x <= ub]
+    where [x] stacks the structural variables followed by one logical
+    variable per row: the row [lo <= e <= hi] becomes [e - y = 0] with
+    [y ∈ [lo, hi]].  A maximization objective is negated ([obj_factor]
+    restores the user-facing value).
+
+    The MIP search reuses one compiled form for every node, overriding
+    structural bounds per node. *)
+
+type t = {
+  n_struct : int;  (** number of structural columns *)
+  n_rows : int;    (** number of rows = number of logical columns *)
+  a : Lina.Csc.t;  (** [n_rows × (n_struct + n_rows)]; logical part is -I *)
+  cost : float array;  (** length [n_struct + n_rows]; zero on logicals *)
+  lb : float array;    (** length [n_struct + n_rows] *)
+  ub : float array;
+  obj_const : float;
+  obj_factor : float;  (** +1 for minimize, -1 for maximize *)
+  integer : bool array;      (** length [n_struct] *)
+  var_names : string array;  (** length [n_struct] *)
+  row_names : string array;
+}
+
+val of_model : Model.t -> t
+
+val n_total : t -> int
+(** [n_struct + n_rows]. *)
+
+val user_objective : t -> float -> float
+(** Maps an internal (minimization) objective value back to the model's
+    objective sense and offset. *)
+
+val row_activity : t -> float array -> float array
+(** [row_activity sf x] evaluates all rows on structural values [x]
+    (length [n_struct]). *)
+
+val is_feasible_point :
+  ?tol:float -> t -> ?lb:float array -> ?ub:float array -> float array -> bool
+(** Checks structural bounds and row ranges on a candidate structural
+    point; [?lb]/[?ub] override structural bounds (as in a MIP node). *)

@@ -1,0 +1,1 @@
+lib/mip/branch_bound.ml: Array Float Heap List Logs Lp Printf Propagate Unix

@@ -1,0 +1,1 @@
+lib/mip/propagate.ml: Array Float Lina List Lp

@@ -1,0 +1,1 @@
+lib/mip/propagate.mli: Lp

@@ -1,0 +1,357 @@
+let src = Logs.Src.create "mip" ~doc:"branch and bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Time_limit
+  | Node_limit
+  | Numerical_failure
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Time_limit -> "time limit"
+  | Node_limit -> "node limit"
+  | Numerical_failure -> "numerical failure"
+
+type params = {
+  time_limit : float;
+  node_limit : int;
+  gap_tol : float;
+  int_tol : float;
+  lp_params : Lp.Simplex.params;
+  log_every : int;
+  propagate : bool;       (* node-level domain propagation *)
+  warm_sessions : bool;   (* persistent dual-simplex session re-solves *)
+}
+
+let default_params =
+  {
+    time_limit = infinity;
+    node_limit = 1_000_000;
+    gap_tol = 1e-6;
+    int_tol = 1e-6;
+    lp_params = Lp.Simplex.default_params;
+    log_every = 0;
+    propagate = true;
+    (* Off by default: with node propagation fixing most binaries the cold
+       primal re-solve is cheaper than the dual-simplex session (see the
+       A2 ablation bench). *)
+    warm_sessions = false;
+  }
+
+type result = {
+  status : status;
+  incumbent : float array option;
+  objective : float option;
+  best_bound : float;
+  gap : float;
+  nodes : int;
+  lp_iterations : int;
+  solve_time : float;
+}
+
+let gap_of ~incumbent ~bound =
+  match incumbent with
+  | None -> infinity
+  | Some inc ->
+    let diff = Float.abs (bound -. inc) in
+    if diff <= 1e-12 then 0.0 else diff /. Float.max 1e-10 (Float.abs inc)
+
+(* A node records only its branching decisions; bound arrays are
+   reconstructed on demand to keep the queue memory-light. *)
+type node = {
+  branches : (int * float * float) list;  (* (column, lo, hi) tightenings *)
+  depth : int;
+  parent_bound : float;  (* internal (minimization) LP bound inherited *)
+}
+
+type search = {
+  sf : Lp.Std_form.t;
+  prop : Propagate.t;
+  session : Lp.Simplex.session;
+      (* one persistent simplex session: node LPs re-solve by dual simplex
+         from the previous basis instead of from scratch *)
+  params : params;
+  queue : node Heap.t;
+  mutable plunge : node list;
+      (* depth-first stack: one child of the last branching is explored
+         immediately, which finds incumbents far faster than pure
+         best-bound search on models with weak big-M relaxations *)
+  mutable incumbent_x : float array option;
+  mutable incumbent_obj : float;  (* internal sense; +inf if none *)
+  mutable nodes : int;
+  mutable lp_iters : int;
+  mutable processing_bound : float;
+      (* inherited bound of the node currently being processed; [infinity]
+         between nodes.  Without it, stopping mid-node with an empty queue
+         would let [global_bound] collapse to the incumbent and falsely
+         claim a proved optimum. *)
+  start : float;
+  root_lb : float array;  (* full column space *)
+  root_ub : float array;
+}
+
+let now () = Unix.gettimeofday ()
+
+let node_bounds s node =
+  let lb = Array.copy s.root_lb and ub = Array.copy s.root_ub in
+  List.iter
+    (fun (j, lo, hi) ->
+      lb.(j) <- Float.max lb.(j) lo;
+      ub.(j) <- Float.min ub.(j) hi)
+    node.branches;
+  (lb, ub)
+
+let structural_objective sf (x : float array) =
+  let acc = ref 0.0 in
+  for j = 0 to sf.Lp.Std_form.n_struct - 1 do
+    acc := !acc +. (sf.Lp.Std_form.cost.(j) *. x.(j))
+  done;
+  !acc
+
+let fractional_vars s (x : float array) =
+  let sf = s.sf in
+  let acc = ref [] in
+  for j = sf.Lp.Std_form.n_struct - 1 downto 0 do
+    if sf.Lp.Std_form.integer.(j) then begin
+      let v = x.(j) in
+      let frac = Float.abs (v -. Float.round v) in
+      if frac > s.params.int_tol then acc := (j, v, frac) :: !acc
+    end
+  done;
+  !acc
+
+(* Nearest-integer rounding probe: cheap primal heuristic applied to every
+   fractional LP optimum. *)
+let try_rounding s (x : float array) =
+  let sf = s.sf in
+  let cand = Array.copy x in
+  for j = 0 to sf.Lp.Std_form.n_struct - 1 do
+    if sf.Lp.Std_form.integer.(j) then cand.(j) <- Float.round cand.(j)
+  done;
+  if Lp.Std_form.is_feasible_point sf cand then begin
+    let obj = structural_objective sf cand in
+    if obj < s.incumbent_obj -. 1e-12 then begin
+      s.incumbent_obj <- obj;
+      s.incumbent_x <- Some cand;
+      Log.debug (fun m -> m "rounding incumbent: internal obj %g" obj)
+    end
+  end
+
+let accept_incumbent s (x : float array) obj =
+  if obj < s.incumbent_obj -. 1e-12 then begin
+    s.incumbent_obj <- obj;
+    s.incumbent_x <- Some x;
+    Log.debug (fun m -> m "new incumbent: internal obj %g" obj)
+  end
+
+let global_bound s processing_bound =
+  let qmin = match Heap.peek_key s.queue with Some k -> k | None -> infinity in
+  let smin =
+    List.fold_left
+      (fun acc n -> Float.min acc n.parent_bound)
+      infinity s.plunge
+  in
+  Float.min (Float.min qmin smin) (Float.min processing_bound s.incumbent_obj)
+
+exception Stop of status
+
+let branch_var s (x : float array) =
+  match fractional_vars s x with
+  | [] -> None
+  | fracs ->
+    (* most fractional; ties by larger |objective coefficient| *)
+    let score (j, _, frac) =
+      let dist = Float.abs (frac -. 0.5) in
+      (dist, -.Float.abs s.sf.Lp.Std_form.cost.(j))
+    in
+    let best =
+      List.fold_left
+        (fun best cand ->
+          match best with
+          | None -> Some cand
+          | Some b -> if score cand < score b then Some cand else Some b)
+        None fracs
+    in
+    (match best with Some (j, v, _) -> Some (j, v) | None -> None)
+
+let process_node s node =
+  s.processing_bound <- node.parent_bound;
+  s.nodes <- s.nodes + 1;
+  if s.nodes > s.params.node_limit then raise (Stop Node_limit);
+  if now () -. s.start > s.params.time_limit then raise (Stop Time_limit);
+  (* Bound-based pruning against the current incumbent. *)
+  let prune_margin =
+    1e-9 *. Float.max 1.0 (Float.abs s.incumbent_obj)
+  in
+  if node.parent_bound >= s.incumbent_obj -. prune_margin then ()
+  else begin
+    let lb, ub = node_bounds s node in
+    match
+      if s.params.propagate then Propagate.run s.prop ~lb ~ub
+      else Propagate.Tightened 0
+    with
+    | Propagate.Infeasible_node -> ()
+    | Propagate.Tightened _ ->
+    let remaining =
+      if s.params.time_limit = infinity then infinity
+      else Float.max 0.1 (s.params.time_limit -. (now () -. s.start))
+    in
+    let lp_params =
+      { s.params.lp_params with Lp.Simplex.time_limit = remaining }
+    in
+    let r =
+      if s.params.warm_sessions then
+        Lp.Simplex.session_solve s.session ~time_limit:remaining ~lb ~ub ()
+      else
+        Lp.Simplex.solve
+          ~params:{ lp_params with Lp.Simplex.time_limit = remaining }
+          ~lb ~ub s.sf
+    in
+    s.lp_iters <- s.lp_iters + r.Lp.Simplex.iterations;
+    match r.Lp.Simplex.status with
+    | Lp.Simplex.Infeasible -> ()
+    | Lp.Simplex.Unbounded ->
+      (* With an unbounded relaxation no finite dual bound exists. *)
+      raise (Stop Unbounded)
+    | Lp.Simplex.Time_limit -> raise (Stop Time_limit)
+    | Lp.Simplex.Iter_limit | Lp.Simplex.Numerical_failure ->
+      raise (Stop Numerical_failure)
+    | Lp.Simplex.Optimal ->
+      let bound = r.Lp.Simplex.internal_objective in
+      if bound >= s.incumbent_obj -. prune_margin then ()
+      else begin
+        match branch_var s r.Lp.Simplex.x with
+        | None ->
+          (* integral LP optimum *)
+          accept_incumbent s r.Lp.Simplex.x bound
+        | Some (j, v) ->
+          try_rounding s r.Lp.Simplex.x;
+          let mk lo hi =
+            {
+              branches = (j, lo, hi) :: node.branches;
+              depth = node.depth + 1;
+              parent_bound = bound;
+            }
+          in
+          let down = mk neg_infinity (Float.of_int (int_of_float (Float.floor v)))
+          and up = mk (Float.of_int (int_of_float (Float.ceil v))) infinity in
+          (* Plunge towards the rounding of the fractional value; the
+             sibling goes to the best-bound queue. *)
+          let first, second =
+            if v -. Float.floor v >= 0.5 then (up, down) else (down, up)
+          in
+          s.plunge <- first :: s.plunge;
+          Heap.push s.queue ~key:bound second
+      end
+  end
+
+let log_progress s =
+  if s.params.log_every > 0 && s.nodes mod s.params.log_every = 0 then
+    Log.info (fun m ->
+        m "node %d | queue %d | incumbent %s | bound %g" s.nodes
+          (Heap.size s.queue)
+          (if s.incumbent_obj = infinity then "-"
+           else Printf.sprintf "%g" s.incumbent_obj)
+          (global_bound s infinity))
+
+let solve_form ?(params = default_params) ?initial sf =
+  let n_total = Lp.Std_form.n_total sf in
+  let s =
+    {
+      sf;
+      prop = Propagate.prepare sf;
+      session = Lp.Simplex.create_session ~params:params.lp_params sf;
+      params;
+      queue = Heap.create ();
+      plunge = [];
+      processing_bound = infinity;
+      incumbent_x = None;
+      incumbent_obj = infinity;
+      nodes = 0;
+      lp_iters = 0;
+      start = now ();
+      root_lb = Array.append (Array.sub sf.Lp.Std_form.lb 0 n_total) [||];
+      root_ub = Array.append (Array.sub sf.Lp.Std_form.ub 0 n_total) [||];
+    }
+  in
+  (match initial with
+  | Some x
+    when Array.length x = sf.Lp.Std_form.n_struct
+         && Lp.Std_form.is_feasible_point sf x
+         && Array.for_all2
+              (fun is_int v ->
+                (not is_int) || Float.abs (v -. Float.round v) <= params.int_tol)
+              sf.Lp.Std_form.integer x ->
+    s.incumbent_obj <- structural_objective sf x;
+    s.incumbent_x <- Some (Array.copy x);
+    Log.info (fun m -> m "seeded incumbent: internal obj %g" s.incumbent_obj)
+  | Some _ ->
+    Log.warn (fun m -> m "seed incumbent rejected (infeasible or fractional)")
+  | None -> ());
+  Heap.push s.queue ~key:neg_infinity
+    { branches = []; depth = 0; parent_bound = neg_infinity };
+  let status =
+    try
+      let pop () =
+        match s.plunge with
+        | n :: rest ->
+          s.plunge <- rest;
+          Some n
+        | [] -> (match Heap.pop s.queue with Some (_, n) -> Some n | None -> None)
+      in
+      let rec loop () =
+        match pop () with
+        | None -> if s.incumbent_x = None then Infeasible else Optimal
+        | Some node ->
+          process_node s node;
+          s.processing_bound <- infinity;
+          log_progress s;
+          (* Gap-based early stop. *)
+          let bound = global_bound s infinity in
+          let gap =
+            gap_of
+              ~incumbent:
+                (if s.incumbent_obj = infinity then None
+                 else Some s.incumbent_obj)
+              ~bound
+          in
+          if gap <= s.params.gap_tol then Optimal else loop ()
+      in
+      loop ()
+    with Stop st -> st
+  in
+  let internal_bound =
+    match status with
+    | Optimal -> if s.incumbent_obj = infinity then infinity else s.incumbent_obj
+    | Infeasible -> infinity
+    | Unbounded -> neg_infinity
+    | Time_limit | Node_limit | Numerical_failure ->
+      global_bound s s.processing_bound
+  in
+  let objective =
+    match s.incumbent_x with
+    | None -> None
+    | Some _ -> Some (Lp.Std_form.user_objective sf s.incumbent_obj)
+  in
+  {
+    status;
+    incumbent = s.incumbent_x;
+    objective;
+    best_bound = Lp.Std_form.user_objective sf internal_bound;
+    gap =
+      gap_of
+        ~incumbent:
+          (if s.incumbent_obj = infinity then None else Some s.incumbent_obj)
+        ~bound:internal_bound;
+    nodes = s.nodes;
+    lp_iterations = s.lp_iters;
+    solve_time = now () -. s.start;
+  }
+
+let solve ?params ?initial m = solve_form ?params ?initial (Lp.Std_form.of_model m)

@@ -1,0 +1,21 @@
+(** Minimal binary min-heap keyed by floats, used as the branch-and-bound
+    node queue (best-bound-first search). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key element. *)
+
+val peek_key : 'a t -> float option
+(** The minimum key, without removing it. *)
+
+val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Folds over all stored elements in unspecified order. *)

@@ -1,0 +1,122 @@
+type t = {
+  sf : Lp.Std_form.t;
+  (* Row-wise structural view: for every row the (column, coeff) pairs,
+     logical columns excluded (their bounds are the row ranges). *)
+  row_cols : int array array;
+  row_coefs : float array array;
+}
+
+let prepare sf =
+  let n_struct = sf.Lp.Std_form.n_struct in
+  let n_rows = sf.Lp.Std_form.n_rows in
+  let acc = Array.make n_rows [] in
+  for j = 0 to n_struct - 1 do
+    Lina.Csc.iter_col sf.Lp.Std_form.a j (fun i v ->
+        acc.(i) <- (j, v) :: acc.(i))
+  done;
+  {
+    sf;
+    row_cols = Array.map (fun l -> Array.of_list (List.map fst l)) acc;
+    row_coefs = Array.map (fun l -> Array.of_list (List.map snd l)) acc;
+  }
+
+type outcome = Infeasible_node | Tightened of int
+
+exception Dead
+
+let tol = 1e-7
+
+let run ?(max_rounds = 10) p ~lb ~ub =
+  let sf = p.sf in
+  let n_struct = sf.Lp.Std_form.n_struct in
+  let n_rows = sf.Lp.Std_form.n_rows in
+  let changes = ref 0 in
+  let round_changes = ref 1 in
+  let rounds = ref 0 in
+  try
+    (* Bounds may already be crossed by the branching itself. *)
+    for j = 0 to n_struct - 1 do
+      if lb.(j) > ub.(j) +. tol then raise Dead
+    done;
+    while !round_changes > 0 && !rounds < max_rounds do
+      round_changes := 0;
+      incr rounds;
+      for i = 0 to n_rows - 1 do
+        let cols = p.row_cols.(i) and coefs = p.row_coefs.(i) in
+        let lo = lb.(n_struct + i) and hi = ub.(n_struct + i) in
+        (* Minimal and maximal row activity under current bounds. *)
+        let minact = ref 0.0 and maxact = ref 0.0 in
+        for k = 0 to Array.length cols - 1 do
+          let j = cols.(k) and a = coefs.(k) in
+          if a > 0.0 then begin
+            minact := !minact +. (a *. lb.(j));
+            maxact := !maxact +. (a *. ub.(j))
+          end
+          else begin
+            minact := !minact +. (a *. ub.(j));
+            maxact := !maxact +. (a *. lb.(j))
+          end
+        done;
+        let scale =
+          Float.max 1.0 (Float.max (Float.abs lo) (Float.abs hi))
+        in
+        if !minact > hi +. (tol *. scale) || !maxact < lo -. (tol *. scale)
+        then raise Dead;
+        (* Per-column tightening from the residual activities. *)
+        for k = 0 to Array.length cols - 1 do
+          let j = cols.(k) and a = coefs.(k) in
+          let integer = sf.Lp.Std_form.integer.(j) in
+          let apply_ub new_ub =
+            let new_ub =
+              if integer then Float.floor (new_ub +. 1e-6) else new_ub
+            in
+            (* Round-off can push a valid bound a few ulps past the other
+               side; snap instead of creating a micro-crossing. *)
+            let new_ub =
+              if new_ub < lb.(j) && lb.(j) -. new_ub <= tol then lb.(j)
+              else new_ub
+            in
+            if new_ub < ub.(j) -. 1e-9 then begin
+              ub.(j) <- new_ub;
+              incr changes;
+              incr round_changes;
+              if lb.(j) > ub.(j) +. tol then raise Dead
+            end
+          in
+          let apply_lb new_lb =
+            let new_lb =
+              if integer then Float.ceil (new_lb -. 1e-6) else new_lb
+            in
+            let new_lb =
+              if new_lb > ub.(j) && new_lb -. ub.(j) <= tol then ub.(j)
+              else new_lb
+            in
+            if new_lb > lb.(j) +. 1e-9 then begin
+              lb.(j) <- new_lb;
+              incr changes;
+              incr round_changes;
+              if lb.(j) > ub.(j) +. tol then raise Dead
+            end
+          in
+          if a > 0.0 then begin
+            (* a·x_j <= hi - (minact - a·lb_j) *)
+            let rest_min = !minact -. (a *. lb.(j)) in
+            if hi < infinity && rest_min > neg_infinity then
+              apply_ub ((hi -. rest_min) /. a);
+            let rest_max = !maxact -. (a *. ub.(j)) in
+            if lo > neg_infinity && rest_max < infinity then
+              apply_lb ((lo -. rest_max) /. a)
+          end
+          else begin
+            let rest_min = !minact -. (a *. ub.(j)) in
+            if hi < infinity && rest_min > neg_infinity then
+              apply_lb ((hi -. rest_min) /. a);
+            let rest_max = !maxact -. (a *. lb.(j)) in
+            if lo > neg_infinity && rest_max < infinity then
+              apply_ub ((lo -. rest_max) /. a)
+          end
+        done
+      done
+    done;
+    Tightened !changes
+  with Dead -> Infeasible_node

@@ -1,0 +1,26 @@
+(** Node-level domain propagation (bound tightening).
+
+    Before paying for an LP re-solve, every branch-and-bound node runs a
+    few rounds of activity-based constraint propagation: for each row
+    [lo <= a·x <= hi] the minimal/maximal activities implied by the
+    current column bounds either prove the node infeasible outright or
+    tighten individual column bounds (rounded for integer columns).  On
+    the TVNEP models this fixes cascades of event-assignment binaries
+    (rows of the form [Σ χ = 1]) the moment one of them is branched on,
+    pruning most infeasible nodes without any simplex work. *)
+
+type t
+
+val prepare : Lp.Std_form.t -> t
+(** Precomputes the row-wise view of the constraint matrix. *)
+
+type outcome =
+  | Infeasible_node
+  | Tightened of int  (** number of bound changes applied in place *)
+
+val run :
+  ?max_rounds:int -> t -> lb:float array -> ub:float array -> outcome
+(** Propagates to (bounded) fixpoint, mutating [lb]/[ub] (full column
+    space: structurals then logicals).  Logical column bounds are treated
+    as the row ranges and are never modified.  [max_rounds] defaults
+    to 10. *)

@@ -1,0 +1,1 @@
+lib/statsutil/stats.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/statsutil/stats.mli: Format

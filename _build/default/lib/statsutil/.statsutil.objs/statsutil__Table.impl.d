@@ -1,0 +1,1 @@
+lib/statsutil/table.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/tvnep/csigma_model.ml: Array Depgraph Embedding Float Formulation Instance List Lp Printf Request Solution Substrate

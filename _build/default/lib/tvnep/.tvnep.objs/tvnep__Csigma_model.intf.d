@@ -1,0 +1,1 @@
+lib/tvnep/csigma_model.mli: Formulation Instance

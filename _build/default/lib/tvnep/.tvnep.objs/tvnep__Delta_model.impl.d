@@ -1,0 +1,1 @@
+lib/tvnep/delta_model.ml: Array Embedding Formulation Instance List Lp Printf Solution Substrate

@@ -1,0 +1,1 @@
+lib/tvnep/delta_model.mli: Formulation Instance

@@ -1,0 +1,1 @@
+lib/tvnep/depgraph.ml: Array Float Graphs Instance List Request

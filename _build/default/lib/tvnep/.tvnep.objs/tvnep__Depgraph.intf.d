@@ -1,0 +1,1 @@
+lib/tvnep/depgraph.mli: Graphs Instance

@@ -1,0 +1,1 @@
+lib/tvnep/discrete_model.ml: Array Embedding Float Formulation Instance List Lp Mip Printf Request Solution Solver Substrate

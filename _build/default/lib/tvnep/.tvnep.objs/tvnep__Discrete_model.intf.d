@@ -1,0 +1,1 @@
+lib/tvnep/discrete_model.mli: Embedding Instance Lp Mip Solver

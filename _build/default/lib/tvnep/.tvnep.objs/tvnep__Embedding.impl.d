@@ -1,0 +1,1 @@
+lib/tvnep/embedding.ml: Array Graphs Instance List Lp Printf Request Solution Substrate

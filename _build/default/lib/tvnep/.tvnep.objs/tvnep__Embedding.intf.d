@@ -1,0 +1,1 @@
+lib/tvnep/embedding.mli: Instance Lp Solution

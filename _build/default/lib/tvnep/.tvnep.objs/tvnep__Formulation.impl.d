@@ -1,0 +1,1 @@
+lib/tvnep/formulation.ml: Array Depgraph Embedding Float Instance List Lp Printf Request Solution Substrate

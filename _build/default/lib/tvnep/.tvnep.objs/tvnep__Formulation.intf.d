@@ -1,0 +1,1 @@
+lib/tvnep/formulation.mli: Embedding Instance Lp Solution

@@ -1,0 +1,1 @@
+lib/tvnep/gantt.ml: Array Buffer Bytes Float Instance Printf Request Solution String

@@ -1,0 +1,1 @@
+lib/tvnep/gantt.mli: Instance Solution

@@ -1,0 +1,1 @@
+lib/tvnep/greedy.ml: Array Float Graphs Hashtbl Instance List Lp Printf Request Solution Substrate Unix

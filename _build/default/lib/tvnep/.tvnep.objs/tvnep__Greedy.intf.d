@@ -1,0 +1,1 @@
+lib/tvnep/greedy.mli: Instance Lp Solution

@@ -1,0 +1,1 @@
+lib/tvnep/hose.ml: Array Graphs List Request

@@ -1,0 +1,1 @@
+lib/tvnep/hose.mli: Request

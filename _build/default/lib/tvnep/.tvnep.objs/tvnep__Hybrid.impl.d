@@ -1,0 +1,1 @@
+lib/tvnep/hybrid.ml: Array Float Greedy Instance List Mip Option Request Solution Solver Unix

@@ -1,0 +1,1 @@
+lib/tvnep/hybrid.mli: Greedy Instance Mip Solution Solver

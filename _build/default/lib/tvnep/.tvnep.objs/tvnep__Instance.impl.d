@@ -1,0 +1,1 @@
+lib/tvnep/instance.ml: Array Float Format Option Printf Request Substrate

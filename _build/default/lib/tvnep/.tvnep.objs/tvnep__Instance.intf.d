@@ -1,0 +1,1 @@
+lib/tvnep/instance.mli: Format Request Substrate

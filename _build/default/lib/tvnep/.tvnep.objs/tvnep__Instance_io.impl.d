@@ -1,0 +1,1 @@
+lib/tvnep/instance_io.ml: Array Buffer Fun Graphs Instance List Option Printf Request String Substrate

@@ -1,0 +1,1 @@
+lib/tvnep/instance_io.mli: Instance

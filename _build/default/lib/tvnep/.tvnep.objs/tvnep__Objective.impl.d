@@ -1,0 +1,1 @@
+lib/tvnep/objective.ml: Array Embedding Float Formulation Instance List Lp Printf Request Substrate

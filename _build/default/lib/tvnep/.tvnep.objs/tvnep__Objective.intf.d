@@ -1,0 +1,1 @@
+lib/tvnep/objective.mli: Formulation Lp

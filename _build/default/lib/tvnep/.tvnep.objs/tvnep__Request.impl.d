@@ -1,0 +1,1 @@
+lib/tvnep/request.ml: Array Format Graphs List Printf

@@ -1,0 +1,1 @@
+lib/tvnep/request.mli: Format Graphs

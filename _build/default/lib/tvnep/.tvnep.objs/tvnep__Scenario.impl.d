@@ -1,0 +1,1 @@
+lib/tvnep/scenario.ml: Array Float Graphs Instance List Printf Request Substrate Workload

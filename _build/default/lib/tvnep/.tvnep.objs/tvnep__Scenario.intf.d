@@ -1,0 +1,1 @@
+lib/tvnep/scenario.mli: Instance Workload

@@ -1,0 +1,1 @@
+lib/tvnep/sigma_model.ml: Array Embedding Formulation Instance List Lp Printf Request Solution Substrate

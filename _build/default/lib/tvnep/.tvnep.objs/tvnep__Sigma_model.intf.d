@@ -1,0 +1,1 @@
+lib/tvnep/sigma_model.mli: Formulation Instance

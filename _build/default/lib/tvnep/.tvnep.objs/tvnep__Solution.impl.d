@@ -1,0 +1,1 @@
+lib/tvnep/solution.ml: Array Format Instance List Request Substrate

@@ -1,0 +1,1 @@
+lib/tvnep/solution.mli: Format Instance Request

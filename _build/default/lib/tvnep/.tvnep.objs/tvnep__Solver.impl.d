@@ -1,0 +1,1 @@
+lib/tvnep/solver.ml: Array Csigma_model Delta_model Formulation Greedy Instance Lp Mip Objective Sigma_model Solution

@@ -1,0 +1,1 @@
+lib/tvnep/solver.mli: Formulation Instance Lp Mip Objective Solution

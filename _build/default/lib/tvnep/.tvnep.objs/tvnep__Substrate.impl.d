@@ -1,0 +1,1 @@
+lib/tvnep/substrate.ml: Array Format Graphs

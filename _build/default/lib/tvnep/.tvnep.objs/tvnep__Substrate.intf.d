@@ -1,0 +1,1 @@
+lib/tvnep/substrate.mli: Format Graphs

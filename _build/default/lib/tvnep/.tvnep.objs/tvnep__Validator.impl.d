@@ -1,0 +1,1 @@
+lib/tvnep/validator.ml: Array Float Graphs Instance List Printf Request Solution String Substrate

@@ -1,0 +1,1 @@
+lib/tvnep/validator.mli: Instance Solution

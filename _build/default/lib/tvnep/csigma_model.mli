@@ -1,0 +1,25 @@
+(** The cΣ-Model (Section IV) — the paper's main contribution.
+
+    Compactification: only [|R|+1] event points; request starts map
+    bijectively onto events [e_0 .. e_{k-1}] while ends map (many-to-one)
+    onto [e_1 .. e_k], meaning "ended within [(t_{e_{i-1}}, t_{e_i}]]".
+    This halves the state space of the Σ-Model and removes the [2^k]
+    symmetric orderings of request ends (Section IV-D).
+
+    With [use_cuts] the temporal dependency graph restricts each χ
+    variable to its feasible event range (Constraint (19)) and — the
+    induced presolve — states on which a request is {e certainly} active
+    contribute their allocation directly to the capacity rows instead of
+    through [a_R] variables (state-space reduction); [pairwise_cuts] adds
+    Constraint (20). *)
+
+type options = {
+  use_cuts : bool;        (** event ranges (19) + state-space presolve *)
+  pairwise_cuts : bool;   (** cumulative dominance cuts (20) *)
+  relax_integrality : bool;
+}
+
+val default_options : options
+(** Cuts on, integrality kept. *)
+
+val build : ?options:options -> Instance.t -> Formulation.t

@@ -1,0 +1,160 @@
+type options = { relax_integrality : bool }
+
+let default_options = { relax_integrality = false }
+
+let build ?(options = default_options) inst =
+  let k = Instance.num_requests inst in
+  if k = 0 then invalid_arg "Delta_model.build: no requests";
+  let sub = inst.Instance.substrate in
+  let n_nodes = Substrate.num_nodes sub and n_links = Substrate.num_links sub in
+  let model = Lp.Model.create ~name:"delta" () in
+  let embeddings =
+    Formulation.add_embeddings model inst
+      ~relax_integrality:options.relax_integrality
+  in
+  let n_events, chi_start, chi_end, t_event, t_start, t_end =
+    Formulation.add_two_k_event_skeleton model inst
+      ~relax_integrality:options.relax_integrality
+  in
+  let n_states = n_events - 1 in
+  (* Δ variables: one per event per resource, within [-cap, cap]. *)
+  let delta_node =
+    Array.init n_events (fun e ->
+        Array.init n_nodes (fun s ->
+            let c = Substrate.node_cap sub s in
+            Lp.Model.add_var model ~lb:(-.c) ~ub:c
+              (Printf.sprintf "dN_e%d_%d" e s)))
+  in
+  let delta_link =
+    Array.init n_events (fun e ->
+        Array.init n_links (fun l ->
+            let c = Substrate.link_cap sub l in
+            Lp.Model.add_var model ~lb:(-.c) ~ub:c
+              (Printf.sprintf "dL_e%d_%d" e l)))
+  in
+  (* Constraints (3)-(6): conditional assignment of Δ via big-M. *)
+  let chi_at chis event =
+    Array.to_list chis
+    |> List.find_map (fun (j, v) -> if j = event then Some v else None)
+  in
+  let post_selection (dvar : Lp.Model.var) cap alloc ~chi_s ~chi_e =
+    let d = Lp.Expr.var (dvar :> int) in
+    (match chi_s with
+    | None -> ()
+    | Some (v : Lp.Model.var) ->
+      let slack = Lp.Expr.sub (Lp.Expr.const 1.0) (Lp.Expr.var (v :> int)) in
+      (* (3)  Δ <= alloc + cap (1 - χ⁺) *)
+      Lp.Model.add_le model
+        (Lp.Expr.sub d (Lp.Expr.add alloc (Lp.Expr.scale cap slack)))
+        0.0;
+      (* (4)  Δ >= alloc - 2 cap (1 - χ⁺) *)
+      Lp.Model.add_ge model
+        (Lp.Expr.sub d
+           (Lp.Expr.sub alloc (Lp.Expr.scale (2.0 *. cap) slack)))
+        0.0);
+    match chi_e with
+    | None -> ()
+    | Some (v : Lp.Model.var) ->
+      let slack = Lp.Expr.sub (Lp.Expr.const 1.0) (Lp.Expr.var (v :> int)) in
+      (* (5)  Δ <= -alloc + 2 cap (1 - χ⁻) *)
+      Lp.Model.add_le model
+        (Lp.Expr.sub d
+           (Lp.Expr.add
+              (Lp.Expr.scale (-1.0) alloc)
+              (Lp.Expr.scale (2.0 *. cap) slack)))
+        0.0;
+      (* (6)  Δ >= -alloc - cap (1 - χ⁻) *)
+      Lp.Model.add_ge model
+        (Lp.Expr.sub d
+           (Lp.Expr.sub
+              (Lp.Expr.scale (-1.0) alloc)
+              (Lp.Expr.scale cap slack)))
+        0.0
+  in
+  for e = 0 to n_events - 1 do
+    for req = 0 to k - 1 do
+      let emb = embeddings.(req) in
+      let chi_s = chi_at chi_start.(req) e and chi_e = chi_at chi_end.(req) e in
+      (* No zero-allocation skipping here: Δ_e(r) must be pinned to 0 even
+         when the event's request never touches resource r, or negative Δ
+         values could cancel other requests' cumulative allocations. *)
+      for s = 0 to n_nodes - 1 do
+        post_selection delta_node.(e).(s) (Substrate.node_cap sub s)
+          emb.Embedding.node_alloc.(s) ~chi_s ~chi_e
+      done;
+      for l = 0 to n_links - 1 do
+        post_selection delta_link.(e).(l) (Substrate.link_cap sub l)
+          emb.Embedding.link_alloc.(l) ~chi_s ~chi_e
+      done
+    done
+  done;
+  (* Cumulative state loads and capacity feasibility. *)
+  let state_node_load = Array.make_matrix n_states n_nodes Lp.Expr.zero in
+  let state_link_load = Array.make_matrix n_states n_links Lp.Expr.zero in
+  for i = 0 to n_states - 1 do
+    for s = 0 to n_nodes - 1 do
+      let prev = if i = 0 then Lp.Expr.zero else state_node_load.(i - 1).(s) in
+      state_node_load.(i).(s) <-
+        Lp.Expr.add prev (Lp.Expr.var (delta_node.(i).(s) :> int));
+      Lp.Model.add_le model
+        ~name:(Printf.sprintf "cap_s%d_n%d" i s)
+        state_node_load.(i).(s) (Substrate.node_cap sub s)
+    done;
+    for l = 0 to n_links - 1 do
+      let prev = if i = 0 then Lp.Expr.zero else state_link_load.(i - 1).(l) in
+      state_link_load.(i).(l) <-
+        Lp.Expr.add prev (Lp.Expr.var (delta_link.(i).(l) :> int));
+      Lp.Model.add_le model
+        ~name:(Printf.sprintf "cap_s%d_l%d" i l)
+        state_link_load.(i).(l) (Substrate.link_cap sub l)
+    done
+  done;
+  let lift (sol : Solution.t) =
+    let arr = Array.make (Lp.Model.num_vars model) 0.0 in
+    Array.iteri
+      (fun req emb ->
+        Formulation.lift_embedding inst ~req emb
+          sol.Solution.assignments.(req) arr)
+      embeddings;
+    Array.iteri
+      (fun req (a : Solution.assignment) ->
+        arr.((t_start.(req) :> int)) <- a.Solution.t_start;
+        arr.((t_end.(req) :> int)) <- a.Solution.t_end)
+      sol.Solution.assignments;
+    let start_pos, end_pos, ev_time =
+      Formulation.endpoint_order sol ~n_events
+    in
+    Array.iteri (fun i (v : Lp.Model.var) -> arr.((v :> int)) <- ev_time.(i)) t_event;
+    for req = 0 to k - 1 do
+      ignore (Formulation.set_chi chi_start.(req) start_pos.(req) arr);
+      ignore (Formulation.set_chi chi_end.(req) end_pos.(req) arr);
+      (* Δ at the request's endpoints: ±alloc on every resource. *)
+      let node_alloc, link_alloc =
+        Formulation.alloc_values inst ~req sol.Solution.assignments.(req)
+      in
+      for s = 0 to n_nodes - 1 do
+        arr.((delta_node.(start_pos.(req)).(s) :> int)) <- node_alloc.(s);
+        arr.((delta_node.(end_pos.(req)).(s) :> int)) <- -.node_alloc.(s)
+      done;
+      for l = 0 to n_links - 1 do
+        arr.((delta_link.(start_pos.(req)).(l) :> int)) <- link_alloc.(l);
+        arr.((delta_link.(end_pos.(req)).(l) :> int)) <- -.link_alloc.(l)
+      done
+    done;
+    arr
+  in
+  {
+    Formulation.model;
+    inst;
+    n_events;
+    n_states;
+    embeddings;
+    t_start;
+    t_end;
+    t_event;
+    chi_start;
+    chi_end;
+    state_node_load;
+    state_link_load;
+    lift;
+  }

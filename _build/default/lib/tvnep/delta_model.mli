@@ -1,0 +1,14 @@
+(** The Δ-Model (Section III-B): state {e changes} only.
+
+    One real variable Δ_e(r) per event and resource, forced by big-M
+    selection constraints (3)–(6) to equal ±alloc of whichever request's
+    start/end maps onto the event; capacities are checked on cumulative
+    sums.  Few variables, but — as the paper demonstrates and our
+    evaluation reproduces — a very weak LP relaxation: fractional event
+    mappings can hide all allocations. *)
+
+type options = { relax_integrality : bool }
+
+val default_options : options
+
+val build : ?options:options -> Instance.t -> Formulation.t

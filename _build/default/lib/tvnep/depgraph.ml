@@ -1,0 +1,120 @@
+type kind = Start | End
+
+type vertex = { req : int; kind : kind }
+
+let node_of_vertex v = (2 * v.req) + match v.kind with Start -> 0 | End -> 1
+
+let vertex_of_node n =
+  { req = n / 2; kind = (if n mod 2 = 0 then Start else End) }
+
+let earliest inst v =
+  let r = Instance.request inst v.req in
+  match v.kind with
+  | Start -> r.Request.start_min
+  | End -> Request.earliest_end r
+
+let latest inst v =
+  let r = Instance.request inst v.req in
+  match v.kind with
+  | Start -> Request.latest_start r
+  | End -> r.Request.end_max
+
+let graph ?(self_edges = true) inst =
+  let k = Instance.num_requests inst in
+  let g = Graphs.Digraph.create (2 * k) in
+  let vertices =
+    List.concat_map
+      (fun req -> [ { req; kind = Start }; { req; kind = End } ])
+      (List.init k (fun i -> i))
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          if v <> w && latest inst v < earliest inst w then
+            ignore
+              (Graphs.Digraph.add_edge g ~src:(node_of_vertex v)
+                 ~dst:(node_of_vertex w)))
+        vertices)
+    vertices;
+  if self_edges then
+    for req = 0 to k - 1 do
+      let s = node_of_vertex { req; kind = Start }
+      and e = node_of_vertex { req; kind = End } in
+      if not (Graphs.Digraph.has_edge g ~src:s ~dst:e) then
+        ignore (Graphs.Digraph.add_edge g ~src:s ~dst:e)
+    done;
+  g
+
+type event_ranges = {
+  start_lo : int array;
+  start_hi : int array;
+  end_lo : int array;
+  end_hi : int array;
+}
+
+let trivial_ranges inst =
+  let k = Instance.num_requests inst in
+  {
+    start_lo = Array.make k 0;
+    start_hi = Array.make k (k - 1);
+    end_lo = Array.make k 1;
+    end_hi = Array.make k k;
+  }
+
+let is_start n = n mod 2 = 0
+
+let csigma_event_ranges inst =
+  let k = Instance.num_requests inst in
+  let g = graph ~self_edges:true inst in
+  let reach = Graphs.Paths.reachability g in
+  (* Distinct start-ancestors / start-descendants of every vertex.  Each
+     such start occupies its own event strictly before (resp. after) the
+     vertex, because starts are bijective on events and dependency edges
+     force strict time order (hence strict event order). *)
+  let n = 2 * k in
+  let anc_starts = Array.make n 0 and desc_starts = Array.make n 0 in
+  for v = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      if u <> v && is_start u then begin
+        if reach.(u).(v) then anc_starts.(v) <- anc_starts.(v) + 1;
+        if reach.(v).(u) then desc_starts.(v) <- desc_starts.(v) + 1
+      end
+    done
+  done;
+  let ranges = trivial_ranges inst in
+  for req = 0 to k - 1 do
+    let s = node_of_vertex { req; kind = Start }
+    and e = node_of_vertex { req; kind = End } in
+    ranges.start_lo.(req) <- max ranges.start_lo.(req) anc_starts.(s);
+    ranges.start_hi.(req) <- min ranges.start_hi.(req) (k - 1 - desc_starts.(s));
+    ranges.end_lo.(req) <- max ranges.end_lo.(req) anc_starts.(e);
+    ranges.end_hi.(req) <- min ranges.end_hi.(req) (k - desc_starts.(e));
+    assert (ranges.start_lo.(req) <= ranges.start_hi.(req));
+    assert (ranges.end_lo.(req) <= ranges.end_hi.(req))
+  done;
+  ranges
+
+type pairwise_cut = { before : vertex; after : vertex; min_gap : int }
+
+let pairwise_cuts inst =
+  let g = graph ~self_edges:true inst in
+  let dist =
+    Graphs.Paths.max_distances g ~weight:(fun (e : Graphs.Digraph.edge) ->
+        if is_start e.src then 1.0 else 0.0)
+  in
+  let n = Graphs.Digraph.num_nodes g in
+  let cuts = ref [] in
+  for u = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      if u <> w && dist.(u).(w) > 0.5 then
+        cuts :=
+          {
+            before = vertex_of_node u;
+            after = vertex_of_node w;
+            min_gap = int_of_float (Float.round dist.(u).(w));
+          }
+          :: !cuts
+    done
+  done;
+  List.rev !cuts

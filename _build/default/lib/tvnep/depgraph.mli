@@ -1,0 +1,52 @@
+(** Temporal dependency graph and the cuts of Table XIV.
+
+    Vertices are the abstract start/end points of every request; a directed
+    edge [v -> w] states that [v] must occur strictly before [w] in every
+    feasible schedule, derived a priori from the temporal windows
+    ([latest v < earliest w]).  We additionally add the always-valid edge
+    [start_R -> end_R] (durations are positive), which strengthens the
+    derived ranges; both graphs are provably acyclic.
+
+    Edge weights are 1 when the source is a start vertex.  Because starts
+    map bijectively onto events in the cΣ-Model, the number of distinct
+    start-ancestors of a vertex lower-bounds its event index, and start
+    descendants bound it from above — yielding the per-vertex event ranges
+    of Constraint (19).  Longest weighted path distances give the pairwise
+    cuts of Constraint (20). *)
+
+type kind = Start | End
+
+type vertex = { req : int; kind : kind }
+
+val node_of_vertex : vertex -> int
+(** Dense encoding: [2*req] for a start, [2*req + 1] for an end. *)
+
+val vertex_of_node : int -> vertex
+
+val earliest : Instance.t -> vertex -> float
+(** Earliest possible time of the vertex (paper's [earliest]). *)
+
+val latest : Instance.t -> vertex -> float
+
+val graph : ?self_edges:bool -> Instance.t -> Graphs.Digraph.t
+(** The dependency graph on [2·|R|] vertices.  [self_edges] (default true)
+    adds the [start_R -> end_R] edges. *)
+
+type event_ranges = {
+  start_lo : int array;  (** per request, inclusive 0-based event index *)
+  start_hi : int array;
+  end_lo : int array;
+  end_hi : int array;
+}
+
+val trivial_ranges : Instance.t -> event_ranges
+(** The uncut cΣ ranges: starts on events [0 .. k-1], ends on [1 .. k]. *)
+
+val csigma_event_ranges : Instance.t -> event_ranges
+(** Ranges tightened by the dependency analysis (Constraint (19)). *)
+
+type pairwise_cut = { before : vertex; after : vertex; min_gap : int }
+(** [event_index(after) >= event_index(before) + min_gap]. *)
+
+val pairwise_cuts : Instance.t -> pairwise_cut list
+(** All pairs at positive longest-path distance (Constraint (20)). *)

@@ -1,0 +1,200 @@
+type options = { slot_width : float; relax_integrality : bool }
+
+let default_options = { slot_width = 1.0; relax_integrality = false }
+
+let num_slots inst options =
+  if options.slot_width <= 0.0 then
+    invalid_arg "Discrete_model: non-positive slot width";
+  int_of_float (Float.ceil (inst.Instance.horizon /. options.slot_width))
+
+type t = {
+  model : Lp.Model.t;
+  inst : Instance.t;
+  n_slots : int;
+  embeddings : Embedding.t array;
+  start_slot : (int * Lp.Model.var) array array;
+}
+
+(* Slots the request occupies when started at slot [s]: [s, s + ceil(d/w)). *)
+let occupied_length options (r : Request.t) =
+  max 1 (int_of_float (Float.ceil (r.Request.duration /. options.slot_width)))
+
+let admissible_starts inst options req =
+  let r = Instance.request inst req in
+  let w = options.slot_width in
+  let n = num_slots inst options in
+  let len = occupied_length options r in
+  List.filter
+    (fun s ->
+      let t0 = float_of_int s *. w in
+      t0 >= r.Request.start_min -. 1e-9
+      && t0 +. r.Request.duration <= r.Request.end_max +. 1e-9
+      && s + len <= n)
+    (List.init n (fun s -> s))
+
+let build ?(options = default_options) inst =
+  let k = Instance.num_requests inst in
+  if k = 0 then invalid_arg "Discrete_model.build: no requests";
+  let n_slots = num_slots inst options in
+  let sub = inst.Instance.substrate in
+  let n_nodes = Substrate.num_nodes sub and n_links = Substrate.num_links sub in
+  let model = Lp.Model.create ~name:"discrete" () in
+  let embeddings =
+    Formulation.add_embeddings model inst
+      ~relax_integrality:options.relax_integrality
+  in
+  let kind =
+    if options.relax_integrality then Lp.Model.Continuous else Lp.Model.Binary
+  in
+  let start_slot =
+    Array.init k (fun req ->
+        let r = Instance.request inst req in
+        Array.of_list
+          (List.map
+             (fun s ->
+               ( s,
+                 Lp.Model.add_var model ~lb:0.0 ~ub:1.0 ~kind
+                   (Printf.sprintf "z_%s_t%d" r.Request.name s) ))
+             (admissible_starts inst options req)))
+  in
+  (* One start slot iff embedded; a request with no admissible slot at
+     this granularity is simply forced out. *)
+  Array.iteri
+    (fun req slots ->
+      let emb = embeddings.(req) in
+      let lhs =
+        Lp.Expr.sum
+          (Array.to_list
+             (Array.map
+                (fun ((_, z) : int * Lp.Model.var) -> Lp.Expr.var (z :> int))
+                slots))
+      in
+      Lp.Model.add_eq model
+        (Lp.Expr.sub lhs (Lp.Expr.var ((emb.Embedding.x_r :> int))))
+        0.0)
+    start_slot;
+  (* Activity indicator per slot, then the usual big-M state allocations
+     and per-slot capacity rows. *)
+  let slot_node_load = Array.make_matrix n_slots n_nodes Lp.Expr.zero in
+  let slot_link_load = Array.make_matrix n_slots n_links Lp.Expr.zero in
+  for req = 0 to k - 1 do
+    let r = Instance.request inst req in
+    let emb = embeddings.(req) in
+    let len = occupied_length options r in
+    for slot = 0 to n_slots - 1 do
+      let active =
+        Lp.Expr.sum
+          (Array.to_list start_slot.(req)
+          |> List.filter_map (fun ((s, z) : int * Lp.Model.var) ->
+                 if s <= slot && slot < s + len then
+                   Some (Lp.Expr.var (z :> int))
+                 else None))
+      in
+      if Lp.Expr.num_terms active > 0 then begin
+        let add_alloc cap alloc tag =
+          let a =
+            Lp.Model.add_var model ~lb:0.0 ~ub:cap
+              (Printf.sprintf "a_%s_t%d_%s" r.Request.name slot tag)
+          in
+          Lp.Model.add_ge model
+            (Lp.Expr.sub
+               (Lp.Expr.var (a :> int))
+               (Lp.Expr.sub alloc
+                  (Lp.Expr.scale cap
+                     (Lp.Expr.sub (Lp.Expr.const 1.0) active))))
+            0.0;
+          Lp.Expr.var (a :> int)
+        in
+        for s = 0 to n_nodes - 1 do
+          if Lp.Expr.num_terms emb.Embedding.node_alloc.(s) > 0 then
+            slot_node_load.(slot).(s) <-
+              Lp.Expr.add
+                slot_node_load.(slot).(s)
+                (add_alloc (Substrate.node_cap sub s)
+                   emb.Embedding.node_alloc.(s)
+                   (Printf.sprintf "n%d" s))
+        done;
+        for l = 0 to n_links - 1 do
+          if Lp.Expr.num_terms emb.Embedding.link_alloc.(l) > 0 then
+            slot_link_load.(slot).(l) <-
+              Lp.Expr.add
+                slot_link_load.(slot).(l)
+                (add_alloc (Substrate.link_cap sub l)
+                   emb.Embedding.link_alloc.(l)
+                   (Printf.sprintf "l%d" l))
+        done
+      end
+    done
+  done;
+  for slot = 0 to n_slots - 1 do
+    for s = 0 to n_nodes - 1 do
+      if Lp.Expr.num_terms slot_node_load.(slot).(s) > 0 then
+        Lp.Model.add_le model slot_node_load.(slot).(s)
+          (Substrate.node_cap sub s)
+    done;
+    for l = 0 to n_links - 1 do
+      if Lp.Expr.num_terms slot_link_load.(slot).(l) > 0 then
+        Lp.Model.add_le model slot_link_load.(slot).(l)
+          (Substrate.link_cap sub l)
+    done
+  done;
+  { model; inst; n_slots; embeddings; start_slot }
+
+let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
+    inst =
+  let dm = build ~options inst in
+  (* Access-control objective, as in the continuous model comparison. *)
+  let terms =
+    Array.to_list
+      (Array.mapi
+         (fun req (emb : Embedding.t) ->
+           let r = Instance.request inst req in
+           Lp.Expr.var
+             ~coeff:(r.Request.duration *. Request.total_node_demand r)
+             ((emb.Embedding.x_r :> int)))
+         dm.embeddings)
+  in
+  Lp.Model.set_objective dm.model Lp.Model.Maximize (Lp.Expr.sum terms);
+  let result = Mip.Branch_bound.solve ~params:mip dm.model in
+  let solution =
+    match result.Mip.Branch_bound.incumbent with
+    | None -> None
+    | Some x ->
+      let value_of id = x.(id) in
+      let assignments =
+        Array.mapi
+          (fun req emb ->
+            let a = Embedding.extract inst ~req emb value_of in
+            if a.Solution.accepted then begin
+              let r = Instance.request inst req in
+              let start =
+                Array.fold_left
+                  (fun acc ((s, z) : int * Lp.Model.var) ->
+                    if value_of (z :> int) > 0.5 then
+                      float_of_int s *. options.slot_width
+                    else acc)
+                  r.Request.start_min dm.start_slot.(req)
+              in
+              { a with Solution.t_start = start;
+                t_end = start +. r.Request.duration }
+            end
+            else a)
+          dm.embeddings
+      in
+      let objective =
+        match result.Mip.Branch_bound.objective with Some o -> o | None -> nan
+      in
+      Some { Solution.assignments; objective }
+  in
+  {
+    Solver.status = result.Mip.Branch_bound.status;
+    solution;
+    objective = result.Mip.Branch_bound.objective;
+    bound = result.Mip.Branch_bound.best_bound;
+    gap = result.Mip.Branch_bound.gap;
+    runtime = result.Mip.Branch_bound.solve_time;
+    nodes = result.Mip.Branch_bound.nodes;
+    lp_iterations = result.Mip.Branch_bound.lp_iterations;
+    model_vars = Lp.Model.num_vars dm.model;
+    model_rows = Lp.Model.num_constrs dm.model;
+  }

@@ -1,0 +1,42 @@
+let render ?(width = 60) inst (sol : Solution.t) =
+  if Array.length sol.Solution.assignments <> Instance.num_requests inst then
+    invalid_arg "Gantt.render: arity mismatch";
+  if width < 2 then invalid_arg "Gantt.render: width too small";
+  let horizon = inst.Instance.horizon in
+  let col t =
+    let c =
+      int_of_float (Float.round (t /. horizon *. float_of_int (width - 1)))
+    in
+    max 0 (min (width - 1) c)
+  in
+  let buf = Buffer.create 1024 in
+  let name_width =
+    Array.fold_left
+      (fun acc (r : Request.t) -> max acc (String.length r.Request.name))
+      4 inst.Instance.requests
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%*s  |%s|  t = 0 .. %g\n" name_width ""
+       (String.make width '-') horizon);
+  Array.iteri
+    (fun i (a : Solution.assignment) ->
+      let r = Instance.request inst i in
+      let row = Bytes.make width ' ' in
+      (* temporal window *)
+      for c = col r.Request.start_min to col r.Request.end_max do
+        Bytes.set row c '.'
+      done;
+      if a.Solution.accepted then
+        for c = col a.Solution.t_start to col a.Solution.t_end do
+          Bytes.set row c '#'
+        done;
+      Buffer.add_string buf
+        (Printf.sprintf "%*s  |%s|  %s\n" name_width r.Request.name
+           (Bytes.to_string row)
+           (if a.Solution.accepted then
+              Printf.sprintf "[%.2f, %.2f]" a.Solution.t_start a.Solution.t_end
+            else "rejected")))
+    sol.Solution.assignments;
+  Buffer.contents buf
+
+let print ?width inst sol = print_string (render ?width inst sol)

@@ -1,0 +1,13 @@
+(** ASCII Gantt charts of TVNEP schedules.
+
+    Renders one row per request over a character grid spanning [0, T]:
+    [#] marks execution, [.] marks the unused remainder of the temporal
+    window (the flexibility the provider did not need), and rejected
+    requests show only their window.  Used by the CLI and handy when
+    eyeballing solver output in tests. *)
+
+val render : ?width:int -> Instance.t -> Solution.t -> string
+(** [width] is the number of time columns (default 60).
+    @raise Invalid_argument when the solution arity does not match. *)
+
+val print : ?width:int -> Instance.t -> Solution.t -> unit

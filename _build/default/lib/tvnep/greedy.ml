@@ -1,0 +1,292 @@
+type stats = { lp_solves : int; candidates_tried : int; runtime : float }
+
+type accepted = {
+  a_req : int;
+  a_start : float;
+  a_end : float;
+  mutable a_flows : (int * float) list array;  (* per virtual link *)
+}
+
+(* Candidate start times for [req]: window opening plus the breakpoints at
+   which the overlap pattern with accepted intervals changes (see mli). *)
+let candidate_starts inst req accepted =
+  let r = Instance.request inst req in
+  let d = r.Request.duration in
+  let lo = r.Request.start_min and hi = Request.latest_start r in
+  let raw =
+    lo
+    :: List.concat_map
+         (fun a -> [ a.a_start; a.a_end; a.a_start -. d; a.a_end -. d ])
+         accepted
+  in
+  List.sort_uniq compare
+    (List.filter (fun s -> s >= lo -. 1e-12 && s <= hi +. 1e-12) raw)
+  |> List.map (fun s -> Float.max lo (Float.min hi s))
+  |> List.sort_uniq compare
+
+(* Open-interval overlap of (s1,e1) and (s2,e2). *)
+let overlaps s1 e1 s2 e2 = s1 < e2 -. 1e-12 && s2 < e1 -. 1e-12
+
+(* Interval breakpoints of all intervals passed, sorted; the states of the
+   fixed schedule are the gaps between consecutive breakpoints. *)
+let states_of intervals =
+  let pts =
+    List.concat_map (fun (s, e) -> [ s; e ]) intervals
+    |> List.sort_uniq compare
+  in
+  let rec pair = function
+    | a :: (b :: _ as rest) -> (a, b) :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair pts
+
+(* Constant node loads under fixed mappings: reject a candidate without an
+   LP when some node would overflow. *)
+let node_caps_ok inst active_sets =
+  let sub = inst.Instance.substrate in
+  let n_nodes = Substrate.num_nodes sub in
+  List.for_all
+    (fun active ->
+      let load = Array.make n_nodes 0.0 in
+      List.iter
+        (fun req ->
+          let r = Instance.request inst req in
+          match Instance.node_mapping inst req with
+          | Some mapping ->
+            Array.iteri
+              (fun v host ->
+                load.(host) <- load.(host) +. r.Request.node_demand.(v))
+              mapping
+          | None -> assert false)
+        active;
+      let ok = ref true in
+      for s = 0 to n_nodes - 1 do
+        if load.(s) > Substrate.node_cap sub s +. 1e-7 then ok := false
+      done;
+      !ok)
+    active_sets
+
+(* One feasibility LP: flows for all participating requests, per-state link
+   capacities.  Returns the flows per request on success. *)
+let try_schedule ?lp_params inst participants =
+  (* participants: (req, start, end) with fixed times; all embedded. *)
+  let sub = inst.Instance.substrate in
+  let sgraph = Substrate.graph sub in
+  let n_sub = Substrate.num_nodes sub in
+  let n_slinks = Substrate.num_links sub in
+  let intervals = List.map (fun (_, s, e) -> (s, e)) participants in
+  let states = states_of intervals in
+  let active_sets =
+    List.map
+      (fun (lo, hi) ->
+        List.filter_map
+          (fun (req, s, e) -> if overlaps s e lo hi then Some req else None)
+          participants)
+      states
+  in
+  if not (node_caps_ok inst active_sets) then None
+  else begin
+    let model = Lp.Model.create ~name:"greedy-lp" () in
+    (* Flow variables and conservation per participating request. *)
+    let flows = Hashtbl.create 16 in
+    List.iter
+      (fun (req, _, _) ->
+        let r = Instance.request inst req in
+        let mapping =
+          match Instance.node_mapping inst req with
+          | Some m -> m
+          | None -> assert false
+        in
+        let x_e =
+          Array.init (Request.num_vlinks r) (fun lv ->
+              Array.init n_slinks (fun ls ->
+                  Lp.Model.add_var model ~lb:0.0 ~ub:1.0
+                    (Printf.sprintf "f_%d_%d_%d" req lv ls)))
+        in
+        Hashtbl.replace flows req x_e;
+        List.iter
+          (fun (lv : Graphs.Digraph.edge) ->
+            for s = 0 to n_sub - 1 do
+              let sum_over edges =
+                Lp.Expr.sum
+                  (List.map
+                     (fun (e : Graphs.Digraph.edge) ->
+                       Lp.Expr.var ((x_e.(lv.id).(e.id) : Lp.Model.var) :> int))
+                     edges)
+              in
+              let balance =
+                Lp.Expr.sub
+                  (sum_over (Graphs.Digraph.out_edges sgraph s))
+                  (sum_over (Graphs.Digraph.in_edges sgraph s))
+              in
+              let rhs =
+                (if mapping.(lv.src) = s then 1.0 else 0.0)
+                -. (if mapping.(lv.dst) = s then 1.0 else 0.0)
+              in
+              Lp.Model.add_eq model balance rhs
+            done)
+          (Graphs.Digraph.edges r.Request.graph))
+      participants;
+    (* Per-state link capacity rows. *)
+    List.iter
+      (fun active ->
+        for ls = 0 to n_slinks - 1 do
+          let load =
+            Lp.Expr.sum
+              (List.concat_map
+                 (fun req ->
+                   let r = Instance.request inst req in
+                   let x_e = Hashtbl.find flows req in
+                   List.init (Request.num_vlinks r) (fun lv ->
+                       Lp.Expr.var
+                         ~coeff:r.Request.link_demand.(lv)
+                         ((x_e.(lv).(ls) : Lp.Model.var) :> int)))
+                 active)
+          in
+          if Lp.Expr.num_terms load > 0 then
+            Lp.Model.add_le model load (Substrate.link_cap sub ls)
+        done)
+      active_sets;
+    (* Minimize total flow: short, clean routings. *)
+    let total =
+      Hashtbl.fold
+        (fun _ x_e acc ->
+          Array.fold_left
+            (fun acc row ->
+              Array.fold_left
+                (fun acc (v : Lp.Model.var) ->
+                  Lp.Expr.add_term acc (v :> int) 1.0)
+                acc row)
+            acc x_e)
+        flows Lp.Expr.zero
+    in
+    Lp.Model.set_objective model Lp.Model.Minimize total;
+    let result = Lp.Simplex.solve_model ?params:lp_params model in
+    match result.Lp.Simplex.status with
+    | Lp.Simplex.Optimal ->
+      let extract req =
+        let r = Instance.request inst req in
+        let x_e = Hashtbl.find flows req in
+        Array.init (Request.num_vlinks r) (fun lv ->
+            let acc = ref [] in
+            Array.iteri
+              (fun ls (v : Lp.Model.var) ->
+                let value = result.Lp.Simplex.x.((v :> int)) in
+                if value > 1e-9 then acc := (ls, value) :: !acc)
+              x_e.(lv);
+            List.rev !acc)
+      in
+      Some (fun req -> extract req)
+    | Lp.Simplex.Infeasible -> None
+    | Lp.Simplex.Unbounded | Lp.Simplex.Iter_limit | Lp.Simplex.Time_limit
+    | Lp.Simplex.Numerical_failure ->
+      None
+  end
+
+let solve ?lp_params ?(preplaced = []) inst =
+  if not (Instance.has_fixed_mappings inst) then
+    invalid_arg "Greedy.solve: fixed node mappings required";
+  let t0 = Unix.gettimeofday () in
+  let k = Instance.num_requests inst in
+  let preset = List.map fst preplaced in
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          ((Instance.request inst a).Request.start_min, a)
+          ((Instance.request inst b).Request.start_min, b))
+      (List.filter (fun i -> not (List.mem i preset)) (List.init k (fun i -> i)))
+  in
+  let lp_solves = ref 0 and candidates_tried = ref 0 in
+  let accepted : accepted list ref = ref [] in
+  (* Install the pre-placed requests (validated, flows solved jointly). *)
+  if preplaced <> [] then begin
+    List.iter
+      (fun (req, start) ->
+        if req < 0 || req >= k then
+          invalid_arg "Greedy.solve: preplaced request out of range";
+        let r = Instance.request inst req in
+        if
+          start < r.Request.start_min -. 1e-9
+          || start +. r.Request.duration > r.Request.end_max +. 1e-9
+        then
+          invalid_arg
+            (Printf.sprintf "Greedy.solve: preplacement of %s outside window"
+               r.Request.name))
+      preplaced;
+    let participants =
+      List.map
+        (fun (req, start) ->
+          (req, start, start +. (Instance.request inst req).Request.duration))
+        preplaced
+    in
+    incr lp_solves;
+    match try_schedule ?lp_params inst participants with
+    | Some flows_of ->
+      accepted :=
+        List.map
+          (fun (req, start, stop) ->
+            { a_req = req; a_start = start; a_end = stop;
+              a_flows = flows_of req })
+          participants
+    | None -> invalid_arg "Greedy.solve: preplacements jointly infeasible"
+  end;
+  let assignments =
+    Array.init k (fun req -> Solution.rejected (Instance.request inst req))
+  in
+  List.iter
+    (fun req ->
+      let r = Instance.request inst req in
+      let d = r.Request.duration in
+      let candidates = candidate_starts inst req !accepted in
+      let placed = ref false in
+      List.iter
+        (fun s ->
+          if not !placed then begin
+            incr candidates_tried;
+            let participants =
+              (req, s, s +. d)
+              :: List.map (fun a -> (a.a_req, a.a_start, a.a_end)) !accepted
+            in
+            incr lp_solves;
+            match try_schedule ?lp_params inst participants with
+            | Some flows_of ->
+              placed := true;
+              (* Link allocations of previously accepted requests are
+                 recomputed (the paper does the same every iteration). *)
+              List.iter (fun a -> a.a_flows <- flows_of a.a_req) !accepted;
+              accepted :=
+                { a_req = req; a_start = s; a_end = s +. d; a_flows = flows_of req }
+                :: !accepted
+            | None -> ()
+          end)
+        candidates)
+    order;
+  List.iter
+    (fun a ->
+      let r = Instance.request inst a.a_req in
+      ignore r;
+      let mapping =
+        match Instance.node_mapping inst a.a_req with
+        | Some m -> m
+        | None -> assert false
+      in
+      assignments.(a.a_req) <-
+        {
+          Solution.accepted = true;
+          node_map = mapping;
+          link_flows = a.a_flows;
+          t_start = a.a_start;
+          t_end = a.a_end;
+        })
+    !accepted;
+  let solution = { Solution.assignments; objective = 0.0 } in
+  let solution =
+    { solution with Solution.objective = Solution.access_control_value inst solution }
+  in
+  ( solution,
+    {
+      lp_solves = !lp_solves;
+      candidates_tried = !candidates_tried;
+      runtime = Unix.gettimeofday () -. t0;
+    } )

@@ -1,0 +1,38 @@
+(** The greedy heuristic cΣ_A^G (Section V) for the access-control
+    objective, on instances with a-priori fixed node mappings (the paper's
+    setting; Algorithm input [x'_V]).
+
+    Requests are processed in order of earliest possible start.  For the
+    request at hand the algorithm realizes objective (21) — "embed it if at
+    all possible, and then as early as possible" — by scanning candidate
+    start times in increasing order.  Because accepted requests have fixed
+    intervals, resource availability is piecewise constant and every
+    minimal point of a feasible start region is a breakpoint (an accepted
+    start/end, an accepted start minus the new duration, or the window
+    opening), so the scan is exact; each probe solves one LP that
+    re-optimizes the link flows of {e all} accepted requests together with
+    the candidate (the paper likewise recomputes link allocations every
+    iteration).  This matches the paper's polynomial-time argument:
+    O(|R|) candidates per request, one polynomial LP each. *)
+
+type stats = {
+  lp_solves : int;       (** feasibility LPs attempted *)
+  candidates_tried : int;
+  runtime : float;       (** seconds *)
+}
+
+val solve :
+  ?lp_params:Lp.Simplex.params ->
+  ?preplaced:(int * float) list ->
+  Instance.t ->
+  Solution.t * stats
+(** The returned solution's [objective] is the access-control revenue.
+
+    [?preplaced] pre-accepts the given (request index, start time) pairs
+    before the greedy scan begins — the "heavy hitters" of the paper's
+    conclusion, scheduled by a rigorous optimization, around which the
+    remaining requests are admitted greedily (see {!Hybrid}).  Their link
+    flows are re-optimized together with every later admission.
+    @raise Invalid_argument when the instance has no fixed node mappings,
+    a pre-placement is out of range or outside its request's window, or
+    the pre-placements are jointly infeasible. *)

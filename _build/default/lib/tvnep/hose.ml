@@ -1,0 +1,36 @@
+let switch_node = 0
+
+let virtual_cluster ~name ~vms ~vm_demand ~bandwidth ~duration ~start_min
+    ~end_max =
+  if vms <= 0 then invalid_arg "Hose.virtual_cluster: vms must be positive";
+  if vm_demand < 0.0 || bandwidth < 0.0 then
+    invalid_arg "Hose.virtual_cluster: negative demand";
+  let graph = Graphs.Digraph.create (vms + 1) in
+  let link_demand = ref [] in
+  for vm = 1 to vms do
+    ignore (Graphs.Digraph.add_edge graph ~src:vm ~dst:switch_node);
+    link_demand := bandwidth :: !link_demand;
+    ignore (Graphs.Digraph.add_edge graph ~src:switch_node ~dst:vm);
+    link_demand := bandwidth :: !link_demand
+  done;
+  let node_demand =
+    Array.init (vms + 1) (fun v -> if v = switch_node then 0.0 else vm_demand)
+  in
+  Request.make ~name ~graph ~node_demand
+    ~link_demand:(Array.of_list (List.rev !link_demand))
+    ~duration ~start_min ~end_max
+
+let is_virtual_cluster (r : Request.t) =
+  let g = r.Request.graph in
+  let n = Graphs.Digraph.num_nodes g in
+  n >= 2
+  && r.Request.node_demand.(switch_node) = 0.0
+  && List.for_all
+       (fun (e : Graphs.Digraph.edge) ->
+         e.src = switch_node || e.dst = switch_node)
+       (Graphs.Digraph.edges g)
+  && List.for_all
+       (fun vm ->
+         Graphs.Digraph.has_edge g ~src:vm ~dst:switch_node
+         && Graphs.Digraph.has_edge g ~src:switch_node ~dst:vm)
+       (List.init (n - 1) (fun i -> i + 1))

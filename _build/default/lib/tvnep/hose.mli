@@ -1,0 +1,30 @@
+(** Hose-model virtual clusters (the Oktopus abstraction ⟨N, B⟩).
+
+    The paper notes its algorithms "are rather general and support all
+    these models" — per-pair graph topologies (SecondNet) {e and}
+    per-VM hose guarantees (Oktopus).  A virtual cluster of [N] VMs with
+    per-VM bandwidth [B] is represented as a star whose center is the
+    virtual switch: a node with zero compute demand, connected to every VM
+    by one directed link of demand [B] in each direction.  The resulting
+    {!Request.t} flows through every formulation, the greedy and the
+    validator unchanged. *)
+
+val virtual_cluster :
+  name:string ->
+  vms:int ->
+  vm_demand:float ->
+  bandwidth:float ->
+  duration:float ->
+  start_min:float ->
+  end_max:float ->
+  Request.t
+(** Node 0 is the virtual switch (zero demand); nodes 1..N are the VMs.
+    @raise Invalid_argument for [vms <= 0], negative demands, or an
+    invalid temporal triple (see {!Request.make}). *)
+
+val switch_node : int
+(** Index of the virtual switch within a cluster request (always 0). *)
+
+val is_virtual_cluster : Request.t -> bool
+(** Structural check: a star on node 0 with antiparallel links and zero
+    demand at the center. *)

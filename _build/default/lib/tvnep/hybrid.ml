@@ -1,0 +1,78 @@
+type stats = {
+  heavy : int list;
+  heavy_outcome : Solver.outcome;
+  greedy_stats : Greedy.stats;
+  runtime : float;
+}
+
+let revenue inst req =
+  let r = Instance.request inst req in
+  r.Request.duration *. Request.total_node_demand r
+
+let solve ?(heavy_fraction = 0.3) ?(mip = Mip.Branch_bound.default_params)
+    inst =
+  if not (Instance.has_fixed_mappings inst) then
+    invalid_arg "Hybrid.solve: fixed node mappings required";
+  if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
+    invalid_arg "Hybrid.solve: fraction outside [0, 1]";
+  let t0 = Unix.gettimeofday () in
+  let k = Instance.num_requests inst in
+  let by_revenue =
+    List.sort
+      (fun a b -> compare (revenue inst b, a) (revenue inst a, b))
+      (List.init k (fun i -> i))
+  in
+  let n_heavy =
+    min k (int_of_float (Float.round (heavy_fraction *. float_of_int k)))
+  in
+  let heavy = List.filteri (fun i _ -> i < n_heavy) by_revenue in
+  let heavy = List.sort compare heavy in
+  (* Exact pass on the heavy subset. *)
+  let heavy_requests =
+    Array.of_list (List.map (Instance.request inst) heavy)
+  in
+  let heavy_mappings =
+    Array.of_list
+      (List.map (fun i -> Option.get (Instance.node_mapping inst i)) heavy)
+  in
+  let heavy_outcome =
+    if heavy = [] then
+      (* Nothing heavy: a degenerate, trivially-optimal outcome. *)
+      {
+        Solver.status = Mip.Branch_bound.Optimal;
+        solution = None;
+        objective = Some 0.0;
+        bound = 0.0;
+        gap = 0.0;
+        runtime = 0.0;
+        nodes = 0;
+        lp_iterations = 0;
+        model_vars = 0;
+        model_rows = 0;
+      }
+    else
+      Solver.solve
+        (Instance.with_requests inst heavy_requests
+           ~node_mappings:heavy_mappings ())
+        { Solver.default_options with mip }
+  in
+  (* Fix the schedules the exact pass chose.  Heavy requests it rejected
+     get a second chance in the greedy scan — they can only add revenue. *)
+  let preplaced =
+    match heavy_outcome.Solver.solution with
+    | None -> []
+    | Some sol ->
+      List.mapi (fun pos req -> (pos, req)) heavy
+      |> List.filter_map (fun (pos, req) ->
+             let a = sol.Solution.assignments.(pos) in
+             if a.Solution.accepted then Some (req, a.Solution.t_start)
+             else None)
+  in
+  let solution, greedy_stats = Greedy.solve ~preplaced inst in
+  ( solution,
+    {
+      heavy;
+      heavy_outcome;
+      greedy_stats;
+      runtime = Unix.gettimeofday () -. t0;
+    } )

@@ -1,0 +1,30 @@
+(** Heavy-hitter hybrid solver.
+
+    The paper's conclusion suggests combining both algorithm families:
+    "allocating many smaller VNets [with the greedy] while more rigorous
+    optimizations are performed on the resource-intensive VNets (the
+    'heavy-hitters')".  This module implements exactly that split:
+
+    1. rank requests by revenue (duration × total node demand) and take
+       the top [heavy_fraction] as heavy hitters;
+    2. solve the heavy subset exactly with the cΣ-Model (access control);
+    3. admit the remaining requests with the greedy cΣ_A^G around the
+       fixed heavy schedule, re-optimizing all link flows jointly.
+
+    Requires fixed node mappings (both underlying algorithms do). *)
+
+type stats = {
+  heavy : int list;          (** request indices solved exactly *)
+  heavy_outcome : Solver.outcome;
+  greedy_stats : Greedy.stats;
+  runtime : float;
+}
+
+val solve :
+  ?heavy_fraction:float ->
+  ?mip:Mip.Branch_bound.params ->
+  Instance.t ->
+  Solution.t * stats
+(** [heavy_fraction] (default 0.3) of the requests, by revenue, go to the
+    exact solver.  @raise Invalid_argument without fixed mappings or for a
+    fraction outside [0, 1]. *)

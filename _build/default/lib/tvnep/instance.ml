@@ -1,0 +1,76 @@
+type t = {
+  substrate : Substrate.t;
+  requests : Request.t array;
+  horizon : float;
+  node_mappings : int array array option;
+}
+
+let validate_mappings substrate requests mappings =
+  if Array.length mappings <> Array.length requests then
+    invalid_arg "Instance.make: one node mapping per request required";
+  Array.iteri
+    (fun r map ->
+      let req = requests.(r) in
+      if Array.length map <> Request.num_vnodes req then
+        invalid_arg
+          (Printf.sprintf "Instance.make: mapping arity for request %s"
+             req.Request.name);
+      Array.iter
+        (fun s ->
+          if s < 0 || s >= Substrate.num_nodes substrate then
+            invalid_arg "Instance.make: mapped substrate node out of range")
+        map)
+    mappings
+
+let make ?node_mappings ~substrate ~requests ~horizon () =
+  if horizon <= 0.0 then invalid_arg "Instance.make: non-positive horizon";
+  Array.iter
+    (fun r ->
+      if r.Request.end_max > horizon +. 1e-9 then
+        invalid_arg
+          (Printf.sprintf "Instance.make: request %s exceeds horizon"
+             r.Request.name))
+    requests;
+  (match node_mappings with
+  | Some m -> validate_mappings substrate requests m
+  | None -> ());
+  {
+    substrate;
+    requests = Array.copy requests;
+    horizon;
+    node_mappings = Option.map (Array.map Array.copy) node_mappings;
+  }
+
+let num_requests t = Array.length t.requests
+
+let request t r =
+  if r < 0 || r >= num_requests t then invalid_arg "Instance.request";
+  t.requests.(r)
+
+let node_mapping t r =
+  if r < 0 || r >= num_requests t then invalid_arg "Instance.node_mapping";
+  Option.map (fun m -> Array.copy m.(r)) t.node_mappings
+
+let has_fixed_mappings t = t.node_mappings <> None
+
+let total_virtual_links t =
+  Array.fold_left (fun acc r -> acc + Request.num_vlinks r) 0 t.requests
+
+let with_flexibility t flex =
+  let requests = Array.map (fun r -> Request.with_flexibility r flex) t.requests in
+  let horizon =
+    Array.fold_left
+      (fun acc r -> Float.max acc r.Request.end_max)
+      t.horizon requests
+  in
+  make ?node_mappings:t.node_mappings ~substrate:t.substrate ~requests ~horizon
+    ()
+
+let with_requests t requests ?node_mappings () =
+  make ?node_mappings ~substrate:t.substrate ~requests ~horizon:t.horizon ()
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>instance: T=%g, %a@,%a@]" t.horizon Substrate.pp
+    t.substrate
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Request.pp)
+    (Array.to_list t.requests)

@@ -1,0 +1,47 @@
+(** A complete TVNEP instance: substrate, request set, time horizon [T]
+    and (optionally) the a-priori fixed node mappings used throughout the
+    paper's evaluation (Section VI-A). *)
+
+type t = private {
+  substrate : Substrate.t;
+  requests : Request.t array;
+  horizon : float;  (** T; every request window must fit inside [0, T] *)
+  node_mappings : int array array option;
+      (** [mappings.(r).(v)] is the substrate node hosting virtual node [v]
+          of request [r]; [None] leaves node placement to the solver. *)
+}
+
+val make :
+  ?node_mappings:int array array ->
+  substrate:Substrate.t ->
+  requests:Request.t array ->
+  horizon:float ->
+  unit ->
+  t
+(** @raise Invalid_argument when a request window exceeds the horizon, the
+    horizon is non-positive, or a node mapping has the wrong shape /
+    an out-of-range substrate node. *)
+
+val num_requests : t -> int
+
+val request : t -> int -> Request.t
+(** @raise Invalid_argument on an unknown index. *)
+
+val node_mapping : t -> int -> int array option
+(** Fixed mapping of one request, when present. *)
+
+val has_fixed_mappings : t -> bool
+
+val total_virtual_links : t -> int
+(** Σ over requests of their virtual link counts — the big-M of the
+    link-disabling objective. *)
+
+val with_flexibility : t -> float -> t
+(** Applies {!Request.with_flexibility} to every request and extends the
+    horizon to cover the widened windows. *)
+
+val with_requests : t -> Request.t array -> ?node_mappings:int array array -> unit -> t
+(** Same substrate/horizon with a different request set (greedy iterations
+    grow the set one request at a time). *)
+
+val pp : Format.formatter -> t -> unit

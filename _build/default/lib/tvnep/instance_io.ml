@@ -1,0 +1,240 @@
+exception Parse_error of int * string
+
+let to_string inst =
+  let buf = Buffer.create 4096 in
+  let sub = inst.Instance.substrate in
+  let sgraph = Substrate.graph sub in
+  Buffer.add_string buf "tvnep 1\n";
+  Buffer.add_string buf (Printf.sprintf "horizon %.17g\n" inst.Instance.horizon);
+  Buffer.add_string buf
+    (Printf.sprintf "substrate-nodes %d\n" (Substrate.num_nodes sub));
+  for v = 0 to Substrate.num_nodes sub - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "node-cap %d %.17g\n" v (Substrate.node_cap sub v))
+  done;
+  List.iter
+    (fun (e : Graphs.Digraph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d %.17g\n" e.src e.dst
+           (Substrate.link_cap sub e.id)))
+    (Graphs.Digraph.edges sgraph);
+  Array.iteri
+    (fun req (r : Request.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "request %s duration %.17g window %.17g %.17g\n"
+           r.Request.name r.Request.duration r.Request.start_min
+           r.Request.end_max);
+      let mapping = Instance.node_mapping inst req in
+      for v = 0 to Request.num_vnodes r - 1 do
+        match mapping with
+        | Some hosts ->
+          Buffer.add_string buf
+            (Printf.sprintf "  vnode %d %.17g host %d\n" v
+               r.Request.node_demand.(v) hosts.(v))
+        | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  vnode %d %.17g\n" v r.Request.node_demand.(v))
+      done;
+      List.iter
+        (fun (e : Graphs.Digraph.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  vlink %d %d %.17g\n" e.src e.dst
+               r.Request.link_demand.(e.id)))
+        (Graphs.Digraph.edges r.Request.graph);
+      Buffer.add_string buf "end\n")
+    inst.Instance.requests;
+  Buffer.contents buf
+
+(* --- parsing ----------------------------------------------------------- *)
+
+type pending_request = {
+  p_name : string;
+  p_duration : float;
+  p_start : float;
+  p_end : float;
+  mutable p_vnodes : (int * float * int option) list;  (* id, demand, host *)
+  mutable p_vlinks : (int * int * float) list;
+}
+
+type parser_state = {
+  mutable horizon : float option;
+  mutable n_sub : int option;
+  mutable node_caps : (int * float) list;
+  mutable links : (int * int * float) list;
+  mutable requests : pending_request list;  (* reversed *)
+  mutable current : pending_request option;
+  mutable version_seen : bool;
+}
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let float_of line s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail line (Printf.sprintf "expected a number, got %S" s)
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail line (Printf.sprintf "expected an integer, got %S" s)
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_line st lineno raw =
+  let line =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  match tokenize line with
+  | [] -> ()
+  | tokens ->
+    (match (st.current, tokens) with
+    | _, [ "tvnep"; v ] ->
+      if v <> "1" then fail lineno ("unsupported version " ^ v);
+      st.version_seen <- true
+    | None, [ "horizon"; h ] -> st.horizon <- Some (float_of lineno h)
+    | None, [ "substrate-nodes"; n ] -> st.n_sub <- Some (int_of lineno n)
+    | None, [ "node-cap"; v; c ] ->
+      st.node_caps <- (int_of lineno v, float_of lineno c) :: st.node_caps
+    | None, [ "link"; a; b; c ] ->
+      st.links <-
+        (int_of lineno a, int_of lineno b, float_of lineno c) :: st.links
+    | None, [ "request"; name; "duration"; d; "window"; s; e ] ->
+      st.current <-
+        Some
+          {
+            p_name = name;
+            p_duration = float_of lineno d;
+            p_start = float_of lineno s;
+            p_end = float_of lineno e;
+            p_vnodes = [];
+            p_vlinks = [];
+          }
+    | Some req, [ "vnode"; v; d ] ->
+      req.p_vnodes <- (int_of lineno v, float_of lineno d, None) :: req.p_vnodes
+    | Some req, [ "vnode"; v; d; "host"; h ] ->
+      req.p_vnodes <-
+        (int_of lineno v, float_of lineno d, Some (int_of lineno h))
+        :: req.p_vnodes
+    | Some req, [ "vlink"; a; b; d ] ->
+      req.p_vlinks <-
+        (int_of lineno a, int_of lineno b, float_of lineno d) :: req.p_vlinks
+    | Some req, [ "end" ] ->
+      st.requests <- req :: st.requests;
+      st.current <- None
+    | None, tok :: _ -> fail lineno ("unexpected directive " ^ tok)
+    | Some _, tok :: _ ->
+      fail lineno ("unexpected directive inside request: " ^ tok)
+    | (None | Some _), [] -> ())
+
+let build_instance st =
+  if not st.version_seen then fail 0 "missing 'tvnep 1' header";
+  let horizon =
+    match st.horizon with Some h -> h | None -> fail 0 "missing horizon"
+  in
+  let n_sub =
+    match st.n_sub with Some n -> n | None -> fail 0 "missing substrate-nodes"
+  in
+  let sgraph = Graphs.Digraph.create n_sub in
+  let links = List.rev st.links in
+  let link_caps =
+    List.map
+      (fun (a, b, c) ->
+        let id = Graphs.Digraph.add_edge sgraph ~src:a ~dst:b in
+        (id, c))
+      links
+  in
+  let node_cap = Array.make n_sub 0.0 in
+  List.iter
+    (fun (v, c) ->
+      if v < 0 || v >= n_sub then fail 0 "node-cap id out of range";
+      node_cap.(v) <- c)
+    st.node_caps;
+  let link_cap = Array.make (List.length link_caps) 0.0 in
+  List.iter (fun (id, c) -> link_cap.(id) <- c) link_caps;
+  let substrate = Substrate.make sgraph ~node_cap ~link_cap in
+  let pending = List.rev st.requests in
+  let build_request p =
+    let vnodes = List.rev p.p_vnodes in
+    let n = List.length vnodes in
+    List.iteri
+      (fun expect (id, _, _) ->
+        if id <> expect then
+          fail 0 (Printf.sprintf "request %s: vnode ids must be 0..%d in order"
+                    p.p_name (n - 1)))
+      vnodes;
+    let graph = Graphs.Digraph.create n in
+    let vlinks = List.rev p.p_vlinks in
+    let link_demand =
+      List.map
+        (fun (a, b, d) ->
+          let id = Graphs.Digraph.add_edge graph ~src:a ~dst:b in
+          (id, d))
+        vlinks
+    in
+    let node_demand = Array.of_list (List.map (fun (_, d, _) -> d) vnodes) in
+    let ld = Array.make (List.length link_demand) 0.0 in
+    List.iter (fun (id, d) -> ld.(id) <- d) link_demand;
+    let request =
+      Request.make ~name:p.p_name ~graph ~node_demand ~link_demand:ld
+        ~duration:p.p_duration ~start_min:p.p_start ~end_max:p.p_end
+    in
+    let hosts = List.map (fun (_, _, h) -> h) vnodes in
+    let mapping =
+      if List.for_all Option.is_some hosts then
+        Some (Array.of_list (List.map Option.get hosts))
+      else if List.for_all Option.is_none hosts then None
+      else fail 0 (Printf.sprintf "request %s: partial host mapping" p.p_name)
+    in
+    (request, mapping)
+  in
+  let built = List.map build_request pending in
+  let requests = Array.of_list (List.map fst built) in
+  let mappings = List.map snd built in
+  let node_mappings =
+    if List.for_all Option.is_some mappings then
+      Some (Array.of_list (List.map Option.get mappings))
+    else if List.for_all Option.is_none mappings then None
+    else fail 0 "either all requests carry host mappings or none"
+  in
+  Instance.make ?node_mappings ~substrate ~requests ~horizon ()
+
+let of_string text =
+  let st =
+    {
+      horizon = None;
+      n_sub = None;
+      node_caps = [];
+      links = [];
+      requests = [];
+      current = None;
+      version_seen = false;
+    }
+  in
+  List.iteri
+    (fun i line -> parse_line st (i + 1) line)
+    (String.split_on_char '\n' text);
+  (match st.current with
+  | Some r -> fail 0 (Printf.sprintf "request %s not terminated by 'end'" r.p_name)
+  | None -> ());
+  try build_instance st
+  with Invalid_argument msg -> fail 0 msg
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string text)

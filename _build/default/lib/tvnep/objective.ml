@@ -1,0 +1,165 @@
+type t =
+  | Access_control
+  | Max_earliness
+  | Balance_node_load of float
+  | Disable_links
+  | Min_makespan
+
+let name = function
+  | Access_control -> "access-control"
+  | Max_earliness -> "earliness"
+  | Balance_node_load _ -> "load-balance"
+  | Disable_links -> "disable-links"
+  | Min_makespan -> "makespan"
+
+let requires_full_embedding = function
+  | Access_control -> false
+  | Max_earliness | Balance_node_load _ | Disable_links | Min_makespan -> true
+
+type extras = {
+  free_nodes : Lp.Model.var array option;
+  disabled_links : Lp.Model.var array option;
+  makespan : Lp.Model.var option;
+}
+
+let no_extras = { free_nodes = None; disabled_links = None; makespan = None }
+
+let fix_all_embedded (fm : Formulation.t) =
+  Array.iter
+    (fun (emb : Embedding.t) ->
+      Lp.Model.fix_var fm.Formulation.model emb.Embedding.x_r 1.0)
+    fm.Formulation.embeddings
+
+let access_control (fm : Formulation.t) =
+  let inst = fm.Formulation.inst in
+  let terms =
+    Array.to_list
+      (Array.mapi
+         (fun req (emb : Embedding.t) ->
+           let r = Instance.request inst req in
+           Lp.Expr.var
+             ~coeff:(r.Request.duration *. Request.total_node_demand r)
+             ((emb.Embedding.x_r :> int)))
+         fm.Formulation.embeddings)
+  in
+  Lp.Model.set_objective fm.Formulation.model Lp.Model.Maximize
+    (Lp.Expr.sum terms);
+  no_extras
+
+let max_earliness (fm : Formulation.t) =
+  fix_all_embedded fm;
+  let inst = fm.Formulation.inst in
+  let terms =
+    Array.to_list
+      (Array.mapi
+         (fun req (tplus : Lp.Model.var) ->
+           let r = Instance.request inst req in
+           let d = r.Request.duration in
+           let flex = Request.flexibility r in
+           if flex <= 1e-9 then Lp.Expr.const d
+           else
+             (* d (1 - (t⁺ - t^s)/flex) = d + d·t^s/flex - (d/flex)·t⁺ *)
+             Lp.Expr.of_terms
+               ~const:(d +. (d *. r.Request.start_min /. flex))
+               [ ((tplus :> int), -.d /. flex) ])
+         fm.Formulation.t_start)
+  in
+  Lp.Model.set_objective fm.Formulation.model Lp.Model.Maximize
+    (Lp.Expr.sum terms);
+  no_extras
+
+let balance_node_load (fm : Formulation.t) fraction =
+  if fraction <= 0.0 || fraction >= 1.0 then
+    invalid_arg "Objective: load-balance fraction must lie in (0, 1)";
+  fix_all_embedded fm;
+  let model = fm.Formulation.model in
+  let inst = fm.Formulation.inst in
+  let sub = inst.Instance.substrate in
+  let n_nodes = Substrate.num_nodes sub in
+  let free =
+    Array.init n_nodes (fun s ->
+        Lp.Model.add_var model ~kind:Lp.Model.Binary (Printf.sprintf "F_%d" s))
+  in
+  (* load(s_i, N_s) <= f·c + (1 - F)·(1 - f)·c  for every state *)
+  for s = 0 to n_nodes - 1 do
+    let c = Substrate.node_cap sub s in
+    for i = 0 to fm.Formulation.n_states - 1 do
+      let load = fm.Formulation.state_node_load.(i).(s) in
+      if Lp.Expr.num_terms load > 0 then
+        Lp.Model.add_le model
+          ~name:(Printf.sprintf "bal_s%d_n%d" i s)
+          (Lp.Expr.add load
+             (Lp.Expr.var ~coeff:((1.0 -. fraction) *. c) ((free.(s) :> int))))
+          c
+    done
+  done;
+  Lp.Model.set_objective model Lp.Model.Maximize
+    (Lp.Expr.sum
+       (Array.to_list
+          (Array.map (fun (v : Lp.Model.var) -> Lp.Expr.var (v :> int)) free)));
+  { no_extras with free_nodes = Some free }
+
+let disable_links (fm : Formulation.t) =
+  fix_all_embedded fm;
+  let model = fm.Formulation.model in
+  let inst = fm.Formulation.inst in
+  let sub = inst.Instance.substrate in
+  let n_links = Substrate.num_links sub in
+  let big_m = float_of_int (max 1 (Instance.total_virtual_links inst)) in
+  let disabled =
+    Array.init n_links (fun l ->
+        Lp.Model.add_var model ~kind:Lp.Model.Binary (Printf.sprintf "D_%d" l))
+  in
+  for l = 0 to n_links - 1 do
+    let total_flow =
+      Lp.Expr.sum
+        (Array.to_list fm.Formulation.embeddings
+        |> List.concat_map (fun (emb : Embedding.t) ->
+               Array.to_list emb.Embedding.x_e
+               |> List.map (fun row ->
+                      Lp.Expr.var ((row.(l) : Lp.Model.var) :> int))))
+    in
+    (* Σ x_E <= M (1 - D): any flow on the link forbids disabling it. *)
+    Lp.Model.add_le model
+      ~name:(Printf.sprintf "dis_l%d" l)
+      (Lp.Expr.add total_flow
+         (Lp.Expr.var ~coeff:big_m ((disabled.(l) :> int))))
+      big_m
+  done;
+  Lp.Model.set_objective model Lp.Model.Maximize
+    (Lp.Expr.sum
+       (Array.to_list
+          (Array.map
+             (fun (v : Lp.Model.var) -> Lp.Expr.var (v :> int))
+             disabled)));
+  { no_extras with disabled_links = Some disabled }
+
+let min_makespan (fm : Formulation.t) =
+  fix_all_embedded fm;
+  let model = fm.Formulation.model in
+  let inst = fm.Formulation.inst in
+  (* T_max dominates every request's end; its lower bound is the largest
+     earliest end, which the model could never beat anyway. *)
+  let lower =
+    Array.fold_left
+      (fun acc r -> Float.max acc (Request.earliest_end r))
+      0.0 inst.Instance.requests
+  in
+  let t_max =
+    Lp.Model.add_var model ~lb:lower ~ub:inst.Instance.horizon "T_max"
+  in
+  Array.iter
+    (fun (t_end : Lp.Model.var) ->
+      Lp.Model.add_le model
+        (Lp.Expr.sub (Lp.Expr.var (t_end :> int)) (Lp.Expr.var (t_max :> int)))
+        0.0)
+    fm.Formulation.t_end;
+  Lp.Model.set_objective model Lp.Model.Minimize (Lp.Expr.var (t_max :> int));
+  { no_extras with makespan = Some t_max }
+
+let apply fm = function
+  | Access_control -> access_control fm
+  | Max_earliness -> max_earliness fm
+  | Balance_node_load fraction -> balance_node_load fm fraction
+  | Disable_links -> disable_links fm
+  | Min_makespan -> min_makespan fm

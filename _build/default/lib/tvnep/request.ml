@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  graph : Graphs.Digraph.t;
+  node_demand : float array;
+  link_demand : float array;
+  duration : float;
+  start_min : float;
+  end_max : float;
+}
+
+let make ~name ~graph ~node_demand ~link_demand ~duration ~start_min ~end_max =
+  let fail msg = invalid_arg (Printf.sprintf "Request.make %s: %s" name msg) in
+  if Array.length node_demand <> Graphs.Digraph.num_nodes graph then
+    fail "node demand arity";
+  if Array.length link_demand <> Graphs.Digraph.num_edges graph then
+    fail "link demand arity";
+  Array.iter (fun d -> if d < 0.0 then fail "negative node demand") node_demand;
+  Array.iter (fun d -> if d < 0.0 then fail "negative link demand") link_demand;
+  if duration <= 0.0 then fail "duration must be positive";
+  if start_min < 0.0 then fail "negative earliest start";
+  if end_max < start_min +. duration -. 1e-12 then
+    fail "window shorter than duration";
+  List.iter
+    (fun (e : Graphs.Digraph.edge) ->
+      if e.src = e.dst then fail "self-loop in virtual topology")
+    (Graphs.Digraph.edges graph);
+  {
+    name;
+    graph;
+    node_demand = Array.copy node_demand;
+    link_demand = Array.copy link_demand;
+    duration;
+    start_min;
+    end_max;
+  }
+
+let flexibility r = r.end_max -. r.start_min -. r.duration
+
+let with_flexibility r flex =
+  if flex < 0.0 then invalid_arg "Request.with_flexibility: negative";
+  { r with end_max = r.start_min +. r.duration +. flex }
+
+let latest_start r = r.end_max -. r.duration
+let earliest_end r = r.start_min +. r.duration
+let num_vnodes r = Graphs.Digraph.num_nodes r.graph
+let num_vlinks r = Graphs.Digraph.num_edges r.graph
+let total_node_demand r = Array.fold_left ( +. ) 0.0 r.node_demand
+
+let pp ppf r =
+  Format.fprintf ppf "%s: %d vnodes, %d vlinks, d=%g window=[%g,%g] flex=%g"
+    r.name (num_vnodes r) (num_vlinks r) r.duration r.start_min r.end_max
+    (flexibility r)

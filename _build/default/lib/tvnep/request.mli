@@ -1,0 +1,49 @@
+(** A virtual network request (Tables II and VI of the paper): a virtual
+    topology with node/link demands plus the temporal triple
+    (duration [d], earliest start [t^s], latest end [t^e]). *)
+
+type t = private {
+  name : string;
+  graph : Graphs.Digraph.t;      (** virtual topology *)
+  node_demand : float array;     (** demand per virtual node *)
+  link_demand : float array;     (** demand per virtual link (edge id) *)
+  duration : float;              (** d_R > 0 *)
+  start_min : float;             (** t^s_R *)
+  end_max : float;               (** t^e_R *)
+}
+
+val make :
+  name:string ->
+  graph:Graphs.Digraph.t ->
+  node_demand:float array ->
+  link_demand:float array ->
+  duration:float ->
+  start_min:float ->
+  end_max:float ->
+  t
+(** @raise Invalid_argument on arity mismatches, non-positive duration,
+    negative demands, negative [start_min], a window shorter than the
+    duration, or a self-loop in the virtual topology. *)
+
+val flexibility : t -> float
+(** [t^e - t^s - d]: the temporal slack the provider may exploit. *)
+
+val with_flexibility : t -> float -> t
+(** Same request with [end_max] set to [start_min + duration + flex] — the
+    knob the paper's evaluation sweeps.
+    @raise Invalid_argument when [flex < 0]. *)
+
+val latest_start : t -> float
+(** [t^e - d]. *)
+
+val earliest_end : t -> float
+(** [t^s + d]. *)
+
+val num_vnodes : t -> int
+val num_vlinks : t -> int
+
+val total_node_demand : t -> float
+(** [Σ_{N_v} c_R(N_v)] — the per-request revenue weight of the paper's
+    access-control objective. *)
+
+val pp : Format.formatter -> t -> unit

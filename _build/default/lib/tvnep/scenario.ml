@@ -1,0 +1,102 @@
+type params = {
+  grid_rows : int;
+  grid_cols : int;
+  node_capacity : float;
+  link_capacity : float;
+  star_leaves : int;
+  demand_lo : float;
+  demand_hi : float;
+  num_requests : int;
+  arrival_rate : float;
+  weibull_shape : float;
+  weibull_scale : float;
+  min_duration : float;
+  flexibility : float;
+}
+
+let paper =
+  {
+    grid_rows = 4;
+    grid_cols = 5;
+    node_capacity = 3.5;
+    link_capacity = 5.0;
+    star_leaves = 4;
+    demand_lo = 1.0;
+    demand_hi = 2.0;
+    num_requests = 20;
+    arrival_rate = 1.0;
+    weibull_shape = 2.0;
+    weibull_scale = 4.0;
+    min_duration = 0.25;
+    flexibility = 0.0;
+  }
+
+(* Sized for the from-scratch MIP stack: same contention structure, fewer
+   requests and a smaller grid. *)
+let scaled =
+  { paper with grid_rows = 3; grid_cols = 3; star_leaves = 2; num_requests = 5 }
+
+let generate rng p =
+  if p.num_requests <= 0 then invalid_arg "Scenario.generate: no requests";
+  let grid = Graphs.Generators.grid ~rows:p.grid_rows ~cols:p.grid_cols in
+  let substrate =
+    Substrate.uniform grid ~node_cap:p.node_capacity ~link_cap:p.link_capacity
+  in
+  let arrivals =
+    Workload.Distributions.poisson_arrivals rng ~rate:p.arrival_rate
+      ~count:p.num_requests
+  in
+  let n_sub = Substrate.num_nodes substrate in
+  let requests_and_maps =
+    List.mapi
+      (fun i arrival ->
+        let orientation =
+          if Workload.Rng.bool rng then Graphs.Generators.To_center
+          else Graphs.Generators.From_center
+        in
+        let graph = Graphs.Generators.star ~leaves:p.star_leaves ~orientation in
+        let node_demand =
+          Array.init (Graphs.Digraph.num_nodes graph) (fun _ ->
+              Workload.Distributions.uniform rng ~lo:p.demand_lo
+                ~hi:p.demand_hi)
+        in
+        let link_demand =
+          Array.init (Graphs.Digraph.num_edges graph) (fun _ ->
+              Workload.Distributions.uniform rng ~lo:p.demand_lo
+                ~hi:p.demand_hi)
+        in
+        let duration =
+          Float.max p.min_duration
+            (Workload.Distributions.weibull rng ~shape:p.weibull_shape
+               ~scale:p.weibull_scale)
+        in
+        let request =
+          Request.make
+            ~name:(Printf.sprintf "R%d" i)
+            ~graph ~node_demand ~link_demand ~duration ~start_min:arrival
+            ~end_max:(arrival +. duration +. p.flexibility)
+        in
+        let mapping =
+          Array.init (Graphs.Digraph.num_nodes graph) (fun _ ->
+              Workload.Rng.int rng n_sub)
+        in
+        (request, mapping))
+      arrivals
+  in
+  let requests = Array.of_list (List.map fst requests_and_maps) in
+  let node_mappings = Array.of_list (List.map snd requests_and_maps) in
+  let horizon =
+    Array.fold_left
+      (fun acc r -> Float.max acc r.Request.end_max)
+      1.0 requests
+  in
+  Instance.make ~node_mappings ~substrate ~requests ~horizon ()
+
+let sweep ~seed p ~flexibilities =
+  List.map
+    (fun flex ->
+      (* Fresh generator per flexibility: identical arrivals, durations,
+         demands and mappings — only the windows widen. *)
+      let rng = Workload.Rng.create seed in
+      generate rng { p with flexibility = flex })
+    flexibilities

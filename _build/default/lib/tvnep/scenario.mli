@@ -1,0 +1,44 @@
+(** The synthetic workload of the paper's evaluation (Section VI-A):
+
+    - substrate: a bidirected grid (paper: 4×5, so 20 nodes and 62
+      directed links), node capacity 3.5, link capacity 5;
+    - requests: 5-node stars, all links directed towards or away from the
+      center (picked at random per request), demands uniform in [1, 2];
+    - arrivals: Poisson process with 1/hour inter-arrival mean, 20
+      requests per workload;
+    - durations: Weibull(shape 2, scale 4) — mean ≈ 3.5 hours;
+    - node mappings fixed a priori, uniformly at random;
+    - temporal flexibility added on top of each duration, swept from 0 to
+      6 hours in 30-minute steps in the paper's plots.
+
+    [paper] reproduces those parameters; [scaled] is a smaller default
+    sized for the pure-OCaml MIP stack (see DESIGN.md §2); both are plain
+    records, so any dimension can be overridden. *)
+
+type params = {
+  grid_rows : int;
+  grid_cols : int;
+  node_capacity : float;
+  link_capacity : float;
+  star_leaves : int;      (** request size = leaves + 1 *)
+  demand_lo : float;
+  demand_hi : float;
+  num_requests : int;
+  arrival_rate : float;   (** Poisson arrivals per hour *)
+  weibull_shape : float;
+  weibull_scale : float;
+  min_duration : float;   (** durations are clamped from below *)
+  flexibility : float;    (** slack added to every request window *)
+}
+
+val paper : params
+val scaled : params
+
+val generate : Workload.Rng.t -> params -> Instance.t
+(** A full instance with fixed node mappings; the horizon is the latest
+    window end.  Deterministic in the generator state. *)
+
+val sweep : seed:int64 -> params -> flexibilities:float list -> Instance.t list
+(** One instance per flexibility value, all sharing the same arrivals,
+    durations, demands and node mappings (regenerated from the same
+    seed) — exactly how the paper varies only the flexibility axis. *)

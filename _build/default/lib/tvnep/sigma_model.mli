@@ -1,0 +1,11 @@
+(** The Σ-Model (Section III-C): explicit state representation over
+    [2·|R|] event points; both starts and ends map bijectively onto events
+    (one endpoint per event).  Stronger relaxation than the Δ-Model but
+    without the cΣ compactification/symmetry reductions — the middle
+    contender of the paper's comparison. *)
+
+type options = { relax_integrality : bool }
+
+val default_options : options
+
+val build : ?options:options -> Instance.t -> Formulation.t

@@ -1,0 +1,89 @@
+type assignment = {
+  accepted : bool;
+  node_map : int array;
+  link_flows : (int * float) list array;
+  t_start : float;
+  t_end : float;
+}
+
+type t = { assignments : assignment array; objective : float }
+
+let rejected (r : Request.t) =
+  {
+    accepted = false;
+    node_map = Array.make (Request.num_vnodes r) (-1);
+    link_flows = Array.make (Request.num_vlinks r) [];
+    t_start = r.Request.start_min;
+    t_end = Request.earliest_end r;
+  }
+
+let num_accepted t =
+  Array.fold_left (fun acc a -> if a.accepted then acc + 1 else acc) 0
+    t.assignments
+
+let accepted_indices t =
+  let acc = ref [] in
+  Array.iteri (fun i a -> if a.accepted then acc := i :: !acc) t.assignments;
+  List.rev !acc
+
+let access_control_value inst t =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      if a.accepted then begin
+        let r = Instance.request inst i in
+        total := !total +. (r.Request.duration *. Request.total_node_demand r)
+      end)
+    t.assignments;
+  !total
+
+(* A request is active at [time] when time lies strictly inside
+   (t_start, t_end) — the open-interval convention of Definition 2.1. *)
+let active a ~time = a.accepted && time > a.t_start && time < a.t_end
+
+let node_load inst t ~time =
+  let load = Array.make (Substrate.num_nodes inst.Instance.substrate) 0.0 in
+  Array.iteri
+    (fun i a ->
+      if active a ~time then begin
+        let r = Instance.request inst i in
+        Array.iteri
+          (fun v host ->
+            load.(host) <- load.(host) +. r.Request.node_demand.(v))
+          a.node_map
+      end)
+    t.assignments;
+  load
+
+let link_load inst t ~time =
+  let load = Array.make (Substrate.num_links inst.Instance.substrate) 0.0 in
+  Array.iteri
+    (fun i a ->
+      if active a ~time then begin
+        let r = Instance.request inst i in
+        Array.iteri
+          (fun lv flows ->
+            let demand = r.Request.link_demand.(lv) in
+            List.iter
+              (fun (ls, frac) -> load.(ls) <- load.(ls) +. (demand *. frac))
+              flows)
+          a.link_flows
+      end)
+    t.assignments;
+  load
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>solution: objective=%g, %d/%d accepted@,"
+    t.objective (num_accepted t)
+    (Array.length t.assignments);
+  Array.iteri
+    (fun i a ->
+      if a.accepted then
+        Format.fprintf ppf "  req %d: [%g, %g] nodes->%a@," i a.t_start a.t_end
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+             Format.pp_print_int)
+          (Array.to_list a.node_map)
+      else Format.fprintf ppf "  req %d: rejected@," i)
+    t.assignments;
+  Format.fprintf ppf "@]"

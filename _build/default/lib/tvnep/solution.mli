@@ -1,0 +1,37 @@
+(** Solutions of the TVNEP (Definition 2.1): per request an accept/reject
+    decision, a static embedding (node map + splittable link flows) and a
+    scheduled interval [t⁺, t⁻]. *)
+
+type assignment = {
+  accepted : bool;
+  node_map : int array;
+      (** virtual node → substrate node; meaningful when [accepted] *)
+  link_flows : (int * float) list array;
+      (** per virtual link: (substrate edge id, flow fraction) pairs *)
+  t_start : float;  (** t⁺ — also fixed for rejected requests (Def. 2.1) *)
+  t_end : float;    (** t⁻ *)
+}
+
+type t = {
+  assignments : assignment array;
+  objective : float;  (** value under the objective it was solved for *)
+}
+
+val rejected : Request.t -> assignment
+(** A rejected placeholder scheduled at its earliest window. *)
+
+val num_accepted : t -> int
+
+val accepted_indices : t -> int list
+
+val access_control_value : Instance.t -> t -> float
+(** [Σ accepted d_R · Σ c_R(N_v)] — recomputes the paper's access-control
+    objective from the assignment (used to cross-check solver output). *)
+
+val link_load : Instance.t -> t -> time:float -> float array
+(** Total substrate link allocations at an instant (open-interval activity
+    as in Definition 2.1). *)
+
+val node_load : Instance.t -> t -> time:float -> float array
+
+val pp : Format.formatter -> t -> unit

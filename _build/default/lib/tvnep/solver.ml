@@ -1,0 +1,104 @@
+type model_kind = Delta | Sigma | Csigma
+
+let model_kind_to_string = function
+  | Delta -> "delta"
+  | Sigma -> "sigma"
+  | Csigma -> "csigma"
+
+type options = {
+  kind : model_kind;
+  objective : Objective.t;
+  use_cuts : bool;
+  pairwise_cuts : bool;
+  seed_with_greedy : bool;
+  mip : Mip.Branch_bound.params;
+}
+
+let default_options =
+  {
+    kind = Csigma;
+    objective = Objective.Access_control;
+    use_cuts = true;
+    pairwise_cuts = true;
+    seed_with_greedy = false;
+    mip = Mip.Branch_bound.default_params;
+  }
+
+type outcome = {
+  status : Mip.Branch_bound.status;
+  solution : Solution.t option;
+  objective : float option;
+  bound : float;
+  gap : float;
+  runtime : float;
+  nodes : int;
+  lp_iterations : int;
+  model_vars : int;
+  model_rows : int;
+}
+
+let build inst options =
+  let fm =
+    match options.kind with
+    | Delta -> Delta_model.build inst
+    | Sigma -> Sigma_model.build inst
+    | Csigma ->
+      Csigma_model.build
+        ~options:
+          {
+            Csigma_model.use_cuts = options.use_cuts;
+            pairwise_cuts = options.pairwise_cuts;
+            relax_integrality = false;
+          }
+        inst
+  in
+  let extras = Objective.apply fm options.objective in
+  (fm, extras)
+
+let solve inst options =
+  let fm, _extras = build inst options in
+  let model = fm.Formulation.model in
+  (* Optional greedy seeding (the combination the paper's conclusion
+     proposes): lift the heuristic solution into this model's variables as
+     the initial incumbent.  Only meaningful under access control; the MIP
+     layer re-verifies the point before trusting it. *)
+  let initial =
+    if
+      options.seed_with_greedy
+      && options.objective = Objective.Access_control
+      && Instance.has_fixed_mappings inst
+    then begin
+      let greedy_sol, _ = Greedy.solve inst in
+      Some (fm.Formulation.lift greedy_sol)
+    end
+    else None
+  in
+  let result = Mip.Branch_bound.solve ~params:options.mip ?initial model in
+  let solution =
+    match result.Mip.Branch_bound.incumbent with
+    | None -> None
+    | Some x ->
+      let value_of id = x.(id) in
+      let objective =
+        match result.Mip.Branch_bound.objective with
+        | Some o -> o
+        | None -> nan
+      in
+      Some (Formulation.extract_solution fm ~objective value_of)
+  in
+  {
+    status = result.Mip.Branch_bound.status;
+    solution;
+    objective = result.Mip.Branch_bound.objective;
+    bound = result.Mip.Branch_bound.best_bound;
+    gap = result.Mip.Branch_bound.gap;
+    runtime = result.Mip.Branch_bound.solve_time;
+    nodes = result.Mip.Branch_bound.nodes;
+    lp_iterations = result.Mip.Branch_bound.lp_iterations;
+    model_vars = Lp.Model.num_vars model;
+    model_rows = Lp.Model.num_constrs model;
+  }
+
+let solve_lp_relaxation inst options =
+  let fm, _ = build inst options in
+  Lp.Simplex.solve_model fm.Formulation.model

@@ -1,0 +1,47 @@
+(** One-call interface: choose a formulation (Δ / Σ / cΣ), an objective,
+    build the MIP and optimize it with the branch-and-bound engine.
+
+    This is the API the evaluation harness, the examples and the CLI use;
+    it returns both the solver statistics the paper plots (runtime, gap,
+    node counts) and the decoded {!Solution.t}. *)
+
+type model_kind = Delta | Sigma | Csigma
+
+val model_kind_to_string : model_kind -> string
+
+type options = {
+  kind : model_kind;
+  objective : Objective.t;
+  use_cuts : bool;       (** cΣ only: dependency ranges + state presolve *)
+  pairwise_cuts : bool;  (** cΣ only: Constraint (20) *)
+  seed_with_greedy : bool;
+      (** seed branch-and-bound with the lifted greedy solution (access
+          control + fixed mappings only) — the greedy/exact combination
+          suggested in the paper's conclusion *)
+  mip : Mip.Branch_bound.params;
+}
+
+val default_options : options
+(** cΣ, access control, all cuts, default MIP parameters. *)
+
+type outcome = {
+  status : Mip.Branch_bound.status;
+  solution : Solution.t option;  (** decoded incumbent, when one exists *)
+  objective : float option;      (** incumbent objective value *)
+  bound : float;                 (** proved dual bound *)
+  gap : float;                   (** relative gap as defined in [Mip] *)
+  runtime : float;               (** seconds *)
+  nodes : int;
+  lp_iterations : int;
+  model_vars : int;
+  model_rows : int;
+}
+
+val build : Instance.t -> options -> Formulation.t * Objective.extras
+(** The assembled MIP without solving it (for inspection/tests). *)
+
+val solve : Instance.t -> options -> outcome
+
+val solve_lp_relaxation : Instance.t -> options -> Lp.Simplex.result
+(** Root LP relaxation only — used to compare formulation strength
+    (Section III's Δ-vs-Σ discussion). *)

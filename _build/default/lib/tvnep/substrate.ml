@@ -1,0 +1,44 @@
+type t = {
+  graph : Graphs.Digraph.t;
+  node_cap : float array;
+  link_cap : float array;
+}
+
+let make graph ~node_cap ~link_cap =
+  if Array.length node_cap <> Graphs.Digraph.num_nodes graph then
+    invalid_arg "Substrate.make: node capacity arity";
+  if Array.length link_cap <> Graphs.Digraph.num_edges graph then
+    invalid_arg "Substrate.make: link capacity arity";
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Substrate.make: negative capacity")
+    node_cap;
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Substrate.make: negative capacity")
+    link_cap;
+  { graph; node_cap = Array.copy node_cap; link_cap = Array.copy link_cap }
+
+let uniform graph ~node_cap ~link_cap =
+  make graph
+    ~node_cap:(Array.make (Graphs.Digraph.num_nodes graph) node_cap)
+    ~link_cap:(Array.make (Graphs.Digraph.num_edges graph) link_cap)
+
+let graph s = s.graph
+let num_nodes s = Graphs.Digraph.num_nodes s.graph
+let num_links s = Graphs.Digraph.num_edges s.graph
+
+let node_cap s v =
+  if v < 0 || v >= num_nodes s then invalid_arg "Substrate.node_cap";
+  s.node_cap.(v)
+
+let link_cap s e =
+  if e < 0 || e >= num_links s then invalid_arg "Substrate.link_cap";
+  s.link_cap.(e)
+
+let total_node_capacity s = Array.fold_left ( +. ) 0.0 s.node_cap
+
+let pp ppf s =
+  Format.fprintf ppf "substrate: %d nodes (cap %a), %d links" (num_nodes s)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       (fun ppf c -> Format.fprintf ppf "%g" c))
+    (Array.to_list s.node_cap) (num_links s)

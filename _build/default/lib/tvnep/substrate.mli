@@ -1,0 +1,28 @@
+(** The physical (substrate) network: a digraph with one scalar capacity
+    per node and per directed link (Table I of the paper). *)
+
+type t
+
+val make :
+  Graphs.Digraph.t -> node_cap:float array -> link_cap:float array -> t
+(** @raise Invalid_argument when an array length disagrees with the graph
+    or a capacity is negative. *)
+
+val uniform : Graphs.Digraph.t -> node_cap:float -> link_cap:float -> t
+(** Same capacity on every node / link — the paper's grid substrate. *)
+
+val graph : t -> Graphs.Digraph.t
+
+val num_nodes : t -> int
+
+val num_links : t -> int
+
+val node_cap : t -> int -> float
+(** @raise Invalid_argument on an unknown node. *)
+
+val link_cap : t -> int -> float
+(** Capacity of the directed link with the given edge id. *)
+
+val total_node_capacity : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,194 @@
+type violation = string
+
+let check_temporal inst (sol : Solution.t) errors =
+  Array.iteri
+    (fun i (a : Solution.assignment) ->
+      if a.accepted then begin
+        let r = Instance.request inst i in
+        let name = r.Request.name in
+        if a.t_start < r.Request.start_min -. 1e-6 then
+          errors :=
+            Printf.sprintf "%s starts at %g before its window %g" name
+              a.t_start r.Request.start_min
+            :: !errors;
+        if a.t_end > r.Request.end_max +. 1e-6 then
+          errors :=
+            Printf.sprintf "%s ends at %g after its window %g" name a.t_end
+              r.Request.end_max
+            :: !errors;
+        if Float.abs (a.t_end -. a.t_start -. r.Request.duration) > 1e-6 then
+          errors :=
+            Printf.sprintf "%s scheduled for %g instead of duration %g" name
+              (a.t_end -. a.t_start) r.Request.duration
+            :: !errors
+      end)
+    sol.Solution.assignments
+
+let check_node_maps inst (sol : Solution.t) errors =
+  let n_sub = Substrate.num_nodes inst.Instance.substrate in
+  Array.iteri
+    (fun i (a : Solution.assignment) ->
+      if a.accepted then begin
+        let r = Instance.request inst i in
+        let name = r.Request.name in
+        if Array.length a.node_map <> Request.num_vnodes r then
+          errors := Printf.sprintf "%s node map arity" name :: !errors
+        else begin
+          Array.iteri
+            (fun v host ->
+              if host < 0 || host >= n_sub then
+                errors :=
+                  Printf.sprintf "%s virtual node %d mapped out of range" name
+                    v
+                  :: !errors)
+            a.node_map;
+          match Instance.node_mapping inst i with
+          | Some fixed ->
+            Array.iteri
+              (fun v host ->
+                if host <> fixed.(v) then
+                  errors :=
+                    Printf.sprintf
+                      "%s virtual node %d mapped to %d, instance fixes %d"
+                      name v host fixed.(v)
+                    :: !errors)
+              a.node_map
+          | None -> ()
+        end
+      end)
+    sol.Solution.assignments
+
+(* Verifies that each virtual link's flow forms one unit from the host of
+   its tail to the host of its head (Constraint (2) of the paper). *)
+let check_flows ?(tol = 1e-5) inst (sol : Solution.t) errors =
+  let sub = inst.Instance.substrate in
+  let sgraph = Substrate.graph sub in
+  let n_sub = Substrate.num_nodes sub in
+  Array.iteri
+    (fun i (a : Solution.assignment) ->
+      if a.accepted then begin
+        let r = Instance.request inst i in
+        let name = r.Request.name in
+        List.iter
+          (fun (lv : Graphs.Digraph.edge) ->
+            let flows = a.link_flows.(lv.id) in
+            let balance = Array.make n_sub 0.0 in
+            List.iter
+              (fun (ls, frac) ->
+                if ls < 0 || ls >= Substrate.num_links sub then
+                  errors :=
+                    Printf.sprintf "%s vlink %d routes unknown edge %d" name
+                      lv.id ls
+                    :: !errors
+                else begin
+                  if frac < -.tol || frac > 1.0 +. tol then
+                    errors :=
+                      Printf.sprintf "%s vlink %d fraction %g outside [0,1]"
+                        name lv.id frac
+                      :: !errors;
+                  let e = Graphs.Digraph.edge sgraph ls in
+                  balance.(e.src) <- balance.(e.src) -. frac;
+                  balance.(e.dst) <- balance.(e.dst) +. frac
+                end)
+              flows;
+            (* Paper convention: unit flow from the host of N⁻ (dst) to the
+               host of N⁺ (src)?  Constraint (2) builds flow with balance
+               +1 at the host of the link's head and -1 at its tail host:
+               out - in = x_V(dst) - x_V(src), i.e. net outflow at the
+               tail's host.  We check net inflow at the head's host. *)
+            let src_host = a.node_map.(lv.src)
+            and dst_host = a.node_map.(lv.dst) in
+            let expected v =
+              if v = dst_host && v = src_host then 0.0
+              else if v = dst_host then 1.0
+              else if v = src_host then -1.0
+              else 0.0
+            in
+            Array.iteri
+              (fun v b ->
+                if Float.abs (b -. expected v) > tol then
+                  errors :=
+                    Printf.sprintf
+                      "%s vlink %d: flow balance %g at substrate node %d \
+                       (expected %g)"
+                      name lv.id b v (expected v)
+                    :: !errors)
+              balance)
+          (Graphs.Digraph.edges r.Request.graph)
+      end)
+    sol.Solution.assignments
+
+(* Capacities are piecewise constant between schedule breakpoints, so
+   checking the midpoint of every breakpoint interval is exact.
+   Breakpoints closer than the clustering tolerance are merged: LP-based
+   solvers produce times accurate only to their feasibility tolerance, and
+   an overlap of ~1e-7 "hours" between consecutive requests is measurement
+   noise, not a capacity violation. *)
+let check_capacities ?(tol = 1e-5) inst (sol : Solution.t) errors =
+  let sub = inst.Instance.substrate in
+  let breakpoints =
+    Array.to_list sol.Solution.assignments
+    |> List.concat_map (fun (a : Solution.assignment) ->
+           if a.accepted then [ a.t_start; a.t_end ] else [])
+    |> List.sort_uniq compare
+  in
+  let cluster_tol = 1e-6 in
+  let breakpoints =
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | last :: _ when t -. last <= cluster_tol -> acc
+        | _ -> t :: acc)
+      [] breakpoints
+    |> List.rev
+  in
+  let midpoints =
+    let rec mids = function
+      | a :: (b :: _ as rest) -> ((a +. b) /. 2.0) :: mids rest
+      | [ _ ] | [] -> []
+    in
+    mids breakpoints
+  in
+  List.iter
+    (fun time ->
+      let nload = Solution.node_load inst sol ~time in
+      Array.iteri
+        (fun v load ->
+          if load > Substrate.node_cap sub v +. tol then
+            errors :=
+              Printf.sprintf "node %d overloaded at t=%g: %g > %g" v time load
+                (Substrate.node_cap sub v)
+              :: !errors)
+        nload;
+      let lload = Solution.link_load inst sol ~time in
+      Array.iteri
+        (fun e load ->
+          if load > Substrate.link_cap sub e +. tol then
+            errors :=
+              Printf.sprintf "link %d overloaded at t=%g: %g > %g" e time load
+                (Substrate.link_cap sub e)
+              :: !errors)
+        lload)
+    midpoints
+
+let check ?(tol = 1e-5) inst sol =
+  if Array.length sol.Solution.assignments <> Instance.num_requests inst then
+    Error [ "assignment count differs from request count" ]
+  else begin
+    let errors = ref [] in
+    check_temporal inst sol errors;
+    check_node_maps inst sol errors;
+    if !errors = [] then begin
+      check_flows ~tol inst sol errors;
+      check_capacities ~tol inst sol errors
+    end;
+    match List.rev !errors with [] -> Ok () | es -> Error es
+  end
+
+let is_feasible ?tol inst sol =
+  match check ?tol inst sol with Ok () -> true | Error _ -> false
+
+let explain inst sol =
+  match check inst sol with
+  | Ok () -> "feasible"
+  | Error es -> String.concat "\n" es

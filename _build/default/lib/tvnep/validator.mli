@@ -1,0 +1,25 @@
+(** Independent feasibility checker for TVNEP solutions.
+
+    Verifies every condition of Definition 2.1 directly on the solution —
+    without any MIP machinery — so the formulations, the greedy and the
+    validator can cross-check each other in tests:
+
+    - accepted requests respect their temporal window and duration,
+    - node maps target existing substrate nodes (and fixed mappings when
+      the instance prescribes them),
+    - every virtual link carries one unit of (splittable) flow from the
+      host of its tail to the host of its head, conserving flow elsewhere,
+    - node and link capacities hold at every instant (checked at interval
+      midpoints between consecutive schedule breakpoints, which is exact
+      because allocations are piecewise constant). *)
+
+type violation = string
+
+val check : ?tol:float -> Instance.t -> Solution.t -> (unit, violation list) result
+(** [Ok ()] when the solution is feasible; otherwise all violations
+    found, each as a human-readable message. *)
+
+val is_feasible : ?tol:float -> Instance.t -> Solution.t -> bool
+
+val explain : Instance.t -> Solution.t -> string
+(** Multi-line report: "feasible" or the list of violations. *)

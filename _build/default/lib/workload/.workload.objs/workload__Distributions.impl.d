@@ -1,0 +1,1 @@
+lib/workload/distributions.ml: Array Float List Rng

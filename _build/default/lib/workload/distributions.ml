@@ -1,0 +1,53 @@
+let uniform rng ~lo ~hi = Rng.float_range rng lo hi
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Distributions.exponential";
+  (* 1 - U avoids log 0 since U ∈ [0, 1). *)
+  -.log (1.0 -. Rng.float rng) /. rate
+
+let weibull rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Distributions.weibull";
+  let u = 1.0 -. Rng.float rng in
+  scale *. ((-.log u) ** (1.0 /. shape))
+
+let rec gamma_approx x =
+  if x <= 0.0 then invalid_arg "Distributions.gamma_approx";
+  (* Lanczos, g = 7, n = 9 *)
+  let coeffs =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+      771.32342877765313; -176.61502916214059; 12.507343278686905;
+      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  if x < 0.5 then Float.pi /. (sin (Float.pi *. x) *. gamma_rec (1.0 -. x) coeffs)
+  else gamma_rec x coeffs
+
+and gamma_rec x coeffs =
+  let x = x -. 1.0 in
+  let a = ref coeffs.(0) in
+  let t = x +. 7.5 in
+  for i = 1 to 8 do
+    a := !a +. (coeffs.(i) /. (x +. float_of_int i))
+  done;
+  sqrt (2.0 *. Float.pi) *. (t ** (x +. 0.5)) *. exp (-.t) *. !a
+
+let weibull_mean ~shape ~scale = scale *. gamma_approx (1.0 +. (1.0 /. shape))
+
+let poisson_process rng ~rate ~horizon =
+  if horizon < 0.0 then invalid_arg "Distributions.poisson_process";
+  let rec go t acc =
+    let t = t +. exponential rng ~rate in
+    if t >= horizon then List.rev acc else go t (t :: acc)
+  in
+  go 0.0 []
+
+let poisson_arrivals rng ~rate ~count =
+  if count < 0 then invalid_arg "Distributions.poisson_arrivals";
+  let rec go t k acc =
+    if k = 0 then List.rev acc
+    else
+      let t = t +. exponential rng ~rate in
+      go t (k - 1) (t :: acc)
+  in
+  go 0.0 count []

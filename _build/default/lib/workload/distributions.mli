@@ -1,0 +1,31 @@
+(** Random variate generation for the paper's workload model.
+
+    The evaluation (Section VI-A) draws inter-arrival times from an
+    exponential distribution (Poisson process, rate 1/hour), durations from
+    a heavy-tailed Weibull(shape 2, scale 4) and resource demands uniformly
+    from [1, 2].  All samplers are inverse-transform based on {!Rng}. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+
+val exponential : Rng.t -> rate:float -> float
+(** Mean [1/rate].  @raise Invalid_argument when [rate <= 0]. *)
+
+val weibull : Rng.t -> shape:float -> scale:float -> float
+(** Inverse transform: [scale * (-ln U)^(1/shape)].
+    @raise Invalid_argument on non-positive parameters. *)
+
+val weibull_mean : shape:float -> scale:float -> float
+(** [scale * Γ(1 + 1/shape)] — used by tests to check the sampler. *)
+
+val poisson_process : Rng.t -> rate:float -> horizon:float -> float list
+(** Arrival times of a homogeneous Poisson process on [\[0, horizon)], in
+    increasing order. *)
+
+val poisson_arrivals : Rng.t -> rate:float -> count:int -> float list
+(** Exactly [count] arrivals (cumulative exponential gaps), increasing —
+    the paper generates a fixed number of requests rather than a fixed
+    horizon. *)
+
+val gamma_approx : float -> float
+(** Lanczos approximation of Γ(x) for x > 0 (test support for
+    {!weibull_mean}). *)

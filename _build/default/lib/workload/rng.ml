@@ -1,0 +1,46 @@
+(* splitmix64 (Steele, Lea & Flood 2014): tiny state, passes BigCrush, and
+   trivially splittable — ideal for reproducible per-scenario streams. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let float t =
+  (* 53 high bits to a double in [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range t lo hi =
+  if lo > hi then invalid_arg "Rng.float_range";
+  lo +. (float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Rejection-free modulo is fine for our small bounds. *)
+  let v = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic piece of the evaluation (arrivals, durations, resource
+    demands, node mappings) draws from an explicit [Rng.t] so that the 24
+    workloads of the paper's evaluation are reproducible from their seeds,
+    independent of the global [Random] state. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator.  Equal seeds produce equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing) the
+    parent — used to give each scenario its own stream. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 2⁶⁴ values. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit resolution. *)
+
+val float_range : t -> float -> float -> float
+(** Uniform in [\[lo, hi)].  @raise Invalid_argument when [lo > hi]. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element.  @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Float Graphs Int64 List Mip Printf QCheck2 QCheck_alcotest Tvnep Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Fun Graphs List Lp Mip Printf String Sys Tvnep Workload

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Graphs Int64 List QCheck2 QCheck_alcotest Workload

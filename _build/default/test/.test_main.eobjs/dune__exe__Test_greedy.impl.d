@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Array Float Graphs Int64 Mip QCheck2 QCheck_alcotest Tvnep Workload

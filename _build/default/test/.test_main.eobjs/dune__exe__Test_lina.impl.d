@@ -1,0 +1,1 @@
+test/test_lina.ml: Alcotest Array Int64 Lina QCheck2 QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Format Int64 List Lp Printf QCheck2 QCheck_alcotest Workload

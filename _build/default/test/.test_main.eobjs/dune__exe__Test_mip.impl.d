@@ -1,0 +1,1 @@
+test/test_mip.ml: Alcotest Array Float Format Int64 List Lp Mip Printf QCheck2 QCheck_alcotest Workload

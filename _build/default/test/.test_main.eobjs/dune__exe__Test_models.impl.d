@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Float Graphs Int64 List Lp Mip Printf QCheck2 QCheck_alcotest String Tvnep Workload

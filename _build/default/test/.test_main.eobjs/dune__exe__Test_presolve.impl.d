@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Array Float Int64 List Lp Mip Printf QCheck2 QCheck_alcotest Workload

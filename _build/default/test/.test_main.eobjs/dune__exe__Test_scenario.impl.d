@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Filename Fun Graphs Printf Sys Tvnep Workload

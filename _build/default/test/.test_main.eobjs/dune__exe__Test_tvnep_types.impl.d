@@ -1,0 +1,1 @@
+test/test_tvnep_types.ml: Alcotest Array Graphs String Tvnep

@@ -1,0 +1,151 @@
+(* Graph library tests: generators, traversals, Floyd-Warshall. *)
+
+let digraph_tests =
+  [
+    Alcotest.test_case "edges and adjacency" `Quick (fun () ->
+        let g = Graphs.Digraph.create 3 in
+        let e0 = Graphs.Digraph.add_edge g ~src:0 ~dst:1 in
+        let e1 = Graphs.Digraph.add_edge g ~src:1 ~dst:2 in
+        let e2 = Graphs.Digraph.add_edge g ~src:0 ~dst:2 in
+        Alcotest.(check (list int)) "ids" [ 0; 1; 2 ] [ e0; e1; e2 ];
+        Alcotest.(check int) "out deg 0" 2 (Graphs.Digraph.out_degree g 0);
+        Alcotest.(check int) "in deg 2" 2 (Graphs.Digraph.in_degree g 2);
+        Alcotest.(check bool) "has_edge" true
+          (Graphs.Digraph.has_edge g ~src:0 ~dst:2);
+        Alcotest.(check bool) "no reverse" false
+          (Graphs.Digraph.has_edge g ~src:2 ~dst:0));
+    Alcotest.test_case "reverse preserves ids" `Quick (fun () ->
+        let g = Graphs.Digraph.create 2 in
+        let e = Graphs.Digraph.add_edge g ~src:0 ~dst:1 in
+        let r = Graphs.Digraph.reverse g in
+        let edge = Graphs.Digraph.edge r e in
+        Alcotest.(check int) "src" 1 edge.Graphs.Digraph.src;
+        Alcotest.(check int) "dst" 0 edge.Graphs.Digraph.dst);
+    Alcotest.test_case "bad endpoints rejected" `Quick (fun () ->
+        let g = Graphs.Digraph.create 1 in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Digraph.add_edge: node out of range") (fun () ->
+            ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:1)));
+  ]
+
+let generator_tests =
+  [
+    Alcotest.test_case "paper grid dimensions" `Quick (fun () ->
+        (* The paper's substrate: 4x5 grid, 20 nodes, 62 directed links. *)
+        let g = Graphs.Generators.grid ~rows:4 ~cols:5 in
+        Alcotest.(check int) "nodes" 20 (Graphs.Digraph.num_nodes g);
+        Alcotest.(check int) "directed links" 62 (Graphs.Digraph.num_edges g));
+    Alcotest.test_case "grid connectivity" `Quick (fun () ->
+        let g = Graphs.Generators.grid ~rows:3 ~cols:3 in
+        let d = Graphs.Paths.bfs_distances g 0 in
+        Alcotest.(check int) "corner to corner" 4 d.(8);
+        Alcotest.(check bool) "all reachable" true
+          (Array.for_all (fun x -> x >= 0) d));
+    Alcotest.test_case "star orientations" `Quick (fun () ->
+        let t = Graphs.Generators.star ~leaves:4 ~orientation:Graphs.Generators.To_center in
+        Alcotest.(check int) "in-degree center" 4 (Graphs.Digraph.in_degree t 0);
+        Alcotest.(check int) "out-degree center" 0 (Graphs.Digraph.out_degree t 0);
+        let f = Graphs.Generators.star ~leaves:4 ~orientation:Graphs.Generators.From_center in
+        Alcotest.(check int) "out-degree center" 4 (Graphs.Digraph.out_degree f 0));
+    Alcotest.test_case "path and ring" `Quick (fun () ->
+        let p = Graphs.Generators.path 5 in
+        Alcotest.(check int) "path edges" 4 (Graphs.Digraph.num_edges p);
+        Alcotest.(check bool) "path acyclic" true (Graphs.Paths.is_acyclic p);
+        let r = Graphs.Generators.ring 5 in
+        Alcotest.(check int) "ring edges" 5 (Graphs.Digraph.num_edges r);
+        Alcotest.(check bool) "ring cyclic" false (Graphs.Paths.is_acyclic r));
+    Alcotest.test_case "complete bidirected" `Quick (fun () ->
+        let g = Graphs.Generators.complete_bidirected 4 in
+        Alcotest.(check int) "edges" 12 (Graphs.Digraph.num_edges g));
+    Alcotest.test_case "gnp extremes" `Quick (fun () ->
+        let rng = Workload.Rng.create 1L in
+        let uniform () = Workload.Rng.float rng in
+        let empty = Graphs.Generators.random_gnp ~n:5 ~p:0.0 ~uniform in
+        Alcotest.(check int) "p=0" 0 (Graphs.Digraph.num_edges empty);
+        let full = Graphs.Generators.random_gnp ~n:5 ~p:1.0 ~uniform in
+        Alcotest.(check int) "p=1" 20 (Graphs.Digraph.num_edges full));
+  ]
+
+let paths_tests =
+  [
+    Alcotest.test_case "topological sort on a DAG" `Quick (fun () ->
+        let g = Graphs.Digraph.create 4 in
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:1);
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:2);
+        ignore (Graphs.Digraph.add_edge g ~src:1 ~dst:3);
+        ignore (Graphs.Digraph.add_edge g ~src:2 ~dst:3);
+        match Graphs.Paths.topological_sort g with
+        | None -> Alcotest.fail "DAG expected"
+        | Some order ->
+          let posn = Array.make 4 0 in
+          List.iteri (fun i x -> posn.(x) <- i) order;
+          Alcotest.(check bool) "edges forward" true
+            (List.for_all
+               (fun (e : Graphs.Digraph.edge) -> posn.(e.src) < posn.(e.dst))
+               (Graphs.Digraph.edges g)));
+    Alcotest.test_case "floyd-warshall shortest" `Quick (fun () ->
+        let g = Graphs.Generators.ring 4 in
+        let d = Graphs.Paths.floyd_warshall g ~weight:(fun _ -> 1.0) in
+        Alcotest.(check (float 1e-9)) "around ring" 3.0 d.(0).(3);
+        Alcotest.(check (float 1e-9)) "self" 0.0 d.(2).(2));
+    Alcotest.test_case "max_distances on a DAG" `Quick (fun () ->
+        (* diamond 0->1->3, 0->2->3 with weights: longest 0->3 = 2 *)
+        let g = Graphs.Digraph.create 4 in
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:1);
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:3);
+        ignore (Graphs.Digraph.add_edge g ~src:1 ~dst:3);
+        let d = Graphs.Paths.max_distances g ~weight:(fun _ -> 1.0) in
+        Alcotest.(check (float 1e-9)) "longest 0->3" 2.0 d.(0).(3);
+        Alcotest.(check (float 1e-9)) "unreachable is 0" 0.0 d.(3).(0));
+    Alcotest.test_case "max_distances rejects cycles" `Quick (fun () ->
+        let g = Graphs.Generators.ring 3 in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Paths.max_distances: cyclic graph") (fun () ->
+            ignore (Graphs.Paths.max_distances g ~weight:(fun _ -> 1.0))));
+    Alcotest.test_case "shortest_path endpoints" `Quick (fun () ->
+        let g = Graphs.Generators.grid ~rows:2 ~cols:3 in
+        match Graphs.Paths.shortest_path g ~src:0 ~dst:5 with
+        | None -> Alcotest.fail "connected"
+        | Some path ->
+          Alcotest.(check int) "starts" 0 (List.hd path);
+          Alcotest.(check int) "ends" 5 (List.nth path (List.length path - 1));
+          Alcotest.(check int) "hops" 4 (List.length path));
+    Alcotest.test_case "reachability closure" `Quick (fun () ->
+        let g = Graphs.Generators.path 3 in
+        let r = Graphs.Paths.reachability g in
+        Alcotest.(check bool) "0->2" true r.(0).(2);
+        Alcotest.(check bool) "2->0" false r.(2).(0);
+        Alcotest.(check bool) "diagonal" true r.(1).(1));
+  ]
+
+let path_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"FW(unit weights) equals BFS distances"
+         ~count:30
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 9)) in
+           let n = 2 + Workload.Rng.int rng 8 in
+           let g =
+             Graphs.Generators.random_gnp ~n ~p:0.3 ~uniform:(fun () ->
+                 Workload.Rng.float rng)
+           in
+           let fw = Graphs.Paths.floyd_warshall g ~weight:(fun _ -> 1.0) in
+           let ok = ref true in
+           for s = 0 to n - 1 do
+             let bfs = Graphs.Paths.bfs_distances g s in
+             for t = 0 to n - 1 do
+               let expect = if bfs.(t) < 0 then infinity else float_of_int bfs.(t) in
+               if fw.(s).(t) <> expect then ok := false
+             done
+           done;
+           !ok));
+  ]
+
+let suite =
+  [
+    ("graphs.digraph", digraph_tests);
+    ("graphs.generators", generator_tests);
+    ("graphs.paths", paths_tests @ path_properties);
+  ]

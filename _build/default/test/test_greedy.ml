@@ -1,0 +1,144 @@
+(* Greedy cΣ_A^G: validity, dominance by the exact optimum, exactness on
+   easy instances, and the earliest-start behaviour of objective (21). *)
+
+let quick_opts time_limit =
+  { Tvnep.Solver.default_options with
+    mip = { Mip.Branch_bound.default_params with time_limit } }
+
+let scenario ?(k = 3) ?(flex = 1.0) seed =
+  let rng = Workload.Rng.create seed in
+  Tvnep.Scenario.generate rng
+    { Tvnep.Scenario.scaled with num_requests = k; flexibility = flex }
+
+let unit_tests =
+  [
+    Alcotest.test_case "requires fixed mappings" `Quick (fun () ->
+        let g = Graphs.Generators.grid ~rows:1 ~cols:2 in
+        let substrate = Tvnep.Substrate.uniform g ~node_cap:1.0 ~link_cap:1.0 in
+        let rg = Graphs.Generators.star ~leaves:1 ~orientation:Graphs.Generators.From_center in
+        let r =
+          Tvnep.Request.make ~name:"r" ~graph:rg ~node_demand:[| 0.5; 0.5 |]
+            ~link_demand:[| 0.5 |] ~duration:1.0 ~start_min:0.0 ~end_max:1.0
+        in
+        let inst =
+          Tvnep.Instance.make ~substrate ~requests:[| r |] ~horizon:1.0 ()
+        in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Greedy.solve: fixed node mappings required")
+          (fun () -> ignore (Tvnep.Greedy.solve inst)));
+    Alcotest.test_case "accepts everything on an uncontended instance" `Quick
+      (fun () ->
+        let g = Graphs.Generators.grid ~rows:2 ~cols:2 in
+        let substrate = Tvnep.Substrate.uniform g ~node_cap:100.0 ~link_cap:100.0 in
+        let rg = Graphs.Generators.star ~leaves:1 ~orientation:Graphs.Generators.From_center in
+        let mk name start =
+          Tvnep.Request.make ~name ~graph:rg ~node_demand:[| 1.0; 1.0 |]
+            ~link_demand:[| 1.0 |] ~duration:1.0 ~start_min:start
+            ~end_max:(start +. 2.0)
+        in
+        let inst =
+          Tvnep.Instance.make
+            ~node_mappings:[| [| 0; 1 |]; [| 2; 3 |]; [| 0; 2 |] |]
+            ~substrate
+            ~requests:[| mk "a" 0.0; mk "b" 0.3; mk "c" 0.6 |]
+            ~horizon:3.0 ()
+        in
+        let sol, stats = Tvnep.Greedy.solve inst in
+        Alcotest.(check int) "all accepted" 3 (Tvnep.Solution.num_accepted sol);
+        Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol);
+        (* objective (21): as early as possible -> each at its window open *)
+        Array.iteri
+          (fun i (a : Tvnep.Solution.assignment) ->
+            Alcotest.(check (float 1e-6)) "earliest start"
+              (Tvnep.Instance.request inst i).Tvnep.Request.start_min
+              a.Tvnep.Solution.t_start)
+          sol.Tvnep.Solution.assignments;
+        Alcotest.(check bool) "one LP per request" true (stats.Tvnep.Greedy.lp_solves >= 3));
+    Alcotest.test_case "exploits flexibility to fit a second request" `Quick
+      (fun () ->
+        (* Link bottleneck: requests must serialize; flexibility allows it. *)
+        let g = Graphs.Digraph.create 2 in
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:1);
+        let substrate = Tvnep.Substrate.uniform g ~node_cap:10.0 ~link_cap:1.0 in
+        let rg = Graphs.Generators.star ~leaves:1 ~orientation:Graphs.Generators.From_center in
+        let mk name flex =
+          Tvnep.Request.make ~name ~graph:rg ~node_demand:[| 0.1; 0.1 |]
+            ~link_demand:[| 0.9 |] ~duration:1.0 ~start_min:0.0
+            ~end_max:(1.0 +. flex)
+        in
+        let mappings = [| [| 0; 1 |]; [| 0; 1 |] |] in
+        let tight =
+          Tvnep.Instance.make ~node_mappings:mappings ~substrate
+            ~requests:[| mk "a" 0.0; mk "b" 0.0 |]
+            ~horizon:4.0 ()
+        in
+        let sol_tight, _ = Tvnep.Greedy.solve tight in
+        Alcotest.(check int) "no flexibility: one fits" 1
+          (Tvnep.Solution.num_accepted sol_tight);
+        let flexible =
+          Tvnep.Instance.make ~node_mappings:mappings ~substrate
+            ~requests:[| mk "a" 1.0; mk "b" 1.0 |]
+            ~horizon:4.0 ()
+        in
+        let sol_flex, _ = Tvnep.Greedy.solve flexible in
+        Alcotest.(check int) "flexibility: both fit" 2
+          (Tvnep.Solution.num_accepted sol_flex);
+        Alcotest.(check bool) "valid" true
+          (Tvnep.Validator.is_feasible flexible sol_flex));
+  ]
+
+let properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"greedy solutions are always feasible" ~count:15
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let inst = scenario ~k:5 ~flex:2.0 (Int64.of_int (seed + 7)) in
+           let sol, _ = Tvnep.Greedy.solve inst in
+           Tvnep.Validator.is_feasible inst sol));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"greedy never beats the exact optimum" ~count:6
+         QCheck2.Gen.(int_bound 10_000)
+         (fun seed ->
+           let inst = scenario ~k:3 ~flex:1.5 (Int64.of_int (seed + 13)) in
+           let sol, _ = Tvnep.Greedy.solve inst in
+           let exact = Tvnep.Solver.solve inst (quick_opts 90.0) in
+           match exact.Tvnep.Solver.objective with
+           | Some opt when exact.Tvnep.Solver.status = Mip.Branch_bound.Optimal ->
+             sol.Tvnep.Solution.objective <= opt +. 1e-5
+           | _ -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"greedy objective matches recomputed revenue" ~count:15
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let inst = scenario ~k:4 ~flex:1.0 (Int64.of_int (seed + 19)) in
+           let sol, _ = Tvnep.Greedy.solve inst in
+           Float.abs
+             (sol.Tvnep.Solution.objective
+             -. Tvnep.Solution.access_control_value inst sol)
+           < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"rejected requests still carry window-respecting times"
+         ~count:15
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           (* Definition 2.1 fixes start/end times for every request,
+              accepted or not. *)
+           let inst = scenario ~k:5 ~flex:0.5 (Int64.of_int (seed + 29)) in
+           let sol, _ = Tvnep.Greedy.solve inst in
+           Array.for_all
+             (fun i ->
+               let a = sol.Tvnep.Solution.assignments.(i) in
+               let r = Tvnep.Instance.request inst i in
+               a.Tvnep.Solution.t_start >= r.Tvnep.Request.start_min -. 1e-9
+               && a.Tvnep.Solution.t_end <= r.Tvnep.Request.end_max +. 1e-9
+               && Float.abs
+                    (a.Tvnep.Solution.t_end -. a.Tvnep.Solution.t_start
+                   -. r.Tvnep.Request.duration)
+                  < 1e-9)
+             (Array.init (Tvnep.Instance.num_requests inst) (fun i -> i))));
+  ]
+
+let suite = [ ("tvnep.greedy", unit_tests @ properties) ]

@@ -1,0 +1,285 @@
+(* Branch-and-bound tests: known optima, exhaustive cross-checks against
+   brute force, propagation, seeding. *)
+
+let feq = Alcotest.(check (float 1e-6))
+
+let v (x : Lp.Model.var) = Lp.Expr.var (x :> int)
+
+let bb_status = Alcotest.testable
+    (fun ppf s ->
+      Format.pp_print_string ppf (Mip.Branch_bound.status_to_string s))
+    ( = )
+
+let heap_tests =
+  [
+    Alcotest.test_case "push/pop ordering" `Quick (fun () ->
+        let h = Mip.Heap.create () in
+        List.iter (fun k -> Mip.Heap.push h ~key:k (int_of_float k))
+          [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+        Alcotest.(check (option (float 0.0))) "peek" (Some 1.0)
+          (Mip.Heap.peek_key h);
+        let order = List.init 5 (fun _ ->
+            match Mip.Heap.pop h with Some (_, x) -> x | None -> -1) in
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order;
+        Alcotest.(check bool) "empty" true (Mip.Heap.is_empty h));
+    Alcotest.test_case "fold visits all" `Quick (fun () ->
+        let h = Mip.Heap.create () in
+        for i = 1 to 10 do
+          Mip.Heap.push h ~key:(float_of_int i) i
+        done;
+        let sum = Mip.Heap.fold (fun acc _ x -> acc + x) 0 h in
+        Alcotest.(check int) "sum" 55 sum);
+  ]
+
+let knapsack_model values weights capacity =
+  let n = Array.length values in
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init n (fun i ->
+        Lp.Model.add_var m ~kind:Lp.Model.Binary (Printf.sprintf "z%d" i))
+  in
+  Lp.Model.add_le m
+    (Lp.Expr.of_terms
+       (Array.to_list (Array.mapi (fun i (x : Lp.Model.var) -> ((x :> int), weights.(i))) vars)))
+    capacity;
+  Lp.Model.set_objective m Lp.Model.Maximize
+    (Lp.Expr.of_terms
+       (Array.to_list (Array.mapi (fun i (x : Lp.Model.var) -> ((x :> int), values.(i))) vars)));
+  m
+
+let brute_knapsack values weights capacity =
+  let n = Array.length values in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let w = ref 0.0 and value = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        w := !w +. weights.(i);
+        value := !value +. values.(i)
+      end
+    done;
+    if !w <= capacity +. 1e-9 && !value > !best then best := !value
+  done;
+  !best
+
+let bb_tests =
+  [
+    Alcotest.test_case "integer infeasible equality" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:3.0 ~kind:Lp.Model.Integer "x" in
+        let y = Lp.Model.add_var m ~ub:3.0 ~kind:Lp.Model.Integer "y" in
+        Lp.Model.add_eq m (Lp.Expr.add (v x) (v y)) 1.5;
+        Lp.Model.set_objective m Lp.Model.Minimize (v x);
+        let r = Mip.Branch_bound.solve m in
+        Alcotest.check bb_status "status" Mip.Branch_bound.Infeasible
+          r.Mip.Branch_bound.status);
+    Alcotest.test_case "pure LP passes through" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:2.5 "x" in
+        Lp.Model.set_objective m Lp.Model.Maximize (v x);
+        let r = Mip.Branch_bound.solve m in
+        (match r.Mip.Branch_bound.objective with
+        | Some o -> feq "obj" 2.5 o
+        | None -> Alcotest.fail "no objective"));
+    Alcotest.test_case "gap zero at optimality" `Quick (fun () ->
+        let m = knapsack_model [| 10.; 13.; 7. |] [| 3.; 4.; 2. |] 6.0 in
+        let r = Mip.Branch_bound.solve m in
+        feq "gap" 0.0 r.Mip.Branch_bound.gap;
+        (match r.Mip.Branch_bound.objective with
+        | Some o -> feq "obj" 20.0 o
+        | None -> Alcotest.fail "no objective");
+        feq "bound" 20.0 r.Mip.Branch_bound.best_bound);
+    Alcotest.test_case "general integers" `Quick (fun () ->
+        (* max 3x + y st 2x + y <= 7.5, x <= 2.9, ints: x=2, y=3 -> 9
+           (LP optimum x=2.9 is fractional, so branching is exercised) *)
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:2.9 ~kind:Lp.Model.Integer "x" in
+        let y = Lp.Model.add_var m ~ub:10.0 ~kind:Lp.Model.Integer "y" in
+        Lp.Model.add_le m (Lp.Expr.add (Lp.Expr.scale 2.0 (v x)) (v y)) 7.5;
+        Lp.Model.set_objective m Lp.Model.Maximize
+          (Lp.Expr.add (Lp.Expr.scale 3.0 (v x)) (v y));
+        let r = Mip.Branch_bound.solve m in
+        (match r.Mip.Branch_bound.objective with
+        | Some o -> feq "obj" 9.0 o
+        | None -> Alcotest.fail "no objective"));
+    Alcotest.test_case "seeding with a valid point" `Quick (fun () ->
+        let m = knapsack_model [| 10.; 13.; 7. |] [| 3.; 4.; 2. |] 6.0 in
+        (* seed with the optimal selection {b, c} *)
+        let r = Mip.Branch_bound.solve ~initial:[| 0.0; 1.0; 1.0 |] m in
+        (match r.Mip.Branch_bound.objective with
+        | Some o -> feq "obj" 20.0 o
+        | None -> Alcotest.fail "no objective"));
+    Alcotest.test_case "invalid seed is ignored" `Quick (fun () ->
+        let m = knapsack_model [| 10.; 13.; 7. |] [| 3.; 4.; 2. |] 6.0 in
+        (* violates the capacity row *)
+        let r = Mip.Branch_bound.solve ~initial:[| 1.0; 1.0; 1.0 |] m in
+        (match r.Mip.Branch_bound.objective with
+        | Some o -> feq "still optimal" 20.0 o
+        | None -> Alcotest.fail "no objective"));
+    Alcotest.test_case "node limit reported" `Quick (fun () ->
+        let rng = Workload.Rng.create 17L in
+        let n = 16 in
+        let values = Array.init n (fun _ -> Workload.Rng.float_range rng 1.0 50.0) in
+        let weights = Array.init n (fun _ -> Workload.Rng.float_range rng 1.0 20.0) in
+        let m = knapsack_model values weights 50.0 in
+        let params = { Mip.Branch_bound.default_params with node_limit = 3 } in
+        let r = Mip.Branch_bound.solve ~params m in
+        Alcotest.check bb_status "status" Mip.Branch_bound.Node_limit
+          r.Mip.Branch_bound.status);
+  ]
+
+let bb_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"B&B equals brute force on random knapsacks"
+         ~count:30
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 5)) in
+           let n = 3 + Workload.Rng.int rng 10 in
+           let values =
+             Array.init n (fun _ -> float_of_int (1 + Workload.Rng.int rng 40))
+           in
+           let weights =
+             Array.init n (fun _ -> float_of_int (1 + Workload.Rng.int rng 15))
+           in
+           let capacity = float_of_int (5 + Workload.Rng.int rng 40) in
+           let m = knapsack_model values weights capacity in
+           let r = Mip.Branch_bound.solve m in
+           match r.Mip.Branch_bound.objective with
+           | Some o ->
+             Float.abs (o -. brute_knapsack values weights capacity) < 1e-6
+           | None -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"B&B equals brute force on random bounded IPs" ~count:25
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           (* max c x  st  A x <= b, x in {0,1,2}^n with random A (can be
+              negative), checked exhaustively. *)
+           let rng = Workload.Rng.create (Int64.of_int (seed + 55)) in
+           let n = 2 + Workload.Rng.int rng 3 in
+           let rows = 1 + Workload.Rng.int rng 3 in
+           let a =
+             Array.init rows (fun _ ->
+                 Array.init n (fun _ ->
+                     float_of_int (Workload.Rng.int rng 7 - 2)))
+           in
+           let b =
+             Array.init rows (fun _ -> float_of_int (Workload.Rng.int rng 9))
+           in
+           let c =
+             Array.init n (fun _ -> float_of_int (Workload.Rng.int rng 10))
+           in
+           let m = Lp.Model.create () in
+           let vars =
+             Array.init n (fun i ->
+                 Lp.Model.add_var m ~ub:2.0 ~kind:Lp.Model.Integer
+                   (Printf.sprintf "x%d" i))
+           in
+           Array.iteri
+             (fun i row ->
+               Lp.Model.add_le m
+                 (Lp.Expr.of_terms
+                    (Array.to_list
+                       (Array.mapi (fun j (x : Lp.Model.var) -> ((x :> int), row.(j))) vars)))
+                 b.(i))
+             a;
+           Lp.Model.set_objective m Lp.Model.Maximize
+             (Lp.Expr.of_terms
+                (Array.to_list
+                   (Array.mapi (fun j (x : Lp.Model.var) -> ((x :> int), c.(j))) vars)));
+           let r = Mip.Branch_bound.solve m in
+           (* brute force over 3^n points *)
+           let best = ref neg_infinity in
+           let x = Array.make n 0 in
+           let rec enum i =
+             if i = n then begin
+               let ok = ref true in
+               Array.iteri
+                 (fun row_i row ->
+                   let act = ref 0.0 in
+                   Array.iteri
+                     (fun j coef -> act := !act +. (coef *. float_of_int x.(j)))
+                     row;
+                   if !act > b.(row_i) +. 1e-9 then ok := false)
+                 a;
+               if !ok then begin
+                 let value = ref 0.0 in
+                 Array.iteri
+                   (fun j cj -> value := !value +. (cj *. float_of_int x.(j)))
+                   c;
+                 if !value > !best then best := !value
+               end
+             end
+             else
+               for d = 0 to 2 do
+                 x.(i) <- d;
+                 enum (i + 1)
+               done
+           in
+           enum 0;
+           match (r.Mip.Branch_bound.objective, !best) with
+           | None, b -> b = neg_infinity
+           | Some o, b -> Float.abs (o -. b) < 1e-6));
+  ]
+
+let propagate_tests =
+  [
+    Alcotest.test_case "detects row infeasibility" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:1.0 "x" in
+        let y = Lp.Model.add_var m ~ub:1.0 "y" in
+        Lp.Model.add_ge m (Lp.Expr.add (v x) (v y)) 3.0;
+        let sf = Lp.Std_form.of_model m in
+        let p = Mip.Propagate.prepare sf in
+        let n = Lp.Std_form.n_total sf in
+        let lb = Array.sub sf.Lp.Std_form.lb 0 n in
+        let ub = Array.sub sf.Lp.Std_form.ub 0 n in
+        (match Mip.Propagate.run p ~lb ~ub with
+        | Mip.Propagate.Infeasible_node -> ()
+        | Mip.Propagate.Tightened _ -> Alcotest.fail "expected infeasible"));
+    Alcotest.test_case "fixes partners in an exactly-one row" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~kind:Lp.Model.Binary "x" in
+        let y = Lp.Model.add_var m ~kind:Lp.Model.Binary "y" in
+        let z = Lp.Model.add_var m ~kind:Lp.Model.Binary "z" in
+        Lp.Model.add_eq m (Lp.Expr.sum [ v x; v y; v z ]) 1.0;
+        let sf = Lp.Std_form.of_model m in
+        let p = Mip.Propagate.prepare sf in
+        let n = Lp.Std_form.n_total sf in
+        let lb = Array.sub sf.Lp.Std_form.lb 0 n in
+        let ub = Array.sub sf.Lp.Std_form.ub 0 n in
+        lb.(0) <- 1.0;  (* branch x = 1 *)
+        (match Mip.Propagate.run p ~lb ~ub with
+        | Mip.Propagate.Infeasible_node -> Alcotest.fail "should be feasible"
+        | Mip.Propagate.Tightened changes ->
+          Alcotest.(check bool) "some tightening" true (changes >= 2);
+          feq "y fixed to 0" 0.0 ub.(1);
+          feq "z fixed to 0" 0.0 ub.(2)));
+    Alcotest.test_case "propagation preserves the integer optimum" `Quick
+      (fun () ->
+        let m = knapsack_model [| 10.; 13.; 7. |] [| 3.; 4.; 2. |] 6.0 in
+        let sf = Lp.Std_form.of_model m in
+        let p = Mip.Propagate.prepare sf in
+        let n = Lp.Std_form.n_total sf in
+        let lb = Array.sub sf.Lp.Std_form.lb 0 n in
+        let ub = Array.sub sf.Lp.Std_form.ub 0 n in
+        match Mip.Propagate.run p ~lb ~ub with
+        | Mip.Propagate.Infeasible_node -> Alcotest.fail "feasible model"
+        | Mip.Propagate.Tightened _ ->
+          (* optimal point must still be inside the tightened box *)
+          let opt = [| 0.0; 1.0; 1.0 |] in
+          Array.iteri
+            (fun j x ->
+              Alcotest.(check bool) "within box" true
+                (x >= lb.(j) -. 1e-9 && x <= ub.(j) +. 1e-9))
+            opt);
+  ]
+
+let suite =
+  [
+    ("mip.heap", heap_tests);
+    ("mip.branch_bound", bb_tests @ bb_properties);
+    ("mip.propagate", propagate_tests);
+  ]

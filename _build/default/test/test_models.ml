@@ -1,0 +1,294 @@
+(* Cross-model tests: Δ, Σ and cΣ must agree on optima; every solver
+   solution must pass the independent validator; objectives behave. *)
+
+let feq tol = Alcotest.(check (float tol))
+
+let quick_mip time_limit =
+  { Mip.Branch_bound.default_params with time_limit }
+
+let solve ?(objective = Tvnep.Objective.Access_control) ?(time_limit = 60.0)
+    kind inst =
+  Tvnep.Solver.solve inst
+    { Tvnep.Solver.default_options with
+      kind;
+      objective;
+      mip = quick_mip time_limit }
+
+(* Tiny deterministic instance: single-node substrate pair, two requests
+   competing for one node. *)
+let contention_instance ~flex =
+  let g = Graphs.Generators.grid ~rows:1 ~cols:2 in
+  let substrate = Tvnep.Substrate.uniform g ~node_cap:2.0 ~link_cap:1.0 in
+  let request name =
+    let rg = Graphs.Generators.star ~leaves:1 ~orientation:Graphs.Generators.From_center in
+    Tvnep.Request.make ~name ~graph:rg ~node_demand:[| 1.5; 1.5 |]
+      ~link_demand:[| 0.8 |] ~duration:1.0 ~start_min:0.0 ~end_max:(1.0 +. flex)
+  in
+  Tvnep.Instance.make
+    ~node_mappings:[| [| 0; 1 |]; [| 0; 1 |] |]
+    ~substrate
+    ~requests:[| request "A"; request "B" |]
+    ~horizon:(1.0 +. flex) ()
+
+let contention_tests =
+  [
+    Alcotest.test_case "zero flexibility forces rejection" `Quick (fun () ->
+        (* Both requests need node 0 (demand 1.5 each, cap 2.0) in the same
+           unit window: only one fits.  Revenue per request = 3. *)
+        let inst = contention_instance ~flex:0.0 in
+        let o = solve Tvnep.Solver.Csigma inst in
+        (match o.Tvnep.Solver.objective with
+        | Some v -> feq 1e-6 "one accepted" 3.0 v
+        | None -> Alcotest.fail "no solution");
+        match o.Tvnep.Solver.solution with
+        | Some sol ->
+          Alcotest.(check int) "accepted" 1 (Tvnep.Solution.num_accepted sol)
+        | None -> Alcotest.fail "no solution");
+    Alcotest.test_case "flexibility enables both" `Quick (fun () ->
+        (* With one unit of slack the requests can run back to back. *)
+        let inst = contention_instance ~flex:1.0 in
+        let o = solve Tvnep.Solver.Csigma inst in
+        (match o.Tvnep.Solver.objective with
+        | Some v -> feq 1e-6 "both accepted" 6.0 v
+        | None -> Alcotest.fail "no solution");
+        match o.Tvnep.Solver.solution with
+        | Some sol ->
+          Alcotest.(check int) "accepted" 2 (Tvnep.Solution.num_accepted sol);
+          (match Tvnep.Validator.check inst sol with
+          | Ok () -> ()
+          | Error es -> Alcotest.fail (String.concat "; " es))
+        | None -> Alcotest.fail "no solution");
+    Alcotest.test_case "all three models agree on the contention pair" `Slow
+      (fun () ->
+        List.iter
+          (fun flex ->
+            let inst = contention_instance ~flex in
+            let expected = if flex >= 1.0 then 6.0 else 3.0 in
+            List.iter
+              (fun kind ->
+                let o = solve kind inst in
+                match o.Tvnep.Solver.objective with
+                | Some v ->
+                  feq 1e-5
+                    (Printf.sprintf "%s at flex %g"
+                       (Tvnep.Solver.model_kind_to_string kind) flex)
+                    expected v
+                | None ->
+                  Alcotest.fail
+                    (Tvnep.Solver.model_kind_to_string kind ^ ": no solution"))
+              [ Tvnep.Solver.Delta; Tvnep.Solver.Sigma; Tvnep.Solver.Csigma ])
+          [ 0.0; 1.0 ]);
+  ]
+
+let link_bottleneck_tests =
+  [
+    Alcotest.test_case "link capacity forces sequencing" `Quick (fun () ->
+        (* Two requests each needing 0.8 of the single 1.0-capacity link:
+           they cannot overlap, but fit sequentially with flexibility. *)
+        let g = Graphs.Digraph.create 2 in
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:1);
+        let substrate = Tvnep.Substrate.uniform g ~node_cap:10.0 ~link_cap:1.0 in
+        let request name =
+          let rg = Graphs.Generators.star ~leaves:1 ~orientation:Graphs.Generators.From_center in
+          Tvnep.Request.make ~name ~graph:rg ~node_demand:[| 0.1; 0.1 |]
+            ~link_demand:[| 0.8 |] ~duration:1.0 ~start_min:0.0 ~end_max:2.0
+        in
+        let inst =
+          Tvnep.Instance.make
+            ~node_mappings:[| [| 0; 1 |]; [| 0; 1 |] |]
+            ~substrate
+            ~requests:[| request "A"; request "B" |]
+            ~horizon:2.0 ()
+        in
+        let o = solve Tvnep.Solver.Csigma inst in
+        (match o.Tvnep.Solver.solution with
+        | Some sol ->
+          Alcotest.(check int) "both accepted" 2 (Tvnep.Solution.num_accepted sol);
+          Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol);
+          (* verify they do not overlap *)
+          let a = sol.Tvnep.Solution.assignments.(0) in
+          let b = sol.Tvnep.Solution.assignments.(1) in
+          Alcotest.(check bool) "sequenced" true
+            (a.Tvnep.Solution.t_end <= b.Tvnep.Solution.t_start +. 1e-6
+            || b.Tvnep.Solution.t_end <= a.Tvnep.Solution.t_start +. 1e-6)
+        | None -> Alcotest.fail "no solution"));
+    Alcotest.test_case "splittable flow uses parallel paths" `Quick (fun () ->
+        (* Demand 1.5 on links of capacity 1: must split across the two
+           disjoint paths of a 2x2 grid. *)
+        let g = Graphs.Generators.grid ~rows:2 ~cols:2 in
+        let substrate = Tvnep.Substrate.uniform g ~node_cap:10.0 ~link_cap:1.0 in
+        let rg = Graphs.Generators.star ~leaves:1 ~orientation:Graphs.Generators.From_center in
+        let request =
+          Tvnep.Request.make ~name:"split" ~graph:rg ~node_demand:[| 0.5; 0.5 |]
+            ~link_demand:[| 1.5 |] ~duration:1.0 ~start_min:0.0 ~end_max:1.0
+        in
+        let inst =
+          Tvnep.Instance.make
+            ~node_mappings:[| [| 0; 3 |] |]  (* opposite corners *)
+            ~substrate ~requests:[| request |] ~horizon:1.0 ()
+        in
+        let o = solve Tvnep.Solver.Csigma inst in
+        match o.Tvnep.Solver.solution with
+        | Some sol ->
+          Alcotest.(check int) "accepted" 1 (Tvnep.Solution.num_accepted sol);
+          Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol)
+        | None -> Alcotest.fail "no solution");
+  ]
+
+(* Cross-model agreement on random instances — the central equivalence
+   property of the three formulations. *)
+let cross_model_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"delta = sigma = csigma on random instances"
+         ~count:6
+         QCheck2.Gen.(int_bound 10_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 101)) in
+           let p =
+             { Tvnep.Scenario.scaled with
+               num_requests = 2;
+               grid_rows = 2;
+               grid_cols = 2;
+               flexibility = Workload.Rng.float_range rng 0.0 2.0 }
+           in
+           let inst = Tvnep.Scenario.generate rng p in
+           let objective kind =
+             (solve ~time_limit:120.0 kind inst).Tvnep.Solver.objective
+           in
+           match
+             ( objective Tvnep.Solver.Delta,
+               objective Tvnep.Solver.Sigma,
+               objective Tvnep.Solver.Csigma )
+           with
+           | Some a, Some b, Some c ->
+             let close x y =
+               Float.abs (x -. y) < 1e-5 *. Float.max 1.0 (Float.abs x)
+             in
+             close a b && close b c
+           | _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"csigma solutions always pass the validator" ~count:8
+         QCheck2.Gen.(int_bound 10_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 303)) in
+           let p =
+             { Tvnep.Scenario.scaled with
+               num_requests = 3;
+               flexibility = Workload.Rng.float_range rng 0.0 3.0 }
+           in
+           let inst = Tvnep.Scenario.generate rng p in
+           let o = solve ~time_limit:90.0 Tvnep.Solver.Csigma inst in
+           match o.Tvnep.Solver.solution with
+           | Some sol -> Tvnep.Validator.is_feasible inst sol
+           | None -> o.Tvnep.Solver.status <> Mip.Branch_bound.Optimal));
+  ]
+
+let objective_tests =
+  [
+    Alcotest.test_case "earliness prefers the earliest schedule" `Quick
+      (fun () ->
+        let inst = contention_instance ~flex:2.0 in
+        let o = solve ~objective:Tvnep.Objective.Max_earliness Tvnep.Solver.Csigma inst in
+        match o.Tvnep.Solver.solution with
+        | Some sol ->
+          Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol);
+          (* one request starts at 0, the other right after (node clash) *)
+          let starts =
+            Array.to_list sol.Tvnep.Solution.assignments
+            |> List.map (fun (a : Tvnep.Solution.assignment) -> a.Tvnep.Solution.t_start)
+            |> List.sort compare
+          in
+          (match starts with
+          | [ s1; s2 ] ->
+            feq 1e-5 "first at window open" 0.0 s1;
+            feq 1e-5 "second back-to-back" 1.0 s2
+          | _ -> Alcotest.fail "two requests")
+        | None -> Alcotest.fail "no solution");
+    Alcotest.test_case "load balance counts quiet nodes" `Quick (fun () ->
+        let inst = contention_instance ~flex:2.0 in
+        let o =
+          solve ~objective:(Tvnep.Objective.Balance_node_load 0.9)
+            Tvnep.Solver.Csigma inst
+        in
+        (* Node 0 carries 1.5 <= 0.9*2.0 = 1.8 when the requests do not
+           overlap, node 1 likewise: both nodes can stay below the
+           fraction. *)
+        match o.Tvnep.Solver.objective with
+        | Some v -> feq 1e-5 "both nodes balanced" 2.0 v
+        | None -> Alcotest.fail "no solution");
+    Alcotest.test_case "disable links counts idle links" `Quick (fun () ->
+        let inst = contention_instance ~flex:2.0 in
+        let o = solve ~objective:Tvnep.Objective.Disable_links Tvnep.Solver.Csigma inst in
+        (* Substrate 1x2 grid has 2 directed links; both requests need the
+           0->1 direction only, so exactly one link can be disabled. *)
+        match o.Tvnep.Solver.objective with
+        | Some v -> feq 1e-5 "one link off" 1.0 v
+        | None -> Alcotest.fail "no solution");
+    Alcotest.test_case "infeasible full embedding reported" `Quick (fun () ->
+        (* Earliness requires embedding everything; with zero flexibility
+           the contention pair cannot both run. *)
+        let inst = contention_instance ~flex:0.0 in
+        let o = solve ~objective:Tvnep.Objective.Max_earliness Tvnep.Solver.Csigma inst in
+        Alcotest.(check bool) "infeasible" true
+          (o.Tvnep.Solver.status = Mip.Branch_bound.Infeasible));
+    Alcotest.test_case "balance fraction validated" `Quick (fun () ->
+        let inst = contention_instance ~flex:1.0 in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (solve ~objective:(Tvnep.Objective.Balance_node_load 1.5)
+                  Tvnep.Solver.Csigma inst);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let lp_strength_tests =
+  [
+    Alcotest.test_case "sigma relaxation is at least as strong as delta" `Quick
+      (fun () ->
+        (* On a maximization the LP bound of Σ must be <= that of Δ (the
+           paper's Section III argument: Σ excludes Δ-feasible fractional
+           points). *)
+        let rng = Workload.Rng.create 77L in
+        let p = { Tvnep.Scenario.scaled with num_requests = 3; flexibility = 1.5 } in
+        let inst = Tvnep.Scenario.generate rng p in
+        let bound kind =
+          let o =
+            Tvnep.Solver.solve_lp_relaxation inst
+              { Tvnep.Solver.default_options with kind }
+          in
+          o.Lp.Simplex.objective
+        in
+        let delta = bound Tvnep.Solver.Delta in
+        let sigma = bound Tvnep.Solver.Sigma in
+        Alcotest.(check bool)
+          (Printf.sprintf "sigma %g <= delta %g" sigma delta)
+          true
+          (sigma <= delta +. 1e-6));
+    Alcotest.test_case "cuts tighten the csigma relaxation" `Quick (fun () ->
+        let rng = Workload.Rng.create 78L in
+        let p = { Tvnep.Scenario.scaled with num_requests = 4; flexibility = 1.0 } in
+        let inst = Tvnep.Scenario.generate rng p in
+        let bound ~use_cuts ~pairwise_cuts =
+          (Tvnep.Solver.solve_lp_relaxation inst
+             { Tvnep.Solver.default_options with use_cuts; pairwise_cuts })
+            .Lp.Simplex.objective
+        in
+        let with_cuts = bound ~use_cuts:true ~pairwise_cuts:true in
+        let without = bound ~use_cuts:false ~pairwise_cuts:false in
+        Alcotest.(check bool)
+          (Printf.sprintf "with %g <= without %g" with_cuts without)
+          true
+          (with_cuts <= without +. 1e-6));
+  ]
+
+let suite =
+  [
+    ("tvnep.models.contention", contention_tests);
+    ("tvnep.models.links", link_bottleneck_tests);
+    ("tvnep.models.cross", cross_model_properties);
+    ("tvnep.objectives", objective_tests);
+    ("tvnep.models.strength", lp_strength_tests);
+  ]

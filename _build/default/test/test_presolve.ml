@@ -1,0 +1,149 @@
+(* Model presolve: reductions, infeasibility proofs, and equivalence of
+   the reduced model's optimum with the original's. *)
+
+let feq = Alcotest.(check (float 1e-6))
+
+let v (x : Lp.Model.var) = Lp.Expr.var (x :> int)
+
+let unit_tests =
+  [
+    Alcotest.test_case "fixed variables are substituted" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~lb:2.0 ~ub:2.0 "x" in
+        let y = Lp.Model.add_var m ~ub:10.0 "y" in
+        Lp.Model.add_le m (Lp.Expr.add (v x) (v y)) 5.0;  (* => y <= 3 *)
+        Lp.Model.set_objective m Lp.Model.Maximize (Lp.Expr.add (v x) (v y));
+        match Lp.Presolve.presolve m with
+        | Lp.Presolve.Infeasible -> Alcotest.fail "feasible"
+        | Lp.Presolve.Reduced p ->
+          Alcotest.(check int) "one var fixed" 1 p.Lp.Presolve.vars_fixed;
+          Alcotest.(check int) "reduced arity" 1
+            (Lp.Model.num_vars p.Lp.Presolve.reduced);
+          let r = Lp.Simplex.solve_model p.Lp.Presolve.reduced in
+          feq "objective preserved" 5.0 r.Lp.Simplex.objective;
+          let full = Lp.Presolve.restore p r.Lp.Simplex.x in
+          feq "x restored" 2.0 full.(0);
+          feq "y restored" 3.0 full.(1));
+    Alcotest.test_case "singleton rows become bounds" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:10.0 "x" in
+        let y = Lp.Model.add_var m ~ub:10.0 "y" in
+        Lp.Model.add_le m (Lp.Expr.scale 2.0 (v x)) 6.0;  (* x <= 3 *)
+        Lp.Model.add_ge m (v y) 1.0;                      (* y >= 1 *)
+        Lp.Model.add_le m (Lp.Expr.add (v x) (v y)) 100.0;
+        Lp.Model.set_objective m Lp.Model.Maximize (v x);
+        match Lp.Presolve.presolve m with
+        | Lp.Presolve.Infeasible -> Alcotest.fail "feasible"
+        | Lp.Presolve.Reduced p ->
+          Alcotest.(check int) "two rows dropped" 2 p.Lp.Presolve.rows_dropped;
+          Alcotest.(check int) "one row kept" 1 p.Lp.Presolve.rows_kept;
+          feq "x ub" 3.0 (Lp.Model.var_ub p.Lp.Presolve.reduced
+                            (Lp.Model.var_of_id p.Lp.Presolve.reduced 0)));
+    Alcotest.test_case "cascading fixings" `Quick (fun () ->
+        (* x = 4 by a singleton equality; then y via the second row. *)
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:10.0 "x" in
+        let y = Lp.Model.add_var m ~ub:10.0 "y" in
+        Lp.Model.add_eq m (v x) 4.0;
+        Lp.Model.add_eq m (Lp.Expr.add (v x) (v y)) 6.0;
+        Lp.Model.set_objective m Lp.Model.Minimize (v y);
+        match Lp.Presolve.presolve m with
+        | Lp.Presolve.Infeasible -> Alcotest.fail "feasible"
+        | Lp.Presolve.Reduced p ->
+          Alcotest.(check int) "both fixed" 2 p.Lp.Presolve.vars_fixed;
+          let full = Lp.Presolve.restore p [||] in
+          feq "x" 4.0 full.(0);
+          feq "y" 2.0 full.(1));
+    Alcotest.test_case "empty-row contradiction detected" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~lb:1.0 ~ub:1.0 "x" in
+        Lp.Model.add_ge m (v x) 2.0;
+        Lp.Model.set_objective m Lp.Model.Minimize (v x);
+        match Lp.Presolve.presolve m with
+        | Lp.Presolve.Infeasible -> ()
+        | Lp.Presolve.Reduced _ -> Alcotest.fail "expected infeasible");
+    Alcotest.test_case "integer singleton bounds are rounded" `Quick (fun () ->
+        let m = Lp.Model.create () in
+        let x = Lp.Model.add_var m ~ub:10.0 ~kind:Lp.Model.Integer "x" in
+        Lp.Model.add_le m (Lp.Expr.scale 2.0 (v x)) 7.0;  (* x <= 3.5 -> 3 *)
+        Lp.Model.set_objective m Lp.Model.Maximize (v x);
+        match Lp.Presolve.presolve m with
+        | Lp.Presolve.Infeasible -> Alcotest.fail "feasible"
+        | Lp.Presolve.Reduced p ->
+          feq "rounded ub" 3.0
+            (Lp.Model.var_ub p.Lp.Presolve.reduced
+               (Lp.Model.var_of_id p.Lp.Presolve.reduced 0)));
+  ]
+
+let random_mip rng =
+  let n = 2 + Workload.Rng.int rng 5 in
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init n (fun i ->
+        let fixed = Workload.Rng.int rng 4 = 0 in
+        let lb = if fixed then float_of_int (Workload.Rng.int rng 3) else 0.0 in
+        let ub = if fixed then lb else float_of_int (1 + Workload.Rng.int rng 4) in
+        let kind =
+          if Workload.Rng.bool rng then Lp.Model.Integer else Lp.Model.Continuous
+        in
+        Lp.Model.add_var m ~lb ~ub ~kind (Printf.sprintf "x%d" i))
+  in
+  for _ = 1 to 1 + Workload.Rng.int rng 4 do
+    let terms =
+      Array.to_list vars
+      |> List.filter_map (fun (x : Lp.Model.var) ->
+             if Workload.Rng.int rng 3 = 0 then None
+             else Some ((x :> int), float_of_int (Workload.Rng.int rng 5 - 1)))
+    in
+    Lp.Model.add_le m (Lp.Expr.of_terms terms)
+      (float_of_int (Workload.Rng.int rng 10))
+  done;
+  Lp.Model.set_objective m Lp.Model.Maximize
+    (Lp.Expr.of_terms
+       (Array.to_list vars
+       |> List.map (fun (x : Lp.Model.var) ->
+              ((x :> int), float_of_int (Workload.Rng.int rng 5)))));
+  m
+
+let properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"presolved optimum equals the original optimum" ~count:40
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 71)) in
+           let m = random_mip rng in
+           let original = Mip.Branch_bound.solve m in
+           match Lp.Presolve.presolve m with
+           | Lp.Presolve.Infeasible ->
+             original.Mip.Branch_bound.status = Mip.Branch_bound.Infeasible
+           | Lp.Presolve.Reduced p ->
+             let reduced = Mip.Branch_bound.solve p.Lp.Presolve.reduced in
+             (match
+                ( original.Mip.Branch_bound.objective,
+                  reduced.Mip.Branch_bound.objective )
+              with
+             | None, None -> true
+             | Some a, Some b ->
+               Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs a)
+             | _ -> false)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"restored points are feasible in the original" ~count:40
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 171)) in
+           let m = random_mip rng in
+           match Lp.Presolve.presolve m with
+           | Lp.Presolve.Infeasible -> true
+           | Lp.Presolve.Reduced p ->
+             let reduced = Mip.Branch_bound.solve p.Lp.Presolve.reduced in
+             (match reduced.Mip.Branch_bound.incumbent with
+             | None -> true
+             | Some x ->
+               let full = Lp.Presolve.restore p x in
+               Lp.Std_form.is_feasible_point (Lp.Std_form.of_model m) full)));
+  ]
+
+let suite = [ ("lp.presolve", unit_tests @ properties) ]

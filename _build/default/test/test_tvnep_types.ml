@@ -1,0 +1,252 @@
+(* Problem-type construction, validation and solution accounting. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* Small shared fixtures. *)
+let line_substrate ?(node_cap = 2.0) ?(link_cap = 1.0) n =
+  let g = Graphs.Digraph.create n in
+  for i = 0 to n - 2 do
+    ignore (Graphs.Digraph.add_edge g ~src:i ~dst:(i + 1));
+    ignore (Graphs.Digraph.add_edge g ~src:(i + 1) ~dst:i)
+  done;
+  Tvnep.Substrate.uniform g ~node_cap ~link_cap
+
+let simple_request ?(name = "r") ?(demand = 1.0) ?(link_demand = 0.5)
+    ?(duration = 1.0) ?(start_min = 0.0) ?(end_max = 2.0) () =
+  let g = Graphs.Digraph.create 2 in
+  ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:1);
+  Tvnep.Request.make ~name ~graph:g ~node_demand:[| demand; demand |]
+    ~link_demand:[| link_demand |] ~duration ~start_min ~end_max
+
+let substrate_tests =
+  [
+    Alcotest.test_case "uniform capacities" `Quick (fun () ->
+        let s = line_substrate 3 in
+        Alcotest.(check int) "nodes" 3 (Tvnep.Substrate.num_nodes s);
+        Alcotest.(check int) "links" 4 (Tvnep.Substrate.num_links s);
+        feq "node cap" 2.0 (Tvnep.Substrate.node_cap s 1);
+        feq "total" 6.0 (Tvnep.Substrate.total_node_capacity s));
+    Alcotest.test_case "arity mismatch rejected" `Quick (fun () ->
+        let g = Graphs.Digraph.create 2 in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Substrate.make: node capacity arity") (fun () ->
+            ignore (Tvnep.Substrate.make g ~node_cap:[| 1.0 |] ~link_cap:[||])));
+    Alcotest.test_case "negative capacity rejected" `Quick (fun () ->
+        let g = Graphs.Digraph.create 1 in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Substrate.make: negative capacity") (fun () ->
+            ignore (Tvnep.Substrate.make g ~node_cap:[| -1.0 |] ~link_cap:[||])));
+  ]
+
+let request_tests =
+  [
+    Alcotest.test_case "flexibility arithmetic" `Quick (fun () ->
+        let r = simple_request ~duration:1.5 ~start_min:1.0 ~end_max:4.0 () in
+        feq "flex" 1.5 (Tvnep.Request.flexibility r);
+        feq "latest start" 2.5 (Tvnep.Request.latest_start r);
+        feq "earliest end" 2.5 (Tvnep.Request.earliest_end r);
+        let widened = Tvnep.Request.with_flexibility r 3.0 in
+        feq "widened" 3.0 (Tvnep.Request.flexibility widened);
+        feq "start preserved" 1.0 widened.Tvnep.Request.start_min);
+    Alcotest.test_case "window shorter than duration rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (simple_request ~duration:3.0 ~end_max:2.0 ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "self-loop rejected" `Quick (fun () ->
+        let g = Graphs.Digraph.create 1 in
+        ignore (Graphs.Digraph.add_edge g ~src:0 ~dst:0);
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Tvnep.Request.make ~name:"bad" ~graph:g ~node_demand:[| 1.0 |]
+                  ~link_demand:[| 1.0 |] ~duration:1.0 ~start_min:0.0
+                  ~end_max:2.0);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "total node demand" `Quick (fun () ->
+        let r = simple_request ~demand:1.25 () in
+        feq "sum" 2.5 (Tvnep.Request.total_node_demand r));
+  ]
+
+let instance_tests =
+  [
+    Alcotest.test_case "horizon must cover windows" `Quick (fun () ->
+        let s = line_substrate 2 in
+        let r = simple_request ~end_max:5.0 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Tvnep.Instance.make ~substrate:s ~requests:[| r |] ~horizon:4.0 ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "mapping shape validated" `Quick (fun () ->
+        let s = line_substrate 2 in
+        let r = simple_request () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Tvnep.Instance.make ~node_mappings:[| [| 0 |] |] ~substrate:s
+                  ~requests:[| r |] ~horizon:5.0 ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "with_flexibility widens windows and horizon" `Quick
+      (fun () ->
+        let s = line_substrate 2 in
+        let r = simple_request ~duration:1.0 ~start_min:0.0 ~end_max:1.0 () in
+        let inst =
+          Tvnep.Instance.make ~substrate:s ~requests:[| r |] ~horizon:1.0 ()
+        in
+        let wider = Tvnep.Instance.with_flexibility inst 2.0 in
+        feq "new window" 3.0 (Tvnep.Instance.request wider 0).Tvnep.Request.end_max;
+        feq "new horizon" 3.0 wider.Tvnep.Instance.horizon);
+    Alcotest.test_case "total virtual links" `Quick (fun () ->
+        let s = line_substrate 2 in
+        let r1 = simple_request ~name:"a" () and r2 = simple_request ~name:"b" () in
+        let inst =
+          Tvnep.Instance.make ~substrate:s ~requests:[| r1; r2 |] ~horizon:5.0 ()
+        in
+        Alcotest.(check int) "links" 2 (Tvnep.Instance.total_virtual_links inst));
+  ]
+
+(* A hand-built feasible solution for validator tests. *)
+let two_request_fixture () =
+  let s = line_substrate ~node_cap:2.0 ~link_cap:1.0 3 in
+  let r1 = simple_request ~name:"r1" ~duration:1.0 ~start_min:0.0 ~end_max:3.0 () in
+  let r2 = simple_request ~name:"r2" ~duration:1.0 ~start_min:0.0 ~end_max:3.0 () in
+  let inst =
+    Tvnep.Instance.make
+      ~node_mappings:[| [| 0; 1 |]; [| 0; 1 |] |]
+      ~substrate:s ~requests:[| r1; r2 |] ~horizon:3.0 ()
+  in
+  (* Both requests route their virtual link over substrate edge 0 (0->1),
+     demand 0.5 each: simultaneous execution saturates the link exactly. *)
+  let assignment t_start =
+    {
+      Tvnep.Solution.accepted = true;
+      node_map = [| 0; 1 |];
+      link_flows = [| [ (0, 1.0) ] |];
+      t_start;
+      t_end = t_start +. 1.0;
+    }
+  in
+  (inst, assignment)
+
+let validator_tests =
+  [
+    Alcotest.test_case "accepts a feasible overlap" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let sol =
+          { Tvnep.Solution.assignments = [| assignment 0.0; assignment 0.5 |];
+            objective = 0.0 }
+        in
+        (match Tvnep.Validator.check inst sol with
+        | Ok () -> ()
+        | Error es -> Alcotest.fail (String.concat "; " es)));
+    Alcotest.test_case "rejects window violations" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let late = { (assignment 2.5) with Tvnep.Solution.t_end = 3.5 } in
+        let sol =
+          { Tvnep.Solution.assignments = [| late; assignment 0.0 |];
+            objective = 0.0 }
+        in
+        Alcotest.(check bool) "infeasible" false
+          (Tvnep.Validator.is_feasible inst sol));
+    Alcotest.test_case "rejects wrong duration" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let short = { (assignment 0.0) with Tvnep.Solution.t_end = 0.5 } in
+        let sol =
+          { Tvnep.Solution.assignments = [| short; assignment 2.0 |];
+            objective = 0.0 }
+        in
+        Alcotest.(check bool) "infeasible" false
+          (Tvnep.Validator.is_feasible inst sol));
+    Alcotest.test_case "rejects broken flow" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let broken =
+          { (assignment 0.0) with Tvnep.Solution.link_flows = [| [ (0, 0.5) ] |] }
+        in
+        let sol =
+          { Tvnep.Solution.assignments = [| broken; assignment 2.0 |];
+            objective = 0.0 }
+        in
+        Alcotest.(check bool) "infeasible" false
+          (Tvnep.Validator.is_feasible inst sol));
+    Alcotest.test_case "rejects node overload" `Quick (fun () ->
+        (* Demand 1.5 each on the same host, capacity 2.0: overlap fails. *)
+        let s = line_substrate ~node_cap:2.0 ~link_cap:2.0 3 in
+        let mk name = simple_request ~name ~demand:1.5 ~link_demand:0.1 () in
+        let inst =
+          Tvnep.Instance.make
+            ~node_mappings:[| [| 0; 1 |]; [| 0; 1 |] |]
+            ~substrate:s
+            ~requests:[| mk "a"; mk "b" |]
+            ~horizon:3.0 ()
+        in
+        let a t =
+          {
+            Tvnep.Solution.accepted = true;
+            node_map = [| 0; 1 |];
+            link_flows = [| [ (0, 1.0) ] |];
+            t_start = t;
+            t_end = t +. 1.0;
+          }
+        in
+        let overlapping =
+          { Tvnep.Solution.assignments = [| a 0.0; a 0.5 |]; objective = 0.0 }
+        in
+        Alcotest.(check bool) "overlap infeasible" false
+          (Tvnep.Validator.is_feasible inst overlapping);
+        let sequential =
+          { Tvnep.Solution.assignments = [| a 0.0; a 1.0 |]; objective = 0.0 }
+        in
+        Alcotest.(check bool) "sequential feasible" true
+          (Tvnep.Validator.is_feasible inst sequential));
+    Alcotest.test_case "rejects deviation from fixed mapping" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let moved =
+          { (assignment 0.0) with
+            Tvnep.Solution.node_map = [| 1; 2 |];
+            link_flows = [| [ (2, 1.0) ] |] }
+        in
+        let sol =
+          { Tvnep.Solution.assignments = [| moved; assignment 2.0 |];
+            objective = 0.0 }
+        in
+        Alcotest.(check bool) "infeasible" false
+          (Tvnep.Validator.is_feasible inst sol));
+    Alcotest.test_case "link and node load accounting" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let sol =
+          { Tvnep.Solution.assignments = [| assignment 0.0; assignment 0.5 |];
+            objective = 0.0 }
+        in
+        let lload = Tvnep.Solution.link_load inst sol ~time:0.75 in
+        feq "both active" 1.0 lload.(0);
+        let nload = Tvnep.Solution.node_load inst sol ~time:0.75 in
+        feq "node 0" 2.0 nload.(0);
+        let lload2 = Tvnep.Solution.link_load inst sol ~time:1.25 in
+        feq "one active" 0.5 lload2.(0));
+    Alcotest.test_case "access control value" `Quick (fun () ->
+        let inst, assignment = two_request_fixture () in
+        let sol =
+          { Tvnep.Solution.assignments =
+              [| assignment 0.0;
+                 Tvnep.Solution.rejected (Tvnep.Instance.request inst 1) |];
+            objective = 0.0 }
+        in
+        (* d=1, node demands 1+1 -> revenue 2 for the accepted request *)
+        feq "revenue" 2.0 (Tvnep.Solution.access_control_value inst sol);
+        Alcotest.(check int) "accepted" 1 (Tvnep.Solution.num_accepted sol);
+        Alcotest.(check (list int)) "indices" [ 0 ]
+          (Tvnep.Solution.accepted_indices sol));
+  ]
+
+let suite =
+  [
+    ("tvnep.substrate", substrate_tests);
+    ("tvnep.request", request_tests);
+    ("tvnep.instance", instance_tests);
+    ("tvnep.validator", validator_tests);
+  ]

@@ -1,0 +1,152 @@
+(* RNG determinism and distribution sanity checks. *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "determinism per seed" `Quick (fun () ->
+        let a = Workload.Rng.create 42L and b = Workload.Rng.create 42L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Workload.Rng.next_int64 a)
+            (Workload.Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Workload.Rng.create 1L and b = Workload.Rng.create 2L in
+        Alcotest.(check bool) "diverge" true
+          (Workload.Rng.next_int64 a <> Workload.Rng.next_int64 b));
+    Alcotest.test_case "float in range" `Quick (fun () ->
+        let rng = Workload.Rng.create 7L in
+        for _ = 1 to 1000 do
+          let x = Workload.Rng.float rng in
+          Alcotest.(check bool) "unit" true (x >= 0.0 && x < 1.0)
+        done);
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let rng = Workload.Rng.create 7L in
+        for _ = 1 to 1000 do
+          let x = Workload.Rng.int rng 7 in
+          Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+        done;
+        Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int")
+          (fun () -> ignore (Workload.Rng.int rng 0)));
+    Alcotest.test_case "split independence" `Quick (fun () ->
+        let parent = Workload.Rng.create 3L in
+        let c1 = Workload.Rng.split parent in
+        let c2 = Workload.Rng.split parent in
+        Alcotest.(check bool) "children differ" true
+          (Workload.Rng.next_int64 c1 <> Workload.Rng.next_int64 c2));
+    Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
+        let rng = Workload.Rng.create 5L in
+        let a = Array.init 20 (fun i -> i) in
+        Workload.Rng.shuffle rng a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check bool) "permutation" true
+          (sorted = Array.init 20 (fun i -> i)));
+  ]
+
+let mean_of f rng n =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f rng
+  done;
+  !acc /. float_of_int n
+
+let distribution_tests =
+  [
+    Alcotest.test_case "exponential mean" `Quick (fun () ->
+        let rng = Workload.Rng.create 11L in
+        let m = mean_of (fun r -> Workload.Distributions.exponential r ~rate:2.0) rng 20_000 in
+        Alcotest.(check (float 0.02)) "mean 1/rate" 0.5 m);
+    Alcotest.test_case "weibull mean matches closed form" `Quick (fun () ->
+        (* The paper's duration distribution: shape 2, scale 4 -> mean
+           4*Gamma(1.5) = 2*sqrt(pi) ~ 3.545 "hours". *)
+        let rng = Workload.Rng.create 13L in
+        let m =
+          mean_of
+            (fun r -> Workload.Distributions.weibull r ~shape:2.0 ~scale:4.0)
+            rng 40_000
+        in
+        let expect = Workload.Distributions.weibull_mean ~shape:2.0 ~scale:4.0 in
+        Alcotest.(check (float 0.05)) "closed form" expect m;
+        Alcotest.(check (float 0.01)) "approx 3.545" 3.5449 expect);
+    Alcotest.test_case "gamma function values" `Quick (fun () ->
+        Alcotest.(check (float 1e-6)) "G(1)" 1.0 (Workload.Distributions.gamma_approx 1.0);
+        Alcotest.(check (float 1e-6)) "G(5)" 24.0 (Workload.Distributions.gamma_approx 5.0);
+        Alcotest.(check (float 1e-6)) "G(0.5)" (sqrt Float.pi)
+          (Workload.Distributions.gamma_approx 0.5));
+    Alcotest.test_case "uniform bounds" `Quick (fun () ->
+        let rng = Workload.Rng.create 17L in
+        for _ = 1 to 1000 do
+          let x = Workload.Distributions.uniform rng ~lo:1.0 ~hi:2.0 in
+          Alcotest.(check bool) "paper demand range" true (x >= 1.0 && x < 2.0)
+        done);
+    Alcotest.test_case "poisson process ordered within horizon" `Quick (fun () ->
+        let rng = Workload.Rng.create 19L in
+        let arrivals = Workload.Distributions.poisson_process rng ~rate:1.0 ~horizon:50.0 in
+        let rec increasing = function
+          | a :: (b :: _ as rest) -> a < b && increasing rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "sorted" true (increasing arrivals);
+        Alcotest.(check bool) "within horizon" true
+          (List.for_all (fun t -> t >= 0.0 && t < 50.0) arrivals));
+    Alcotest.test_case "poisson_arrivals count" `Quick (fun () ->
+        let rng = Workload.Rng.create 23L in
+        let a = Workload.Distributions.poisson_arrivals rng ~rate:1.0 ~count:20 in
+        Alcotest.(check int) "count" 20 (List.length a));
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        let rng = Workload.Rng.create 1L in
+        Alcotest.check_raises "rate" (Invalid_argument "Distributions.exponential")
+          (fun () -> ignore (Workload.Distributions.exponential rng ~rate:0.0));
+        Alcotest.check_raises "shape" (Invalid_argument "Distributions.weibull")
+          (fun () ->
+            ignore (Workload.Distributions.weibull rng ~shape:0.0 ~scale:1.0)));
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "mean/median/quantile" `Quick (fun () ->
+        let xs = [ 1.0; 2.0; 3.0; 4.0; 10.0 ] in
+        Alcotest.(check (float 1e-9)) "mean" 4.0 (Statsutil.Stats.mean xs);
+        Alcotest.(check (float 1e-9)) "median" 3.0 (Statsutil.Stats.median xs);
+        Alcotest.(check (float 1e-9)) "q0" 1.0 (Statsutil.Stats.quantile 0.0 xs);
+        Alcotest.(check (float 1e-9)) "q1" 10.0 (Statsutil.Stats.quantile 1.0 xs);
+        Alcotest.(check (float 1e-9)) "interpolated" 2.0
+          (Statsutil.Stats.quantile 0.25 xs));
+    Alcotest.test_case "variance and stddev" `Quick (fun () ->
+        let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+        Alcotest.(check (float 1e-9)) "var" (32.0 /. 7.0)
+          (Statsutil.Stats.variance xs);
+        Alcotest.(check (float 1e-9)) "singleton" 0.0
+          (Statsutil.Stats.variance [ 5.0 ]));
+    Alcotest.test_case "summary" `Quick (fun () ->
+        let s = Statsutil.Stats.summarize [ 3.0; 1.0; 2.0 ] in
+        Alcotest.(check int) "count" 3 s.Statsutil.Stats.count;
+        Alcotest.(check (float 1e-9)) "min" 1.0 s.Statsutil.Stats.min;
+        Alcotest.(check (float 1e-9)) "med" 2.0 s.Statsutil.Stats.med;
+        Alcotest.(check (float 1e-9)) "max" 3.0 s.Statsutil.Stats.max);
+    Alcotest.test_case "geometric mean" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gm" 2.0
+          (Statsutil.Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
+        Alcotest.check_raises "nonpositive"
+          (Invalid_argument "Stats.geometric_mean: non-positive") (fun () ->
+            ignore (Statsutil.Stats.geometric_mean [ 1.0; 0.0 ])));
+    Alcotest.test_case "empty rejected" `Quick (fun () ->
+        Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty list")
+          (fun () -> ignore (Statsutil.Stats.mean [])));
+    Alcotest.test_case "table rendering" `Quick (fun () ->
+        let t = Statsutil.Table.create ~headers:[ "a"; "bb" ] in
+        Statsutil.Table.add_row t [ "x"; "1" ];
+        let rendered = Statsutil.Table.render t in
+        Alcotest.(check bool) "has separator" true
+          (String.length rendered > 0
+          && String.split_on_char '\n' rendered |> List.length = 3);
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+            Statsutil.Table.add_row t [ "only-one" ]));
+  ]
+
+let suite =
+  [
+    ("workload.rng", rng_tests);
+    ("workload.distributions", distribution_tests);
+    ("statsutil", stats_tests);
+  ]
