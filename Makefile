@@ -1,0 +1,21 @@
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Fast end-to-end smoke of the parallel bench harness: Figure 3 only,
+# quick scale, two worker domains, deterministic work clock (the default,
+# so the tables are reproducible byte for byte).
+bench-smoke: build
+	dune exec bench/main.exe -- --quick --figures 3 --jobs 2 \
+	  --no-ablations --no-micro
+
+check: build test bench-smoke
+
+clean:
+	dune clean

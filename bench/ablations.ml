@@ -10,6 +10,8 @@ type config = {
   flex : float;
   time_limit : float;
   params : Tvnep.Scenario.params;
+  jobs : int;          (* per-variant scenario parallelism; <= 0 = autodetect *)
+  deterministic : bool;  (* work-clock budgets, as in {!Figures} *)
 }
 
 let default_config =
@@ -19,7 +21,17 @@ let default_config =
     flex = 1.5;
     time_limit = 15.0;
     params = Tvnep.Scenario.scaled;
+    jobs = 1;
+    deterministic = true;
   }
+
+(* Fresh per-solve budget on the bench's canonical work clock. *)
+let budget cfg =
+  Some
+    (Figures.solve_budget ~deterministic:cfg.deterministic
+       ~time_limit:cfg.time_limit ())
+
+let pmap cfg f = Runtime.Pool.map_list ~jobs:cfg.jobs f
 
 let instances cfg =
   List.init cfg.scenarios (fun scenario ->
@@ -49,7 +61,7 @@ let cuts cfg =
   List.iter
     (fun (label, use_cuts, pairwise_cuts) ->
       let runs =
-        List.map
+        pmap cfg
           (fun inst ->
             let opts =
               {
@@ -63,8 +75,13 @@ let cuts cfg =
                   };
               }
             in
-            let lp = Tvnep.Solver.solve_lp_relaxation inst opts in
-            let o = Tvnep.Solver.solve inst opts in
+            (* Separate budgets: the relaxation must not eat into the MIP
+               solve's limit. *)
+            let lp =
+              Tvnep.Solver.solve_lp_relaxation inst
+                { opts with budget = budget cfg }
+            in
+            let o = Tvnep.Solver.solve inst { opts with budget = budget cfg } in
             (lp.Lp.Simplex.objective, o))
           (instances cfg)
       in
@@ -115,7 +132,7 @@ let engine cfg =
   List.iter
     (fun (label, propagate, warm_sessions) ->
       let runs =
-        List.map
+        pmap cfg
           (fun inst ->
             Tvnep.Solver.solve inst
               {
@@ -127,6 +144,7 @@ let engine cfg =
                     propagate;
                     warm_sessions;
                   };
+                budget = budget cfg;
               })
           (instances cfg)
       in
@@ -189,20 +207,21 @@ let discrete cfg =
     { Mip.Branch_bound.default_params with time_limit = cfg.time_limit }
   in
   row "cΣ (continuous)"
-    (List.map
+    (pmap cfg
        (fun inst ->
-         Tvnep.Solver.solve inst { Tvnep.Solver.default_options with mip })
+         Tvnep.Solver.solve inst
+           { Tvnep.Solver.default_options with mip; budget = budget cfg })
        insts);
   List.iter
     (fun width ->
       row
         (Printf.sprintf "discrete, slot %.2gh" width)
-        (List.map
+        (pmap cfg
            (fun inst ->
              Tvnep.Discrete_model.solve
                ~options:
                  { Tvnep.Discrete_model.default_options with slot_width = width }
-               ~mip inst)
+               ~mip ?budget:(budget cfg) inst)
            insts))
     [ 2.0; 1.0; 0.5 ];
   Statsutil.Table.print table;
@@ -220,7 +239,7 @@ let seeding cfg =
   List.iter
     (fun (label, seed_with_greedy) ->
       let runs =
-        List.map
+        pmap cfg
           (fun inst ->
             Tvnep.Solver.solve inst
               {
@@ -231,6 +250,7 @@ let seeding cfg =
                     Mip.Branch_bound.default_params with
                     time_limit = cfg.time_limit;
                   };
+                budget = budget cfg;
               })
           (instances cfg)
       in

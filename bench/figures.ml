@@ -12,12 +12,30 @@ type config = {
   seed : int64;
   scenarios : int;
   flexibilities : float list;
-  time_limit : float;  (* seconds per exact solve *)
+  time_limit : float;  (* budget-clock seconds per exact solve *)
   params : Tvnep.Scenario.params;
   with_delta : bool;
   with_sigma : bool;
   seed_exact_with_greedy : bool;
+  jobs : int;          (* scenario-cell parallelism; <= 0 = autodetect *)
+  deterministic : bool;
+      (* bill solver limits and reported runtimes on the work clock
+         (ticks/work_rate) instead of the wall clock: tables are then
+         byte-identical across machines and --jobs levels *)
 }
+
+(* Canonical work-clock rate for the bench, in ticks per reported
+   "second".  The simplex bills m² ticks per pivot (the dense revised
+   pivot is O(m²) in the row count m), so the rate is calibrated to this
+   stack's measured throughput of basis-inverse updates (~2e9 entry
+   updates per wall-second): work-seconds and wall-seconds are the same
+   order of magnitude from 500-row cΣ models to 7000-row Δ models. *)
+let work_rate = 2e9
+
+let solve_budget ~deterministic ~time_limit () =
+  if deterministic then
+    Runtime.Budget.create ~deterministic:work_rate ~time_limit ()
+  else Runtime.Budget.create ~time_limit ()
 
 let default_config =
   {
@@ -29,6 +47,8 @@ let default_config =
     with_delta = true;
     with_sigma = true;
     seed_exact_with_greedy = true;
+    jobs = 1;
+    deterministic = true;
   }
 
 type access_record = {
@@ -50,6 +70,10 @@ let solve_kind cfg kind inst =
       seed_with_greedy = cfg.seed_exact_with_greedy;
       mip =
         { Mip.Branch_bound.default_params with time_limit = cfg.time_limit };
+      budget =
+        Some
+          (solve_budget ~deterministic:cfg.deterministic
+             ~time_limit:cfg.time_limit ());
     }
 
 (* One (scenario, flexibility) cell of the access-control comparison:
@@ -61,7 +85,12 @@ let run_access_cell cfg ~scenario ~flex =
     Tvnep.Scenario.generate rng
       { cfg.params with Tvnep.Scenario.flexibility = flex }
   in
-  let greedy, greedy_stats = Tvnep.Greedy.solve inst in
+  let greedy, greedy_stats =
+    Tvnep.Greedy.solve
+      ~budget:
+        (solve_budget ~deterministic:cfg.deterministic ~time_limit:infinity ())
+      inst
+  in
   {
     scenario;
     flex;
@@ -77,15 +106,22 @@ let run_access_cell cfg ~scenario ~flex =
     instance = inst;
   }
 
+(* Every (scenario, flexibility) cell is an independent solve; fan the
+   bag across the domain pool.  Results come back in input order and all
+   solver decisions run on per-solve budgets, so the tables built from
+   them do not depend on [cfg.jobs]. *)
 let run_access cfg =
-  List.concat_map
-    (fun flex ->
-      List.init cfg.scenarios (fun scenario ->
-          let r = run_access_cell cfg ~scenario ~flex in
-          Printf.eprintf "  [access] scenario %d flex %.1f done\n%!" scenario
-            flex;
-          r))
-    cfg.flexibilities
+  let cells =
+    List.concat_map
+      (fun flex -> List.init cfg.scenarios (fun scenario -> (scenario, flex)))
+      cfg.flexibilities
+  in
+  Runtime.Pool.map_list ~jobs:cfg.jobs
+    (fun (scenario, flex) ->
+      let r = run_access_cell cfg ~scenario ~flex in
+      Printf.eprintf "  [access] scenario %d flex %.1f done\n%!" scenario flex;
+      r)
+    cells
 
 (* ---- formatting helpers ---------------------------------------------- *)
 
@@ -318,30 +354,38 @@ let run_objectives cfg records =
       ("disable-links", Tvnep.Objective.Disable_links);
     ]
   in
-  List.concat_map
-    (fun r ->
-      match subset_instance r with
-      | None -> []
-      | Some inst ->
-        List.map
-          (fun (name, objective) ->
-            let outcome =
-              Tvnep.Solver.solve inst
-                {
-                  Tvnep.Solver.default_options with
-                  objective;
-                  mip =
-                    {
-                      Mip.Branch_bound.default_params with
-                      time_limit = cfg.time_limit;
-                    };
-                }
-            in
-            Printf.eprintf "  [objective] scenario %d flex %.1f %s done\n%!"
-              r.scenario r.flex name;
-            { o_flex = r.flex; o_name = name; o_outcome = outcome })
-          objectives)
-    records
+  let tasks =
+    List.concat_map
+      (fun r ->
+        match subset_instance r with
+        | None -> []
+        | Some inst ->
+          List.map (fun (name, objective) -> (r, inst, name, objective))
+            objectives)
+      records
+  in
+  Runtime.Pool.map_list ~jobs:cfg.jobs
+    (fun (r, inst, name, objective) ->
+      let outcome =
+        Tvnep.Solver.solve inst
+          {
+            Tvnep.Solver.default_options with
+            objective;
+            mip =
+              {
+                Mip.Branch_bound.default_params with
+                time_limit = cfg.time_limit;
+              };
+            budget =
+              Some
+                (solve_budget ~deterministic:cfg.deterministic
+                   ~time_limit:cfg.time_limit ());
+          }
+      in
+      Printf.eprintf "  [objective] scenario %d flex %.1f %s done\n%!"
+        r.scenario r.flex name;
+      { o_flex = r.flex; o_name = name; o_outcome = outcome })
+    tasks
 
 let fig5 cfg orecords =
   caption "5" "runtime of the cΣ-Model under the other objectives";
@@ -399,11 +443,15 @@ let run_and_print cfg figures =
   let need_access =
     List.exists wants [ "3"; "4"; "7"; "8"; "9"; "5"; "6" ]
   in
+  let wall_start = Runtime.Clock.now () in
   if need_access then begin
     Printf.eprintf "running access-control comparison (%d scenarios x %d \
-                    flexibilities)...\n%!"
+                    flexibilities, %d job(s)%s)...\n%!"
       cfg.scenarios
-      (List.length cfg.flexibilities);
+      (List.length cfg.flexibilities)
+      (Runtime.Pool.effective_jobs ~jobs:cfg.jobs
+         (cfg.scenarios * List.length cfg.flexibilities))
+      (if cfg.deterministic then ", work clock" else ", wall clock");
     let records = run_access cfg in
     if wants "3" then fig3 cfg records;
     if wants "4" then fig4 cfg records;
@@ -417,4 +465,8 @@ let run_and_print cfg figures =
       if wants "5" then fig5 cfg orecords;
       if wants "6" then fig6 cfg orecords
     end
-  end
+  end;
+  (* Measured wall time goes to stderr, never into the tables — those must
+     stay byte-identical across machines and --jobs levels. *)
+  Printf.eprintf "figure harness wall-clock: %.1fs\n%!"
+    (Runtime.Clock.now () -. wall_start)

@@ -74,6 +74,23 @@ let no_seeding_arg =
     & info [ "no-seeding" ]
         ~doc:"Do not seed the exact solves with the lifted greedy solution               (default on: it stands in for the primal heuristics of a               commercial solver and gives every formulation an incumbent,               so gaps are finite as in the paper's Fig. 4).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the scenario sweep (default 1 = \
+              sequential; 0 = autodetect the core count).  Tables are \
+              byte-identical at any level — solver limits run on a \
+              deterministic work clock unless --wall-clock is given.")
+
+let wall_clock_arg =
+  Arg.(
+    value & flag
+    & info [ "wall-clock" ]
+        ~doc:"Bill solver time limits and reported runtimes on the wall \
+              clock instead of the deterministic work clock.  Output then \
+              varies run to run and across --jobs levels.")
+
 let quick_arg =
   Arg.(
     value & flag
@@ -97,8 +114,9 @@ let flex_sweep ~flex_max ~flex_step =
   go [] 0.0
 
 let run figures scenarios time_limit requests flex_max flex_step scale seed
-    no_delta no_sigma no_seeding quick skip_figures skip_ablations skip_micro
-    =
+    no_delta no_sigma no_seeding jobs wall_clock quick skip_figures
+    skip_ablations skip_micro =
+  let open Bench_harness in
   let params =
     match scale with
     | `Scaled -> { Tvnep.Scenario.scaled with num_requests = requests }
@@ -118,13 +136,16 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
       with_delta = not no_delta;
       with_sigma = not no_sigma;
       seed_exact_with_greedy = not no_seeding;
+      jobs;
+      deterministic = not wall_clock;
     }
   in
   Printf.printf
     "TVNEP evaluation — %d scenario(s), %d request(s) each, %d flexibility \
-     steps, %.0fs/solve\n"
+     steps, %.0fs/solve (%s clock)\n"
     cfg.Figures.scenarios params.Tvnep.Scenario.num_requests
-    (List.length flexes) time_limit;
+    (List.length flexes) time_limit
+    (if wall_clock then "wall" else "work");
   if not skip_figures then Figures.run_and_print cfg figures;
   if not skip_ablations then
     Ablations.run_all
@@ -134,6 +155,8 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
         flex = 1.5;
         time_limit;
         params;
+        jobs;
+        deterministic = not wall_clock;
       };
   if not skip_micro then Micro.run ();
   0
@@ -143,8 +166,8 @@ let cmd =
     Term.(
       const run $ figures_arg $ scenarios_arg $ time_limit_arg $ requests_arg
       $ flex_max_arg $ flex_step_arg $ scale_arg $ seed_arg $ no_delta_arg
-      $ no_sigma_arg $ no_seeding_arg $ quick_arg $ skip_figures_arg
-      $ skip_ablations_arg $ skip_micro_arg)
+      $ no_sigma_arg $ no_seeding_arg $ jobs_arg $ wall_clock_arg $ quick_arg
+      $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg)
   in
   Cmd.v
     (Cmd.info "tvnep-bench"

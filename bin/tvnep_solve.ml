@@ -103,6 +103,7 @@ let report_outcome ?gantt inst (o : Tvnep.Solver.outcome) =
                  %.2fs\n"
     o.Tvnep.Solver.model_vars o.Tvnep.Solver.model_rows o.Tvnep.Solver.nodes
     o.Tvnep.Solver.lp_iterations o.Tvnep.Solver.runtime;
+  Printf.printf "counters:  %s\n" (Runtime.Stats.to_string o.Tvnep.Solver.stats);
   match o.Tvnep.Solver.solution with
   | Some sol ->
     print_solution ?gantt inst sol;
@@ -144,7 +145,8 @@ let solve_cmd =
       let o =
         Tvnep.Solver.solve inst
           {
-            Tvnep.Solver.kind;
+            Tvnep.Solver.default_options with
+            kind;
             objective;
             use_cuts = not no_cuts;
             pairwise_cuts = not no_cuts;

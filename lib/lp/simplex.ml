@@ -1,4 +1,6 @@
 module Dm = Lina.Dense_matrix
+module Budget = Runtime.Budget
+module Rstats = Runtime.Stats
 
 type status =
   | Optimal
@@ -70,7 +72,9 @@ type state = {
   mutable bland : bool;
   mutable degenerate_run : int;
   params : params;
-  start_time : float;
+  budget : Budget.t;  (* shared solve budget: deadline + iteration cap *)
+  stats : Rstats.t;
+  sink : Runtime.Trace.sink option;
   (* scratch buffers *)
   w : float array;  (* FTRAN result *)
   y : float array;  (* duals *)
@@ -79,7 +83,12 @@ type state = {
 
 exception Solver_stop of status
 
-let now () = Unix.gettimeofday ()
+(* When the caller does not thread a budget, the per-call [params] time
+   limit still applies through a private budget on the shared clock. *)
+let budget_of_params ?budget (params : params) =
+  match budget with
+  | Some b -> b
+  | None -> Budget.create ~time_limit:params.time_limit ()
 
 (* --- column access -------------------------------------------------- *)
 
@@ -131,6 +140,8 @@ let equation_residual st =
 (* Rebuilds the dense basis matrix, factorizes it, replaces the explicit
    inverse and recomputes basic values from the nonbasic ones. *)
 let full_refactorize st =
+  st.stats.Rstats.refactorizations <- st.stats.Rstats.refactorizations + 1;
+  Runtime.Trace.emit st.sink st.budget Runtime.Trace.Simplex_refactor;
   let b = Dm.create ~rows:st.m ~cols:st.m in
   Array.iteri
     (fun pos j -> col_iter st j (fun i v -> Dm.set b i pos v))
@@ -301,12 +312,24 @@ let do_pivot st q dir r hit =
 (* --- main loop -------------------------------------------------------- *)
 
 let check_limits st =
-  if st.iterations >= st.params.max_iters then raise (Solver_stop Iter_limit);
   if
-    st.iterations land 15 = 0
-    && st.params.time_limit < infinity
-    && now () -. st.start_time > st.params.time_limit
-  then raise (Solver_stop Time_limit)
+    st.iterations >= st.params.max_iters
+    || Budget.iters_exhausted st.budget st.stats.Rstats.simplex_iterations
+  then raise (Solver_stop Iter_limit);
+  if st.iterations land 15 = 0 && Budget.out_of_time st.budget then
+    raise (Solver_stop Time_limit)
+
+(* One pivot of work: the per-solve counter, the solve-wide stats and the
+   budget clock (deterministic time advances here).  A revised pivot with
+   a dense basis inverse costs O(m²) — pricing, FTRAN and the product-form
+   update are all m-by-m work — so the clock is ticked m² units per pivot:
+   work-seconds then track wall-seconds across model sizes spanning
+   orders of magnitude (a 7000-row Δ-model pivot really is ~200x a
+   500-row cΣ pivot). *)
+let count_iteration st =
+  st.iterations <- st.iterations + 1;
+  st.stats.Rstats.simplex_iterations <- st.stats.Rstats.simplex_iterations + 1;
+  Budget.tick ~n:(st.m * st.m) st.budget
 
 (* Runs simplex iterations on the current cost vector until (phase)
    optimality.  Raises [Solver_stop] on limits or numerical trouble. *)
@@ -314,7 +337,7 @@ let optimize st ~allow_unbounded =
   let continue_ = ref true in
   while !continue_ do
     check_limits st;
-    st.iterations <- st.iterations + 1;
+    count_iteration st;
     compute_duals st;
     match price st with
     | None -> continue_ := false
@@ -572,7 +595,7 @@ let dual_optimize st =
   let pivots = ref 0 in
   while !continue_ do
     check_limits st;
-    st.iterations <- st.iterations + 1;
+    count_iteration st;
     incr pivots;
     if !pivots > budget then raise (Solver_stop Numerical_failure);
     if !stall > 50 + st.m then bland := true;
@@ -722,7 +745,10 @@ let extract st status =
     final_basis;
   }
 
-let solve ?(params = default_params) ?lb ?ub ?warm sf =
+let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
+  let budget = budget_of_params ?budget params in
+  let stats = match stats with Some s -> s | None -> Rstats.create () in
+  stats.Rstats.lp_solves <- stats.Rstats.lp_solves + 1;
   let m = sf.Std_form.n_rows in
   let n_total = Std_form.n_total sf in
   let pick_bounds default override =
@@ -770,7 +796,9 @@ let solve ?(params = default_params) ?lb ?ub ?warm sf =
       bland = false;
       degenerate_run = 0;
       params;
-      start_time = now ();
+      budget;
+      stats;
+      sink = trace;
       w = Array.make m 0.0;
       y = Array.make m 0.0;
       cb = Array.make m 0.0;
@@ -804,9 +832,9 @@ let solve ?(params = default_params) ?lb ?ub ?warm sf =
     let status = try run () with Solver_stop s -> s in
     extract st status
 
-let solve_model ?params m =
+let solve_model ?params ?budget ?stats ?trace m =
   let sf = Std_form.of_model m in
-  solve ?params sf
+  solve ?params ?budget ?stats ?trace sf
 
 (* --- persistent sessions ----------------------------------------------- *)
 
@@ -819,7 +847,7 @@ type session = {
 let create_session ?(params = default_params) sf =
   { s_sf = sf; s_params = params; s_state = None }
 
-let fresh_state sf params lb ub =
+let fresh_state sf params budget stats sink lb ub =
   let m = sf.Std_form.n_rows in
   let n_total = Std_form.n_total sf in
   {
@@ -840,7 +868,9 @@ let fresh_state sf params lb ub =
     bland = false;
     degenerate_run = 0;
     params;
-    start_time = now ();
+    budget;
+    stats;
+    sink;
     w = Array.make m 0.0;
     y = Array.make m 0.0;
     cb = Array.make m 0.0;
@@ -871,7 +901,7 @@ let rebound_state st lb ub =
     end
   done
 
-let session_solve session ?time_limit ~lb ~ub () =
+let session_solve session ?time_limit ?budget ?stats ?trace ~lb ~ub () =
   let sf = session.s_sf in
   let n_total = Std_form.n_total sf in
   if Array.length lb <> n_total || Array.length ub <> n_total then
@@ -881,6 +911,9 @@ let session_solve session ?time_limit ~lb ~ub () =
     | None -> session.s_params
     | Some t -> { session.s_params with time_limit = t }
   in
+  let budget = budget_of_params ?budget params in
+  let stats = match stats with Some s -> s | None -> Rstats.create () in
+  stats.Rstats.lp_solves <- stats.Rstats.lp_solves + 1;
   let lb = Array.copy lb and ub = Array.copy ub in
   let crossed = ref false in
   for j = 0 to n_total - 1 do
@@ -895,7 +928,7 @@ let session_solve session ?time_limit ~lb ~ub () =
     end
   done;
   let cold_solve () =
-    let st = fresh_state sf params lb ub in
+    let st = fresh_state sf params budget stats trace lb ub in
     session.s_state <- Some st;
     let status =
       try
@@ -908,7 +941,7 @@ let session_solve session ?time_limit ~lb ~ub () =
     extract st status
   in
   if !crossed then begin
-    let st = fresh_state sf params lb ub in
+    let st = fresh_state sf params budget stats trace lb ub in
     extract st Infeasible
   end
   else
@@ -918,7 +951,7 @@ let session_solve session ?time_limit ~lb ~ub () =
       st.iterations <- 0;
       st.bland <- false;
       st.degenerate_run <- 0;
-      let st = { st with params; start_time = now () } in
+      let st = { st with params; budget; stats; sink = trace } in
       session.s_state <- Some st;
       rebound_state st lb ub;
       let usable =

@@ -50,6 +50,9 @@ type result = {
 
 val solve :
   ?params:params ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
   ?lb:float array ->
   ?ub:float array ->
   ?warm:basis ->
@@ -59,9 +62,22 @@ val solve :
     column bounds of the {e full} column space (structurals followed by
     logicals); arrays must then have length [Std_form.n_total sf].  [?warm]
     restarts from a previous basis (falling back to a cold start when the
-    basis is numerically singular). *)
+    basis is numerically singular).
 
-val solve_model : ?params:params -> Model.t -> result
+    [?budget] threads the caller's solve budget through the iteration
+    loops: the deadline and iteration cap are checked there, and every
+    pivot ticks the budget clock (deterministic time advances per pivot).
+    Without it a private budget is derived from [params.time_limit].
+    [?stats] accumulates pivots, refactorizations and LP-solve counts into
+    the caller's counters; [?trace] receives refactorization events. *)
+
+val solve_model :
+  ?params:params ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
+  Model.t ->
+  result
 (** Convenience wrapper: compiles the model's continuous relaxation
     (integrality dropped) and solves it. *)
 
@@ -80,6 +96,9 @@ val create_session : ?params:params -> Std_form.t -> session
 val session_solve :
   session ->
   ?time_limit:float ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
   lb:float array ->
   ub:float array ->
   unit ->
@@ -87,4 +106,5 @@ val session_solve :
 (** Re-optimizes under new full-column-space bounds (length
     [Std_form.n_total]).  Falls back to a cold start internally whenever
     the carried basis is unusable; the result is always as authoritative
-    as a fresh {!solve}. *)
+    as a fresh {!solve}.  [?budget] takes precedence over [?time_limit];
+    [?stats]/[?trace] as in {!solve}. *)

@@ -1,6 +1,9 @@
 let src = Logs.Src.create "mip" ~doc:"branch and bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Budget = Runtime.Budget
+module Rstats = Runtime.Stats
+module Trace = Runtime.Trace
 
 type status =
   | Optimal
@@ -53,6 +56,7 @@ type result = {
   nodes : int;
   lp_iterations : int;
   solve_time : float;
+  stats : Rstats.t;
 }
 
 let gap_of ~incumbent ~bound =
@@ -91,12 +95,16 @@ type search = {
          between nodes.  Without it, stopping mid-node with an empty queue
          would let [global_bound] collapse to the incumbent and falsely
          claim a proved optimum. *)
-  start : float;
+  budget : Budget.t;
+  search_origin : float;  (* budget elapsed when this search started *)
+  stats : Rstats.t;
+  sink : Trace.sink option;
+  mutable emitted_bound : float;
+      (* last global dual bound reported (internal sense); tracks
+         improvements for the [Bb_bound] trace event *)
   root_lb : float array;  (* full column space *)
   root_ub : float array;
 }
-
-let now () = Unix.gettimeofday ()
 
 let node_bounds s node =
   let lb = Array.copy s.root_lb and ub = Array.copy s.root_ub in
@@ -139,6 +147,8 @@ let try_rounding s (x : float array) =
     if obj < s.incumbent_obj -. 1e-12 then begin
       s.incumbent_obj <- obj;
       s.incumbent_x <- Some cand;
+      s.stats.Rstats.incumbents <- s.stats.Rstats.incumbents + 1;
+      Trace.emit s.sink s.budget (Trace.Bb_incumbent { objective = obj });
       Log.debug (fun m -> m "rounding incumbent: internal obj %g" obj)
     end
   end
@@ -147,6 +157,8 @@ let accept_incumbent s (x : float array) obj =
   if obj < s.incumbent_obj -. 1e-12 then begin
     s.incumbent_obj <- obj;
     s.incumbent_x <- Some x;
+    s.stats.Rstats.incumbents <- s.stats.Rstats.incumbents + 1;
+    Trace.emit s.sink s.budget (Trace.Bb_incumbent { objective = obj });
     Log.debug (fun m -> m "new incumbent: internal obj %g" obj)
   end
 
@@ -183,8 +195,13 @@ let branch_var s (x : float array) =
 let process_node s node =
   s.processing_bound <- node.parent_bound;
   s.nodes <- s.nodes + 1;
-  if s.nodes > s.params.node_limit then raise (Stop Node_limit);
-  if now () -. s.start > s.params.time_limit then raise (Stop Time_limit);
+  s.stats.Rstats.bb_nodes <- s.stats.Rstats.bb_nodes + 1;
+  Budget.tick s.budget;
+  Trace.emit s.sink s.budget
+    (Trace.Bb_node { nodes = s.nodes; bound = node.parent_bound });
+  if s.nodes > s.params.node_limit || Budget.nodes_exhausted s.budget s.nodes
+  then raise (Stop Node_limit);
+  if Budget.out_of_time s.budget then raise (Stop Time_limit);
   (* Bound-based pruning against the current incumbent. *)
   let prune_margin =
     1e-9 *. Float.max 1.0 (Float.abs s.incumbent_obj)
@@ -198,20 +215,15 @@ let process_node s node =
     with
     | Propagate.Infeasible_node -> ()
     | Propagate.Tightened _ ->
-    let remaining =
-      if s.params.time_limit = infinity then infinity
-      else Float.max 0.1 (s.params.time_limit -. (now () -. s.start))
-    in
-    let lp_params =
-      { s.params.lp_params with Lp.Simplex.time_limit = remaining }
-    in
+    (* Node LPs consume the search's own budget: the deadline is shared
+       rather than re-derived per node, and every pivot bills one clock. *)
     let r =
       if s.params.warm_sessions then
-        Lp.Simplex.session_solve s.session ~time_limit:remaining ~lb ~ub ()
+        Lp.Simplex.session_solve s.session ~budget:s.budget ~stats:s.stats
+          ?trace:s.sink ~lb ~ub ()
       else
-        Lp.Simplex.solve
-          ~params:{ lp_params with Lp.Simplex.time_limit = remaining }
-          ~lb ~ub s.sf
+        Lp.Simplex.solve ~params:s.params.lp_params ~budget:s.budget
+          ~stats:s.stats ?trace:s.sink ~lb ~ub s.sf
     in
     s.lp_iters <- s.lp_iters + r.Lp.Simplex.iterations;
     match r.Lp.Simplex.status with
@@ -260,7 +272,15 @@ let log_progress s =
            else Printf.sprintf "%g" s.incumbent_obj)
           (global_bound s infinity))
 
-let solve_form ?(params = default_params) ?initial sf =
+let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+      Budget.create ~time_limit:params.time_limit
+        ~node_limit:params.node_limit ()
+  in
+  let stats = match stats with Some s -> s | None -> Rstats.create () in
   let n_total = Lp.Std_form.n_total sf in
   let s =
     {
@@ -275,7 +295,11 @@ let solve_form ?(params = default_params) ?initial sf =
       incumbent_obj = infinity;
       nodes = 0;
       lp_iters = 0;
-      start = now ();
+      budget;
+      search_origin = Budget.elapsed budget;
+      stats;
+      sink = trace;
+      emitted_bound = neg_infinity;
       root_lb = Array.append (Array.sub sf.Lp.Std_form.lb 0 n_total) [||];
       root_ub = Array.append (Array.sub sf.Lp.Std_form.ub 0 n_total) [||];
     }
@@ -290,6 +314,9 @@ let solve_form ?(params = default_params) ?initial sf =
               sf.Lp.Std_form.integer x ->
     s.incumbent_obj <- structural_objective sf x;
     s.incumbent_x <- Some (Array.copy x);
+    s.stats.Rstats.incumbents <- s.stats.Rstats.incumbents + 1;
+    Trace.emit s.sink s.budget
+      (Trace.Bb_incumbent { objective = s.incumbent_obj });
     Log.info (fun m -> m "seeded incumbent: internal obj %g" s.incumbent_obj)
   | Some _ ->
     Log.warn (fun m -> m "seed incumbent rejected (infeasible or fractional)")
@@ -314,6 +341,11 @@ let solve_form ?(params = default_params) ?initial sf =
           log_progress s;
           (* Gap-based early stop. *)
           let bound = global_bound s infinity in
+          if bound > s.emitted_bound +. 1e-12 && bound < infinity then begin
+            s.emitted_bound <- bound;
+            s.stats.Rstats.bound_updates <- s.stats.Rstats.bound_updates + 1;
+            Trace.emit s.sink s.budget (Trace.Bb_bound { bound })
+          end;
           let gap =
             gap_of
               ~incumbent:
@@ -351,7 +383,9 @@ let solve_form ?(params = default_params) ?initial sf =
         ~bound:internal_bound;
     nodes = s.nodes;
     lp_iterations = s.lp_iters;
-    solve_time = now () -. s.start;
+    solve_time = Budget.elapsed budget -. s.search_origin;
+    stats;
   }
 
-let solve ?params ?initial m = solve_form ?params ?initial (Lp.Std_form.of_model m)
+let solve ?params ?initial ?budget ?stats ?trace m =
+  solve_form ?params ?initial ?budget ?stats ?trace (Lp.Std_form.of_model m)

@@ -17,7 +17,9 @@ type status =
 val status_to_string : status -> string
 
 type params = {
-  time_limit : float;    (** wall-clock seconds, [infinity] = none *)
+  time_limit : float;
+      (** budget-clock seconds, [infinity] = none; ignored when an
+          explicit budget is passed to {!solve} / {!solve_form} *)
   node_limit : int;
   gap_tol : float;       (** stop when the relative gap drops below *)
   int_tol : float;       (** integrality tolerance on LP values *)
@@ -40,7 +42,12 @@ type result = {
   gap : float;               (** relative gap; [infinity] with no incumbent, 0 at optimality *)
   nodes : int;
   lp_iterations : int;
-  solve_time : float;        (** seconds *)
+  solve_time : float;
+      (** budget-clock seconds spent inside this search (excludes any time
+          the caller already consumed on a shared budget) *)
+  stats : Runtime.Stats.t;
+      (** the structured counters this search accumulated into — the
+          caller's record when [?stats] was passed, a fresh one otherwise *)
 }
 
 val gap_of : incumbent:float option -> bound:float -> float
@@ -48,11 +55,31 @@ val gap_of : incumbent:float option -> bound:float -> float
     is no incumbent yet. *)
 
 val solve_form :
-  ?params:params -> ?initial:float array -> Lp.Std_form.t -> result
+  ?params:params ->
+  ?initial:float array ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
+  Lp.Std_form.t ->
+  result
 (** [?initial] seeds the search with a known integer-feasible structural
     point (it is verified against bounds, rows and integrality and
     silently dropped when invalid) — e.g. a heuristic solution, as the
-    paper suggests combining the greedy with the exact models. *)
+    paper suggests combining the greedy with the exact models.
 
-val solve : ?params:params -> ?initial:float array -> Lp.Model.t -> result
+    [?budget] is the shared solve budget; its deadline and node/iteration
+    caps govern the whole search {e including} every node LP (which bill
+    pivots against the same clock).  Without it a private budget is
+    derived from [params.time_limit]/[params.node_limit].  [?stats]
+    accumulates node/incumbent/LP counters into the caller's record;
+    [?trace] receives node, incumbent and bound-update events. *)
+
+val solve :
+  ?params:params ->
+  ?initial:float array ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
+  Lp.Model.t ->
+  result
 (** Compiles the model and optimizes. *)

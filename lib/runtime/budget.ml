@@ -1,0 +1,68 @@
+(* The clock is shared between a budget and all its sub-budgets; only the
+   deadline/limit bookkeeping is per budget.  In deterministic mode the
+   clock is a work-tick counter and "seconds" are ticks / rate. *)
+type clock =
+  | Wall of { start : float; mutable wall_ticks : int }
+  | Ticks of { rate : float; mutable count : int }
+
+type t = {
+  clock : clock;
+  origin : float;  (* clock time at creation; elapsed is relative to it *)
+  time_limit : float;
+  node_limit : int;
+  iter_limit : int;
+}
+
+let clock_elapsed = function
+  | Wall { start; _ } -> Clock.now () -. start
+  | Ticks { rate; count } -> float_of_int count /. rate
+
+let create ?deterministic ?(time_limit = infinity) ?(node_limit = max_int)
+    ?(iter_limit = max_int) () =
+  let clock =
+    match deterministic with
+    | None -> Wall { start = Clock.now (); wall_ticks = 0 }
+    | Some rate ->
+      if not (rate > 0.0) then invalid_arg "Budget.create: rate must be > 0";
+      Ticks { rate; count = 0 }
+  in
+  { clock; origin = 0.0; time_limit; node_limit; iter_limit }
+
+let elapsed t = clock_elapsed t.clock -. t.origin
+
+let remaining t =
+  if t.time_limit = infinity then infinity
+  else Float.max 0.0 (t.time_limit -. elapsed t)
+
+let sub ?time_limit ?node_limit ?iter_limit t =
+  let time_limit =
+    match time_limit with
+    | None -> remaining t
+    | Some l -> Float.min l (remaining t)
+  in
+  {
+    clock = t.clock;
+    origin = clock_elapsed t.clock;
+    time_limit;
+    node_limit = Option.value node_limit ~default:t.node_limit;
+    iter_limit = Option.value iter_limit ~default:t.iter_limit;
+  }
+
+let tick ?(n = 1) t =
+  match t.clock with
+  | Wall w -> w.wall_ticks <- w.wall_ticks + n
+  | Ticks c -> c.count <- c.count + n
+
+let ticks t =
+  match t.clock with Wall w -> w.wall_ticks | Ticks c -> c.count
+
+let out_of_time t = t.time_limit < infinity && elapsed t > t.time_limit
+
+let time_limit t = t.time_limit
+
+let nodes_exhausted t n = n > t.node_limit
+
+let iters_exhausted t n = n >= t.iter_limit
+
+let is_deterministic t =
+  match t.clock with Wall _ -> false | Ticks _ -> true

@@ -1,0 +1,74 @@
+(** Solve budgets: one clock, one deadline, threaded through every layer.
+
+    A budget is created once per top-level solve and handed down explicitly
+    — greedy seeding, model build, branch-and-bound and every node LP all
+    consume the {e same} clock, so a time limit bounds the whole pipeline
+    instead of each layer billing its own [gettimeofday] span.
+
+    Two clock modes:
+
+    - {b wall}: elapsed real seconds (the default);
+    - {b deterministic}: elapsed time is defined as [work ticks / rate],
+      where instrumented layers call {!tick} on units of work (the simplex
+      ticks m² per pivot — the cost of a dense revised pivot on m rows —
+      and branch-and-bound once per node).  Under a
+      deterministic budget a solve makes exactly the same decisions — and
+      reports exactly the same "runtime" — on any machine, at any level of
+      scenario parallelism.  This is what makes the bench tables byte-for-
+      byte reproducible (the same idea as the work-unit limits of
+      commercial solvers).
+
+    Budgets nest: {!sub} carves out a child with its own (earlier)
+    deadline on the {e shared} clock, so "give the exact pass at most 10s
+    of whatever remains" composes correctly. *)
+
+type t
+
+val create :
+  ?deterministic:float ->
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?iter_limit:int ->
+  unit ->
+  t
+(** A fresh budget whose clock starts now.
+
+    [deterministic] switches the clock to tick mode with the given rate
+    (ticks per reported "second"; must be positive).  [time_limit] is in
+    clock seconds ([infinity] = none), [node_limit] caps branch-and-bound
+    nodes and [iter_limit] caps total simplex iterations (both default to
+    [max_int] = none). *)
+
+val sub : ?time_limit:float -> ?node_limit:int -> ?iter_limit:int -> t -> t
+(** A child budget on the same clock.  Its deadline starts counting now
+    and is capped by the parent's remaining time; node and iteration
+    limits default to the parent's.  Ticks recorded against the child are
+    visible to the parent (one clock). *)
+
+val tick : ?n:int -> t -> unit
+(** Record [n] (default 1) units of work against the clock.  Advances
+    deterministic time; in wall mode it only feeds the {!ticks} counter. *)
+
+val ticks : t -> int
+(** Work units recorded on the underlying clock so far. *)
+
+val elapsed : t -> float
+(** Clock seconds since this budget was created. *)
+
+val remaining : t -> float
+(** Clock seconds until the deadline; [infinity] when unlimited, clamped
+    at [0.0] once exhausted. *)
+
+val out_of_time : t -> bool
+
+val time_limit : t -> float
+(** The configured relative limit ([infinity] = none). *)
+
+val nodes_exhausted : t -> int -> bool
+(** [nodes_exhausted b n]: has a search that processed [n] nodes used up
+    the node budget? *)
+
+val iters_exhausted : t -> int -> bool
+(** Same for a cumulative simplex iteration count. *)
+
+val is_deterministic : t -> bool

@@ -1,0 +1,9 @@
+(** The one wall-clock of the solver stack.
+
+    Every layer that needs real time goes through this module (via
+    {!Budget}); nothing under [lib/] reads the system clock directly, so
+    time accounting composes — a greedy pass that seeds an exact search
+    bills the same clock the search then keeps consuming. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary origin.  Only differences are meaningful. *)

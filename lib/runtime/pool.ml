@@ -1,0 +1,39 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let effective_jobs ~jobs n =
+  let jobs = if jobs <= 0 then recommended_jobs () else jobs in
+  max 1 (min jobs n)
+
+let map ~jobs f tasks =
+  let n = Array.length tasks in
+  let jobs = effective_jobs ~jobs n in
+  if jobs = 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Option.is_some (Atomic.get failure) then
+          continue_ := false
+        else
+          match f tasks.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            (* Keep the first failure; let in-flight tasks finish. *)
+            ignore (Atomic.compare_and_set failure None (Some e))
+      done
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function Some r -> r | None -> assert false (* all tasks ran *))
+      results
+  end
+
+let map_list ~jobs f tasks =
+  Array.to_list (map ~jobs f (Array.of_list tasks))

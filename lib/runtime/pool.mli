@@ -1,0 +1,33 @@
+(** Fixed-size domain pool for embarrassingly parallel scenario fan-out.
+
+    The evaluation sweep is a bag of fully independent solves (one per
+    scenario × flexibility × model); this pool fans them across OCaml 5
+    domains with a shared atomic cursor — no work stealing, no channels,
+    no dependencies beyond the stdlib.
+
+    Results are returned {e in input order}, so output built from them is
+    identical at any [jobs] level; combined with deterministic solve
+    budgets ({!Budget.create}[ ~deterministic]) the whole bench output is
+    byte-for-byte independent of the parallelism.
+
+    Tasks must be domain-safe: no shared mutable state (the solver stack
+    keeps all state per solve; workload RNGs are created per task). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], i.e. a sensible default for
+    [--jobs 0] autodetection. *)
+
+val effective_jobs : jobs:int -> int -> int
+(** [effective_jobs ~jobs n]: the worker count actually used for [n]
+    tasks — [jobs] clamped to [\[1, n\]], with [jobs <= 0] meaning
+    autodetect. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] applies [f] to every task and returns the results
+    in input order.  [jobs <= 0] autodetects, [jobs = 1] runs sequentially
+    in the calling domain (no domain is spawned), [jobs > 1] uses that
+    many workers (calling domain included).  The first exception raised by
+    any task is re-raised after all workers have been joined. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}. *)

@@ -1,0 +1,53 @@
+type t = {
+  mutable simplex_iterations : int;
+  mutable refactorizations : int;
+  mutable lp_solves : int;
+  mutable bb_nodes : int;
+  mutable incumbents : int;
+  mutable bound_updates : int;
+  mutable greedy_lp_solves : int;
+  mutable greedy_candidates : int;
+  mutable greedy_accepted : int;
+  mutable greedy_time : float;
+  mutable build_time : float;
+  mutable search_time : float;
+}
+
+let create () =
+  {
+    simplex_iterations = 0;
+    refactorizations = 0;
+    lp_solves = 0;
+    bb_nodes = 0;
+    incumbents = 0;
+    bound_updates = 0;
+    greedy_lp_solves = 0;
+    greedy_candidates = 0;
+    greedy_accepted = 0;
+    greedy_time = 0.0;
+    build_time = 0.0;
+    search_time = 0.0;
+  }
+
+let add ~into s =
+  into.simplex_iterations <- into.simplex_iterations + s.simplex_iterations;
+  into.refactorizations <- into.refactorizations + s.refactorizations;
+  into.lp_solves <- into.lp_solves + s.lp_solves;
+  into.bb_nodes <- into.bb_nodes + s.bb_nodes;
+  into.incumbents <- into.incumbents + s.incumbents;
+  into.bound_updates <- into.bound_updates + s.bound_updates;
+  into.greedy_lp_solves <- into.greedy_lp_solves + s.greedy_lp_solves;
+  into.greedy_candidates <- into.greedy_candidates + s.greedy_candidates;
+  into.greedy_accepted <- into.greedy_accepted + s.greedy_accepted;
+  into.greedy_time <- into.greedy_time +. s.greedy_time;
+  into.build_time <- into.build_time +. s.build_time;
+  into.search_time <- into.search_time +. s.search_time
+
+let to_string s =
+  Printf.sprintf
+    "%d LP solves, %d simplex iters, %d refactorizations | %d nodes, %d \
+     incumbents, %d bound updates | greedy: %d LPs, %d candidates, %d \
+     accepted | phases: greedy %.3fs, build %.3fs, search %.3fs"
+    s.lp_solves s.simplex_iterations s.refactorizations s.bb_nodes
+    s.incumbents s.bound_updates s.greedy_lp_solves s.greedy_candidates
+    s.greedy_accepted s.greedy_time s.build_time s.search_time

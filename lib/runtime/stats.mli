@@ -1,0 +1,38 @@
+(** Structured solve statistics.
+
+    One mutable record is created per top-level solve and threaded through
+    every layer; each layer increments the counters it owns.  The bench
+    harness and the CLI consume this record directly instead of re-deriving
+    per-layer numbers from scattered ad-hoc counters.
+
+    Times are phase durations measured on the solve's {!Budget} clock
+    (deterministic work-seconds under a deterministic budget), recorded by
+    the layer that drives the phase. *)
+
+type t = {
+  (* lp *)
+  mutable simplex_iterations : int;  (** pivots, primal + dual, all LPs *)
+  mutable refactorizations : int;    (** full LU refactorizations *)
+  mutable lp_solves : int;           (** LP (re-)solves started *)
+  (* mip *)
+  mutable bb_nodes : int;            (** branch-and-bound nodes processed *)
+  mutable incumbents : int;          (** incumbent improvements (any source) *)
+  mutable bound_updates : int;       (** global dual bound improvements *)
+  (* tvnep *)
+  mutable greedy_lp_solves : int;    (** feasibility LPs of the greedy *)
+  mutable greedy_candidates : int;   (** candidate start times probed *)
+  mutable greedy_accepted : int;     (** requests the greedy admitted *)
+  (* phase durations, budget-clock seconds *)
+  mutable greedy_time : float;
+  mutable build_time : float;        (** MIP formulation build *)
+  mutable search_time : float;       (** branch-and-bound *)
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val add : into:t -> t -> unit
+(** Accumulate a solve's stats into an aggregate (all fields summed). *)
+
+val to_string : t -> string
+(** One-line human-readable rendering (used by the CLI). *)

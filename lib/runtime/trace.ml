@@ -1,0 +1,20 @@
+type event =
+  | Phase_start of string
+  | Phase_end of string * float
+  | Simplex_refactor
+  | Bb_node of { nodes : int; bound : float }
+  | Bb_incumbent of { objective : float }
+  | Bb_bound of { bound : float }
+  | Greedy_admit of { request : int; start : float }
+
+type sink = elapsed:float -> event -> unit
+
+let emit sink budget event =
+  match sink with
+  | None -> ()
+  | Some f -> f ~elapsed:(Budget.elapsed budget) event
+
+let collector () =
+  let events = ref [] in
+  let sink ~elapsed event = events := (elapsed, event) :: !events in
+  (sink, fun () -> List.rev !events)

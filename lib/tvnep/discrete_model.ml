@@ -141,7 +141,7 @@ let build ?(options = default_options) inst =
   { model; inst; n_slots; embeddings; start_slot }
 
 let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
-    inst =
+    ?budget ?stats ?trace inst =
   let dm = build ~options inst in
   (* Access-control objective, as in the continuous model comparison. *)
   let terms =
@@ -155,7 +155,9 @@ let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
          dm.embeddings)
   in
   Lp.Model.set_objective dm.model Lp.Model.Maximize (Lp.Expr.sum terms);
-  let result = Mip.Branch_bound.solve ~params:mip dm.model in
+  let result =
+    Mip.Branch_bound.solve ~params:mip ?budget ?stats ?trace dm.model
+  in
   let solution =
     match result.Mip.Branch_bound.incumbent with
     | None -> None
@@ -197,4 +199,5 @@ let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
     lp_iterations = result.Mip.Branch_bound.lp_iterations;
     model_vars = Lp.Model.num_vars dm.model;
     model_rows = Lp.Model.num_constrs dm.model;
+    stats = result.Mip.Branch_bound.stats;
   }

@@ -39,7 +39,11 @@ val build : ?options:options -> Instance.t -> t
 val solve :
   ?options:options ->
   ?mip:Mip.Branch_bound.params ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
   Instance.t ->
   Solver.outcome
 (** Builds, applies the access-control objective and optimizes; decodes
-    starts back to continuous times (slot index × width). *)
+    starts back to continuous times (slot index × width).  [?budget] /
+    [?stats] / [?trace] thread through to {!Mip.Branch_bound.solve}. *)

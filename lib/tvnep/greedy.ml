@@ -1,5 +1,8 @@
 type stats = { lp_solves : int; candidates_tried : int; runtime : float }
 
+module Budget = Runtime.Budget
+module Rstats = Runtime.Stats
+
 type accepted = {
   a_req : int;
   a_start : float;
@@ -68,7 +71,7 @@ let node_caps_ok inst active_sets =
 
 (* One feasibility LP: flows for all participating requests, per-state link
    capacities.  Returns the flows per request on success. *)
-let try_schedule ?lp_params inst participants =
+let try_schedule ?lp_params ?budget ?stats inst participants =
   (* participants: (req, start, end) with fixed times; all embedded. *)
   let sub = inst.Instance.substrate in
   let sgraph = Substrate.graph sub in
@@ -161,7 +164,7 @@ let try_schedule ?lp_params inst participants =
         flows Lp.Expr.zero
     in
     Lp.Model.set_objective model Lp.Model.Minimize total;
-    let result = Lp.Simplex.solve_model ?params:lp_params model in
+    let result = Lp.Simplex.solve_model ?params:lp_params ?budget ?stats model in
     match result.Lp.Simplex.status with
     | Lp.Simplex.Optimal ->
       let extract req =
@@ -183,10 +186,12 @@ let try_schedule ?lp_params inst participants =
       None
   end
 
-let solve ?lp_params ?(preplaced = []) inst =
+let solve ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
   if not (Instance.has_fixed_mappings inst) then
     invalid_arg "Greedy.solve: fixed node mappings required";
-  let t0 = Unix.gettimeofday () in
+  let budget = match budget with Some b -> b | None -> Budget.create () in
+  let rstats = match stats with Some s -> s | None -> Rstats.create () in
+  let t0 = Budget.elapsed budget in
   let k = Instance.num_requests inst in
   let preset = List.map fst preplaced in
   let order =
@@ -221,7 +226,8 @@ let solve ?lp_params ?(preplaced = []) inst =
         preplaced
     in
     incr lp_solves;
-    match try_schedule ?lp_params inst participants with
+    rstats.Rstats.greedy_lp_solves <- rstats.Rstats.greedy_lp_solves + 1;
+    match try_schedule ?lp_params ~budget ~stats:rstats inst participants with
     | Some flows_of ->
       accepted :=
         List.map
@@ -244,14 +250,19 @@ let solve ?lp_params ?(preplaced = []) inst =
         (fun s ->
           if not !placed then begin
             incr candidates_tried;
+            rstats.Rstats.greedy_candidates <-
+              rstats.Rstats.greedy_candidates + 1;
             let participants =
               (req, s, s +. d)
               :: List.map (fun a -> (a.a_req, a.a_start, a.a_end)) !accepted
             in
             incr lp_solves;
-            match try_schedule ?lp_params inst participants with
+            rstats.Rstats.greedy_lp_solves <- rstats.Rstats.greedy_lp_solves + 1;
+            match try_schedule ?lp_params ~budget ~stats:rstats inst participants with
             | Some flows_of ->
               placed := true;
+              Runtime.Trace.emit trace budget
+                (Runtime.Trace.Greedy_admit { request = req; start = s });
               (* Link allocations of previously accepted requests are
                  recomputed (the paper does the same every iteration). *)
               List.iter (fun a -> a.a_flows <- flows_of a.a_req) !accepted;
@@ -284,9 +295,9 @@ let solve ?lp_params ?(preplaced = []) inst =
   let solution =
     { solution with Solution.objective = Solution.access_control_value inst solution }
   in
+  let runtime = Budget.elapsed budget -. t0 in
+  rstats.Rstats.greedy_time <- rstats.Rstats.greedy_time +. runtime;
+  rstats.Rstats.greedy_accepted <-
+    rstats.Rstats.greedy_accepted + List.length !accepted;
   ( solution,
-    {
-      lp_solves = !lp_solves;
-      candidates_tried = !candidates_tried;
-      runtime = Unix.gettimeofday () -. t0;
-    } )
+    { lp_solves = !lp_solves; candidates_tried = !candidates_tried; runtime } )

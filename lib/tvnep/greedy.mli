@@ -18,15 +18,26 @@
 type stats = {
   lp_solves : int;       (** feasibility LPs attempted *)
   candidates_tried : int;
-  runtime : float;       (** seconds *)
+  runtime : float;       (** budget-clock seconds *)
 }
 
 val solve :
   ?lp_params:Lp.Simplex.params ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
   ?preplaced:(int * float) list ->
   Instance.t ->
   Solution.t * stats
 (** The returned solution's [objective] is the access-control revenue.
+
+    [?budget] is the shared solve budget: every probe LP bills its pivots
+    against it and [runtime] is measured as an elapsed delta on its clock,
+    so greedy time composes with any exact search run on the same budget.
+    [?stats] accumulates [greedy_lp_solves] / [greedy_candidates] /
+    [greedy_accepted] / [greedy_time] (plus the usual simplex counters)
+    into the caller's record; [?trace] receives a
+    {!Runtime.Trace.Greedy_admit} event per accepted request.
 
     [?preplaced] pre-accepts the given (request index, start time) pairs
     before the greedy scan begins — the "heavy hitters" of the paper's

@@ -1,8 +1,12 @@
+module Budget = Runtime.Budget
+module Rstats = Runtime.Stats
+
 type stats = {
   heavy : int list;
   heavy_outcome : Solver.outcome;
   greedy_stats : Greedy.stats;
   runtime : float;
+  counters : Runtime.Stats.t;
 }
 
 let revenue inst req =
@@ -10,12 +14,14 @@ let revenue inst req =
   r.Request.duration *. Request.total_node_demand r
 
 let solve ?(heavy_fraction = 0.3) ?(mip = Mip.Branch_bound.default_params)
-    inst =
+    ?budget ?trace inst =
   if not (Instance.has_fixed_mappings inst) then
     invalid_arg "Hybrid.solve: fixed node mappings required";
   if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
     invalid_arg "Hybrid.solve: fraction outside [0, 1]";
-  let t0 = Unix.gettimeofday () in
+  let budget = match budget with Some b -> b | None -> Budget.create () in
+  let counters = Rstats.create () in
+  let t0 = Budget.elapsed budget in
   let k = Instance.num_requests inst in
   let by_revenue =
     List.sort
@@ -49,13 +55,25 @@ let solve ?(heavy_fraction = 0.3) ?(mip = Mip.Branch_bound.default_params)
         lp_iterations = 0;
         model_vars = 0;
         model_rows = 0;
+        stats = Rstats.create ();
       }
     else
+      (* The exact pass gets [mip.time_limit] of whatever remains on the
+         shared clock — a nested budget, so both the inner deadline and
+         the overall one are honoured. *)
       Solver.solve
         (Instance.with_requests inst heavy_requests
            ~node_mappings:heavy_mappings ())
-        { Solver.default_options with mip }
+        {
+          Solver.default_options with
+          mip;
+          budget =
+            Some
+              (Budget.sub ~time_limit:mip.Mip.Branch_bound.time_limit budget);
+          trace;
+        }
   in
+  Rstats.add ~into:counters heavy_outcome.Solver.stats;
   (* Fix the schedules the exact pass chose.  Heavy requests it rejected
      get a second chance in the greedy scan — they can only add revenue. *)
   let preplaced =
@@ -68,11 +86,18 @@ let solve ?(heavy_fraction = 0.3) ?(mip = Mip.Branch_bound.default_params)
              if a.Solution.accepted then Some (req, a.Solution.t_start)
              else None)
   in
-  let solution, greedy_stats = Greedy.solve ~preplaced inst in
+  let solution, greedy_stats =
+    Greedy.solve ~budget ~stats:counters ?trace ~preplaced inst
+  in
   ( solution,
     {
       heavy;
       heavy_outcome;
       greedy_stats;
-      runtime = Unix.gettimeofday () -. t0;
+      (* One clock for both passes: the combined runtime is an elapsed
+         delta on the shared budget, never the sum of two independent
+         [gettimeofday] spans (which double-counted overlap and missed
+         glue work between the passes). *)
+      runtime = Budget.elapsed budget -. t0;
+      counters;
     } )

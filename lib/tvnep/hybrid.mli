@@ -18,13 +18,26 @@ type stats = {
   heavy_outcome : Solver.outcome;
   greedy_stats : Greedy.stats;
   runtime : float;
+      (** budget-clock seconds for the whole hybrid solve, measured as one
+          elapsed delta on the shared budget — {e not} the sum of the two
+          passes' independent clocks *)
+  counters : Runtime.Stats.t;
+      (** combined structured counters of the exact pass and the greedy
+          scan (simplex pivots, B&B nodes, greedy probes, phase times) *)
 }
 
 val solve :
   ?heavy_fraction:float ->
   ?mip:Mip.Branch_bound.params ->
+  ?budget:Runtime.Budget.t ->
+  ?trace:Runtime.Trace.sink ->
   Instance.t ->
   Solution.t * stats
 (** [heavy_fraction] (default 0.3) of the requests, by revenue, go to the
-    exact solver.  @raise Invalid_argument without fixed mappings or for a
-    fraction outside [0, 1]. *)
+    exact solver.
+
+    [?budget] is the shared clock for both passes; the exact pass runs on
+    a nested sub-budget capped at [mip.time_limit] of whatever remains, so
+    "give the exact pass at most N seconds of the overall deadline"
+    composes naturally.  @raise Invalid_argument without fixed mappings or
+    for a fraction outside [0, 1]. *)

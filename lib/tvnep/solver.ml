@@ -5,6 +5,10 @@ let model_kind_to_string = function
   | Sigma -> "sigma"
   | Csigma -> "csigma"
 
+module Budget = Runtime.Budget
+module Rstats = Runtime.Stats
+module Trace = Runtime.Trace
+
 type options = {
   kind : model_kind;
   objective : Objective.t;
@@ -12,6 +16,8 @@ type options = {
   pairwise_cuts : bool;
   seed_with_greedy : bool;
   mip : Mip.Branch_bound.params;
+  budget : Runtime.Budget.t option;
+  trace : Runtime.Trace.sink option;
 }
 
 let default_options =
@@ -22,6 +28,8 @@ let default_options =
     pairwise_cuts = true;
     seed_with_greedy = false;
     mip = Mip.Branch_bound.default_params;
+    budget = None;
+    trace = None;
   }
 
 type outcome = {
@@ -35,7 +43,20 @@ type outcome = {
   lp_iterations : int;
   model_vars : int;
   model_rows : int;
+  stats : Runtime.Stats.t;
 }
+
+(* One budget per solve: either the caller's, or a private one derived
+   from the MIP parameters.  Everything below — model build, greedy
+   seeding, branch-and-bound including its node LPs — runs against this
+   single clock, so [outcome.runtime] covers the whole solve. *)
+let budget_of_options options =
+  match options.budget with
+  | Some b -> b
+  | None ->
+    Budget.create
+      ~time_limit:options.mip.Mip.Branch_bound.time_limit
+      ~node_limit:options.mip.Mip.Branch_bound.node_limit ()
 
 let build inst options =
   let fm =
@@ -56,24 +77,46 @@ let build inst options =
   (fm, extras)
 
 let solve inst options =
+  let budget = budget_of_options options in
+  let stats = Rstats.create () in
+  let sink = options.trace in
+  let t0 = Budget.elapsed budget in
+  Trace.emit sink budget (Trace.Phase_start "build");
   let fm, _extras = build inst options in
+  let build_time = Budget.elapsed budget -. t0 in
+  stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
+  Trace.emit sink budget (Trace.Phase_end ("build", build_time));
   let model = fm.Formulation.model in
   (* Optional greedy seeding (the combination the paper's conclusion
      proposes): lift the heuristic solution into this model's variables as
      the initial incumbent.  Only meaningful under access control; the MIP
-     layer re-verifies the point before trusting it. *)
+     layer re-verifies the point before trusting it.  The heuristic runs
+     on the shared budget, so its time counts against the deadline and
+     shows up in both [outcome.runtime] and [stats.greedy_time]. *)
   let initial =
     if
       options.seed_with_greedy
       && options.objective = Objective.Access_control
       && Instance.has_fixed_mappings inst
     then begin
-      let greedy_sol, _ = Greedy.solve inst in
+      Trace.emit sink budget (Trace.Phase_start "greedy");
+      let greedy_sol, gstats =
+        Greedy.solve ~budget ~stats ?trace:sink inst
+      in
+      Trace.emit sink budget (Trace.Phase_end ("greedy", gstats.Greedy.runtime));
       Some (fm.Formulation.lift greedy_sol)
     end
     else None
   in
-  let result = Mip.Branch_bound.solve ~params:options.mip ?initial model in
+  Trace.emit sink budget (Trace.Phase_start "search");
+  let result =
+    Mip.Branch_bound.solve ~params:options.mip ?initial ~budget ~stats
+      ?trace:sink model
+  in
+  stats.Rstats.search_time <-
+    stats.Rstats.search_time +. result.Mip.Branch_bound.solve_time;
+  Trace.emit sink budget
+    (Trace.Phase_end ("search", result.Mip.Branch_bound.solve_time));
   let solution =
     match result.Mip.Branch_bound.incumbent with
     | None -> None
@@ -92,13 +135,17 @@ let solve inst options =
     objective = result.Mip.Branch_bound.objective;
     bound = result.Mip.Branch_bound.best_bound;
     gap = result.Mip.Branch_bound.gap;
-    runtime = result.Mip.Branch_bound.solve_time;
+    (* One-clock accounting: the elapsed delta on the shared budget covers
+       build + greedy seeding + search, not just the B&B loop. *)
+    runtime = Budget.elapsed budget -. t0;
     nodes = result.Mip.Branch_bound.nodes;
     lp_iterations = result.Mip.Branch_bound.lp_iterations;
     model_vars = Lp.Model.num_vars model;
     model_rows = Lp.Model.num_constrs model;
+    stats;
   }
 
 let solve_lp_relaxation inst options =
   let fm, _ = build inst options in
-  Lp.Simplex.solve_model fm.Formulation.model
+  Lp.Simplex.solve_model ?budget:options.budget ?trace:options.trace
+    fm.Formulation.model

@@ -19,6 +19,14 @@ type options = {
           control + fixed mappings only) — the greedy/exact combination
           suggested in the paper's conclusion *)
   mip : Mip.Branch_bound.params;
+  budget : Runtime.Budget.t option;
+      (** shared solve budget; when [None] a private one is derived from
+          [mip.time_limit] / [mip.node_limit].  Build, greedy seeding and
+          branch-and-bound (node LPs included) all run against this single
+          clock, so time limits compose when greedy seeds exact search. *)
+  trace : Runtime.Trace.sink option;
+      (** optional event sink: phase enter/exit, simplex refactorizations,
+          B&B node / incumbent / bound updates, greedy admissions *)
 }
 
 val default_options : options
@@ -30,11 +38,19 @@ type outcome = {
   objective : float option;      (** incumbent objective value *)
   bound : float;                 (** proved dual bound *)
   gap : float;                   (** relative gap as defined in [Mip] *)
-  runtime : float;               (** seconds *)
+  runtime : float;
+      (** budget-clock seconds for the {e whole} solve — model build plus
+          greedy seeding plus branch-and-bound — measured as one elapsed
+          delta on the solve budget (not the sum of separately-clocked
+          phases) *)
   nodes : int;
   lp_iterations : int;
   model_vars : int;
   model_rows : int;
+  stats : Runtime.Stats.t;
+      (** structured counters for this solve: simplex pivots and
+          refactorizations, LP solves, B&B nodes/incumbents/bound updates,
+          greedy probe counts, and per-phase times *)
 }
 
 val build : Instance.t -> options -> Formulation.t * Objective.extras

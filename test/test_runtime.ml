@@ -1,0 +1,344 @@
+(* The runtime core: budgets (wall and deterministic work clock),
+   budget-threading through the simplex and branch-and-bound, the
+   one-clock accounting of the solver/hybrid layers, and the domain
+   pool's order- and parallelism-invariance. *)
+
+module Budget = Runtime.Budget
+
+(* ---- Budget ----------------------------------------------------------- *)
+
+let budget_tests =
+  [
+    Alcotest.test_case "deterministic clock advances by ticks" `Quick (fun () ->
+        let b = Budget.create ~deterministic:100.0 ~time_limit:1.0 () in
+        Alcotest.(check bool) "deterministic" true (Budget.is_deterministic b);
+        Alcotest.(check (float 1e-12)) "starts at 0" 0.0 (Budget.elapsed b);
+        Budget.tick ~n:50 b;
+        Alcotest.(check (float 1e-12)) "50 ticks = 0.5s" 0.5 (Budget.elapsed b);
+        Alcotest.(check bool) "within limit" false (Budget.out_of_time b);
+        Budget.tick ~n:60 b;
+        Alcotest.(check (float 1e-12)) "110 ticks = 1.1s" 1.1
+          (Budget.elapsed b);
+        Alcotest.(check bool) "exhausted" true (Budget.out_of_time b);
+        Alcotest.(check (float 1e-12)) "remaining clamps at 0" 0.0
+          (Budget.remaining b));
+    Alcotest.test_case "sub-budgets share the clock" `Quick (fun () ->
+        let parent = Budget.create ~deterministic:100.0 ~time_limit:1.0 () in
+        Budget.tick ~n:50 parent;
+        (* The child asks for 10s but only 0.5s remain on the parent. *)
+        let child = Budget.sub ~time_limit:10.0 parent in
+        Alcotest.(check (float 1e-12)) "child deadline capped" 0.5
+          (Budget.time_limit child);
+        Alcotest.(check (float 1e-12)) "child clock starts now" 0.0
+          (Budget.elapsed child);
+        (* Work billed against the child is visible to the parent. *)
+        Budget.tick ~n:60 child;
+        Alcotest.(check bool) "child exhausted" true (Budget.out_of_time child);
+        Alcotest.(check bool) "parent exhausted too" true
+          (Budget.out_of_time parent));
+    Alcotest.test_case "node and iteration limits" `Quick (fun () ->
+        let b = Budget.create ~node_limit:5 ~iter_limit:10 () in
+        Alcotest.(check bool) "5 nodes ok" false (Budget.nodes_exhausted b 5);
+        Alcotest.(check bool) "6 nodes out" true (Budget.nodes_exhausted b 6);
+        Alcotest.(check bool) "9 iters ok" false (Budget.iters_exhausted b 9);
+        Alcotest.(check bool) "10 iters out" true (Budget.iters_exhausted b 10);
+        let unlimited = Budget.create () in
+        Alcotest.(check bool) "no deadline" false
+          (Budget.out_of_time unlimited);
+        Alcotest.(check bool) "no node cap" false
+          (Budget.nodes_exhausted unlimited max_int));
+  ]
+
+(* ---- Simplex under a budget ------------------------------------------- *)
+
+(* A fixed random-ish LP big enough to need a few pivots. *)
+let medium_lp () =
+  let rng = Workload.Rng.create 11L in
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init 30 (fun i ->
+        Lp.Model.add_var m ~ub:(Workload.Rng.float_range rng 1.0 4.0)
+          (Printf.sprintf "x%d" i))
+  in
+  for _ = 1 to 20 do
+    Lp.Model.add_le m
+      (Lp.Expr.of_terms
+         (Array.to_list
+            (Array.map
+               (fun (x : Lp.Model.var) ->
+                 ((x :> int), Workload.Rng.float_range rng 0.0 2.0))
+               vars)))
+      (Workload.Rng.float_range rng 2.0 8.0)
+  done;
+  Lp.Model.set_objective m Lp.Model.Maximize
+    (Lp.Expr.sum
+       (Array.to_list
+          (Array.map (fun (x : Lp.Model.var) -> Lp.Expr.var (x :> int)) vars)));
+  m
+
+let simplex_tests =
+  [
+    Alcotest.test_case "an exhausted budget stops the simplex" `Quick
+      (fun () ->
+        let r =
+          Lp.Simplex.solve_model
+            ~budget:(Budget.create ~time_limit:0.0 ())
+            (medium_lp ())
+        in
+        Alcotest.(check string) "time limit" "time limit"
+          (Lp.Simplex.status_to_string r.Lp.Simplex.status));
+    Alcotest.test_case "pivots bill the shared budget" `Quick (fun () ->
+        let b = Budget.create ~deterministic:1.0 () in
+        let stats = Runtime.Stats.create () in
+        let r = Lp.Simplex.solve_model ~budget:b ~stats (medium_lp ()) in
+        Alcotest.(check bool) "optimal" true
+          (r.Lp.Simplex.status = Lp.Simplex.Optimal);
+        Alcotest.(check bool) "pivots recorded" true
+          (stats.Runtime.Stats.simplex_iterations > 0);
+        (* m² ticks per pivot: the budget clock must have advanced at
+           least one tick per recorded pivot. *)
+        Alcotest.(check bool) "clock advanced" true
+          (Budget.ticks b >= stats.Runtime.Stats.simplex_iterations));
+    Alcotest.test_case "iteration cap maps to Iter_limit" `Quick (fun () ->
+        let r =
+          Lp.Simplex.solve_model
+            ~budget:(Budget.create ~iter_limit:1 ())
+            (medium_lp ())
+        in
+        Alcotest.(check bool) "iter limit" true
+          (r.Lp.Simplex.status = Lp.Simplex.Iter_limit));
+  ]
+
+(* ---- Branch-and-bound under a budget ---------------------------------- *)
+
+(* A fractional knapsack: max 8a+11b+6c+4d, 5a+7b+4c+3d <= 14, binaries.
+   The LP relaxation is fractional, so the search must branch; the
+   integer optimum is 21 (b + c + d). *)
+let knapsack () =
+  let m = Lp.Model.create () in
+  let v name = Lp.Model.add_var m ~kind:Lp.Model.Binary name in
+  let a = v "a" and b = v "b" and c = v "c" and d = v "d" in
+  let terms coeffs =
+    Lp.Expr.of_terms
+      (List.map2
+         (fun (x : Lp.Model.var) k -> ((x :> int), k))
+         [ a; b; c; d ] coeffs)
+  in
+  Lp.Model.add_le m (terms [ 5.0; 7.0; 4.0; 3.0 ]) 14.0;
+  Lp.Model.set_objective m Lp.Model.Maximize (terms [ 8.0; 11.0; 6.0; 4.0 ]);
+  m
+
+let mip_tests =
+  [
+    Alcotest.test_case "tiny budget: Time_limit with a valid bound" `Quick
+      (fun () ->
+        (* One deterministic tick of budget: the root node enters (elapsed
+           is still 0), its LP prices out and bills m² ticks per pivot,
+           and the second node hits the deadline — so the search stops at
+           Time_limit with the root relaxation as its proved bound. *)
+        let r =
+          Mip.Branch_bound.solve
+            ~budget:(Budget.create ~deterministic:1.0 ~time_limit:1.0 ())
+            ~initial:[| 0.0; 1.0; 1.0; 1.0 |]
+            (knapsack ())
+        in
+        Alcotest.(check bool) "time limit" true
+          (r.Mip.Branch_bound.status = Mip.Branch_bound.Time_limit);
+        Alcotest.(check bool) "bound is finite" true
+          (Float.is_finite r.Mip.Branch_bound.best_bound);
+        (* A valid dual bound dominates the integer optimum (21). *)
+        Alcotest.(check bool) "bound dominates optimum" true
+          (r.Mip.Branch_bound.best_bound >= 21.0 -. 1e-9);
+        (* The seeded incumbent survives, so the gap is finite. *)
+        Alcotest.(check (float 1e-9)) "incumbent kept" 21.0
+          (match r.Mip.Branch_bound.objective with Some o -> o | None -> nan);
+        Alcotest.(check bool) "gap finite and nonnegative" true
+          (Float.is_finite r.Mip.Branch_bound.gap
+          && r.Mip.Branch_bound.gap >= 0.0));
+    Alcotest.test_case "same budget object reaches the node LPs" `Quick
+      (fun () ->
+        let b = Budget.create ~deterministic:1.0 () in
+        let stats = Runtime.Stats.create () in
+        let r = Mip.Branch_bound.solve ~budget:b ~stats (knapsack ()) in
+        Alcotest.(check bool) "optimal" true
+          (r.Mip.Branch_bound.status = Mip.Branch_bound.Optimal);
+        Alcotest.(check (float 1e-6)) "optimum 21" 21.0
+          (match r.Mip.Branch_bound.objective with Some o -> o | None -> nan);
+        Alcotest.(check bool) "node LP pivots ticked the shared clock" true
+          (Budget.ticks b >= stats.Runtime.Stats.simplex_iterations
+          && stats.Runtime.Stats.simplex_iterations > 0
+          && stats.Runtime.Stats.bb_nodes = r.Mip.Branch_bound.nodes));
+    Alcotest.test_case "node budget limit maps to Node_limit" `Quick
+      (fun () ->
+        let r =
+          Mip.Branch_bound.solve
+            ~budget:(Budget.create ~node_limit:1 ())
+            (knapsack ())
+        in
+        Alcotest.(check bool) "node limit" true
+          (r.Mip.Branch_bound.status = Mip.Branch_bound.Node_limit));
+  ]
+
+(* ---- One-clock accounting through the solver stack -------------------- *)
+
+let scenario_instance ?(flexibility = 1.0) seed =
+  let rng = Workload.Rng.create seed in
+  Tvnep.Scenario.generate rng
+    { Tvnep.Scenario.scaled with num_requests = 4; flexibility }
+
+let accounting_tests =
+  [
+    Alcotest.test_case "seeded solve bills greedy time to the outcome" `Slow
+      (fun () ->
+        let inst = scenario_instance 3L in
+        let o =
+          Tvnep.Solver.solve inst
+            {
+              Tvnep.Solver.default_options with
+              seed_with_greedy = true;
+              budget = Some (Budget.create ~deterministic:1000.0 ());
+            }
+        in
+        let s = o.Tvnep.Solver.stats in
+        Alcotest.(check bool) "greedy ran" true
+          (s.Runtime.Stats.greedy_lp_solves > 0
+          && s.Runtime.Stats.greedy_time > 0.0);
+        (* The regression this guards: runtime used to be only the B&B
+           solve_time, silently dropping the greedy seeding (and the model
+           build) that ran on its own clock.  On one shared clock the
+           whole-solve runtime dominates the sum of its phases. *)
+        Alcotest.(check bool) "runtime covers every phase" true
+          (o.Tvnep.Solver.runtime
+           >= s.Runtime.Stats.greedy_time +. s.Runtime.Stats.build_time
+              +. s.Runtime.Stats.search_time -. 1e-9));
+    Alcotest.test_case "trace sees the phases in order" `Slow (fun () ->
+        let inst = scenario_instance 3L in
+        let sink, collected = Runtime.Trace.collector () in
+        let o =
+          Tvnep.Solver.solve inst
+            {
+              Tvnep.Solver.default_options with
+              seed_with_greedy = true;
+              budget = Some (Budget.create ~deterministic:1000.0 ());
+              trace = Some sink;
+            }
+        in
+        ignore o;
+        let phases =
+          List.filter_map
+            (function
+              | _, Runtime.Trace.Phase_start name -> Some name | _ -> None)
+            (collected ())
+        in
+        Alcotest.(check (list string)) "build, greedy, search"
+          [ "build"; "greedy"; "search" ] phases);
+    Alcotest.test_case "hybrid combines both passes on one clock" `Slow
+      (fun () ->
+        let inst = scenario_instance 3L in
+        let _, h =
+          Tvnep.Hybrid.solve
+            ~budget:(Budget.create ~deterministic:1000.0 ())
+            inst
+        in
+        (* Exact pass and greedy scan ran sequentially on the shared
+           clock, so the combined runtime dominates the sum of the two
+           per-pass spans (the old two-clock version could report less
+           than either). *)
+        Alcotest.(check bool) "combined covers both passes" true
+          (h.Tvnep.Hybrid.runtime
+           >= h.Tvnep.Hybrid.heavy_outcome.Tvnep.Solver.runtime
+              +. h.Tvnep.Hybrid.greedy_stats.Tvnep.Greedy.runtime -. 1e-9);
+        Alcotest.(check bool) "counters merged" true
+          (h.Tvnep.Hybrid.counters.Runtime.Stats.greedy_lp_solves > 0));
+  ]
+
+(* ---- Domain pool ------------------------------------------------------ *)
+
+let pool_tests =
+  [
+    Alcotest.test_case "map matches sequential at any jobs level" `Quick
+      (fun () ->
+        let tasks = Array.init 100 (fun i -> i) in
+        let f i = (i * i) + 1 in
+        let seq = Runtime.Pool.map ~jobs:1 f tasks in
+        let par = Runtime.Pool.map ~jobs:4 f tasks in
+        Alcotest.(check (array int)) "same results in order" seq par);
+    Alcotest.test_case "effective_jobs clamps sensibly" `Quick (fun () ->
+        Alcotest.(check int) "jobs=1" 1 (Runtime.Pool.effective_jobs ~jobs:1 10);
+        Alcotest.(check int) "more jobs than tasks" 3
+          (Runtime.Pool.effective_jobs ~jobs:8 3);
+        Alcotest.(check bool) "autodetect is positive" true
+          (Runtime.Pool.effective_jobs ~jobs:0 10 >= 1);
+        Alcotest.(check int) "no tasks, one worker" 1
+          (Runtime.Pool.effective_jobs ~jobs:4 0));
+    Alcotest.test_case "worker exceptions propagate" `Quick (fun () ->
+        Alcotest.check_raises "failure surfaces" (Failure "task 13")
+          (fun () ->
+            ignore
+              (Runtime.Pool.map ~jobs:4
+                 (fun i ->
+                   if i = 13 then failwith "task 13" else i)
+                 (Array.init 20 (fun i -> i)))));
+  ]
+
+(* ---- Parallel determinism of the bench harness ------------------------ *)
+
+(* A miniature Figure-3-style sweep (cΣ + greedy, two flexibilities, two
+   scenarios) rendered with full float precision, once per jobs level.
+   Byte equality of the rendered tables is the bench's reproducibility
+   contract: deterministic work-clock budgets + order-preserving pool. *)
+let render_sweep jobs =
+  let cfg =
+    {
+      Bench_harness.Figures.default_config with
+      Bench_harness.Figures.scenarios = 2;
+      flexibilities = [ 0.0; 1.0 ];
+      time_limit = 5.0;
+      params = { Tvnep.Scenario.scaled with num_requests = 3 };
+      with_delta = false;
+      with_sigma = false;
+      jobs;
+      deterministic = true;
+    }
+  in
+  let records = Bench_harness.Figures.run_access cfg in
+  let table =
+    Statsutil.Table.create
+      ~headers:[ "cell"; "csigma runtime"; "objective"; "greedy runtime" ]
+  in
+  List.iter
+    (fun (r : Bench_harness.Figures.access_record) ->
+      Statsutil.Table.add_row table
+        [
+          Printf.sprintf "s%d f%.1f" r.Bench_harness.Figures.scenario
+            r.Bench_harness.Figures.flex;
+          Printf.sprintf "%.17g"
+            r.Bench_harness.Figures.csigma.Tvnep.Solver.runtime;
+          Printf.sprintf "%.17g"
+            (match r.Bench_harness.Figures.csigma.Tvnep.Solver.objective with
+            | Some o -> o
+            | None -> nan);
+          Printf.sprintf "%.17g"
+            r.Bench_harness.Figures.greedy_stats.Tvnep.Greedy.runtime;
+        ])
+    records;
+  Statsutil.Table.render table
+
+let determinism_tests =
+  [
+    Alcotest.test_case "sweep tables are byte-identical across jobs" `Slow
+      (fun () ->
+        let sequential = render_sweep 1 in
+        let parallel = render_sweep 4 in
+        Alcotest.(check string) "jobs=1 vs jobs=4" sequential parallel);
+  ]
+
+let suite =
+  [
+    ("runtime.budget", budget_tests);
+    ("runtime.simplex", simplex_tests);
+    ("runtime.mip", mip_tests);
+    ("runtime.accounting", accounting_tests);
+    ("runtime.pool", pool_tests);
+    ("runtime.determinism", determinism_tests);
+  ]
