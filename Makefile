@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke bench-micro check clean
 
 all: build
 
@@ -15,7 +15,13 @@ bench-smoke: build
 	dune exec bench/main.exe -- --quick --figures 3 --jobs 2 \
 	  --no-ablations --no-micro
 
-check: build test bench-smoke
+# Deterministic simplex micro bench; writes BENCH_simplex.json (per-case
+# iterations, pivots, work-clock ticks, wall time) and exits nonzero when
+# the emitted file fails validation, so CI catches a malformed bench file.
+bench-micro: build
+	dune exec bench/main.exe -- --no-figures --no-ablations
+
+check: build test bench-smoke bench-micro
 
 clean:
 	dune clean

@@ -107,6 +107,15 @@ let skip_ablations_arg =
 let skip_micro_arg =
   Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip the microbenchmarks.")
 
+let bench_json_arg =
+  Arg.(
+    value
+    & opt string "BENCH_simplex.json"
+    & info [ "bench-json" ] ~docv:"PATH"
+        ~doc:"Where the micro pass writes its machine-readable simplex \
+              benchmark (JSON; validated after writing).  Empty = don't \
+              write.")
+
 let flex_sweep ~flex_max ~flex_step =
   let rec go acc f =
     if f > flex_max +. 1e-9 then List.rev acc else go (f :: acc) (f +. flex_step)
@@ -115,7 +124,7 @@ let flex_sweep ~flex_max ~flex_step =
 
 let run figures scenarios time_limit requests flex_max flex_step scale seed
     no_delta no_sigma no_seeding jobs wall_clock quick skip_figures
-    skip_ablations skip_micro =
+    skip_ablations skip_micro bench_json =
   let open Bench_harness in
   let params =
     match scale with
@@ -158,7 +167,10 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
         jobs;
         deterministic = not wall_clock;
       };
-  if not skip_micro then Micro.run ();
+  if not skip_micro then
+    Micro.run
+      ?json_path:(if bench_json = "" then None else Some bench_json)
+      ();
   0
 
 let cmd =
@@ -167,7 +179,8 @@ let cmd =
       const run $ figures_arg $ scenarios_arg $ time_limit_arg $ requests_arg
       $ flex_max_arg $ flex_step_arg $ scale_arg $ seed_arg $ no_delta_arg
       $ no_sigma_arg $ no_seeding_arg $ jobs_arg $ wall_clock_arg $ quick_arg
-      $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg)
+      $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg
+      $ bench_json_arg)
   in
   Cmd.v
     (Cmd.info "tvnep-bench"

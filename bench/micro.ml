@@ -1,4 +1,6 @@
-(* Bechamel micro-benchmarks of the solver's computational kernels. *)
+(* Bechamel micro-benchmarks of the solver's computational kernels, plus a
+   deterministic simplex benchmark written to a machine-readable JSON file
+   so the perf trajectory of the LP hot path is tracked across PRs. *)
 
 open Bechamel
 open Toolkit
@@ -61,7 +63,191 @@ let tests () =
       (Staged.stage (fun () -> ignore (Tvnep.Greedy.solve inst)));
   ]
 
-let run () =
+(* --- deterministic simplex benchmark (JSON) ---------------------------- *)
+
+(* One benchmark case: [iterations] repetitions of some solve, with the
+   work billed to a deterministic budget clock (1 tick / "second", so
+   ticks are read back directly off the budget) and pivots taken from the
+   shared stats record.  [per_rep] carries the per-repetition tick deltas
+   so medians survive into the JSON. *)
+type sim_case = {
+  name : string;
+  iterations : int;
+  pivots : int;
+  ticks : int;
+  wall_s : float;
+  per_rep_ticks : float list;
+}
+
+let case_of_runs name runs =
+  let iterations = List.length runs in
+  let pivots = List.fold_left (fun acc (p, _) -> acc + p) 0 runs in
+  let ticks = List.fold_left (fun acc (_, t) -> acc + t) 0 runs in
+  (name, iterations, pivots, ticks, List.map (fun (_, t) -> float_of_int t) runs)
+
+(* Cold solves of the fixed small LP. *)
+let cold_lp_case () =
+  let sf = small_lp () in
+  let reps = 50 in
+  let t0 = Unix.gettimeofday () in
+  let runs =
+    List.init reps (fun _ ->
+        let budget = Runtime.Budget.create ~deterministic:1.0 () in
+        let stats = Runtime.Stats.create () in
+        let r = Lp.Simplex.solve ~budget ~stats sf in
+        assert (r.Lp.Simplex.status = Lp.Simplex.Optimal);
+        (stats.Runtime.Stats.simplex_iterations, Runtime.Budget.ticks budget))
+  in
+  let name, iterations, pivots, ticks, per_rep =
+    case_of_runs "simplex-cold-30v-20r" runs
+  in
+  { name; iterations; pivots; ticks; wall_s = Unix.gettimeofday () -. t0;
+    per_rep_ticks = per_rep }
+
+(* The LP hot path of every TVNEP figure: branch-and-bound re-solves of
+   the cΣ node LPs.  A persistent session re-optimizes under a
+   deterministic sequence of integer-bound fixings that mimics plunging
+   (fix a handful of binaries, re-solve after each, back off, repeat), and
+   each re-solve's work-clock ticks are recorded. *)
+let node_lp_case () =
+  let inst = bench_instance () in
+  let fm = Tvnep.Csigma_model.build inst in
+  ignore (Tvnep.Objective.apply fm Tvnep.Objective.Access_control);
+  let sf = Lp.Std_form.of_model fm.Tvnep.Formulation.model in
+  let n_total = Lp.Std_form.n_total sf in
+  let root_lb = Array.sub sf.Lp.Std_form.lb 0 n_total in
+  let root_ub = Array.sub sf.Lp.Std_form.ub 0 n_total in
+  let int_cols =
+    List.filter
+      (fun j -> sf.Lp.Std_form.integer.(j))
+      (List.init sf.Lp.Std_form.n_struct (fun j -> j))
+  in
+  let int_cols = Array.of_list int_cols in
+  let session = Lp.Simplex.create_session sf in
+  let budget = Runtime.Budget.create ~deterministic:1.0 () in
+  let stats = Runtime.Stats.create () in
+  (* Root solve primes the session's basis; not part of the measurement. *)
+  ignore (Lp.Simplex.session_solve session ~budget ~stats ~lb:root_lb ~ub:root_ub ());
+  let rng = Workload.Rng.create 17L in
+  let lb = Array.copy root_lb and ub = Array.copy root_ub in
+  let resolves = 60 and plunge_depth = 5 in
+  let t0 = Unix.gettimeofday () in
+  let runs = ref [] in
+  for step = 0 to resolves - 1 do
+    if step mod plunge_depth = 0 then begin
+      (* back off to the root bounds: the next fixing starts a new dive *)
+      Array.blit root_lb 0 lb 0 n_total;
+      Array.blit root_ub 0 ub 0 n_total
+    end;
+    let j = int_cols.(Workload.Rng.int rng (Array.length int_cols)) in
+    if Workload.Rng.bool rng then ub.(j) <- lb.(j) else lb.(j) <- ub.(j);
+    let pivots0 = stats.Runtime.Stats.simplex_iterations in
+    let ticks0 = Runtime.Budget.ticks budget in
+    let r = Lp.Simplex.session_solve session ~budget ~stats ~lb ~ub () in
+    (* Infeasible children are normal; what matters is the work billed. *)
+    ignore r.Lp.Simplex.status;
+    runs :=
+      ( stats.Runtime.Stats.simplex_iterations - pivots0,
+        Runtime.Budget.ticks budget - ticks0 )
+      :: !runs
+  done;
+  let name, iterations, pivots, ticks, per_rep =
+    case_of_runs "node-lp-resolve-csigma-k4" (List.rev !runs)
+  in
+  { name; iterations; pivots; ticks; wall_s = Unix.gettimeofday () -. t0;
+    per_rep_ticks = per_rep }
+
+let sim_cases () = [ cold_lp_case (); node_lp_case () ]
+
+let json_of_cases cases =
+  let open Statsutil.Json in
+  Obj
+    [
+      ("schema", Str "tvnep-bench-simplex/1");
+      ("clock", Str "deterministic work ticks (1 tick = 1 work unit)");
+      ( "cases",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("name", Str c.name);
+                   ("iterations", Num (float_of_int c.iterations));
+                   ("pivots", Num (float_of_int c.pivots));
+                   ("ticks", Num (float_of_int c.ticks));
+                   ( "median_ticks_per_solve",
+                     Num (Statsutil.Stats.median c.per_rep_ticks) );
+                   ("wall_s", Num c.wall_s);
+                 ])
+             cases) );
+    ]
+
+(* Structural validation of an emitted file: used right after writing (so
+   a malformed bench file fails `make check` loudly) and available to any
+   consumer tracking the numbers across PRs. *)
+let validate_json_string s =
+  let open Statsutil.Json in
+  match of_string s with
+  | Error msg -> Error ("not valid JSON: " ^ msg)
+  | Ok doc -> (
+    match member "schema" doc with
+    | Some (Str "tvnep-bench-simplex/1") -> (
+      match Option.bind (member "cases" doc) to_list with
+      | None | Some [] -> Error "missing or empty \"cases\" list"
+      | Some cases ->
+        let bad =
+          List.filter
+            (fun c ->
+              let num k = Option.bind (member k c) to_float <> None in
+              not
+                ((match member "name" c with Some (Str _) -> true | _ -> false)
+                && num "iterations" && num "pivots" && num "ticks"
+                && num "median_ticks_per_solve" && num "wall_s"))
+            cases
+        in
+        if bad = [] then Ok (List.length cases)
+        else Error "a case is missing a required field")
+    | _ -> Error "missing or unexpected \"schema\"")
+
+let emit_json ~path cases =
+  let doc = json_of_cases cases in
+  let oc = open_out path in
+  output_string oc (Statsutil.Json.to_string doc);
+  close_out oc;
+  (* Re-read and validate what we just wrote. *)
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match validate_json_string s with
+  | Ok n -> Printf.printf "wrote %s (%d cases, validated)\n" path n
+  | Error msg ->
+    Printf.eprintf "BENCH JSON INVALID (%s): %s\n" path msg;
+    exit 1
+
+let run ?json_path () =
+  Printf.printf "\n== Simplex benchmark (deterministic work clock) ==\n";
+  let cases = sim_cases () in
+  let table =
+    Statsutil.Table.create
+      ~headers:[ "case"; "solves"; "pivots"; "ticks"; "med ticks/solve"; "wall" ]
+  in
+  List.iter
+    (fun c ->
+      Statsutil.Table.add_row table
+        [
+          c.name;
+          string_of_int c.iterations;
+          string_of_int c.pivots;
+          string_of_int c.ticks;
+          Printf.sprintf "%.0f" (Statsutil.Stats.median c.per_rep_ticks);
+          Printf.sprintf "%.3f s" c.wall_s;
+        ])
+    cases;
+  Statsutil.Table.print table;
+  (match json_path with
+  | Some path -> emit_json ~path cases
+  | None -> ());
   Printf.printf "\n== Microbenchmarks (Bechamel, monotonic clock) ==\n";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

@@ -123,6 +123,224 @@ let inverse f =
   done;
   inv
 
+(* --- sparse left-looking LU ------------------------------------------- *)
+
+module Sparse = struct
+  (* Column-compressed factors of B[p,q] = L·U: unit L strictly below the
+     diagonal, U strictly above with its diagonal stored separately.  The
+     column order [q] is fixed up front (ascending nonzero count — the
+     cheap static half of a Markowitz ordering); the row order [p] is
+     discovered during elimination by magnitude partial pivoting. *)
+  type t = {
+    n : int;
+    l_ptr : int array;
+    l_idx : int array;  (* factor-row indices, all > column *)
+    l_val : float array;
+    u_ptr : int array;
+    u_idx : int array;  (* factor-row indices, all < column *)
+    u_val : float array;
+    u_diag : float array;
+    p : int array;     (* factor row i came from original row p.(i) *)
+    q : int array;     (* factor column j holds original column q.(j) *)
+  }
+
+  let dim f = f.n
+  let nnz f = Array.length f.l_idx + Array.length f.u_idx + f.n
+
+  let of_diagonal d =
+    let n = Array.length d in
+    Array.iteri
+      (fun i v ->
+        if Float.abs v < Tol.pivot then raise (Singular i))
+      d;
+    {
+      n;
+      l_ptr = Array.make (n + 1) 0;
+      l_idx = [||];
+      l_val = [||];
+      u_ptr = Array.make (n + 1) 0;
+      u_idx = [||];
+      u_val = [||];
+      u_diag = Array.copy d;
+      p = Array.init n (fun i -> i);
+      q = Array.init n (fun i -> i);
+    }
+
+  (* Growable entry store for one factor. *)
+  type grow = {
+    mutable g_idx : int array;
+    mutable g_val : float array;
+    mutable g_len : int;
+  }
+
+  let grow_make () = { g_idx = Array.make 64 0; g_val = Array.make 64 0.0; g_len = 0 }
+
+  let grow_push g i v =
+    if g.g_len = Array.length g.g_idx then begin
+      let cap = 2 * g.g_len in
+      let idx = Array.make cap 0 and value = Array.make cap 0.0 in
+      Array.blit g.g_idx 0 idx 0 g.g_len;
+      Array.blit g.g_val 0 value 0 g.g_len;
+      g.g_idx <- idx;
+      g.g_val <- value
+    end;
+    g.g_idx.(g.g_len) <- i;
+    g.g_val.(g.g_len) <- v;
+    g.g_len <- g.g_len + 1
+
+  let factorize ~n ~col =
+    (* Static column order: ascending nonzero count, index as tie-break. *)
+    let counts = Array.make n 0 in
+    for j = 0 to n - 1 do
+      col j (fun _ _ -> counts.(j) <- counts.(j) + 1)
+    done;
+    let q = Array.init n (fun j -> j) in
+    Array.sort
+      (fun a b ->
+        match compare counts.(a) counts.(b) with 0 -> compare a b | c -> c)
+      q;
+    let p = Array.make n (-1) in
+    let pinv = Array.make n (-1) in  (* original row -> factor row *)
+    let x = Array.make n 0.0 in      (* dense accumulator, original rows *)
+    let mark = Array.make n (-1) in
+    let touched = Array.make n 0 in
+    let lg = grow_make () and ug = grow_make () in
+    let l_ptr = Array.make (n + 1) 0 in
+    let u_ptr = Array.make (n + 1) 0 in
+    let u_diag = Array.make n 0.0 in
+    for jf = 0 to n - 1 do
+      let jorig = q.(jf) in
+      let ntouch = ref 0 in
+      let touch i =
+        if mark.(i) <> jf then begin
+          mark.(i) <- jf;
+          touched.(!ntouch) <- i;
+          incr ntouch
+        end
+      in
+      col jorig (fun i v ->
+          touch i;
+          x.(i) <- x.(i) +. v);
+      (* Forward-eliminate with the columns already factored, in factor
+         order; x.(p.(kf)) is final once step kf is reached, so the U
+         entries can be harvested on the fly. *)
+      for kf = 0 to jf - 1 do
+        let pr = p.(kf) in
+        let ukj = x.(pr) in
+        if ukj <> 0.0 then begin
+          grow_push ug kf ukj;
+          for e = l_ptr.(kf) to l_ptr.(kf + 1) - 1 do
+            let i = lg.g_idx.(e) in
+            touch i;
+            x.(i) <- x.(i) -. (lg.g_val.(e) *. ukj)
+          done
+        end
+      done;
+      u_ptr.(jf + 1) <- ug.g_len;
+      (* Partial pivot: largest magnitude among still-unassigned rows. *)
+      let piv = ref (-1) and piv_val = ref Tol.pivot in
+      for k = 0 to !ntouch - 1 do
+        let i = touched.(k) in
+        if pinv.(i) < 0 then begin
+          let a = Float.abs x.(i) in
+          if
+            a > !piv_val
+            || (a = !piv_val && (!piv < 0 || i < !piv))
+          then begin
+            piv := i;
+            piv_val := a
+          end
+        end
+      done;
+      if !piv < 0 then raise (Singular jf);
+      let ipiv = !piv in
+      p.(jf) <- ipiv;
+      pinv.(ipiv) <- jf;
+      let d = x.(ipiv) in
+      u_diag.(jf) <- d;
+      for k = 0 to !ntouch - 1 do
+        let i = touched.(k) in
+        if pinv.(i) < 0 && x.(i) <> 0.0 then
+          (* L entries recorded by original row; remapped once every row
+             has its factor position. *)
+          grow_push lg i (x.(i) /. d);
+        x.(i) <- 0.0
+      done;
+      l_ptr.(jf + 1) <- lg.g_len
+    done;
+    let l_idx = Array.sub lg.g_idx 0 lg.g_len in
+    let l_val = Array.sub lg.g_val 0 lg.g_len in
+    for e = 0 to Array.length l_idx - 1 do
+      l_idx.(e) <- pinv.(l_idx.(e))
+    done;
+    {
+      n;
+      l_ptr;
+      l_idx;
+      l_val;
+      u_ptr;
+      u_idx = Array.sub ug.g_idx 0 ug.g_len;
+      u_val = Array.sub ug.g_val 0 ug.g_len;
+      u_diag;
+      p;
+      q;
+    }
+
+  (* B x = b.  [b] is indexed by original row, the result by basis
+     position (the original column slot); [work] is an n-scratch.  The
+     result may alias [b]. *)
+  let ftran_in_place f ~work b =
+    let n = f.n in
+    for i = 0 to n - 1 do
+      work.(i) <- b.(f.p.(i))
+    done;
+    for jf = 0 to n - 1 do
+      let t = work.(jf) in
+      if t <> 0.0 then
+        for e = f.l_ptr.(jf) to f.l_ptr.(jf + 1) - 1 do
+          let i = f.l_idx.(e) in
+          work.(i) <- work.(i) -. (f.l_val.(e) *. t)
+        done
+    done;
+    for jf = n - 1 downto 0 do
+      let t = work.(jf) /. f.u_diag.(jf) in
+      work.(jf) <- t;
+      if t <> 0.0 then
+        for e = f.u_ptr.(jf) to f.u_ptr.(jf + 1) - 1 do
+          let k = f.u_idx.(e) in
+          work.(k) <- work.(k) -. (f.u_val.(e) *. t)
+        done
+    done;
+    for jf = 0 to n - 1 do
+      b.(f.q.(jf)) <- work.(jf)
+    done
+
+  (* Bᵀ y = c.  [c] is indexed by basis position, the result by original
+     row; may alias. *)
+  let btran_in_place f ~work c =
+    let n = f.n in
+    for jf = 0 to n - 1 do
+      work.(jf) <- c.(f.q.(jf))
+    done;
+    for jf = 0 to n - 1 do
+      let acc = ref work.(jf) in
+      for e = f.u_ptr.(jf) to f.u_ptr.(jf + 1) - 1 do
+        acc := !acc -. (f.u_val.(e) *. work.(f.u_idx.(e)))
+      done;
+      work.(jf) <- !acc /. f.u_diag.(jf)
+    done;
+    for jf = n - 1 downto 0 do
+      let acc = ref work.(jf) in
+      for e = f.l_ptr.(jf) to f.l_ptr.(jf + 1) - 1 do
+        acc := !acc -. (f.l_val.(e) *. work.(f.l_idx.(e)))
+      done;
+      work.(jf) <- !acc
+    done;
+    for jf = 0 to n - 1 do
+      c.(f.p.(jf)) <- work.(jf)
+    done
+end
+
 let determinant f =
   let acc = ref f.sign in
   for i = 0 to f.n - 1 do

@@ -27,6 +27,47 @@ val solve_transpose : t -> float array -> float array
 val inverse : t -> Dense_matrix.t
 (** Explicit inverse, column by column. *)
 
+(** {2 Sparse factors}
+
+    Left-looking column LU over an abstract column accessor, kept {e as
+    factors} (never expanded to an inverse).  This is the simplex basis
+    workhorse: FTRAN/BTRAN run in O(nnz(L)+nnz(U)) against the factors,
+    and the product-form eta file on top of them lives in
+    {!Lp.Basis}. *)
+
+module Sparse : sig
+  type t
+  (** Factors [B[p,q] = L·U] with a sparsity-aware (Markowitz-style:
+      ascending static column counts, magnitude row pivoting) pivot
+      order. *)
+
+  val factorize : n:int -> col:(int -> (int -> float -> unit) -> unit) -> t
+  (** [factorize ~n ~col] factorizes the [n]×[n] matrix whose column [j]
+      is enumerated by [col j f] as [f row value] calls (duplicates are
+      summed).  @raise Singular when no acceptable pivot exists. *)
+
+  val of_diagonal : float array -> t
+  (** Trivial factorization of [diag d] — the simplex cold-start basis of
+      signed unit columns.  @raise Singular on a near-zero entry. *)
+
+  val dim : t -> int
+
+  val nnz : t -> int
+  (** Stored entries of [L] and [U] including the [U] diagonal: the cost
+      of one FTRAN or BTRAN against the factors. *)
+
+  val ftran_in_place : t -> work:float array -> float array -> unit
+  (** [ftran_in_place f ~work b] overwrites [b] with the solution of
+      [B x = b]; [b] is indexed by original row on input and by basis
+      position (original column slot) on output.  [work] is caller-owned
+      scratch of length [dim f]. *)
+
+  val btran_in_place : t -> work:float array -> float array -> unit
+  (** [btran_in_place f ~work c] overwrites [c] with the solution of
+      [Bᵀ y = c]; [c] is indexed by basis position on input and by
+      original row on output. *)
+end
+
 val determinant : t -> float
 
 val condition_estimate : t -> float

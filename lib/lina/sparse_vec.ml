@@ -24,6 +24,23 @@ let of_assoc pairs =
     value = Array.of_list (List.map snd merged);
   }
 
+let of_dense ?(skip = -1) dense =
+  let n = Array.length dense in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if i <> skip && not (Tol.is_zero dense.(i)) then incr count
+  done;
+  let idx = Array.make !count 0 and value = Array.make !count 0.0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if i <> skip && not (Tol.is_zero dense.(i)) then begin
+      idx.(!k) <- i;
+      value.(!k) <- dense.(i);
+      incr k
+    end
+  done;
+  { idx; value }
+
 let to_assoc v = Array.to_list (Array.map2 (fun i x -> (i, x)) v.idx v.value)
 
 let nnz v = Array.length v.idx

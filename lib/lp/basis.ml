@@ -1,0 +1,167 @@
+module Dm = Lina.Dense_matrix
+module Slu = Lina.Lu.Sparse
+module Sv = Lina.Sparse_vec
+
+type kind = Dense_inverse | Factored_lu
+
+(* Product-form eta: the basis after pivoting column [r] is
+   B' = B·E with E = I + (w − e_r)·e_rᵀ, w = B⁻¹a_entering.  [diag] is
+   w_r, [vec] the remaining support of w. *)
+type eta = { e_r : int; e_diag : float; e_vec : Sv.t }
+
+type dense = { mutable binv : Dm.t }
+
+type factored = {
+  mutable lu : Slu.t;
+  mutable etas : eta array;
+  mutable n_eta : int;
+  mutable eta_nnz : int;
+}
+
+type rep = Dense of dense | Factored of factored
+
+type t = { m : int; rep : rep; work : float array }
+
+let no_eta = { e_r = 0; e_diag = 1.0; e_vec = Sv.empty }
+
+let create kind m =
+  let rep =
+    match kind with
+    | Dense_inverse -> Dense { binv = Dm.identity m }
+    | Factored_lu ->
+      Factored
+        {
+          lu = Slu.of_diagonal (Array.make m 1.0);
+          etas = Array.make 16 no_eta;
+          n_eta = 0;
+          eta_nnz = 0;
+        }
+  in
+  { m; rep; work = Array.make m 0.0 }
+
+let kind t =
+  match t.rep with Dense _ -> Dense_inverse | Factored _ -> Factored_lu
+
+let dim t = t.m
+
+let eta_count t = match t.rep with Dense _ -> 0 | Factored f -> f.n_eta
+
+let solve_cost t =
+  match t.rep with
+  | Dense _ -> t.m * t.m
+  | Factored f -> Slu.nnz f.lu + f.eta_nnz + t.m
+
+let clear_etas f =
+  f.n_eta <- 0;
+  f.eta_nnz <- 0
+
+let load_identity t signs =
+  match t.rep with
+  | Dense d ->
+    let binv = Dm.create ~rows:t.m ~cols:t.m in
+    Array.iteri (fun i s -> Dm.set binv i i (1.0 /. s)) signs;
+    d.binv <- binv
+  | Factored f ->
+    f.lu <- Slu.of_diagonal signs;
+    clear_etas f
+
+let factorize t col =
+  match t.rep with
+  | Dense d ->
+    let b = Dm.create ~rows:t.m ~cols:t.m in
+    for pos = 0 to t.m - 1 do
+      col pos (fun i v -> Dm.set b i pos v)
+    done;
+    d.binv <- Lina.Lu.inverse (Lina.Lu.factorize b)
+  | Factored f ->
+    f.lu <- Slu.factorize ~n:t.m ~col;
+    clear_etas f
+
+(* --- eta application --------------------------------------------------- *)
+
+(* w <- E_1⁻¹…E_k⁻¹ applied in append order (FTRAN direction). *)
+let etas_ftran f w =
+  for k = 0 to f.n_eta - 1 do
+    let e = f.etas.(k) in
+    let t = w.(e.e_r) /. e.e_diag in
+    if t <> 0.0 then Sv.axpy_dense (-.t) e.e_vec w;
+    w.(e.e_r) <- t
+  done
+
+(* y <- E_k⁻ᵀ…E_1⁻ᵀ applied in reverse order (BTRAN direction). *)
+let etas_btran f y =
+  for k = f.n_eta - 1 downto 0 do
+    let e = f.etas.(k) in
+    y.(e.e_r) <- (y.(e.e_r) -. Sv.dot_dense e.e_vec y) /. e.e_diag
+  done
+
+(* --- solves ------------------------------------------------------------ *)
+
+let ftran_in_place t b =
+  match t.rep with
+  | Dense d ->
+    let x = Dm.mult_vec d.binv b in
+    Array.blit x 0 b 0 t.m
+  | Factored f ->
+    Slu.ftran_in_place f.lu ~work:t.work b;
+    etas_ftran f b
+
+let ftran_col t col w =
+  match t.rep with
+  | Dense d -> col (fun i v -> Dm.col_axpy d.binv i v w)
+  | Factored f ->
+    col (fun i v -> w.(i) <- w.(i) +. v);
+    Slu.ftran_in_place f.lu ~work:t.work w;
+    etas_ftran f w
+
+let btran_in_place t c =
+  match t.rep with
+  | Dense d ->
+    (* y = binvᵀ c on the raw storage (row-major, so rows scatter). *)
+    let raw = Dm.raw d.binv in
+    let m = t.m in
+    Array.fill t.work 0 m 0.0;
+    for i = 0 to m - 1 do
+      let ci = c.(i) in
+      if ci <> 0.0 then begin
+        let base = i * m in
+        for k = 0 to m - 1 do
+          t.work.(k) <- t.work.(k) +. (ci *. raw.(base + k))
+        done
+      end
+    done;
+    Array.blit t.work 0 c 0 m
+  | Factored f ->
+    etas_btran f c;
+    Slu.btran_in_place f.lu ~work:t.work c
+
+let unit_row t r out =
+  match t.rep with
+  | Dense d -> Array.blit (Dm.raw d.binv) (r * t.m) out 0 t.m
+  | Factored _ ->
+    Array.fill out 0 t.m 0.0;
+    out.(r) <- 1.0;
+    btran_in_place t out
+
+(* --- pivot update ------------------------------------------------------ *)
+
+let update t ~r ~w =
+  match t.rep with
+  | Dense d ->
+    Dm.pivot_update d.binv w r;
+    0
+  | Factored f ->
+    let diag = w.(r) in
+    if Float.abs diag < Lina.Tol.pivot then
+      invalid_arg "Basis.update: pivot too small";
+    let vec = Sv.of_dense ~skip:r w in
+    if f.n_eta = Array.length f.etas then begin
+      let grown = Array.make (2 * f.n_eta) no_eta in
+      Array.blit f.etas 0 grown 0 f.n_eta;
+      f.etas <- grown
+    end;
+    f.etas.(f.n_eta) <- { e_r = r; e_diag = diag; e_vec = vec };
+    f.n_eta <- f.n_eta + 1;
+    let added = Sv.nnz vec + 1 in
+    f.eta_nnz <- f.eta_nnz + added;
+    added

@@ -1,0 +1,68 @@
+(** Simplex basis representations.
+
+    The revised simplex needs four operations against the basis matrix
+    [B] (columns of [A] indexed by basis position): FTRAN ([B x = b]),
+    BTRAN ([Bᵀ y = c]), extraction of one row of [B⁻¹], and a rank-one
+    update after a pivot.  Two representations provide them:
+
+    - {!Dense_inverse} — the explicit dense [B⁻¹], updated in product
+      form on every pivot (O(m²) per operation).  Kept as the reference
+      implementation for A/B property tests.
+    - {!Factored_lu} — sparse LU factors ({!Lina.Lu.Sparse}) plus a
+      product-form {e eta file}: each pivot appends one sparse eta column
+      instead of patching an inverse, and every solve runs in
+      O(nnz(factors) + nnz(etas)).  The caller refactorizes when
+      {!eta_count} grows past its limit or the residual drifts. *)
+
+type kind = Dense_inverse | Factored_lu
+
+type t
+
+val create : kind -> int -> t
+(** [create kind m] starts as the identity basis of dimension [m]. *)
+
+val kind : t -> kind
+
+val dim : t -> int
+
+val eta_count : t -> int
+(** Appended eta columns since the last (re)factorization; always [0] for
+    {!Dense_inverse}. *)
+
+val solve_cost : t -> int
+(** Deterministic work units of one FTRAN or BTRAN at the current
+    representation size — [m²] dense, [nnz(L)+nnz(U)+nnz(etas)+m]
+    factored.  This is what the simplex bills to the budget clock. *)
+
+val load_identity : t -> float array -> unit
+(** [load_identity t signs] installs the basis [diag signs] (signs are
+    ±1: the cold-start basis of logical and artificial columns), clearing
+    any eta file. *)
+
+val factorize : t -> (int -> (int -> float -> unit) -> unit) -> unit
+(** [factorize t col] refactorizes from scratch; [col pos f] enumerates
+    the basis column at position [pos].  Clears the eta file.
+    @raise Lina.Lu.Singular on a (numerically) singular basis. *)
+
+val ftran_col : t -> ((int -> float -> unit) -> unit) -> float array -> unit
+(** [ftran_col t col w] accumulates [B⁻¹ a] into [w] (length [m],
+    caller-zeroed), where [col f] enumerates the entries of [a]. *)
+
+val ftran_in_place : t -> float array -> unit
+(** [ftran_in_place t b] overwrites the dense [b] (indexed by row) with
+    [B⁻¹ b] (indexed by basis position). *)
+
+val btran_in_place : t -> float array -> unit
+(** [btran_in_place t c] overwrites the dense [c] (indexed by basis
+    position) with [B⁻ᵀ c] (indexed by row). *)
+
+val unit_row : t -> int -> float array -> unit
+(** [unit_row t r out] fills [out] (length [m]) with row [r] of [B⁻¹] —
+    the BTRAN of [e_r], i.e. the pivot row of the dual simplex. *)
+
+val update : t -> r:int -> w:float array -> int
+(** [update t ~r ~w] installs the pivot that makes column [w = B⁻¹ a_q]
+    basic at position [r]: a product-form inverse patch (dense) or an
+    appended eta column (factored).  Returns the number of eta entries
+    added (0 dense).  @raise Invalid_argument when [|w_r|] is below
+    {!Lina.Tol.pivot}. *)

@@ -1,4 +1,3 @@
-module Dm = Lina.Dense_matrix
 module Budget = Runtime.Budget
 module Rstats = Runtime.Stats
 
@@ -28,6 +27,9 @@ type params = {
   refactor_every : int;
   dual_feas_tol : float;
   primal_feas_tol : float;
+  factorization : Basis.kind;
+  eta_limit : int;
+  partial_pricing : bool;
 }
 
 let default_params =
@@ -37,6 +39,9 @@ let default_params =
     refactor_every = 100;
     dual_feas_tol = 1e-7;
     primal_feas_tol = Lina.Tol.feas;
+    factorization = Basis.Factored_lu;
+    eta_limit = 64;
+    partial_pricing = true;
   }
 
 type result = {
@@ -66,7 +71,7 @@ type state = {
   vstat : vstat array;
   basis : int array;
   art_sign : float array;
-  mutable binv : Dm.t;
+  rep : Basis.t;  (* basis representation: LU factors + etas, or dense B⁻¹ *)
   mutable pivots_since_refactor : int;
   mutable iterations : int;
   mutable bland : bool;
@@ -78,7 +83,22 @@ type state = {
   (* scratch buffers *)
   w : float array;  (* FTRAN result *)
   y : float array;  (* duals *)
-  cb : float array; (* basic costs *)
+  (* partial pricing: surviving entering candidates from the last sweep *)
+  cand : int array;
+  cand_score : float array;
+  mutable cand_n : int;
+  mutable dualw : dual_ws option;  (* dual pricing workspace, built lazily *)
+}
+
+(* Row-scatter workspace of the dual simplex's pivot-row computation:
+   [d_at] is Aᵀ, so the alphas touch only the columns that actually meet
+   the (sparse) inverse row instead of dotting every column. *)
+and dual_ws = {
+  d_at : Lina.Csc.t;
+  d_alpha : float array;  (* length n_total *)
+  d_mark : int array;
+  d_touch : int array;
+  mutable d_stamp : int;
 }
 
 exception Solver_stop of status
@@ -100,10 +120,17 @@ let col_dot_dense st j y =
   if j < st.n_total then Lina.Csc.col_dot st.sf.Std_form.a j y
   else st.art_sign.(j - st.n_total) *. y.(j - st.n_total)
 
-(* w <- B^-1 A_j *)
+(* w <- B^-1 A_j.  Bills one solve of the current representation to the
+   budget clock and the result's nonzero count to the stats. *)
 let ftran st j =
   Array.fill st.w 0 st.m 0.0;
-  col_iter st j (fun i v -> Dm.col_axpy st.binv i v st.w)
+  Basis.ftran_col st.rep (fun f -> col_iter st j f) st.w;
+  let nnz = ref 0 in
+  for i = 0 to st.m - 1 do
+    if st.w.(i) <> 0.0 then incr nnz
+  done;
+  st.stats.Rstats.ftran_nnz <- st.stats.Rstats.ftran_nnz + !nnz;
+  Budget.tick ~n:(Basis.solve_cost st.rep) st.budget
 
 (* --- (re)factorization ---------------------------------------------- *)
 
@@ -118,12 +145,12 @@ let nonbasic_rhs st =
   done;
   rhs
 
-(* Recomputes basic values through the current (product-form) inverse:
-   cheap O(m² + nnz) drift control between full refactorizations. *)
+(* Recomputes basic values through the current representation (factors
+   plus eta file): cheap drift control between full refactorizations. *)
 let recompute_basics st =
   let rhs = nonbasic_rhs st in
-  let xb = Dm.mult_vec st.binv rhs in
-  Array.iteri (fun pos j -> st.xval.(j) <- xb.(pos)) st.basis
+  Basis.ftran_in_place st.rep rhs;
+  Array.iteri (fun pos j -> st.xval.(j) <- rhs.(pos)) st.basis
 
 (* Max-norm of A·x over all columns — exact feasibility residual of the
    equality system, O(nnz). *)
@@ -137,20 +164,17 @@ let equation_residual st =
   done;
   Lina.Vec.nrm_inf r
 
-(* Rebuilds the dense basis matrix, factorizes it, replaces the explicit
-   inverse and recomputes basic values from the nonbasic ones. *)
+(* Refactorizes the basis from scratch (discarding the eta file) and
+   recomputes basic values from the nonbasic ones. *)
 let full_refactorize st =
   st.stats.Rstats.refactorizations <- st.stats.Rstats.refactorizations + 1;
   Runtime.Trace.emit st.sink st.budget Runtime.Trace.Simplex_refactor;
-  let b = Dm.create ~rows:st.m ~cols:st.m in
-  Array.iteri
-    (fun pos j -> col_iter st j (fun i v -> Dm.set b i pos v))
-    st.basis;
-  let lu = Lina.Lu.factorize b in
-  st.binv <- Lina.Lu.inverse lu;
+  Basis.factorize st.rep (fun pos f -> col_iter st st.basis.(pos) f);
   st.pivots_since_refactor <- 0;
-  let xb = Lina.Lu.solve lu (nonbasic_rhs st) in
-  Array.iteri (fun pos j -> st.xval.(j) <- xb.(pos)) st.basis
+  Budget.tick ~n:(Basis.solve_cost st.rep) st.budget;
+  let rhs = nonbasic_rhs st in
+  Basis.ftran_in_place st.rep rhs;
+  Array.iteri (fun pos j -> st.xval.(j) <- rhs.(pos)) st.basis
 
 (* Periodic hygiene: recompute basics through the current inverse and only
    pay for a full LU refactorization when the equation residual shows real
@@ -167,67 +191,136 @@ let refactorize st =
   done;
   if equation_residual st > 1e-7 *. !scale then full_refactorize st
 
+(* Post-pivot refactorization policy: the factored representation
+   refactorizes when the eta file hits its cap (every solve pays for the
+   whole file, and a sparse refactorization is cheap); both
+   representations get the periodic drift check every [refactor_every]
+   pivots. *)
+let after_basis_update st =
+  st.pivots_since_refactor <- st.pivots_since_refactor + 1;
+  try
+    if Basis.eta_count st.rep >= st.params.eta_limit then full_refactorize st
+    else if st.pivots_since_refactor >= st.params.refactor_every then
+      refactorize st
+  with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure)
+
 (* --- pricing --------------------------------------------------------- *)
 
+(* y = B⁻ᵀ c_B (BTRAN), billed like any other basis solve. *)
 let compute_duals st =
-  Array.iteri (fun pos j -> st.cb.(pos) <- st.cost.(j)) st.basis;
-  (* y = binvᵀ c_B, written in place on the raw storage: this runs every
-     iteration and dominates the per-iteration cost together with the
-     pivot update. *)
-  let raw = Dm.raw st.binv in
-  let m = st.m in
-  Array.fill st.y 0 m 0.0;
-  for i = 0 to m - 1 do
-    let ci = st.cb.(i) in
-    if ci <> 0.0 then begin
-      let base = i * m in
-      for k = 0 to m - 1 do
-        st.y.(k) <- st.y.(k) +. (ci *. raw.(base + k))
-      done
-    end
-  done
+  Array.iteri (fun pos j -> st.y.(pos) <- st.cost.(j)) st.basis;
+  Basis.btran_in_place st.rep st.y;
+  let nnz = ref 0 in
+  for i = 0 to st.m - 1 do
+    if st.y.(i) <> 0.0 then incr nnz
+  done;
+  st.stats.Rstats.btran_nnz <- st.stats.Rstats.btran_nnz + !nnz;
+  Budget.tick ~n:(Basis.solve_cost st.rep) st.budget
 
 (* Returns [Some (j, dir)] for the entering column and its direction of
-   movement (+1 increase, -1 decrease), or [None] at (phase) optimality. *)
+   movement (+1 increase, -1 decrease), or [None] at (phase) optimality.
+
+   Dantzig pricing over a candidate list: a full sweep picks the global
+   winner and restocks the list with the strongest columns; subsequent
+   iterations re-price only the survivors (most stay attractive for
+   several pivots), and the next sweep runs when the list dries up — so
+   optimality is only ever declared by a full sweep.  Bland's
+   anti-cycling rule remains a full first-eligible-index scan. *)
 let price st =
   let tol = st.params.dual_feas_tol in
-  let best = ref None and best_score = ref tol in
-  let consider j =
-    if st.vstat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+  let ncols = st.n_total + st.m in
+  let eligible j =
+    if st.vstat.(j) = Basic || st.lb.(j) >= st.ub.(j) then None
+    else begin
       let d = st.cost.(j) -. col_dot_dense st j st.y in
-      let candidate =
-        match st.vstat.(j) with
-        | At_lower -> if d < -.tol then Some 1.0 else None
-        | At_upper -> if d > tol then Some (-1.0) else None
-        | Free_nb ->
-          if d < -.tol then Some 1.0 else if d > tol then Some (-1.0) else None
-        | Basic -> None
-      in
-      match candidate with
-      | None -> ()
-      | Some dir ->
-        let score = Float.abs d in
-        if st.bland then begin
-          (* Bland: first eligible index wins. *)
-          if !best = None then begin
-            best := Some (j, dir);
-            best_score := score
-          end
-        end
-        else if score > !best_score then begin
-          best := Some (j, dir);
-          best_score := score
-        end
+      match st.vstat.(j) with
+      | At_lower -> if d < -.tol then Some (d, 1.0) else None
+      | At_upper -> if d > tol then Some (d, -1.0) else None
+      | Free_nb ->
+        if d < -.tol then Some (d, 1.0)
+        else if d > tol then Some (d, -1.0)
+        else None
+      | Basic -> None
     end
   in
-  let ncols = st.n_total + st.m in
-  (try
-     for j = 0 to ncols - 1 do
-       consider j;
-       if st.bland && !best <> None then raise Exit
-     done
-   with Exit -> ());
-  !best
+  if st.bland then begin
+    let best = ref None in
+    (try
+       for j = 0 to ncols - 1 do
+         match eligible j with
+         | Some (_, dir) ->
+           best := Some (j, dir);
+           raise Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    Budget.tick ~n:ncols st.budget;
+    !best
+  end
+  else begin
+    let best = ref None and best_score = ref tol in
+    let take j d dir =
+      let score = Float.abs d in
+      if score > !best_score then begin
+        best := Some (j, dir);
+        best_score := score
+      end
+    in
+    let partial = st.params.partial_pricing in
+    if partial && st.cand_n > 0 then begin
+      (* Re-price the surviving candidates, compacting the list. *)
+      Budget.tick ~n:st.cand_n st.budget;
+      let kept = ref 0 in
+      for k = 0 to st.cand_n - 1 do
+        let j = st.cand.(k) in
+        match eligible j with
+        | Some (d, dir) ->
+          st.cand.(!kept) <- j;
+          incr kept;
+          take j d dir
+        | None -> ()
+      done;
+      st.cand_n <- !kept
+    end;
+    match !best with
+    | Some _ ->
+      st.stats.Rstats.pricing_hits <- st.stats.Rstats.pricing_hits + 1;
+      !best
+    | None ->
+      (* Full sweep; every eligible column is scored for the restock. *)
+      st.stats.Rstats.pricing_sweeps <- st.stats.Rstats.pricing_sweeps + 1;
+      Budget.tick ~n:ncols st.budget;
+      let found = ref 0 in
+      for j = 0 to ncols - 1 do
+        match eligible j with
+        | Some (d, dir) ->
+          st.cand.(!found) <- j;
+          st.cand_score.(!found) <- Float.abs d;
+          incr found;
+          take j d dir
+        | None -> ()
+      done;
+      let found = !found in
+      let target = max 16 (min 200 (ncols / 8)) in
+      if found <= target then st.cand_n <- found
+      else begin
+        (* Keep the [target] strongest (score desc, index asc: the order
+           is part of the deterministic pivot sequence). *)
+        let js = Array.sub st.cand 0 found in
+        let order = Array.init found (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match compare st.cand_score.(b) st.cand_score.(a) with
+            | 0 -> compare js.(a) js.(b)
+            | c -> c)
+          order;
+        for k = 0 to target - 1 do
+          st.cand.(k) <- js.(order.(k))
+        done;
+        st.cand_n <- target
+      end;
+      !best
+  end
 
 (* --- ratio test ------------------------------------------------------ *)
 
@@ -296,18 +389,14 @@ let do_pivot st q dir r hit =
   st.basis.(r) <- q;
   st.vstat.(q) <- Basic;
   (match
-     try
-       Dm.pivot_update st.binv st.w r;
-       None
-     with Invalid_argument _ -> Some ()
+     try Some (Basis.update st.rep ~r ~w:st.w)
+     with Invalid_argument _ -> None
    with
-  | None -> ()
-  | Some () -> raise (Solver_stop Numerical_failure));
+  | Some added ->
+    st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added
+  | None -> raise (Solver_stop Numerical_failure));
   ignore dir;
-  st.pivots_since_refactor <- st.pivots_since_refactor + 1;
-  if st.pivots_since_refactor >= st.params.refactor_every then
-    try refactorize st
-    with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure)
+  after_basis_update st
 
 (* --- main loop -------------------------------------------------------- *)
 
@@ -320,16 +409,17 @@ let check_limits st =
     raise (Solver_stop Time_limit)
 
 (* One pivot of work: the per-solve counter, the solve-wide stats and the
-   budget clock (deterministic time advances here).  A revised pivot with
-   a dense basis inverse costs O(m²) — pricing, FTRAN and the product-form
-   update are all m-by-m work — so the clock is ticked m² units per pivot:
-   work-seconds then track wall-seconds across model sizes spanning
-   orders of magnitude (a 7000-row Δ-model pivot really is ~200x a
-   500-row cΣ pivot). *)
+   budget clock (deterministic time advances here).  Each iteration's
+   clock charge is assembled from the work actually performed — a basis
+   solve ticks {!Basis.solve_cost}, pricing ticks the columns examined —
+   so work-seconds track wall-seconds across representations and across
+   model sizes spanning orders of magnitude.  This helper bills the O(m)
+   remainder (ratio test, primal update) so every iteration advances the
+   clock even when the solves are nearly free. *)
 let count_iteration st =
   st.iterations <- st.iterations + 1;
   st.stats.Rstats.simplex_iterations <- st.stats.Rstats.simplex_iterations + 1;
-  Budget.tick ~n:(st.m * st.m) st.budget
+  Budget.tick ~n:(max 1 st.m) st.budget
 
 (* Runs simplex iterations on the current cost vector until (phase)
    optimality.  Raises [Solver_stop] on limits or numerical trouble. *)
@@ -386,7 +476,8 @@ let expel_artificials st =
   for r = 0 to st.m - 1 do
     if st.basis.(r) >= st.n_total then begin
       (* Row r of the inverse gives the pivot weights of every column. *)
-      let rho = Array.init st.m (fun k -> Dm.get st.binv r k) in
+      let rho = Array.make st.m 0.0 in
+      Basis.unit_row st.rep r rho;
       let best = ref (-1) and best_w = ref Lina.Tol.pivot in
       for j = 0 to st.n_total - 1 do
         if st.vstat.(j) <> Basic then begin
@@ -406,9 +497,14 @@ let expel_artificials st =
         st.vstat.(q) <- Basic;
         st.vstat.(art) <- At_lower;
         st.xval.(art) <- 0.0;
-        (try Dm.pivot_update st.binv st.w r
-         with Invalid_argument _ -> raise (Solver_stop Numerical_failure));
-        st.pivots_since_refactor <- st.pivots_since_refactor + 1
+        (match
+           try Some (Basis.update st.rep ~r ~w:st.w)
+           with Invalid_argument _ -> None
+         with
+        | Some added ->
+          st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added
+        | None -> raise (Solver_stop Numerical_failure));
+        after_basis_update st
       end
     end
   done
@@ -461,7 +557,7 @@ let cold_start st =
         (let xj = st.xval.(j) in
          fun i v -> act.(i) <- act.(i) +. (v *. xj))
   done;
-  let binv = Dm.create ~rows:st.m ~cols:st.m in
+  let signs = Array.make st.m 1.0 in
   for i = 0 to st.m - 1 do
     let slack = n_struct + i in
     let art = st.n_total + i in
@@ -475,7 +571,7 @@ let cold_start st =
       st.lb.(art) <- 0.0;
       st.ub.(art) <- 0.0;
       st.cost.(art) <- 0.0;
-      Dm.set binv i i (-1.0)
+      signs.(i) <- -1.0
     end
     else begin
       let target, s =
@@ -494,10 +590,11 @@ let cold_start st =
       st.ub.(art) <- infinity;
       st.cost.(art) <- 1.0;
       any_artificial := true;
-      Dm.set binv i i sign
+      signs.(i) <- sign
     end
   done;
-  st.binv <- binv;
+  Basis.load_identity st.rep signs;
+  st.cand_n <- 0;
   if !any_artificial then
     (* phase-1 objective: zero on real columns *)
     Array.fill st.cost 0 st.n_total 0.0
@@ -577,6 +674,24 @@ let dual_feasible st =
 
 (* --- dual simplex ------------------------------------------------------ *)
 
+(* Lazily-built Aᵀ plus scatter scratch; cached on the state so session
+   re-solves pay the transpose once. *)
+let dual_ws st =
+  match st.dualw with
+  | Some ws -> ws
+  | None ->
+    let ws =
+      {
+        d_at = Lina.Csc.transpose st.sf.Std_form.a;
+        d_alpha = Array.make st.n_total 0.0;
+        d_mark = Array.make st.n_total (-1);
+        d_touch = Array.make st.n_total 0;
+        d_stamp = 0;
+      }
+    in
+    st.dualw <- Some ws;
+    ws
+
 (* Bounded-variable dual simplex: starting from a dual-feasible basis
    (typically the parent LP optimum in branch-and-bound, with child bounds
    installed), repairs primal feasibility while maintaining dual
@@ -620,15 +735,42 @@ let dual_optimize st =
     else begin
       let r = !r in
       let e = if !too_high then 1.0 else -1.0 in
-      (* Row r of the inverse, then the pivot row alpha_j = rho · A_j. *)
-      let raw = Dm.raw st.binv in
-      Array.blit raw (r * st.m) rho 0 st.m;
+      (* rho = row r of the inverse (the BTRAN of e_r), then the pivot
+         row alpha_j = rho · A_j — assembled by scattering the rows of A
+         that rho touches over the cached Aᵀ, so only columns actually
+         meeting the row are visited (rho is sparse under the factored
+         basis). *)
+      Basis.unit_row st.rep r rho;
+      Budget.tick ~n:(Basis.solve_cost st.rep) st.budget;
+      let rnnz = ref 0 in
+      for i = 0 to st.m - 1 do
+        if rho.(i) <> 0.0 then incr rnnz
+      done;
+      st.stats.Rstats.btran_nnz <- st.stats.Rstats.btran_nnz + !rnnz;
       compute_duals st;
+      let ws = dual_ws st in
+      ws.d_stamp <- ws.d_stamp + 1;
+      let stamp = ws.d_stamp in
+      let ntouch = ref 0 in
+      for i = 0 to st.m - 1 do
+        let ri = rho.(i) in
+        if ri <> 0.0 then
+          Lina.Csc.iter_col ws.d_at i (fun j v ->
+              if ws.d_mark.(j) <> stamp then begin
+                ws.d_mark.(j) <- stamp;
+                ws.d_alpha.(j) <- 0.0;
+                ws.d_touch.(!ntouch) <- j;
+                incr ntouch
+              end;
+              ws.d_alpha.(j) <- ws.d_alpha.(j) +. (ri *. v))
+      done;
+      Budget.tick ~n:(max 1 !ntouch) st.budget;
       (* Dual ratio test: smallest d_j / (e·alpha_j) over admissible j. *)
       let best = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0.0 in
-      for j = 0 to st.n_total - 1 do
+      for k = 0 to !ntouch - 1 do
+        let j = ws.d_touch.(k) in
         if st.vstat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
-          let alpha = col_dot_dense st j rho in
+          let alpha = ws.d_alpha.(j) in
           let alpha' = e *. alpha in
           let admissible =
             match st.vstat.(j) with
@@ -682,12 +824,14 @@ let dual_optimize st =
         st.vstat.(leaving) <- (if !too_high then At_upper else At_lower);
         st.basis.(r) <- q;
         st.vstat.(q) <- Basic;
-        (try Dm.pivot_update st.binv st.w r
-         with Invalid_argument _ -> raise (Solver_stop Numerical_failure));
-        st.pivots_since_refactor <- st.pivots_since_refactor + 1;
-        if st.pivots_since_refactor >= st.params.refactor_every then
-          try refactorize st
-          with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure)
+        (match
+           try Some (Basis.update st.rep ~r ~w:st.w)
+           with Invalid_argument _ -> None
+         with
+        | Some added ->
+          st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added
+        | None -> raise (Solver_stop Numerical_failure));
+        after_basis_update st
       end
     end
   done
@@ -790,7 +934,7 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
       vstat = Array.make (n_total + m) At_lower;
       basis = Array.make m (-1);
       art_sign = Array.make m 1.0;
-      binv = Dm.identity m;
+      rep = Basis.create params.factorization m;
       pivots_since_refactor = 0;
       iterations = 0;
       bland = false;
@@ -801,7 +945,10 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
       sink = trace;
       w = Array.make m 0.0;
       y = Array.make m 0.0;
-      cb = Array.make m 0.0;
+      cand = Array.make (n_total + m) 0;
+      cand_score = Array.make (n_total + m) 0.0;
+      cand_n = 0;
+      dualw = None;
     }
   in
   if !crossed then extract st Infeasible
@@ -862,7 +1009,7 @@ let fresh_state sf params budget stats sink lb ub =
     vstat = Array.make (n_total + m) At_lower;
     basis = Array.make m (-1);
     art_sign = Array.make m 1.0;
-    binv = Dm.identity m;
+    rep = Basis.create params.factorization m;
     pivots_since_refactor = 0;
     iterations = 0;
     bland = false;
@@ -873,7 +1020,10 @@ let fresh_state sf params budget stats sink lb ub =
     sink;
     w = Array.make m 0.0;
     y = Array.make m 0.0;
-    cb = Array.make m 0.0;
+    cand = Array.make (n_total + m) 0;
+    cand_score = Array.make (n_total + m) 0.0;
+    cand_n = 0;
+    dualw = None;
   }
 
 (* Mutable reset of the session state for new bounds, keeping basis, basis

@@ -1,14 +1,20 @@
-(** Bounded-variable two-phase revised primal simplex.
+(** Bounded-variable two-phase revised simplex.
 
     Solves the computational form produced by {!Std_form}:
-    [min cᵀx  s.t.  A·x = 0,  lb <= x <= ub].  The basis inverse is kept
-    explicitly (dense) and updated in product form on every pivot, with
-    periodic LU refactorization from scratch to bound numerical drift.
-    Phase 1 minimizes the sum of artificial variables introduced only on
-    rows whose logical variable cannot start feasibly.
+    [min cᵀx  s.t.  A·x = 0,  lb <= x <= ub].  The basis is kept in a
+    {!Basis} representation — by default sparse LU factors with a
+    product-form eta file appended per pivot ({!Basis.Factored_lu}), so
+    FTRAN/BTRAN cost O(nnz) instead of O(m²); the dense explicit inverse
+    ({!Basis.Dense_inverse}) remains available as the reference path.
+    Refactorization happens when the eta file reaches [eta_limit] or the
+    periodic residual check (every [refactor_every] pivots) detects
+    drift.  Phase 1 minimizes the sum of artificial variables introduced
+    only on rows whose logical variable cannot start feasibly.
 
-    Anti-cycling: Dantzig pricing by default, with an automatic switch to
-    Bland's rule after a run of degenerate pivots. *)
+    Pricing: Dantzig over a candidate list refreshed by periodic full
+    sweeps ([partial_pricing], on by default; optimality is only ever
+    declared by a full sweep), with an automatic switch to Bland's
+    full-scan rule after a run of degenerate pivots. *)
 
 type status =
   | Optimal
@@ -30,9 +36,12 @@ type basis = { basic : int array; stat : vstat array }
 type params = {
   max_iters : int;
   time_limit : float;       (** seconds of wall-clock; [infinity] = none *)
-  refactor_every : int;     (** pivots between LU refactorizations *)
+  refactor_every : int;     (** pivots between residual/drift checks *)
   dual_feas_tol : float;    (** reduced-cost tolerance *)
   primal_feas_tol : float;  (** bound-violation tolerance *)
+  factorization : Basis.kind;  (** basis representation (default factored) *)
+  eta_limit : int;          (** eta columns before a forced refactorization *)
+  partial_pricing : bool;   (** candidate-list pricing (default on) *)
 }
 
 val default_params : params

@@ -41,10 +41,11 @@ let default_params =
     lp_params = Lp.Simplex.default_params;
     log_every = 0;
     propagate = true;
-    (* Off by default: with node propagation fixing most binaries the cold
-       primal re-solve is cheaper than the dual-simplex session (see the
-       A2 ablation bench). *)
-    warm_sessions = false;
+    (* On by default: with the factored basis a dual-simplex session
+       re-solve is a handful of sparse BTRAN/FTRAN pivots, far cheaper
+       than a cold primal solve from scratch (see the A2 ablation bench
+       and BENCH_simplex.json). *)
+    warm_sessions = true;
   }
 
 type result = {

@@ -10,8 +10,9 @@
     - {b wall}: elapsed real seconds (the default);
     - {b deterministic}: elapsed time is defined as [work ticks / rate],
       where instrumented layers call {!tick} on units of work (the simplex
-      ticks m² per pivot — the cost of a dense revised pivot on m rows —
-      and branch-and-bound once per node).  Under a
+      bills each pivot's actual operations — basis solves at their
+      representation cost, pricing per column examined — and
+      branch-and-bound once per node).  Under a
       deterministic budget a solve makes exactly the same decisions — and
       reports exactly the same "runtime" — on any machine, at any level of
       scenario parallelism.  This is what makes the bench tables byte-for-

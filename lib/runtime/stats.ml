@@ -2,6 +2,11 @@ type t = {
   mutable simplex_iterations : int;
   mutable refactorizations : int;
   mutable lp_solves : int;
+  mutable ftran_nnz : int;
+  mutable btran_nnz : int;
+  mutable eta_entries : int;
+  mutable pricing_hits : int;
+  mutable pricing_sweeps : int;
   mutable bb_nodes : int;
   mutable incumbents : int;
   mutable bound_updates : int;
@@ -18,6 +23,11 @@ let create () =
     simplex_iterations = 0;
     refactorizations = 0;
     lp_solves = 0;
+    ftran_nnz = 0;
+    btran_nnz = 0;
+    eta_entries = 0;
+    pricing_hits = 0;
+    pricing_sweeps = 0;
     bb_nodes = 0;
     incumbents = 0;
     bound_updates = 0;
@@ -33,6 +43,11 @@ let add ~into s =
   into.simplex_iterations <- into.simplex_iterations + s.simplex_iterations;
   into.refactorizations <- into.refactorizations + s.refactorizations;
   into.lp_solves <- into.lp_solves + s.lp_solves;
+  into.ftran_nnz <- into.ftran_nnz + s.ftran_nnz;
+  into.btran_nnz <- into.btran_nnz + s.btran_nnz;
+  into.eta_entries <- into.eta_entries + s.eta_entries;
+  into.pricing_hits <- into.pricing_hits + s.pricing_hits;
+  into.pricing_sweeps <- into.pricing_sweeps + s.pricing_sweeps;
   into.bb_nodes <- into.bb_nodes + s.bb_nodes;
   into.incumbents <- into.incumbents + s.incumbents;
   into.bound_updates <- into.bound_updates + s.bound_updates;
@@ -45,9 +60,12 @@ let add ~into s =
 
 let to_string s =
   Printf.sprintf
-    "%d LP solves, %d simplex iters, %d refactorizations | %d nodes, %d \
-     incumbents, %d bound updates | greedy: %d LPs, %d candidates, %d \
-     accepted | phases: greedy %.3fs, build %.3fs, search %.3fs"
-    s.lp_solves s.simplex_iterations s.refactorizations s.bb_nodes
+    "%d LP solves, %d simplex iters, %d refactorizations | basis: %d \
+     ftran nnz, %d btran nnz, %d eta entries | pricing: %d list hits, %d \
+     sweeps | %d nodes, %d incumbents, %d bound updates | greedy: %d \
+     LPs, %d candidates, %d accepted | phases: greedy %.3fs, build \
+     %.3fs, search %.3fs"
+    s.lp_solves s.simplex_iterations s.refactorizations s.ftran_nnz
+    s.btran_nnz s.eta_entries s.pricing_hits s.pricing_sweeps s.bb_nodes
     s.incumbents s.bound_updates s.greedy_lp_solves s.greedy_candidates
     s.greedy_accepted s.greedy_time s.build_time s.search_time

@@ -14,6 +14,12 @@ type t = {
   mutable simplex_iterations : int;  (** pivots, primal + dual, all LPs *)
   mutable refactorizations : int;    (** full LU refactorizations *)
   mutable lp_solves : int;           (** LP (re-)solves started *)
+  mutable ftran_nnz : int;           (** nonzeros of FTRAN results *)
+  mutable btran_nnz : int;           (** nonzeros of BTRAN results *)
+  mutable eta_entries : int;         (** product-form eta entries appended *)
+  mutable pricing_hits : int;        (** entering columns served by the
+                                         candidate list without a sweep *)
+  mutable pricing_sweeps : int;      (** full pricing sweeps *)
   (* mip *)
   mutable bb_nodes : int;            (** branch-and-bound nodes processed *)
   mutable incumbents : int;          (** incumbent improvements (any source) *)

@@ -1,0 +1,30 @@
+(** Minimal JSON reading and writing — enough for the bench harness's
+    machine-readable result files, without an external dependency.
+
+    The writer pretty-prints with two-space indentation and renders
+    non-finite numbers as [null] (JSON has no NaN/Infinity).  The parser
+    accepts the full JSON value grammar over ASCII input; [\u] escapes
+    outside ASCII decode to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Rendered document, newline-terminated. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON document; [Error] carries a message with the byte
+    offset of the problem. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the field [k] if present; [None] on any other
+    constructor. *)
+
+val to_float : t -> float option
+
+val to_list : t -> t list option

@@ -347,10 +347,143 @@ let session_properties =
            !ok));
   ]
 
+(* Basis representations: the factored-LU path (with its eta file and
+   candidate-list pricing) must be numerically interchangeable with the
+   explicit dense inverse it replaced. *)
+
+let basis_tests =
+  [
+    Alcotest.test_case "FTRAN/BTRAN round-trip through a long eta file"
+      `Quick (fun () ->
+        let rng = Workload.Rng.create 2024L in
+        let m = 25 in
+        (* Random sparse, diagonally dominant starting basis; [cols] is
+           kept as the ground-truth B so we can multiply solves back. *)
+        let cols =
+          Array.init m (fun pos ->
+              let c =
+                Array.init m (fun _ ->
+                    if Workload.Rng.int rng 100 < 25 then
+                      Workload.Rng.float_range rng (-1.0) 1.0
+                    else 0.0)
+              in
+              c.(pos) <- c.(pos) +. 4.0;
+              c)
+        in
+        let rep = Lp.Basis.create Lp.Basis.Factored_lu m in
+        Lp.Basis.factorize rep (fun pos f ->
+            Array.iteri (fun i v -> if v <> 0.0 then f i v) cols.(pos));
+        let mul_b x =
+          let y = Array.make m 0.0 in
+          Array.iteri
+            (fun pos c ->
+              let xp = x.(pos) in
+              if xp <> 0.0 then
+                Array.iteri (fun i v -> y.(i) <- y.(i) +. (v *. xp)) c)
+            cols;
+          y
+        in
+        let mul_bt y =
+          Array.map
+            (fun c ->
+              let acc = ref 0.0 in
+              Array.iteri (fun i v -> acc := !acc +. (v *. y.(i))) c;
+              !acc)
+            cols
+        in
+        let check_roundtrip tag =
+          let b =
+            Array.init m (fun _ -> Workload.Rng.float_range rng (-2.0) 2.0)
+          in
+          let x = Array.copy b in
+          Lp.Basis.ftran_in_place rep x;
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check (float 1e-5)) (tag ^ ": B.(ftran b) = b")
+                b.(i) v)
+            (mul_b x);
+          let c =
+            Array.init m (fun _ -> Workload.Rng.float_range rng (-2.0) 2.0)
+          in
+          let y = Array.copy c in
+          Lp.Basis.btran_in_place rep y;
+          Array.iteri
+            (fun pos v ->
+              Alcotest.(check (float 1e-5)) (tag ^ ": Bt.(btran c) = c")
+                c.(pos) v)
+            (mul_bt y)
+        in
+        check_roundtrip "fresh factorization";
+        (* 40 pivots, each appending a product-form eta; Basis never
+           refactorizes on its own, so the full eta file stays live. *)
+        let w = Array.make m 0.0 in
+        let pivots = ref 0 in
+        while !pivots < 40 do
+          let a =
+            Array.init m (fun _ ->
+                if Workload.Rng.int rng 100 < 30 then
+                  Workload.Rng.float_range rng (-2.0) 2.0
+                else 0.0)
+          in
+          Array.fill w 0 m 0.0;
+          Lp.Basis.ftran_col rep
+            (fun f -> Array.iteri (fun i v -> if v <> 0.0 then f i v) a)
+            w;
+          let r = Workload.Rng.int rng m in
+          if Float.abs w.(r) > 1e-3 then begin
+            ignore (Lp.Basis.update rep ~r ~w);
+            cols.(r) <- a;
+            incr pivots;
+            if !pivots mod 8 = 0 then
+              check_roundtrip (Printf.sprintf "after %d pivots" !pivots)
+          end
+        done;
+        Alcotest.(check int) "eta file length" 40
+          (Lp.Basis.eta_count rep);
+        check_roundtrip "after 40 pivots");
+  ]
+
+let basis_properties =
+  let agree name count seed_salt params_a params_b =
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name ~count
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + seed_salt)) in
+           let n = 1 + Workload.Rng.int rng 7 in
+           let m_rows = 1 + Workload.Rng.int rng 7 in
+           let model, _, _ = random_lp rng ~n ~m_rows in
+           let sf = Lp.Std_form.of_model model in
+           let ra = Lp.Simplex.solve ~params:params_a sf in
+           let rb = Lp.Simplex.solve ~params:params_b sf in
+           ra.Lp.Simplex.status = rb.Lp.Simplex.status
+           && (ra.Lp.Simplex.status <> Lp.Simplex.Optimal
+              || Float.abs
+                   (ra.Lp.Simplex.objective -. rb.Lp.Simplex.objective)
+                 <= 1e-5
+                    *. Float.max 1.0 (Float.abs ra.Lp.Simplex.objective))))
+  in
+  let dflt = Lp.Simplex.default_params in
+  [
+    agree "dense-inverse and factored paths agree on random LPs" 40 77
+      { dflt with
+        Lp.Simplex.factorization = Lp.Basis.Dense_inverse;
+        partial_pricing = false }
+      dflt;
+    agree "tiny eta limit forces refactorizations without changing optima"
+      30 911 dflt
+      { dflt with Lp.Simplex.eta_limit = 2; refactor_every = 5 };
+    agree "partial pricing finds the same optimum as full Dantzig sweeps"
+      30 424
+      { dflt with Lp.Simplex.partial_pricing = false }
+      dflt;
+  ]
+
 let suite =
   [
     ("lp.expr", expr_tests);
     ("lp.model", model_tests);
     ("lp.simplex", simplex_tests @ simplex_properties);
     ("lp.session", session_tests @ session_properties);
+    ("lp.basis", basis_tests @ basis_properties);
   ]

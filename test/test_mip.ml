@@ -277,9 +277,56 @@ let propagate_tests =
             opt);
   ]
 
+(* Warm dual-simplex sessions are now the default for node LP re-solves.
+   The search may take a different pivot path than cold re-solving every
+   node from scratch, but on the seed TVNEP scenarios both must prove the
+   same optimum: same status, same incumbent objective, same bound.  (The
+   byte-identity of the work-clock tables across [--jobs] levels is
+   covered separately by runtime.determinism.) *)
+let warm_session_tests =
+  [
+    Alcotest.test_case "warm sessions match cold re-solves on seed scenarios"
+      `Quick (fun () ->
+        let scenarios =
+          [
+            (3L, 3, 1.0);
+            (11L, 3, 2.0);
+            (7L, 4, 1.5);
+          ]
+        in
+        List.iter
+          (fun (seed, num_requests, flexibility) ->
+            let inst =
+              Tvnep.Scenario.generate
+                (Workload.Rng.create seed)
+                { Tvnep.Scenario.scaled with num_requests; flexibility }
+            in
+            let run warm_sessions =
+              Tvnep.Solver.solve inst
+                { Tvnep.Solver.default_options with
+                  mip =
+                    { Mip.Branch_bound.default_params with
+                      time_limit = 60.0;
+                      warm_sessions } }
+            in
+            let warm = run true and cold = run false in
+            let tag fmt =
+              Printf.sprintf "seed %Ld: %s" seed fmt
+            in
+            Alcotest.check bb_status (tag "status") cold.Tvnep.Solver.status
+              warm.Tvnep.Solver.status;
+            Alcotest.(check (option (float 1e-6)))
+              (tag "incumbent objective") cold.Tvnep.Solver.objective
+              warm.Tvnep.Solver.objective;
+            feq (tag "proved bound") cold.Tvnep.Solver.bound
+              warm.Tvnep.Solver.bound)
+          scenarios);
+  ]
+
 let suite =
   [
     ("mip.heap", heap_tests);
     ("mip.branch_bound", bb_tests @ bb_properties);
     ("mip.propagate", propagate_tests);
+    ("mip.warm_sessions", warm_session_tests);
   ]
