@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-micro check clean
+.PHONY: all build test bench-smoke bench-micro bench-bnb check clean
 
 all: build
 
@@ -13,15 +13,22 @@ test: build
 # so the tables are reproducible byte for byte).
 bench-smoke: build
 	dune exec bench/main.exe -- --quick --figures 3 --jobs 2 \
-	  --no-ablations --no-micro
+	  --no-ablations --no-micro --no-bnb
 
 # Deterministic simplex micro bench; writes BENCH_simplex.json (per-case
 # iterations, pivots, work-clock ticks, wall time) and exits nonzero when
 # the emitted file fails validation, so CI catches a malformed bench file.
 bench-micro: build
-	dune exec bench/main.exe -- --no-figures --no-ablations
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-bnb
 
-check: build test bench-smoke bench-micro
+# Parallel branch-and-bound gate: solves the same contended cΣ search at
+# jobs 1, 2 and 4 on the deterministic work clock, fails if any level's
+# (status, objective, bound, nodes, iters, ticks) differs from jobs=1 or
+# (on >= 4-core hosts) jobs=4 is < 2x faster, and writes BENCH_bnb.json.
+bench-bnb: build
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro
+
+check: build test bench-smoke bench-micro bench-bnb
 
 clean:
 	dune clean

@@ -1,0 +1,224 @@
+(* Parallel branch-and-bound benchmark: the identical cΣ search at
+   jobs = 1, 2, 4, on the deterministic work clock.
+
+   This is both a perf tracker and a regression gate: the run *fails*
+   (exit 1) if any jobs level returns a different (status, objective,
+   bound, nodes, LP iterations, work ticks) tuple than jobs=1 — the
+   determinism contract of Mip.Branch_bound (DESIGN.md §7) asserted on a
+   real contended instance rather than the unit-test knapsacks.  Wall
+   clock is recorded per level so the speedup trajectory lands in
+   BENCH_bnb.json; on hosts with >= 4 cores a jobs=4 speedup floor is
+   enforced too. *)
+
+let jobs_levels = [ 1; 2; 4 ]
+
+(* Minimum jobs=4 vs jobs=1 wall-clock speedup enforced when the host
+   actually has >= 4 cores.  The ISSUE's acceptance bar. *)
+let min_speedup = 2.0
+
+(* A contended cΣ instance: enough requests competing for a small grid
+   that the search leaves a real tree (hundreds of nodes), so batches
+   carry several node LPs and parallel evaluation has work to overlap. *)
+let bench_instance () =
+  let rng = Workload.Rng.create 23L in
+  Tvnep.Scenario.generate rng
+    { Tvnep.Scenario.scaled with num_requests = 8; flexibility = 2.0 }
+
+let bench_form () =
+  let inst = bench_instance () in
+  let fm = Tvnep.Csigma_model.build inst in
+  ignore (Tvnep.Objective.apply fm Tvnep.Objective.Access_control);
+  Lp.Std_form.of_model fm.Tvnep.Formulation.model
+
+(* One solve of the fixed form at a given jobs level.  Every level gets
+   its own deterministic budget (same rate, same limit), so tick counts
+   are comparable and the search is limit-identical across levels. *)
+type run = {
+  jobs : int;
+  status : string;
+  objective : float;   (* nan = no incumbent *)
+  bound : float;
+  nodes : int;
+  lp_iterations : int;
+  ticks : int;
+  wall_s : float;
+}
+
+let solve_at ~sf ~time_limit jobs =
+  let params =
+    { Mip.Branch_bound.default_params with time_limit; jobs; log_every = 0 }
+  in
+  let budget =
+    Runtime.Budget.create ~deterministic:Figures.work_rate ~time_limit ()
+  in
+  let stats = Runtime.Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  let r = Mip.Branch_bound.solve_form ~params ~budget ~stats sf in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ( {
+      jobs;
+      status = Mip.Branch_bound.status_to_string r.Mip.Branch_bound.status;
+      objective = Option.value r.Mip.Branch_bound.objective ~default:Float.nan;
+      bound = r.Mip.Branch_bound.best_bound;
+      nodes = r.Mip.Branch_bound.nodes;
+      lp_iterations = r.Mip.Branch_bound.lp_iterations;
+      ticks = Runtime.Budget.ticks budget;
+      wall_s;
+    },
+    stats )
+
+(* The determinism fingerprint: everything but the wall clock. *)
+let fingerprint r =
+  (r.status, r.objective, r.bound, r.nodes, r.lp_iterations, r.ticks)
+
+let json_of_runs runs =
+  let open Statsutil.Json in
+  Obj
+    [
+      ("schema", Str "tvnep-bench-bnb/1");
+      ( "clock",
+        Str
+          (Printf.sprintf
+             "deterministic work ticks (%.0e ticks = 1 budget second)"
+             Figures.work_rate) );
+      ("identical_across_jobs", Bool true);
+      ( "runs",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("jobs", Num (float_of_int r.jobs));
+                   ("status", Str r.status);
+                   ("objective", Num r.objective);
+                   ("bound", Num r.bound);
+                   ("nodes", Num (float_of_int r.nodes));
+                   ("lp_iterations", Num (float_of_int r.lp_iterations));
+                   ("ticks", Num (float_of_int r.ticks));
+                   ("wall_s", Num r.wall_s);
+                 ])
+             runs) );
+    ]
+
+let validate_json_string s =
+  let open Statsutil.Json in
+  match of_string s with
+  | Error msg -> Error ("not valid JSON: " ^ msg)
+  | Ok doc -> (
+    match member "schema" doc with
+    | Some (Str "tvnep-bench-bnb/1") -> (
+      match member "identical_across_jobs" doc with
+      | Some (Bool true) -> (
+        match Option.bind (member "runs" doc) to_list with
+        | None | Some [] -> Error "missing or empty \"runs\" list"
+        | Some runs ->
+          let bad =
+            List.filter
+              (fun r ->
+                let num k = Option.bind (member k r) to_float <> None in
+                not
+                  ((match member "status" r with
+                   | Some (Str _) -> true
+                   | _ -> false)
+                  && num "jobs" && num "objective" && num "bound"
+                  && num "nodes" && num "lp_iterations" && num "ticks"
+                  && num "wall_s"))
+              runs
+          in
+          if bad = [] then Ok (List.length runs)
+          else Error "a run is missing a required field")
+      | _ -> Error "\"identical_across_jobs\" is not true")
+    | _ -> Error "missing or unexpected \"schema\"")
+
+let emit_json ~path runs =
+  let doc = json_of_runs runs in
+  let oc = open_out path in
+  output_string oc (Statsutil.Json.to_string doc);
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match validate_json_string s with
+  | Ok n -> Printf.printf "wrote %s (%d runs, validated)\n" path n
+  | Error msg ->
+    Printf.eprintf "BENCH JSON INVALID (%s): %s\n" path msg;
+    exit 1
+
+let run ?json_path ?(time_limit = 30.0) () =
+  Printf.printf
+    "\n== Branch-and-bound parallel benchmark (deterministic work clock) ==\n";
+  let sf = bench_form () in
+  let total = Runtime.Stats.create () in
+  let runs =
+    List.map
+      (fun jobs ->
+        let r, stats = solve_at ~sf ~time_limit jobs in
+        Runtime.Stats.merge ~into:total stats;
+        r)
+      jobs_levels
+  in
+  let table =
+    Statsutil.Table.create
+      ~headers:
+        [ "jobs"; "status"; "objective"; "bound"; "nodes"; "LP iters";
+          "ticks"; "wall"; "speedup" ]
+  in
+  let base = List.hd runs in
+  List.iter
+    (fun r ->
+      Statsutil.Table.add_row table
+        [
+          string_of_int r.jobs;
+          r.status;
+          Printf.sprintf "%g" r.objective;
+          Printf.sprintf "%g" r.bound;
+          string_of_int r.nodes;
+          string_of_int r.lp_iterations;
+          string_of_int r.ticks;
+          Printf.sprintf "%.3f s" r.wall_s;
+          Printf.sprintf "%.2fx" (base.wall_s /. Float.max 1e-9 r.wall_s);
+        ])
+    runs;
+  Statsutil.Table.print table;
+  Printf.printf "aggregate counters: %s\n" (Runtime.Stats.to_string total);
+  (* Hard determinism gate: every level must reproduce jobs=1 exactly. *)
+  let mismatches =
+    List.filter (fun r -> fingerprint r <> fingerprint base) runs
+  in
+  if mismatches <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf
+          "BNB DETERMINISM VIOLATION: jobs=%d returned (%s, %g, %g, %d \
+           nodes, %d iters, %d ticks) but jobs=%d returned (%s, %g, %g, %d \
+           nodes, %d iters, %d ticks)\n"
+          r.jobs r.status r.objective r.bound r.nodes r.lp_iterations r.ticks
+          base.jobs base.status base.objective base.bound base.nodes
+          base.lp_iterations base.ticks)
+      mismatches;
+    exit 1
+  end;
+  Printf.printf "determinism: all jobs levels identical (%s, obj %g, %d \
+                 nodes, %d ticks)\n"
+    base.status base.objective base.nodes base.ticks;
+  (* Speedup floor, only meaningful with real cores to run on. *)
+  let cores = Domain.recommended_domain_count () in
+  (match List.find_opt (fun r -> r.jobs = 4) runs with
+  | Some r4 when cores >= 4 ->
+    let speedup = base.wall_s /. Float.max 1e-9 r4.wall_s in
+    if speedup < min_speedup then begin
+      Printf.eprintf
+        "BNB SPEEDUP REGRESSION: jobs=4 is %.2fx vs jobs=1 (floor %.1fx) \
+         on a %d-core host\n"
+        speedup min_speedup cores;
+      exit 1
+    end
+    else
+      Printf.printf "speedup: jobs=4 runs %.2fx faster than jobs=1 (floor \
+                     %.1fx)\n"
+        speedup min_speedup
+  | _ ->
+    Printf.printf
+      "speedup floor skipped: host reports %d core(s) (< 4 needed)\n" cores);
+  match json_path with Some path -> emit_json ~path runs | None -> ()

@@ -107,12 +107,28 @@ let skip_ablations_arg =
 let skip_micro_arg =
   Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip the microbenchmarks.")
 
+let skip_bnb_arg =
+  Arg.(
+    value & flag
+    & info [ "no-bnb" ]
+        ~doc:"Skip the parallel branch-and-bound benchmark (the jobs=1/2/4 \
+              determinism and speedup gate).")
+
 let bench_json_arg =
   Arg.(
     value
     & opt string "BENCH_simplex.json"
     & info [ "bench-json" ] ~docv:"PATH"
         ~doc:"Where the micro pass writes its machine-readable simplex \
+              benchmark (JSON; validated after writing).  Empty = don't \
+              write.")
+
+let bnb_json_arg =
+  Arg.(
+    value
+    & opt string "BENCH_bnb.json"
+    & info [ "bnb-json" ] ~docv:"PATH"
+        ~doc:"Where the branch-and-bound pass writes its machine-readable \
               benchmark (JSON; validated after writing).  Empty = don't \
               write.")
 
@@ -124,7 +140,7 @@ let flex_sweep ~flex_max ~flex_step =
 
 let run figures scenarios time_limit requests flex_max flex_step scale seed
     no_delta no_sigma no_seeding jobs wall_clock quick skip_figures
-    skip_ablations skip_micro bench_json =
+    skip_ablations skip_micro skip_bnb bench_json bnb_json =
   let open Bench_harness in
   let params =
     match scale with
@@ -171,6 +187,8 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
     Micro.run
       ?json_path:(if bench_json = "" then None else Some bench_json)
       ();
+  if not skip_bnb then
+    Bnb.run ?json_path:(if bnb_json = "" then None else Some bnb_json) ();
   0
 
 let cmd =
@@ -179,8 +197,8 @@ let cmd =
       const run $ figures_arg $ scenarios_arg $ time_limit_arg $ requests_arg
       $ flex_max_arg $ flex_step_arg $ scale_arg $ seed_arg $ no_delta_arg
       $ no_sigma_arg $ no_seeding_arg $ jobs_arg $ wall_clock_arg $ quick_arg
-      $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg
-      $ bench_json_arg)
+      $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg $ skip_bnb_arg
+      $ bench_json_arg $ bnb_json_arg)
   in
   Cmd.v
     (Cmd.info "tvnep-bench"

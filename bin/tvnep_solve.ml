@@ -45,6 +45,16 @@ let objective_arg =
         ~doc:"access (control, default), earliness, balance (node load, \
               f=0.5), disable (links) or makespan.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the branch-and-bound node LPs (default 1 \
+              = solve in the calling domain; 0 = autodetect the core \
+              count).  The search is deterministic: any value returns the \
+              identical status, objective, bound and node count — jobs \
+              only trades wall-clock time.")
+
 let no_cuts_arg =
   Arg.(
     value & flag
@@ -111,12 +121,12 @@ let report_outcome ?gantt inst (o : Tvnep.Solver.outcome) =
   | None -> if o.Tvnep.Solver.status = Mip.Branch_bound.Infeasible then 2 else 1
 
 let solve_cmd =
-  let run file model objective no_cuts seed_greedy slot time_limit verbose
-      gantt =
+  let run file model objective no_cuts seed_greedy slot time_limit jobs
+      verbose gantt =
     setup_logs verbose;
     let inst = Tvnep.Instance_io.load file in
     let mip =
-      { Mip.Branch_bound.default_params with time_limit }
+      { Mip.Branch_bound.default_params with time_limit; jobs }
     in
     match model with
     | `Discrete ->
@@ -160,7 +170,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an instance exactly with a chosen model")
     Term.(
       const run $ file_arg $ model_arg $ objective_arg $ no_cuts_arg
-      $ seed_greedy_arg $ slot_arg $ time_limit_arg $ verbose_arg $ gantt_arg)
+      $ seed_greedy_arg $ slot_arg $ time_limit_arg $ jobs_arg $ verbose_arg
+      $ gantt_arg)
 
 (* ---- greedy ------------------------------------------------------------ *)
 

@@ -1051,7 +1051,7 @@ let rebound_state st lb ub =
     end
   done
 
-let session_solve session ?time_limit ?budget ?stats ?trace ~lb ~ub () =
+let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
   let sf = session.s_sf in
   let n_total = Std_form.n_total sf in
   if Array.length lb <> n_total || Array.length ub <> n_total then
@@ -1095,36 +1095,77 @@ let session_solve session ?time_limit ?budget ?stats ?trace ~lb ~ub () =
     extract st Infeasible
   end
   else
-    match session.s_state with
-    | None -> cold_solve ()
-    | Some st ->
-      st.iterations <- 0;
-      st.bland <- false;
-      st.degenerate_run <- 0;
-      let st = { st with params; budget; stats; sink = trace } in
-      session.s_state <- Some st;
-      rebound_state st lb ub;
-      let usable =
-        (* A valid basis (no artificial columns) that is still dual
-           feasible lets the dual simplex re-solve in place. *)
-        Array.for_all (fun j -> j >= 0 && j < st.n_total) st.basis
-        && begin
-             recompute_basics st;
-             dual_feasible st
-           end
+    match warm with
+    | Some wb -> begin
+      (* Explicit warm basis: reuse the session's allocated state (arrays,
+         factorization workspace, cached transpose) but install exactly
+         [wb], so the outcome is a function of (warm basis, bounds) alone —
+         independent of whatever this session solved before.  This is the
+         determinism contract the parallel branch-and-bound relies on when
+         nodes land on arbitrary workers. *)
+      let st =
+        match session.s_state with
+        | None -> fresh_state sf params budget stats trace lb ub
+        | Some st ->
+          st.iterations <- 0;
+          st.bland <- false;
+          st.degenerate_run <- 0;
+          st.cand_n <- 0;
+          let st = { st with params; budget; stats; sink = trace } in
+          rebound_state st lb ub;
+          st
       in
-      if not usable then cold_solve ()
+      session.s_state <- Some st;
+      if not (install_warm_basis st wb) then cold_solve ()
       else begin
         let status =
           try
-            dual_optimize st;
+            if dual_feasible st then dual_optimize st
+            else if not (basics_primal_feasible st) then
+              raise (Solver_stop Numerical_failure);
             optimize st ~allow_unbounded:true;
             Optimal
           with Solver_stop s -> s
         in
         match status with
         | Numerical_failure ->
-          (* Drift or a bad pivot: one authoritative cold retry. *)
+          (* Unusable basis, drift or a bad pivot: one authoritative cold
+             retry (itself a function of bounds alone). *)
           cold_solve ()
         | s -> extract st s
       end
+    end
+    | None -> (
+      match session.s_state with
+      | None -> cold_solve ()
+      | Some st ->
+        st.iterations <- 0;
+        st.bland <- false;
+        st.degenerate_run <- 0;
+        let st = { st with params; budget; stats; sink = trace } in
+        session.s_state <- Some st;
+        rebound_state st lb ub;
+        let usable =
+          (* A valid basis (no artificial columns) that is still dual
+             feasible lets the dual simplex re-solve in place. *)
+          Array.for_all (fun j -> j >= 0 && j < st.n_total) st.basis
+          && begin
+               recompute_basics st;
+               dual_feasible st
+             end
+        in
+        if not usable then cold_solve ()
+        else begin
+          let status =
+            try
+              dual_optimize st;
+              optimize st ~allow_unbounded:true;
+              Optimal
+            with Solver_stop s -> s
+          in
+          match status with
+          | Numerical_failure ->
+            (* Drift or a bad pivot: one authoritative cold retry. *)
+            cold_solve ()
+          | s -> extract st s
+        end)

@@ -108,6 +108,7 @@ val session_solve :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?warm:basis ->
   lb:float array ->
   ub:float array ->
   unit ->
@@ -116,4 +117,13 @@ val session_solve :
     [Std_form.n_total]).  Falls back to a cold start internally whenever
     the carried basis is unusable; the result is always as authoritative
     as a fresh {!solve}.  [?budget] takes precedence over [?time_limit];
-    [?stats]/[?trace] as in {!solve}. *)
+    [?stats]/[?trace] as in {!solve}.
+
+    Without [?warm] the re-solve warm-starts from whatever basis the
+    session's {e previous} solve left behind — fastest when consecutive
+    calls are related, but the answer chosen among degenerate alternative
+    optima may depend on that history.  With [?warm] the session installs
+    exactly the given basis (reusing its allocated state and cached
+    transpose), making the result a function of the (warm basis, bounds)
+    pair alone — the reproducibility the parallel branch-and-bound needs
+    when nodes land on arbitrary workers. *)

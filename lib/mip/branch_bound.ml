@@ -4,6 +4,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 module Budget = Runtime.Budget
 module Rstats = Runtime.Stats
 module Trace = Runtime.Trace
+module Pool = Runtime.Pool
 
 type status =
   | Optimal
@@ -29,7 +30,9 @@ type params = {
   lp_params : Lp.Simplex.params;
   log_every : int;
   propagate : bool;       (* node-level domain propagation *)
-  warm_sessions : bool;   (* persistent dual-simplex session re-solves *)
+  warm_sessions : bool;   (* warm dual-simplex node re-solves *)
+  jobs : int;             (* worker domains for node LPs; <= 0 autodetects *)
+  batch_size : int;       (* nodes selected per synchronous round *)
 }
 
 let default_params =
@@ -46,6 +49,12 @@ let default_params =
        than a cold primal solve from scratch (see the A2 ablation bench
        and BENCH_simplex.json). *)
     warm_sessions = true;
+    jobs = 1;
+    (* The batch size is deliberately independent of [jobs]: the set of
+       nodes selected each round — and hence the whole search — must not
+       change with the worker count, or results would differ across
+       parallelism levels. *)
+    batch_size = 8;
   }
 
 type result = {
@@ -68,34 +77,42 @@ let gap_of ~incumbent ~bound =
     if diff <= 1e-12 then 0.0 else diff /. Float.max 1e-10 (Float.abs inc)
 
 (* A node records only its branching decisions; bound arrays are
-   reconstructed on demand to keep the queue memory-light. *)
+   reconstructed on demand to keep the queue memory-light.  [warm] is the
+   optimal basis of the parent's LP: evaluating the node warm-starts the
+   dual simplex from exactly that basis, so the node's LP answer is a
+   function of the node alone — not of whichever worker's session solved
+   an unrelated node last.  That per-node anchoring is what makes the
+   parallel search reproducible. *)
 type node = {
   branches : (int * float * float) list;  (* (column, lo, hi) tightenings *)
   depth : int;
   parent_bound : float;  (* internal (minimization) LP bound inherited *)
+  warm : Lp.Simplex.basis option;
 }
 
 type search = {
   sf : Lp.Std_form.t;
   prop : Propagate.t;
-  session : Lp.Simplex.session;
-      (* one persistent simplex session: node LPs re-solve by dual simplex
-         from the previous basis instead of from scratch *)
+  sessions : Lp.Simplex.session array;
+      (* one persistent simplex session per worker domain: allocated
+         state (factorization workspace, cached transpose) is reused
+         across that worker's node LPs, while each solve installs the
+         node's own warm basis *)
   params : params;
   queue : node Heap.t;
   mutable plunge : node list;
       (* depth-first stack: one child of the last branching is explored
-         immediately, which finds incumbents far faster than pure
+         in the next round, which finds incumbents far faster than pure
          best-bound search on models with weak big-M relaxations *)
   mutable incumbent_x : float array option;
   mutable incumbent_obj : float;  (* internal sense; +inf if none *)
   mutable nodes : int;
   mutable lp_iters : int;
-  mutable processing_bound : float;
-      (* inherited bound of the node currently being processed; [infinity]
-         between nodes.  Without it, stopping mid-node with an empty queue
-         would let [global_bound] collapse to the incumbent and falsely
-         claim a proved optimum. *)
+  mutable pending_bound : float;
+      (* min inherited bound over nodes popped from the queues but not
+         yet merged; [infinity] between rounds.  Without it, stopping
+         mid-round would let [global_bound] collapse to the incumbent
+         and falsely claim a proved optimum. *)
   budget : Budget.t;
   search_origin : float;  (* budget elapsed when this search started *)
   stats : Rstats.t;
@@ -136,23 +153,17 @@ let fractional_vars s (x : float array) =
   !acc
 
 (* Nearest-integer rounding probe: cheap primal heuristic applied to every
-   fractional LP optimum. *)
-let try_rounding s (x : float array) =
+   fractional LP optimum.  Pure — the candidate is compared against the
+   incumbent only during the sequential merge. *)
+let rounding_candidate s (x : float array) =
   let sf = s.sf in
   let cand = Array.copy x in
   for j = 0 to sf.Lp.Std_form.n_struct - 1 do
     if sf.Lp.Std_form.integer.(j) then cand.(j) <- Float.round cand.(j)
   done;
-  if Lp.Std_form.is_feasible_point sf cand then begin
-    let obj = structural_objective sf cand in
-    if obj < s.incumbent_obj -. 1e-12 then begin
-      s.incumbent_obj <- obj;
-      s.incumbent_x <- Some cand;
-      s.stats.Rstats.incumbents <- s.stats.Rstats.incumbents + 1;
-      Trace.emit s.sink s.budget (Trace.Bb_incumbent { objective = obj });
-      Log.debug (fun m -> m "rounding incumbent: internal obj %g" obj)
-    end
-  end
+  if Lp.Std_form.is_feasible_point sf cand then
+    Some (cand, structural_objective sf cand)
+  else None
 
 let accept_incumbent s (x : float array) obj =
   if obj < s.incumbent_obj -. 1e-12 then begin
@@ -163,14 +174,14 @@ let accept_incumbent s (x : float array) obj =
     Log.debug (fun m -> m "new incumbent: internal obj %g" obj)
   end
 
-let global_bound s processing_bound =
+let global_bound s pending_bound =
   let qmin = match Heap.peek_key s.queue with Some k -> k | None -> infinity in
   let smin =
     List.fold_left
       (fun acc n -> Float.min acc n.parent_bound)
       infinity s.plunge
   in
-  Float.min (Float.min qmin smin) (Float.min processing_bound s.incumbent_obj)
+  Float.min (Float.min qmin smin) (Float.min pending_bound s.incumbent_obj)
 
 exception Stop of status
 
@@ -193,41 +204,117 @@ let branch_var s (x : float array) =
     in
     (match best with Some (j, v, _) -> Some (j, v) | None -> None)
 
-let process_node s node =
-  s.processing_bound <- node.parent_bound;
-  s.nodes <- s.nodes + 1;
-  s.stats.Rstats.bb_nodes <- s.stats.Rstats.bb_nodes + 1;
-  Budget.tick s.budget;
-  Trace.emit s.sink s.budget
-    (Trace.Bb_node { nodes = s.nodes; bound = node.parent_bound });
-  if s.nodes > s.params.node_limit || Budget.nodes_exhausted s.budget s.nodes
-  then raise (Stop Node_limit);
-  if Budget.out_of_time s.budget then raise (Stop Time_limit);
-  (* Bound-based pruning against the current incumbent. *)
-  let prune_margin =
-    1e-9 *. Float.max 1.0 (Float.abs s.incumbent_obj)
-  in
-  if node.parent_bound >= s.incumbent_obj -. prune_margin then ()
-  else begin
-    let lb, ub = node_bounds s node in
-    match
-      if s.params.propagate then Propagate.run s.prop ~lb ~ub
-      else Propagate.Tightened 0
-    with
-    | Propagate.Infeasible_node -> ()
-    | Propagate.Tightened _ ->
-    (* Node LPs consume the search's own budget: the deadline is shared
-       rather than re-derived per node, and every pivot bills one clock. *)
+let prune_margin s = 1e-9 *. Float.max 1.0 (Float.abs s.incumbent_obj)
+
+(* --- selection (sequential) -------------------------------------------- *)
+
+let pop s =
+  match s.plunge with
+  | n :: rest ->
+    s.plunge <- rest;
+    Some n
+  | [] -> (match Heap.pop s.queue with Some (_, n) -> Some n | None -> None)
+
+(* Pops up to [k] nodes for this round.  All node accounting and limit
+   checks live here, on the calling domain, against the shared budget —
+   exactly as the sequential search did per node — so stop decisions never
+   depend on worker scheduling.  Nodes whose inherited bound is already
+   dominated by the incumbent are pruned without being dispatched (they
+   still count as processed nodes). *)
+let select_batch s k =
+  let acc = ref [] in
+  (try
+     for _ = 1 to k do
+       match pop s with
+       | None -> raise Exit
+       | Some node ->
+         s.pending_bound <- Float.min s.pending_bound node.parent_bound;
+         s.nodes <- s.nodes + 1;
+         s.stats.Rstats.bb_nodes <- s.stats.Rstats.bb_nodes + 1;
+         Budget.tick s.budget;
+         Trace.emit s.sink s.budget
+           (Trace.Bb_node { nodes = s.nodes; bound = node.parent_bound });
+         if
+           s.nodes > s.params.node_limit
+           || Budget.nodes_exhausted s.budget s.nodes
+         then raise (Stop Node_limit);
+         if Budget.out_of_time s.budget then raise (Stop Time_limit);
+         if node.parent_bound >= s.incumbent_obj -. prune_margin s then ()
+         else acc := node :: !acc
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !acc)
+
+(* --- evaluation (one node, any worker) --------------------------------- *)
+
+(* Everything a worker may conclude about a node.  Decisions that touch
+   shared search state (incumbent acceptance, pruning, pushing children)
+   are *not* taken here — the worker only computes; the merge decides. *)
+type eval =
+  | Prop_infeasible  (* domain propagation proved the node empty *)
+  | Lp_result of {
+      status : Lp.Simplex.status;
+      bound : float;  (* internal_objective *)
+      x : float array;
+      iterations : int;
+      final_basis : Lp.Simplex.basis option;
+      branch : (int * float) option;
+      rounding : (float array * float) option;
+    }
+
+(* Deterministic per node: reads only immutable search fields (standard
+   form, propagator, root bounds, params), bills work to a private budget
+   fork and a private stats record, and — when warm-starting — installs
+   the node's own parent basis rather than whatever the worker's session
+   held.  No trace sink: sinks are not domain-safe, and the merge emits
+   every search-level event in order. *)
+let eval_node s ~worker ~fork ~fstats node =
+  let lb, ub = node_bounds s node in
+  match
+    if s.params.propagate then Propagate.run s.prop ~lb ~ub
+    else Propagate.Tightened 0
+  with
+  | Propagate.Infeasible_node -> Prop_infeasible
+  | Propagate.Tightened _ ->
     let r =
-      if s.params.warm_sessions then
-        Lp.Simplex.session_solve s.session ~budget:s.budget ~stats:s.stats
-          ?trace:s.sink ~lb ~ub ()
-      else
-        Lp.Simplex.solve ~params:s.params.lp_params ~budget:s.budget
-          ~stats:s.stats ?trace:s.sink ~lb ~ub s.sf
+      match (s.params.warm_sessions, node.warm) with
+      | true, Some wb ->
+        Lp.Simplex.session_solve s.sessions.(worker) ~budget:fork
+          ~stats:fstats ~warm:wb ~lb ~ub ()
+      | _ ->
+        (* Root node, a parent whose LP left no clean basis, or warm
+           sessions disabled: a cold solve, itself a function of the
+           bounds alone. *)
+        Lp.Simplex.solve ~params:s.params.lp_params ~budget:fork
+          ~stats:fstats ~lb ~ub s.sf
     in
-    s.lp_iters <- s.lp_iters + r.Lp.Simplex.iterations;
-    match r.Lp.Simplex.status with
+    let branch =
+      match r.Lp.Simplex.status with
+      | Lp.Simplex.Optimal -> branch_var s r.Lp.Simplex.x
+      | _ -> None
+    in
+    let rounding =
+      match (r.Lp.Simplex.status, branch) with
+      | Lp.Simplex.Optimal, Some _ -> rounding_candidate s r.Lp.Simplex.x
+      | _ -> None
+    in
+    Lp_result
+      {
+        status = r.Lp.Simplex.status;
+        bound = r.Lp.Simplex.internal_objective;
+        x = r.Lp.Simplex.x;
+        iterations = r.Lp.Simplex.iterations;
+        final_basis = r.Lp.Simplex.final_basis;
+        branch;
+        rounding;
+      }
+
+(* --- merge (sequential, node-index order) ------------------------------ *)
+
+let merge_decide s node = function
+  | Prop_infeasible -> ()
+  | Lp_result r -> (
+    match r.status with
     | Lp.Simplex.Infeasible -> ()
     | Lp.Simplex.Unbounded ->
       (* With an unbounded relaxation no finite dual bound exists. *)
@@ -236,20 +323,28 @@ let process_node s node =
     | Lp.Simplex.Iter_limit | Lp.Simplex.Numerical_failure ->
       raise (Stop Numerical_failure)
     | Lp.Simplex.Optimal ->
-      let bound = r.Lp.Simplex.internal_objective in
-      if bound >= s.incumbent_obj -. prune_margin then ()
+      let bound = r.bound in
+      (* Re-prune: the incumbent may have improved since this node was
+         selected (earlier nodes of this very batch included). *)
+      if bound >= s.incumbent_obj -. prune_margin s then ()
       else begin
-        match branch_var s r.Lp.Simplex.x with
+        match r.branch with
         | None ->
           (* integral LP optimum *)
-          accept_incumbent s r.Lp.Simplex.x bound
+          accept_incumbent s r.x bound
         | Some (j, v) ->
-          try_rounding s r.Lp.Simplex.x;
+          (match r.rounding with
+          | Some (cand, obj) -> accept_incumbent s cand obj
+          | None -> ());
+          let warm =
+            match r.final_basis with Some _ as b -> b | None -> node.warm
+          in
           let mk lo hi =
             {
               branches = (j, lo, hi) :: node.branches;
               depth = node.depth + 1;
               parent_bound = bound;
+              warm;
             }
           in
           let down = mk neg_infinity (Float.of_int (int_of_float (Float.floor v)))
@@ -261,8 +356,7 @@ let process_node s node =
           in
           s.plunge <- first :: s.plunge;
           Heap.push s.queue ~key:bound second
-      end
-  end
+      end)
 
 let log_progress s =
   if s.params.log_every > 0 && s.nodes mod s.params.log_every = 0 then
@@ -271,7 +365,69 @@ let log_progress s =
           (Heap.size s.queue)
           (if s.incumbent_obj = infinity then "-"
            else Printf.sprintf "%g" s.incumbent_obj)
-          (global_bound s infinity))
+          (global_bound s s.pending_bound))
+
+(* One synchronous round: select a batch, evaluate every node on the
+   workers, merge in node-index order.  The merge always folds *all*
+   per-node budgets and stats back first (phase A) — even when a limit or
+   the gap test then stops the search mid-batch — so tick and counter
+   totals are identical at every jobs level.  Only then are the search
+   decisions replayed (phase B). *)
+let run_round s dispatch =
+  let batch = select_batch s (max 1 s.params.batch_size) in
+  let n = Array.length batch in
+  if n > 0 then begin
+    let iter_rem =
+      max 0 (Budget.iter_limit s.budget - s.stats.Rstats.simplex_iterations)
+    in
+    let forks =
+      Array.map (fun _ -> Budget.fork ~iter_limit:iter_rem s.budget) batch
+    in
+    let fstats = Array.map (fun _ -> Rstats.create ()) batch in
+    let evals =
+      dispatch
+        (fun ~worker i ->
+          eval_node s ~worker ~fork:forks.(i) ~fstats:fstats.(i) batch.(i))
+        n
+    in
+    (* Phase A: jobs-invariant accounting, unconditionally for the whole
+       batch, in index order. *)
+    for i = 0 to n - 1 do
+      Budget.join ~into:s.budget forks.(i);
+      Rstats.merge ~into:s.stats fstats.(i);
+      s.lp_iters <-
+        (s.lp_iters
+        + match evals.(i) with Lp_result r -> r.iterations | Prop_infeasible -> 0)
+    done;
+    (* Phase B: decisions.  [suffix_min.(i)] is the best inherited bound
+       among the not-yet-merged nodes i.., so a stop while merging node i
+       still reports a bound that covers the discarded remainder. *)
+    let suffix_min = Array.make (n + 1) infinity in
+    for i = n - 1 downto 0 do
+      suffix_min.(i) <- Float.min batch.(i).parent_bound suffix_min.(i + 1)
+    done;
+    for i = 0 to n - 1 do
+      s.pending_bound <- suffix_min.(i);
+      merge_decide s batch.(i) evals.(i);
+      s.pending_bound <- suffix_min.(i + 1);
+      log_progress s;
+      let bound = global_bound s s.pending_bound in
+      if bound > s.emitted_bound +. 1e-12 && bound < infinity then begin
+        s.emitted_bound <- bound;
+        s.stats.Rstats.bound_updates <- s.stats.Rstats.bound_updates + 1;
+        Trace.emit s.sink s.budget (Trace.Bb_bound { bound })
+      end;
+      let gap =
+        gap_of
+          ~incumbent:
+            (if s.incumbent_obj = infinity then None else Some s.incumbent_obj)
+          ~bound
+      in
+      (* Gap-based early stop; the rest of the batch is discarded — a
+         deterministic decision, since the merge order is fixed. *)
+      if gap <= s.params.gap_tol then raise (Stop Optimal)
+    done
+  end
 
 let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
   let budget =
@@ -283,15 +439,24 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
   in
   let stats = match stats with Some s -> s | None -> Rstats.create () in
   let n_total = Lp.Std_form.n_total sf in
+  let jobs =
+    let requested =
+      if params.jobs <= 0 then Pool.recommended_jobs () else params.jobs
+    in
+    (* More workers than the batch size can never be busy at once. *)
+    max 1 (min requested (max 1 params.batch_size))
+  in
   let s =
     {
       sf;
       prop = Propagate.prepare sf;
-      session = Lp.Simplex.create_session ~params:params.lp_params sf;
+      sessions =
+        Array.init jobs (fun _ ->
+            Lp.Simplex.create_session ~params:params.lp_params sf);
       params;
       queue = Heap.create ();
       plunge = [];
-      processing_bound = infinity;
+      pending_bound = infinity;
       incumbent_x = None;
       incumbent_obj = infinity;
       nodes = 0;
@@ -323,41 +488,24 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
     Log.warn (fun m -> m "seed incumbent rejected (infeasible or fractional)")
   | None -> ());
   Heap.push s.queue ~key:neg_infinity
-    { branches = []; depth = 0; parent_bound = neg_infinity };
+    { branches = []; depth = 0; parent_bound = neg_infinity; warm = None };
+  let search dispatch =
+    let rec loop () =
+      if s.plunge = [] && Heap.is_empty s.queue then
+        if s.incumbent_x = None then Infeasible else Optimal
+      else begin
+        run_round s dispatch;
+        loop ()
+      end
+    in
+    try loop () with Stop st -> st
+  in
   let status =
-    try
-      let pop () =
-        match s.plunge with
-        | n :: rest ->
-          s.plunge <- rest;
-          Some n
-        | [] -> (match Heap.pop s.queue with Some (_, n) -> Some n | None -> None)
-      in
-      let rec loop () =
-        match pop () with
-        | None -> if s.incumbent_x = None then Infeasible else Optimal
-        | Some node ->
-          process_node s node;
-          s.processing_bound <- infinity;
-          log_progress s;
-          (* Gap-based early stop. *)
-          let bound = global_bound s infinity in
-          if bound > s.emitted_bound +. 1e-12 && bound < infinity then begin
-            s.emitted_bound <- bound;
-            s.stats.Rstats.bound_updates <- s.stats.Rstats.bound_updates + 1;
-            Trace.emit s.sink s.budget (Trace.Bb_bound { bound })
-          end;
-          let gap =
-            gap_of
-              ~incumbent:
-                (if s.incumbent_obj = infinity then None
-                 else Some s.incumbent_obj)
-              ~bound
-          in
-          if gap <= s.params.gap_tol then Optimal else loop ()
-      in
-      loop ()
-    with Stop st -> st
+    if jobs = 1 then
+      search (fun f n -> Array.init n (fun i -> f ~worker:0 i))
+    else
+      Pool.with_pool ~jobs (fun pool ->
+          search (fun f n -> Pool.run pool f (Array.init n (fun i -> i))))
   in
   let internal_bound =
     match status with
@@ -365,7 +513,7 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
     | Infeasible -> infinity
     | Unbounded -> neg_infinity
     | Time_limit | Node_limit | Numerical_failure ->
-      global_bound s s.processing_bound
+      global_bound s s.pending_bound
   in
   let objective =
     match s.incumbent_x with

@@ -4,7 +4,22 @@
     value) with depth used as a tie-breaker, most-fractional branching and
     a nearest-integer rounding heuristic probed at every node.  The solver
     reports Gurobi-style incumbent / best-bound / relative-gap statistics,
-    which is what the paper's evaluation (Figures 4 and 6) plots. *)
+    which is what the paper's evaluation (Figures 4 and 6) plots.
+
+    The search runs in {e synchronous rounds}: each round pops up to
+    [batch_size] nodes (plunge stack first, then best-bound heap), solves
+    their node LPs concurrently on [jobs] worker domains, and merges the
+    results sequentially in node-index order.  Because node selection and
+    every search decision (incumbent updates, pruning, branching, stop
+    conditions) happen on the calling domain, and each node LP warm-starts
+    from its own parent basis on a private budget fork, the entire search
+    — status, objective, best bound, node count, work-clock ticks — is
+    identical at every [jobs] level (see DESIGN.md §7).
+
+    Node-LP simplex trace events are not forwarded under this scheme
+    (trace sinks are not domain-safe); the search-level [Bb_node] /
+    [Bb_incumbent] / [Bb_bound] events are emitted, in deterministic
+    order, at any [jobs] level. *)
 
 type status =
   | Optimal        (** search exhausted; incumbent proved optimal *)
@@ -27,8 +42,18 @@ type params = {
   log_every : int;       (** nodes between progress log lines; 0 = quiet *)
   propagate : bool;      (** node-level domain propagation (default on) *)
   warm_sessions : bool;
-      (** persistent dual-simplex session for node LPs (default on);
-          off = every node LP solved from scratch *)
+      (** warm dual-simplex node re-solves from the parent's basis
+          (default on); off = every node LP solved from scratch *)
+  jobs : int;
+      (** worker domains for node-LP evaluation (default 1 = in the
+          calling domain; [<= 0] autodetects).  Any value yields the same
+          result — [jobs] trades wall-clock time only. *)
+  batch_size : int;
+      (** nodes selected per synchronous round (default 8).  Deliberately
+          independent of [jobs]: the selection — and hence the search —
+          must not change with the worker count.  Larger batches expose
+          more parallelism but may explore more nodes than strictly
+          best-bound order would. *)
 }
 
 val default_params : params

@@ -56,6 +56,16 @@ let pop h =
     Some top
   end
 
+let pop_k h k =
+  let rec take k acc =
+    if k <= 0 then List.rev acc
+    else
+      match pop h with
+      | None -> List.rev acc
+      | Some kv -> take (k - 1) (kv :: acc)
+  in
+  take k []
+
 let peek_key h = if h.len = 0 then None else Some (fst h.data.(0))
 
 let fold f acc h =

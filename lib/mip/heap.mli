@@ -14,6 +14,11 @@ val push : 'a t -> key:float -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the minimum-key element. *)
 
+val pop_k : 'a t -> int -> (float * 'a) list
+(** [pop_k h k] removes and returns the [min k (size h)] smallest-key
+    elements, in ascending key order (ties broken by pop order).  Used to
+    select a batch of best-bound nodes in one call. *)
+
 val peek_key : 'a t -> float option
 (** The minimum key, without removing it. *)
 

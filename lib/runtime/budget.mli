@@ -21,7 +21,15 @@
 
     Budgets nest: {!sub} carves out a child with its own (earlier)
     deadline on the {e shared} clock, so "give the exact pass at most 10s
-    of whatever remains" composes correctly. *)
+    of whatever remains" composes correctly.
+
+    Concurrency: tick counters are atomic, so workers on several domains
+    may bill work against one shared budget and the total never loses
+    updates.  But a shared clock read mid-flight still depends on how the
+    workers interleave; code that needs its {e decisions} (deadline and
+    limit checks) to be identical at any parallelism level gives each unit
+    of work a {!fork} — a private snapshot of the clock — and {!join}s the
+    forks back into the parent in a fixed, scheduling-independent order. *)
 
 type t
 
@@ -46,6 +54,23 @@ val sub : ?time_limit:float -> ?node_limit:int -> ?iter_limit:int -> t -> t
     limits default to the parent's.  Ticks recorded against the child are
     visible to the parent (one clock). *)
 
+val fork : ?iter_limit:int -> t -> t
+(** A snapshot of this budget on a {e private} clock.  The fork sees the
+    parent's elapsed time and deadline as of the call, but ticks recorded
+    against it advance only its own view — forks of the same budget are
+    fully independent, so concurrent workers each evaluating one fork make
+    the same deadline decisions regardless of scheduling.  In wall mode
+    the fork shares the parent's start instant (real time keeps flowing);
+    in deterministic mode its clock is frozen at the parent's current tick
+    count.  [iter_limit] optionally overrides the per-fork simplex
+    iteration cap.  Fold the work back with {!join}. *)
+
+val join : into:t -> t -> unit
+(** [join ~into fork] bills the ticks recorded on [fork] since it was
+    created against [into]'s clock.  Joining forks in a fixed order makes
+    the parent's tick totals — and hence deterministic elapsed time —
+    independent of how the forked work was scheduled. *)
+
 val tick : ?n:int -> t -> unit
 (** Record [n] (default 1) units of work against the clock.  Advances
     deterministic time; in wall mode it only feeds the {!ticks} counter. *)
@@ -64,6 +89,12 @@ val out_of_time : t -> bool
 
 val time_limit : t -> float
 (** The configured relative limit ([infinity] = none). *)
+
+val node_limit : t -> int
+(** The configured branch-and-bound node cap ([max_int] = none). *)
+
+val iter_limit : t -> int
+(** The configured simplex iteration cap ([max_int] = none). *)
 
 val nodes_exhausted : t -> int -> bool
 (** [nodes_exhausted b n]: has a search that processed [n] nodes used up

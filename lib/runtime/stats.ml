@@ -39,7 +39,7 @@ let create () =
     search_time = 0.0;
   }
 
-let add ~into s =
+let merge ~into s =
   into.simplex_iterations <- into.simplex_iterations + s.simplex_iterations;
   into.refactorizations <- into.refactorizations + s.refactorizations;
   into.lp_solves <- into.lp_solves + s.lp_solves;
@@ -57,6 +57,8 @@ let add ~into s =
   into.greedy_time <- into.greedy_time +. s.greedy_time;
   into.build_time <- into.build_time +. s.build_time;
   into.search_time <- into.search_time +. s.search_time
+
+let add = merge
 
 let to_string s =
   Printf.sprintf

@@ -37,8 +37,13 @@ type t = {
 val create : unit -> t
 (** All counters zero. *)
 
+val merge : into:t -> t -> unit
+(** Fold one record into another (all fields summed).  Used both to
+    aggregate per-solve stats in the bench harness and to fold per-worker
+    records back into the caller's after a parallel batch. *)
+
 val add : into:t -> t -> unit
-(** Accumulate a solve's stats into an aggregate (all fields summed). *)
+(** Alias of {!merge} (historical name). *)
 
 val to_string : t -> string
 (** One-line human-readable rendering (used by the CLI). *)

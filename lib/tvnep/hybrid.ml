@@ -73,7 +73,7 @@ let solve ?(heavy_fraction = 0.3) ?(mip = Mip.Branch_bound.default_params)
           trace;
         }
   in
-  Rstats.add ~into:counters heavy_outcome.Solver.stats;
+  Rstats.merge ~into:counters heavy_outcome.Solver.stats;
   (* Fix the schedules the exact pass chose.  Heavy requests it rejected
      get a second chance in the greedy scan — they can only add revenue. *)
   let preplaced =

@@ -31,6 +31,55 @@ let heap_tests =
         Alcotest.(check int) "sum" 55 sum);
   ]
 
+let heap_properties =
+  let heap_of keys =
+    let h = Mip.Heap.create () in
+    List.iteri (fun i k -> Mip.Heap.push h ~key:k i) keys;
+    h
+  in
+  let keys_gen = QCheck2.Gen.(list_size (0 -- 60) (float_range (-1e3) 1e3)) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"heap pops keys in ascending order" ~count:200
+         keys_gen
+         (fun keys ->
+           let h = heap_of keys in
+           let popped =
+             List.init (List.length keys) (fun _ ->
+                 match Mip.Heap.pop h with
+                 | Some (k, _) -> k
+                 | None -> nan)
+           in
+           Mip.Heap.is_empty h
+           && List.sort compare keys = popped));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"pop_k equals k repeated pops"
+         ~count:200
+         QCheck2.Gen.(pair keys_gen (0 -- 70))
+         (fun (keys, k) ->
+           let a = heap_of keys and b = heap_of keys in
+           let via_pop_k = Mip.Heap.pop_k a k in
+           let via_pops =
+             List.filter_map
+               (fun _ -> Mip.Heap.pop b)
+               (List.init (min k (List.length keys)) Fun.id)
+           in
+           List.map fst via_pop_k = List.map fst via_pops
+           && List.length via_pop_k = min k (List.length keys)
+           && Mip.Heap.size a = List.length keys - List.length via_pop_k));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"fold conserves the stored elements" ~count:200
+         keys_gen
+         (fun keys ->
+           let h = heap_of keys in
+           let seen = Mip.Heap.fold (fun acc k v -> (k, v) :: acc) [] h in
+           (* every pushed (key, payload) pair is visited exactly once *)
+           List.sort compare seen
+           = List.sort compare (List.mapi (fun i k -> (k, i)) keys)
+           (* and folding does not consume the heap *)
+           && Mip.Heap.size h = List.length keys));
+  ]
+
 let knapsack_model values weights capacity =
   let n = Array.length values in
   let m = Lp.Model.create () in
@@ -323,10 +372,75 @@ let warm_session_tests =
           scenarios);
   ]
 
+(* The synchronous-batch scheduler promises that [jobs] trades wall-clock
+   time only: status, objective, proved bound, node count, LP iterations,
+   structured stats and the deterministic work-clock total must all be
+   identical at every jobs level.  These regressions pin that contract on
+   searches that terminate each way (optimality, node limit, time
+   limit). *)
+let parallel_tests =
+  let random_knapsack seed =
+    let rng = Workload.Rng.create (Int64.of_int seed) in
+    let n = 12 + Workload.Rng.int rng 5 in
+    let values =
+      Array.init n (fun _ -> float_of_int (1 + Workload.Rng.int rng 40))
+    in
+    let weights =
+      Array.init n (fun _ -> float_of_int (1 + Workload.Rng.int rng 15))
+    in
+    let capacity = float_of_int (20 + Workload.Rng.int rng 40) in
+    knapsack_model values weights capacity
+  in
+  (* Everything observable about a solve, including the shared clock. *)
+  let fingerprint ?time_limit ?node_limit ~jobs m =
+    let budget =
+      Runtime.Budget.create ~deterministic:1e5 ?time_limit ?node_limit ()
+    in
+    let stats = Runtime.Stats.create () in
+    let params = { Mip.Branch_bound.default_params with jobs } in
+    let r = Mip.Branch_bound.solve ~params ~budget ~stats m in
+    ( ( r.Mip.Branch_bound.status,
+        r.Mip.Branch_bound.objective,
+        r.Mip.Branch_bound.best_bound,
+        r.Mip.Branch_bound.nodes,
+        r.Mip.Branch_bound.lp_iterations ),
+      ( Runtime.Budget.ticks budget,
+        stats.Runtime.Stats.bb_nodes,
+        stats.Runtime.Stats.simplex_iterations,
+        stats.Runtime.Stats.lp_solves,
+        stats.Runtime.Stats.incumbents ) )
+  in
+  let check_invariant ?time_limit ?node_limit seed =
+    let m = random_knapsack seed in
+    let base = fingerprint ?time_limit ?node_limit ~jobs:1 m in
+    List.iter
+      (fun jobs ->
+        let got = fingerprint ?time_limit ?node_limit ~jobs m in
+        if got <> base then
+          Alcotest.failf "seed %d: jobs=%d diverges from jobs=1" seed jobs)
+      [ 2; 4 ]
+  in
+  [
+    Alcotest.test_case "jobs-invariant results on random knapsacks" `Quick
+      (fun () -> List.iter check_invariant [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    Alcotest.test_case "jobs-invariant under a node limit" `Quick (fun () ->
+        List.iter (check_invariant ~node_limit:5) [ 11; 12; 13 ]);
+    Alcotest.test_case "jobs-invariant when the deterministic clock expires"
+      `Quick (fun () ->
+        (* The budget dies mid-search: a handful of nodes fit before the
+           work-clock deadline, so the stop lands inside a batch. *)
+        List.iter (check_invariant ~time_limit:0.2) [ 21; 22; 23 ]);
+    Alcotest.test_case "autodetected jobs match jobs=1" `Quick (fun () ->
+        let m = random_knapsack 31 in
+        Alcotest.(check bool) "identical" true
+          (fingerprint ~jobs:0 m = fingerprint ~jobs:1 m));
+  ]
+
 let suite =
   [
-    ("mip.heap", heap_tests);
+    ("mip.heap", heap_tests @ heap_properties);
     ("mip.branch_bound", bb_tests @ bb_properties);
     ("mip.propagate", propagate_tests);
     ("mip.warm_sessions", warm_session_tests);
+    ("mip.parallel", parallel_tests);
   ]

@@ -47,6 +47,71 @@ let budget_tests =
           (Budget.out_of_time unlimited);
         Alcotest.(check bool) "no node cap" false
           (Budget.nodes_exhausted unlimited max_int));
+    Alcotest.test_case "forks isolate the clock; joins fold it back" `Quick
+      (fun () ->
+        let b = Budget.create ~deterministic:100.0 ~time_limit:1.0 () in
+        Budget.tick ~n:30 b;
+        let f1 = Budget.fork b and f2 = Budget.fork b in
+        Alcotest.(check (float 1e-12)) "fork sees parent elapsed" 0.3
+          (Budget.elapsed f1);
+        Budget.tick ~n:50 f1;
+        Alcotest.(check (float 1e-12)) "fork advances privately" 0.8
+          (Budget.elapsed f1);
+        Alcotest.(check (float 1e-12)) "sibling fork unaffected" 0.3
+          (Budget.elapsed f2);
+        Alcotest.(check (float 1e-12)) "parent unaffected" 0.3
+          (Budget.elapsed b);
+        Budget.tick ~n:90 f2;
+        Alcotest.(check bool) "a fork can expire alone" true
+          (Budget.out_of_time f2);
+        Alcotest.(check bool) "parent still alive" false (Budget.out_of_time b);
+        (* Joining in either order yields the same total (addition). *)
+        Budget.join ~into:b f2;
+        Budget.join ~into:b f1;
+        Alcotest.(check int) "joined tick total" (30 + 50 + 90)
+          (Budget.ticks b);
+        Alcotest.(check bool) "parent now expired" true (Budget.out_of_time b));
+    Alcotest.test_case "fork/join in wall mode keeps the tick counter" `Quick
+      (fun () ->
+        let b = Budget.create () in
+        Budget.tick ~n:5 b;
+        let f = Budget.fork ~iter_limit:7 b in
+        Alcotest.(check int) "fork iter_limit override" 7 (Budget.iter_limit f);
+        Budget.tick ~n:3 f;
+        Alcotest.(check int) "parent not yet billed" 5 (Budget.ticks b);
+        Budget.join ~into:b f;
+        Alcotest.(check int) "ticks folded back" 8 (Budget.ticks b));
+  ]
+
+(* ---- Stats ------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "merge sums counters and phase times" `Quick (fun () ->
+        let a = Runtime.Stats.create () and b = Runtime.Stats.create () in
+        a.Runtime.Stats.simplex_iterations <- 3;
+        b.Runtime.Stats.simplex_iterations <- 4;
+        a.Runtime.Stats.lp_solves <- 1;
+        b.Runtime.Stats.lp_solves <- 2;
+        b.Runtime.Stats.bb_nodes <- 6;
+        b.Runtime.Stats.incumbents <- 2;
+        a.Runtime.Stats.greedy_time <- 0.5;
+        b.Runtime.Stats.greedy_time <- 0.25;
+        b.Runtime.Stats.search_time <- 1.5;
+        Runtime.Stats.merge ~into:a b;
+        Alcotest.(check int) "iterations" 7 a.Runtime.Stats.simplex_iterations;
+        Alcotest.(check int) "lp solves" 3 a.Runtime.Stats.lp_solves;
+        Alcotest.(check int) "nodes" 6 a.Runtime.Stats.bb_nodes;
+        Alcotest.(check int) "incumbents" 2 a.Runtime.Stats.incumbents;
+        Alcotest.(check (float 1e-12)) "greedy time" 0.75
+          a.Runtime.Stats.greedy_time;
+        Alcotest.(check (float 1e-12)) "search time" 1.5
+          a.Runtime.Stats.search_time;
+        (* merging a zero record is the identity *)
+        let before = Runtime.Stats.to_string a in
+        Runtime.Stats.merge ~into:a (Runtime.Stats.create ());
+        Alcotest.(check string) "zero is neutral" before
+          (Runtime.Stats.to_string a));
   ]
 
 (* ---- Simplex under a budget ------------------------------------------- *)
@@ -177,6 +242,28 @@ let mip_tests =
         in
         Alcotest.(check bool) "node limit" true
           (r.Mip.Branch_bound.status = Mip.Branch_bound.Node_limit));
+    Alcotest.test_case "budget exhaustion mid-batch keeps a valid bound"
+      `Quick (fun () ->
+        (* Parallel version of the tiny-budget case: with four workers the
+           deterministic deadline lands inside a batch, and the discarded
+           remainder of that batch must still be covered by the reported
+           bound (pending-bound bookkeeping) — stopping mid-round must
+           never let the search claim a tighter bound than it proved. *)
+        let params =
+          { Mip.Branch_bound.default_params with jobs = 4; batch_size = 4 }
+        in
+        let r =
+          Mip.Branch_bound.solve ~params
+            ~budget:(Budget.create ~deterministic:1.0 ~time_limit:1.0 ())
+            ~initial:[| 0.0; 1.0; 1.0; 1.0 |]
+            (knapsack ())
+        in
+        Alcotest.(check bool) "time limit" true
+          (r.Mip.Branch_bound.status = Mip.Branch_bound.Time_limit);
+        Alcotest.(check bool) "bound dominates optimum" true
+          (r.Mip.Branch_bound.best_bound >= 21.0 -. 1e-9);
+        Alcotest.(check (float 1e-9)) "incumbent kept" 21.0
+          (match r.Mip.Branch_bound.objective with Some o -> o | None -> nan));
   ]
 
 (* ---- One-clock accounting through the solver stack -------------------- *)
@@ -279,6 +366,56 @@ let pool_tests =
                  (fun i ->
                    if i = 13 then failwith "task 13" else i)
                  (Array.init 20 (fun i -> i)))));
+    Alcotest.test_case "persistent pool reuses workers across batches" `Quick
+      (fun () ->
+        Runtime.Pool.with_pool ~jobs:4 (fun p ->
+            Alcotest.(check int) "size" 4 (Runtime.Pool.size p);
+            for round = 1 to 5 do
+              let r =
+                Runtime.Pool.run p
+                  (fun ~worker i ->
+                    if worker < 0 || worker >= 4 then
+                      Alcotest.failf "worker id %d out of range" worker;
+                    i * round)
+                  (Array.init 50 Fun.id)
+              in
+              Alcotest.(check (array int)) "results in order"
+                (Array.init 50 (fun i -> i * round))
+                r
+            done;
+            Alcotest.(check (array int)) "empty batch" [||]
+              (Runtime.Pool.run p (fun ~worker:_ x -> x) [||])));
+    Alcotest.test_case "pool stays usable after a failing batch" `Quick
+      (fun () ->
+        (* The first exception is re-raised only after every worker has
+           drained the batch and parked again — so the next run must find
+           the pool fully functional, not wedged on a dead generation. *)
+        Runtime.Pool.with_pool ~jobs:3 (fun p ->
+            Alcotest.check_raises "failure surfaces" (Failure "boom")
+              (fun () ->
+                ignore
+                  (Runtime.Pool.run p
+                     (fun ~worker:_ i ->
+                       if i = 7 then failwith "boom" else i)
+                     (Array.init 20 Fun.id)));
+            let r =
+              Runtime.Pool.run p (fun ~worker:_ i -> i + 1)
+                (Array.init 10 Fun.id)
+            in
+            Alcotest.(check (array int)) "next batch runs"
+              (Array.init 10 (fun i -> i + 1))
+              r));
+    Alcotest.test_case "shutdown is idempotent; jobs clamp to >= 1" `Quick
+      (fun () ->
+        let p = Runtime.Pool.create ~jobs:2 in
+        Alcotest.(check (array int)) "single batch" [| 1; 2; 3 |]
+          (Runtime.Pool.run p (fun ~worker:_ x -> x) [| 1; 2; 3 |]);
+        Runtime.Pool.shutdown p;
+        Runtime.Pool.shutdown p;
+        (* jobs <= 0 autodetects but never drops below one worker *)
+        Runtime.Pool.with_pool ~jobs:(-3) (fun q ->
+            Alcotest.(check bool) "at least one worker" true
+              (Runtime.Pool.size q >= 1)));
   ]
 
 (* ---- Parallel determinism of the bench harness ------------------------ *)
@@ -336,6 +473,7 @@ let determinism_tests =
 let suite =
   [
     ("runtime.budget", budget_tests);
+    ("runtime.stats", stats_tests);
     ("runtime.simplex", simplex_tests);
     ("runtime.mip", mip_tests);
     ("runtime.accounting", accounting_tests);
