@@ -1,4 +1,5 @@
-.PHONY: all build test bench-smoke bench-micro bench-bnb check clean
+.PHONY: all build test bench-smoke bench-micro bench-bnb bench-service check \
+	clean
 
 all: build
 
@@ -13,22 +14,33 @@ test: build
 # so the tables are reproducible byte for byte).
 bench-smoke: build
 	dune exec bench/main.exe -- --quick --figures 3 --jobs 2 \
-	  --no-ablations --no-micro --no-bnb
+	  --no-ablations --no-micro --no-bnb --no-service
 
 # Deterministic simplex micro bench; writes BENCH_simplex.json (per-case
 # iterations, pivots, work-clock ticks, wall time) and exits nonzero when
 # the emitted file fails validation, so CI catches a malformed bench file.
 bench-micro: build
-	dune exec bench/main.exe -- --no-figures --no-ablations --no-bnb
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-bnb \
+	  --no-service
 
 # Parallel branch-and-bound gate: solves the same contended cΣ search at
 # jobs 1, 2 and 4 on the deterministic work clock, fails if any level's
 # (status, objective, bound, nodes, iters, ticks) differs from jobs=1 or
 # (on >= 4-core hosts) jobs=4 is < 2x faster, and writes BENCH_bnb.json.
 bench-bnb: build
-	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
+	  --no-service
 
-check: build test bench-smoke bench-micro bench-bnb
+# Online admission service gate: serves the same arrival stream at
+# jobs 1 and 4 on the deterministic work clock, fails if any decision,
+# rung, schedule, tick count or the revenue differs, if any rung of the
+# exact → greedy → deny chain never fired, or if the committed state
+# fails the validator; writes BENCH_service.json.
+bench-service: build
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
+	  --no-bnb
+
+check: build test bench-smoke bench-micro bench-bnb bench-service
 
 clean:
 	dune clean

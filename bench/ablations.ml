@@ -64,32 +64,37 @@ let cuts cfg =
         pmap cfg
           (fun inst ->
             let opts =
-              {
-                Tvnep.Solver.default_options with
-                use_cuts;
-                pairwise_cuts;
-                mip =
+              Tvnep.Solver.Options.make ~use_cuts ~pairwise_cuts
+                ~mip:
                   {
                     Mip.Branch_bound.default_params with
                     time_limit = cfg.time_limit;
-                  };
-              }
+                  }
+                ()
             in
             (* Separate budgets: the relaxation must not eat into the MIP
                solve's limit. *)
-            let lp =
-              Tvnep.Solver.solve_lp_relaxation inst
-                { opts with budget = budget cfg }
+            let with_budget o =
+              Tvnep.Solver.Options.with_budget (budget cfg) o
             in
-            let o = Tvnep.Solver.solve inst { opts with budget = budget cfg } in
-            (lp.Lp.Simplex.objective, o))
+            let lp =
+              Tvnep.Solver.run inst
+                (with_budget
+                   (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Lp_only
+                      ~use_cuts ~pairwise_cuts ()))
+            in
+            let o = Tvnep.Solver.run inst (with_budget opts) in
+            let lp_bound =
+              match lp.Tvnep.Solver.objective with Some v -> v | None -> nan
+            in
+            (lp_bound, o))
           (instances cfg)
       in
       let solved =
         List.length
           (List.filter
              (fun (_, (o : Tvnep.Solver.outcome)) ->
-               o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+               o.Tvnep.Solver.status = Tvnep.Solver.Optimal)
              runs)
       in
       Statsutil.Table.add_row table
@@ -134,25 +139,24 @@ let engine cfg =
       let runs =
         pmap cfg
           (fun inst ->
-            Tvnep.Solver.solve inst
-              {
-                Tvnep.Solver.default_options with
-                mip =
-                  {
-                    Mip.Branch_bound.default_params with
-                    time_limit = cfg.time_limit;
-                    propagate;
-                    warm_sessions;
-                  };
-                budget = budget cfg;
-              })
+            Tvnep.Solver.run inst
+              (Tvnep.Solver.Options.with_budget (budget cfg)
+                 (Tvnep.Solver.Options.make
+                    ~mip:
+                      {
+                        Mip.Branch_bound.default_params with
+                        time_limit = cfg.time_limit;
+                        propagate;
+                        warm_sessions;
+                      }
+                    ())))
           (instances cfg)
       in
       let solved =
         List.length
           (List.filter
              (fun (o : Tvnep.Solver.outcome) ->
-               o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+               o.Tvnep.Solver.status = Tvnep.Solver.Optimal)
              runs)
       in
       Statsutil.Table.add_row table
@@ -185,7 +189,7 @@ let discrete cfg =
       List.length
         (List.filter
            (fun (o : Tvnep.Solver.outcome) ->
-             o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+             o.Tvnep.Solver.status = Tvnep.Solver.Optimal)
            runs)
     in
     Statsutil.Table.add_row table
@@ -199,7 +203,9 @@ let discrete cfg =
           (med (List.map (fun o -> o.Tvnep.Solver.runtime) runs));
         Printf.sprintf "%.2f"
           (med
-             (List.filter_map (fun o -> o.Tvnep.Solver.objective) runs));
+             (List.filter_map
+                (fun (o : Tvnep.Solver.outcome) -> o.Tvnep.Solver.objective)
+                runs));
         Printf.sprintf "%d/%d" solved cfg.scenarios;
       ]
   in
@@ -209,8 +215,9 @@ let discrete cfg =
   row "cΣ (continuous)"
     (pmap cfg
        (fun inst ->
-         Tvnep.Solver.solve inst
-           { Tvnep.Solver.default_options with mip; budget = budget cfg })
+         Tvnep.Solver.run inst
+           (Tvnep.Solver.Options.with_budget (budget cfg)
+              (Tvnep.Solver.Options.make ~mip ())))
        insts);
   List.iter
     (fun width ->
@@ -241,24 +248,22 @@ let seeding cfg =
       let runs =
         pmap cfg
           (fun inst ->
-            Tvnep.Solver.solve inst
-              {
-                Tvnep.Solver.default_options with
-                seed_with_greedy;
-                mip =
-                  {
-                    Mip.Branch_bound.default_params with
-                    time_limit = cfg.time_limit;
-                  };
-                budget = budget cfg;
-              })
+            Tvnep.Solver.run inst
+              (Tvnep.Solver.Options.with_budget (budget cfg)
+                 (Tvnep.Solver.Options.make ~seed_with_greedy
+                    ~mip:
+                      {
+                        Mip.Branch_bound.default_params with
+                        time_limit = cfg.time_limit;
+                      }
+                    ())))
           (instances cfg)
       in
       let solved =
         List.length
           (List.filter
              (fun (o : Tvnep.Solver.outcome) ->
-               o.Tvnep.Solver.status = Mip.Branch_bound.Optimal)
+               o.Tvnep.Solver.status = Tvnep.Solver.Optimal)
              runs)
       in
       let gaps =

@@ -63,18 +63,15 @@ type access_record = {
 }
 
 let solve_kind cfg kind inst =
-  Tvnep.Solver.solve inst
-    {
-      Tvnep.Solver.default_options with
-      kind;
-      seed_with_greedy = cfg.seed_exact_with_greedy;
-      mip =
-        { Mip.Branch_bound.default_params with time_limit = cfg.time_limit };
-      budget =
-        Some
-          (solve_budget ~deterministic:cfg.deterministic
-             ~time_limit:cfg.time_limit ());
-    }
+  Tvnep.Solver.run inst
+    (Tvnep.Solver.Options.make ~kind
+       ~seed_with_greedy:cfg.seed_exact_with_greedy
+       ~mip:
+         { Mip.Branch_bound.default_params with time_limit = cfg.time_limit }
+       ~budget:
+         (solve_budget ~deterministic:cfg.deterministic
+            ~time_limit:cfg.time_limit ())
+       ())
 
 (* One (scenario, flexibility) cell of the access-control comparison:
    all requested formulations plus the greedy. *)
@@ -86,7 +83,7 @@ let run_access_cell cfg ~scenario ~flex =
       { cfg.params with Tvnep.Scenario.flexibility = flex }
   in
   let greedy, greedy_stats =
-    Tvnep.Greedy.solve
+    Tvnep.Greedy.run
       ~budget:
         (solve_budget ~deterministic:cfg.deterministic ~time_limit:infinity ())
       inst
@@ -367,20 +364,17 @@ let run_objectives cfg records =
   Runtime.Pool.map_list ~jobs:cfg.jobs
     (fun (r, inst, name, objective) ->
       let outcome =
-        Tvnep.Solver.solve inst
-          {
-            Tvnep.Solver.default_options with
-            objective;
-            mip =
-              {
-                Mip.Branch_bound.default_params with
-                time_limit = cfg.time_limit;
-              };
-            budget =
-              Some
-                (solve_budget ~deterministic:cfg.deterministic
-                   ~time_limit:cfg.time_limit ());
-          }
+        Tvnep.Solver.run inst
+          (Tvnep.Solver.Options.make ~objective
+             ~mip:
+               {
+                 Mip.Branch_bound.default_params with
+                 time_limit = cfg.time_limit;
+               }
+             ~budget:
+               (solve_budget ~deterministic:cfg.deterministic
+                  ~time_limit:cfg.time_limit ())
+             ())
       in
       Printf.eprintf "  [objective] scenario %d flex %.1f %s done\n%!"
         r.scenario r.flex name;

@@ -114,6 +114,13 @@ let skip_bnb_arg =
         ~doc:"Skip the parallel branch-and-bound benchmark (the jobs=1/2/4 \
               determinism and speedup gate).")
 
+let skip_service_arg =
+  Arg.(
+    value & flag
+    & info [ "no-service" ]
+        ~doc:"Skip the online admission service benchmark (the jobs=1/4 \
+              decision-determinism and rung-coverage gate).")
+
 let bench_json_arg =
   Arg.(
     value
@@ -132,6 +139,14 @@ let bnb_json_arg =
               benchmark (JSON; validated after writing).  Empty = don't \
               write.")
 
+let service_json_arg =
+  Arg.(
+    value
+    & opt string "BENCH_service.json"
+    & info [ "service-json" ] ~docv:"PATH"
+        ~doc:"Where the service pass writes its machine-readable benchmark \
+              (JSON; validated after writing).  Empty = don't write.")
+
 let flex_sweep ~flex_max ~flex_step =
   let rec go acc f =
     if f > flex_max +. 1e-9 then List.rev acc else go (f :: acc) (f +. flex_step)
@@ -140,7 +155,8 @@ let flex_sweep ~flex_max ~flex_step =
 
 let run figures scenarios time_limit requests flex_max flex_step scale seed
     no_delta no_sigma no_seeding jobs wall_clock quick skip_figures
-    skip_ablations skip_micro skip_bnb bench_json bnb_json =
+    skip_ablations skip_micro skip_bnb skip_service bench_json bnb_json
+    service_json =
   let open Bench_harness in
   let params =
     match scale with
@@ -189,6 +205,10 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
       ();
   if not skip_bnb then
     Bnb.run ?json_path:(if bnb_json = "" then None else Some bnb_json) ();
+  if not skip_service then
+    Service_bench.run
+      ?json_path:(if service_json = "" then None else Some service_json)
+      ();
   0
 
 let cmd =
@@ -198,7 +218,7 @@ let cmd =
       $ flex_max_arg $ flex_step_arg $ scale_arg $ seed_arg $ no_delta_arg
       $ no_sigma_arg $ no_seeding_arg $ jobs_arg $ wall_clock_arg $ quick_arg
       $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg $ skip_bnb_arg
-      $ bench_json_arg $ bnb_json_arg)
+      $ skip_service_arg $ bench_json_arg $ bnb_json_arg $ service_json_arg)
   in
   Cmd.v
     (Cmd.info "tvnep-bench"

@@ -60,7 +60,7 @@ let tests () =
       (Staged.stage (fun () ->
            ignore (Tvnep.Depgraph.csigma_event_ranges inst)));
     Test.make ~name:"greedy-k4"
-      (Staged.stage (fun () -> ignore (Tvnep.Greedy.solve inst)));
+      (Staged.stage (fun () -> ignore (Tvnep.Greedy.run inst)));
   ]
 
 (* --- deterministic simplex benchmark (JSON) ---------------------------- *)

@@ -1,0 +1,215 @@
+(* Online admission service benchmark: the identical arrival stream served
+   at jobs = 1 and jobs = 4 on the deterministic work clock.
+
+   Like {!Bnb}, this is a regression gate, not just a perf tracker: the
+   run *fails* (exit 1) when any per-request decision, rung, committed
+   schedule, tick count or the total revenue differs between jobs levels
+   — the deterministic batch-merge contract of Service.Engine asserted on
+   a real stream.  The scenario is tuned so all three rungs of the
+   degradation chain fire: exact admissions, greedy-fallback admissions,
+   and denials (greedy rejections and budget exhaustion).  Results land
+   in BENCH_service.json (validated after writing). *)
+
+let jobs_levels = [ 1; 4 ]
+
+(* Slices sized against the 2e9 ticks/s work clock so the exact rung
+   (5% of the slice) dies on the later, contended arrivals while the
+   greedy fallback still has room to finish — the mix that exercises the
+   whole chain on this seed. *)
+let bench_config jobs =
+  {
+    Service.Engine.default_config with
+    slice = 1e-4;
+    exact_fraction = 0.05;
+    jobs;
+  }
+
+let bench_instance () =
+  let rng = Workload.Rng.create 1L in
+  Tvnep.Scenario.generate rng
+    { Tvnep.Scenario.scaled with num_requests = 8 }
+
+type run = {
+  jobs : int;
+  summary : Service.Engine.summary;
+  wall_s : float;
+}
+
+let serve_at inst jobs =
+  let t0 = Unix.gettimeofday () in
+  let summary = Service.Engine.run ~config:(bench_config jobs) inst in
+  { jobs; summary; wall_s = Unix.gettimeofday () -. t0 }
+
+(* The determinism fingerprint: every per-request decision plus the
+   stream aggregates — everything but the wall clock. *)
+let fingerprint r =
+  let s = r.summary in
+  ( Array.to_list
+      (Array.map
+         (fun (rec_ : Service.Engine.record) ->
+           ( rec_.Service.Engine.request,
+             rec_.Service.Engine.admitted,
+             Service.Engine.rung_to_string rec_.Service.Engine.rung,
+             rec_.Service.Engine.ticks,
+             (* nan <> nan, so compare the denied-request sentinel as bits *)
+             Int64.bits_of_float rec_.Service.Engine.t_start,
+             rec_.Service.Engine.revenue ))
+         s.Service.Engine.records),
+    s.Service.Engine.revenue,
+    s.Service.Engine.total_ticks )
+
+let json_of_runs runs =
+  let open Statsutil.Json in
+  Obj
+    [
+      ("schema", Str "tvnep-bench-service/1");
+      ( "clock",
+        Str
+          (Printf.sprintf
+             "deterministic work ticks (%.0e ticks = 1 budget second)"
+             Service.Engine.default_work_rate) );
+      ("identical_across_jobs", Bool true);
+      ( "runs",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("jobs", Num (float_of_int r.jobs));
+                   ("wall_s", Num r.wall_s);
+                   ("summary", Service.Engine.summary_to_json r.summary);
+                 ])
+             runs) );
+    ]
+
+let validate_json_string s =
+  let open Statsutil.Json in
+  match of_string s with
+  | Error msg -> Error ("not valid JSON: " ^ msg)
+  | Ok doc -> (
+    match member "schema" doc with
+    | Some (Str "tvnep-bench-service/1") -> (
+      match member "identical_across_jobs" doc with
+      | Some (Bool true) -> (
+        match Option.bind (member "runs" doc) to_list with
+        | None | Some [] -> Error "missing or empty \"runs\" list"
+        | Some runs ->
+          let record_ok r =
+            match Service.Engine.record_of_json r with
+            | Ok _ -> true
+            | Error _ -> false
+          in
+          let run_ok r =
+            Option.bind (member "jobs" r) to_float <> None
+            && Option.bind (member "wall_s" r) to_float <> None
+            &&
+            match
+              Option.bind
+                (Option.bind (member "summary" r) (member "records"))
+                to_list
+            with
+            | Some (_ :: _ as records) -> List.for_all record_ok records
+            | _ -> false
+          in
+          if List.for_all run_ok runs then Ok (List.length runs)
+          else Error "a run is missing a field or carries a bad record")
+      | _ -> Error "\"identical_across_jobs\" is not true")
+    | _ -> Error "missing or unexpected \"schema\"")
+
+let emit_json ~path runs =
+  let doc = json_of_runs runs in
+  let oc = open_out path in
+  output_string oc (Statsutil.Json.to_string doc);
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match validate_json_string s with
+  | Ok n -> Printf.printf "wrote %s (%d runs, validated)\n" path n
+  | Error msg ->
+    Printf.eprintf "BENCH JSON INVALID (%s): %s\n" path msg;
+    exit 1
+
+let run ?json_path () =
+  Printf.printf
+    "\n== Online admission service benchmark (deterministic work clock) ==\n";
+  let inst = bench_instance () in
+  let runs = List.map (serve_at inst) jobs_levels in
+  let table =
+    Statsutil.Table.create
+      ~headers:
+        [ "jobs"; "admitted"; "revenue"; "exact"; "greedy"; "denied";
+          "budget-denied"; "p50 ticks"; "p99 ticks"; "wall" ]
+  in
+  List.iter
+    (fun r ->
+      let s = r.summary in
+      Statsutil.Table.add_row table
+        [
+          string_of_int r.jobs;
+          Printf.sprintf "%d/%d" s.Service.Engine.accepted
+            (Array.length s.Service.Engine.records);
+          Printf.sprintf "%g" s.Service.Engine.revenue;
+          string_of_int s.Service.Engine.admitted_exact;
+          string_of_int s.Service.Engine.admitted_greedy;
+          string_of_int s.Service.Engine.denied;
+          string_of_int s.Service.Engine.denied_budget;
+          string_of_int s.Service.Engine.ticks_p50;
+          string_of_int s.Service.Engine.ticks_p99;
+          Printf.sprintf "%.3f s" r.wall_s;
+        ])
+    runs;
+  Statsutil.Table.print table;
+  let base = List.hd runs in
+  (* Hard determinism gate: every jobs level must reproduce jobs=1's
+     decisions, rungs, schedules, ticks and revenue exactly. *)
+  let mismatches =
+    List.filter (fun r -> fingerprint r <> fingerprint base) runs
+  in
+  if mismatches <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf
+          "SERVICE DETERMINISM VIOLATION: jobs=%d served the stream \
+           differently than jobs=%d (decisions, rungs, schedules, ticks or \
+           revenue)\n"
+          r.jobs base.jobs)
+      mismatches;
+    exit 1
+  end;
+  Printf.printf
+    "determinism: all jobs levels identical (%d admitted, revenue %g, %d \
+     total ticks)\n"
+    base.summary.Service.Engine.accepted base.summary.Service.Engine.revenue
+    base.summary.Service.Engine.total_ticks;
+  (* Coverage gate: the scenario must exercise the whole degradation
+     chain, or the bench is no longer testing what it claims to. *)
+  let s = base.summary in
+  let missing =
+    List.filter_map
+      (fun (label, n) -> if n = 0 then Some label else None)
+      [
+        ("an exact admission", s.Service.Engine.admitted_exact);
+        ("a greedy-fallback admission", s.Service.Engine.admitted_greedy);
+        ("a denial", s.Service.Engine.denied);
+        ("a budget-exhausted denial", s.Service.Engine.denied_budget);
+      ]
+  in
+  if missing <> [] then begin
+    Printf.eprintf "SERVICE COVERAGE REGRESSION: the stream never saw %s\n"
+      (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf
+    "coverage: all three rungs fired (%d exact, %d greedy-fallback \
+     admissions; %d greedy, %d budget denials)\n"
+    s.Service.Engine.admitted_exact s.Service.Engine.admitted_greedy
+    s.Service.Engine.denied_greedy s.Service.Engine.denied_budget;
+  (* The committed state must survive the independent validator. *)
+  (match Tvnep.Validator.check inst s.Service.Engine.solution with
+  | Ok () -> ()
+  | Error es ->
+    Printf.eprintf "SERVICE FINAL STATE INVALID: %s\n" (String.concat "; " es);
+    exit 1);
+  match json_path with Some path -> emit_json ~path runs | None -> ()

@@ -3,6 +3,7 @@
      tvnep_solve generate -o day.tvnep --requests 5 --flexibility 2
      tvnep_solve solve day.tvnep --model csigma --objective access
      tvnep_solve greedy day.tvnep
+     tvnep_solve serve --seed 1 --jobs 4
      tvnep_solve show day.tvnep *)
 
 open Cmdliner
@@ -49,11 +50,10 @@ let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:"Worker domains for the branch-and-bound node LPs (default 1 \
-              = solve in the calling domain; 0 = autodetect the core \
-              count).  The search is deterministic: any value returns the \
-              identical status, objective, bound and node count — jobs \
-              only trades wall-clock time.")
+        ~doc:"Worker domains (default 1 = solve in the calling domain; 0 = \
+              autodetect the core count).  Both the branch-and-bound and \
+              the admission service are deterministic: any value returns \
+              identical results — jobs only trades wall-clock time.")
 
 let no_cuts_arg =
   Arg.(
@@ -81,6 +81,13 @@ let gantt_arg =
     value & flag
     & info [ "gantt" ] ~doc:"Render the schedule as an ASCII Gantt chart.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print the result as a versioned JSON document (schema_version \
+              1) instead of the human-readable report.")
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
@@ -102,27 +109,36 @@ let print_solution ?(gantt = false) inst (sol : Tvnep.Solution.t) =
     sol.Tvnep.Solution.assignments;
   Printf.printf "validator: %s\n" (Tvnep.Validator.explain inst sol)
 
-let report_outcome ?gantt inst (o : Tvnep.Solver.outcome) =
-  Printf.printf "status:    %s\n"
-    (Mip.Branch_bound.status_to_string o.Tvnep.Solver.status);
-  (match o.Tvnep.Solver.objective with
-  | Some v -> Printf.printf "objective: %g (bound %g, gap %.4f)\n" v
-                o.Tvnep.Solver.bound o.Tvnep.Solver.gap
-  | None -> Printf.printf "objective: none (bound %g)\n" o.Tvnep.Solver.bound);
-  Printf.printf "model:     %d vars, %d rows | %d nodes, %d LP iterations, \
-                 %.2fs\n"
-    o.Tvnep.Solver.model_vars o.Tvnep.Solver.model_rows o.Tvnep.Solver.nodes
-    o.Tvnep.Solver.lp_iterations o.Tvnep.Solver.runtime;
-  Printf.printf "counters:  %s\n" (Runtime.Stats.to_string o.Tvnep.Solver.stats);
-  match o.Tvnep.Solver.solution with
-  | Some sol ->
-    print_solution ?gantt inst sol;
-    if Tvnep.Validator.is_feasible inst sol then 0 else 3
-  | None -> if o.Tvnep.Solver.status = Mip.Branch_bound.Infeasible then 2 else 1
+let report_outcome ?gantt ~json inst (o : Tvnep.Solver.outcome) =
+  if json then begin
+    print_endline (Statsutil.Json.to_string (Tvnep.Solver.outcome_to_json o));
+    match o.Tvnep.Solver.solution with
+    | Some sol -> if Tvnep.Validator.is_feasible inst sol then 0 else 3
+    | None -> if o.Tvnep.Solver.status = Tvnep.Solver.Infeasible then 2 else 1
+  end
+  else begin
+    Printf.printf "status:    %s\n"
+      (Tvnep.Solver.status_to_string o.Tvnep.Solver.status);
+    (match o.Tvnep.Solver.objective with
+    | Some v -> Printf.printf "objective: %g (bound %g, gap %.4f)\n" v
+                  o.Tvnep.Solver.bound o.Tvnep.Solver.gap
+    | None -> Printf.printf "objective: none (bound %g)\n" o.Tvnep.Solver.bound);
+    Printf.printf "model:     %d vars, %d rows | %d nodes, %d LP iterations, \
+                   %.2fs\n"
+      o.Tvnep.Solver.model_vars o.Tvnep.Solver.model_rows o.Tvnep.Solver.nodes
+      o.Tvnep.Solver.lp_iterations o.Tvnep.Solver.runtime;
+    Printf.printf "counters:  %s\n"
+      (Runtime.Stats.to_string o.Tvnep.Solver.stats);
+    match o.Tvnep.Solver.solution with
+    | Some sol ->
+      print_solution ?gantt inst sol;
+      if Tvnep.Validator.is_feasible inst sol then 0 else 3
+    | None -> if o.Tvnep.Solver.status = Tvnep.Solver.Infeasible then 2 else 1
+  end
 
 let solve_cmd =
   let run file model objective no_cuts seed_greedy slot time_limit jobs
-      verbose gantt =
+      verbose gantt json =
     setup_logs verbose;
     let inst = Tvnep.Instance_io.load file in
     let mip =
@@ -136,7 +152,7 @@ let solve_cmd =
             { Tvnep.Discrete_model.default_options with slot_width = slot }
           ~mip inst
       in
-      report_outcome ~gantt inst o
+      report_outcome ~gantt ~json inst o
     | (`Delta | `Sigma | `Csigma) as kind ->
       let objective =
         match objective with
@@ -153,45 +169,174 @@ let solve_cmd =
         | `Csigma -> Tvnep.Solver.Csigma
       in
       let o =
-        Tvnep.Solver.solve inst
-          {
-            Tvnep.Solver.default_options with
-            kind;
-            objective;
-            use_cuts = not no_cuts;
-            pairwise_cuts = not no_cuts;
-            seed_with_greedy = seed_greedy;
-            mip;
-          }
+        Tvnep.Solver.run inst
+          (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Exact ~kind
+             ~objective ~use_cuts:(not no_cuts) ~pairwise_cuts:(not no_cuts)
+             ~seed_with_greedy:seed_greedy ~mip ())
       in
-      report_outcome ~gantt inst o
+      report_outcome ~gantt ~json inst o
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance exactly with a chosen model")
     Term.(
       const run $ file_arg $ model_arg $ objective_arg $ no_cuts_arg
       $ seed_greedy_arg $ slot_arg $ time_limit_arg $ jobs_arg $ verbose_arg
-      $ gantt_arg)
+      $ gantt_arg $ json_arg)
 
 (* ---- greedy ------------------------------------------------------------ *)
 
 let greedy_cmd =
-  let run file verbose gantt =
+  let run file verbose gantt json =
     setup_logs verbose;
     let inst = Tvnep.Instance_io.load file in
-    let sol, stats = Tvnep.Greedy.solve inst in
-    Printf.printf "greedy cΣ_A^G: revenue %g, %d/%d accepted (%d LPs, %.0f ms)\n"
-      sol.Tvnep.Solution.objective
-      (Tvnep.Solution.num_accepted sol)
-      (Tvnep.Instance.num_requests inst)
-      stats.Tvnep.Greedy.lp_solves
-      (stats.Tvnep.Greedy.runtime *. 1000.0);
-    print_solution ~gantt inst sol;
-    if Tvnep.Validator.is_feasible inst sol then 0 else 3
+    let o =
+      Tvnep.Solver.run inst
+        (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Greedy ())
+    in
+    if json then report_outcome ~json:true inst o
+    else
+      match o.Tvnep.Solver.solution with
+      | Some sol ->
+        Printf.printf
+          "greedy cΣ_A^G: revenue %g, %d/%d accepted (%d LPs, %.0f ms)\n"
+          sol.Tvnep.Solution.objective
+          (Tvnep.Solution.num_accepted sol)
+          (Tvnep.Instance.num_requests inst)
+          o.Tvnep.Solver.stats.Runtime.Stats.greedy_lp_solves
+          (o.Tvnep.Solver.runtime *. 1000.0);
+        print_solution ~gantt inst sol;
+        if Tvnep.Validator.is_feasible inst sol then 0 else 3
+      | None -> 1
   in
   Cmd.v
     (Cmd.info "greedy" ~doc:"Run the greedy heuristic on an instance")
-    Term.(const run $ file_arg $ verbose_arg $ gantt_arg)
+    Term.(const run $ file_arg $ verbose_arg $ gantt_arg $ json_arg)
+
+(* ---- serve ------------------------------------------------------------- *)
+
+let serve_cmd =
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Instance file to serve; omitted, a scaled scenario is \
+                generated from --seed/--requests.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the generated scenario (ignored with FILE).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "requests" ] ~docv:"K"
+          ~doc:"Request count for the generated scenario (ignored with \
+                FILE).")
+  in
+  let slice_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "slice" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline in budget seconds.")
+  in
+  let exact_fraction_arg =
+    Arg.(
+      value & opt float 0.7
+      & info [ "exact-fraction" ] ~docv:"F"
+          ~doc:"Share of each slice the exact solve may spend before the \
+                greedy fallback takes over.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ] ~docv:"N" ~doc:"Arrivals admitted per batch.")
+  in
+  let global_limit_arg =
+    Arg.(
+      value & opt float infinity
+      & info [ "time-limit" ] ~docv:"SECONDS"
+          ~doc:"Global budget for the whole stream (default: none); \
+                arrivals past it are denied at the budget rung.")
+  in
+  let wall_clock_arg =
+    Arg.(
+      value & flag
+      & info [ "wall-clock" ]
+          ~doc:"Use the wall clock instead of the deterministic work clock \
+                (results then depend on machine speed and --jobs).")
+  in
+  let run file seed requests slice exact_fraction batch time_limit jobs
+      wall_clock verbose json =
+    setup_logs verbose;
+    let inst =
+      match file with
+      | Some f -> Tvnep.Instance_io.load f
+      | None ->
+        let rng = Workload.Rng.create (Int64.of_int seed) in
+        Tvnep.Scenario.generate rng
+          { Tvnep.Scenario.scaled with num_requests = requests }
+    in
+    let config =
+      {
+        Service.Engine.default_config with
+        slice;
+        exact_fraction;
+        batch_size = batch;
+        time_limit;
+        jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
+        deterministic =
+          (if wall_clock then None
+           else Some Service.Engine.default_work_rate);
+      }
+    in
+    let s = Service.Engine.run ~config inst in
+    if json then
+      print_endline (Statsutil.Json.to_string (Service.Engine.summary_to_json s))
+    else begin
+      Printf.printf "arrival stream: %d requests\n"
+        (Array.length s.Service.Engine.records);
+      Printf.printf
+        "  %-8s %9s  %-8s %-7s %10s %10s %12s %6s\n"
+        "request" "arrival" "decision" "rung" "t_start" "revenue" "ticks" "re";
+      Array.iter
+        (fun (r : Service.Engine.record) ->
+          Printf.printf "  %-8s %9.3f  %-8s %-7s %10s %10g %12d %6s\n"
+            r.Service.Engine.name r.Service.Engine.arrival
+            (if r.Service.Engine.admitted then "admit" else "deny")
+            (Service.Engine.rung_to_string r.Service.Engine.rung)
+            (if r.Service.Engine.admitted then
+               Printf.sprintf "%.3f" r.Service.Engine.t_start
+             else "-")
+            r.Service.Engine.revenue r.Service.Engine.ticks
+            (if r.Service.Engine.reevaluated then "yes" else ""))
+        s.Service.Engine.records;
+      Printf.printf
+        "summary: %d/%d admitted (%.0f%%), revenue %g | rungs: %d exact, %d \
+         greedy, %d budget-denied | ticks p50 %d, p99 %d | %.3fs\n"
+        s.Service.Engine.accepted
+        (Array.length s.Service.Engine.records)
+        (100.0 *. s.Service.Engine.acceptance_ratio)
+        s.Service.Engine.revenue s.Service.Engine.admitted_exact
+        s.Service.Engine.admitted_greedy s.Service.Engine.denied_budget
+        s.Service.Engine.ticks_p50 s.Service.Engine.ticks_p99
+        s.Service.Engine.runtime;
+      Printf.printf "counters:  %s\n"
+        (Runtime.Stats.to_string s.Service.Engine.stats)
+    end;
+    if Tvnep.Validator.is_feasible inst s.Service.Engine.solution then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the instance's requests as an online arrival stream with \
+             deadline-budgeted admission (exact, then greedy fallback, then \
+             denial)")
+    Term.(
+      const run $ file_opt_arg $ seed_arg $ requests_arg $ slice_arg
+      $ exact_fraction_arg $ batch_arg $ global_limit_arg $ jobs_arg
+      $ wall_clock_arg $ verbose_arg $ json_arg)
 
 (* ---- generate ----------------------------------------------------------- *)
 
@@ -279,4 +424,7 @@ let () =
     Cmd.info "tvnep_solve"
       ~doc:"Temporal virtual network embedding (TVNEP) toolkit"
   in
-  exit (Cmd.eval' (Cmd.group info [ solve_cmd; greedy_cmd; generate_cmd; show_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ solve_cmd; greedy_cmd; serve_cmd; generate_cmd; show_cmd ]))

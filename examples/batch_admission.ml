@@ -26,7 +26,7 @@ let () =
   let inst = Tvnep.Instance_io.load path in
   Sys.remove path;
 
-  let sol, stats = Tvnep.Greedy.solve inst in
+  let sol, stats = Tvnep.Greedy.run inst in
   Printf.printf "greedy admission (in arrival order):\n";
   Array.iteri
     (fun i (a : Tvnep.Solution.assignment) ->
@@ -49,15 +49,14 @@ let () =
      seeded with the greedy solution (the combination the paper's
      conclusion suggests). *)
   let exact =
-    Tvnep.Solver.solve inst
-      { Tvnep.Solver.default_options with
-        seed_with_greedy = true;
-        mip = { Mip.Branch_bound.default_params with time_limit = 60.0 } }
+    Tvnep.Solver.run inst
+      (Tvnep.Solver.Options.make ~seed_with_greedy:true
+         ~mip:{ Mip.Branch_bound.default_params with time_limit = 60.0 } ())
   in
   match exact.Tvnep.Solver.objective with
   | Some opt ->
     Printf.printf
       "exact cΣ optimum: %.2f (%s) — greedy is within %.1f%%\n" opt
-      (Mip.Branch_bound.status_to_string exact.Tvnep.Solver.status)
+      (Tvnep.Solver.status_to_string exact.Tvnep.Solver.status)
       (100.0 *. (opt -. sol.Tvnep.Solution.objective) /. Float.max 1e-9 opt)
   | None -> print_endline "exact solver found no solution in its budget"

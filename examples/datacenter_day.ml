@@ -28,11 +28,12 @@ let () =
   List.iter2
     (fun flex inst ->
       let exact =
-        Tvnep.Solver.solve inst
-          { Tvnep.Solver.default_options with
-            mip = { Mip.Branch_bound.default_params with time_limit = 30.0 } }
+        Tvnep.Solver.run inst
+          (Tvnep.Solver.Options.make
+             ~mip:{ Mip.Branch_bound.default_params with time_limit = 30.0 }
+             ())
       in
-      let greedy_sol, _ = Tvnep.Greedy.solve inst in
+      let greedy_sol, _ = Tvnep.Greedy.run inst in
       let exact_accepted, exact_rev =
         match exact.Tvnep.Solver.solution with
         | Some sol ->
@@ -47,7 +48,7 @@ let () =
           Printf.sprintf "%.2f" exact_rev;
           string_of_int (Tvnep.Solution.num_accepted greedy_sol);
           Printf.sprintf "%.2f" greedy_sol.Tvnep.Solution.objective;
-          Mip.Branch_bound.status_to_string exact.Tvnep.Solver.status;
+          Tvnep.Solver.status_to_string exact.Tvnep.Solver.status;
         ])
     flexibilities instances;
   Statsutil.Table.print table;

@@ -11,10 +11,9 @@
    Run with:  dune exec examples/energy_saving.exe *)
 
 let solve_disable inst =
-  Tvnep.Solver.solve inst
-    { Tvnep.Solver.default_options with
-      objective = Tvnep.Objective.Disable_links;
-      mip = { Mip.Branch_bound.default_params with time_limit = 30.0 } }
+  Tvnep.Solver.run inst
+    (Tvnep.Solver.Options.make ~objective:Tvnep.Objective.Disable_links
+       ~mip:{ Mip.Branch_bound.default_params with time_limit = 30.0 } ())
 
 let () =
   (* Small workload so both solves complete quickly; lighter demands so
@@ -39,10 +38,10 @@ let () =
       | Some v ->
         Printf.printf "%-18s %2.0f of %d links can be powered off (%s)\n"
           label v total_links
-          (Mip.Branch_bound.status_to_string o.Tvnep.Solver.status)
+          (Tvnep.Solver.status_to_string o.Tvnep.Solver.status)
       | None ->
         Printf.printf "%-18s no feasible full embedding (%s)\n" label
-          (Mip.Branch_bound.status_to_string o.Tvnep.Solver.status));
+          (Tvnep.Solver.status_to_string o.Tvnep.Solver.status));
       o.Tvnep.Solver.objective
     in
     let rigid_links = report "no flexibility:" rigid in

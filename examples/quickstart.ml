@@ -34,9 +34,9 @@ let () =
 
   (* Solve with the compact state model and the access-control objective
      (maximize accepted revenue). *)
-  let outcome = Tvnep.Solver.solve instance Tvnep.Solver.default_options in
+  let outcome = Tvnep.Solver.run instance Tvnep.Solver.Options.default in
   Printf.printf "status: %s\n"
-    (Mip.Branch_bound.status_to_string outcome.Tvnep.Solver.status);
+    (Tvnep.Solver.status_to_string outcome.Tvnep.Solver.status);
   (match outcome.Tvnep.Solver.objective with
   | Some v -> Printf.printf "revenue: %g\n" v
   | None -> print_endline "no solution found");

@@ -13,9 +13,15 @@ type t = {
   mutable greedy_lp_solves : int;
   mutable greedy_candidates : int;
   mutable greedy_accepted : int;
+  mutable service_requests : int;
+  mutable service_admitted : int;
+  mutable service_denied : int;
+  mutable service_fallbacks : int;
+  mutable service_reevals : int;
   mutable greedy_time : float;
   mutable build_time : float;
   mutable search_time : float;
+  mutable service_time : float;
 }
 
 let create () =
@@ -34,9 +40,15 @@ let create () =
     greedy_lp_solves = 0;
     greedy_candidates = 0;
     greedy_accepted = 0;
+    service_requests = 0;
+    service_admitted = 0;
+    service_denied = 0;
+    service_fallbacks = 0;
+    service_reevals = 0;
     greedy_time = 0.0;
     build_time = 0.0;
     search_time = 0.0;
+    service_time = 0.0;
   }
 
 let merge ~into s =
@@ -54,20 +66,36 @@ let merge ~into s =
   into.greedy_lp_solves <- into.greedy_lp_solves + s.greedy_lp_solves;
   into.greedy_candidates <- into.greedy_candidates + s.greedy_candidates;
   into.greedy_accepted <- into.greedy_accepted + s.greedy_accepted;
+  into.service_requests <- into.service_requests + s.service_requests;
+  into.service_admitted <- into.service_admitted + s.service_admitted;
+  into.service_denied <- into.service_denied + s.service_denied;
+  into.service_fallbacks <- into.service_fallbacks + s.service_fallbacks;
+  into.service_reevals <- into.service_reevals + s.service_reevals;
   into.greedy_time <- into.greedy_time +. s.greedy_time;
   into.build_time <- into.build_time +. s.build_time;
-  into.search_time <- into.search_time +. s.search_time
+  into.search_time <- into.search_time +. s.search_time;
+  into.service_time <- into.service_time +. s.service_time
 
 let add = merge
 
 let to_string s =
-  Printf.sprintf
-    "%d LP solves, %d simplex iters, %d refactorizations | basis: %d \
-     ftran nnz, %d btran nnz, %d eta entries | pricing: %d list hits, %d \
-     sweeps | %d nodes, %d incumbents, %d bound updates | greedy: %d \
-     LPs, %d candidates, %d accepted | phases: greedy %.3fs, build \
-     %.3fs, search %.3fs"
-    s.lp_solves s.simplex_iterations s.refactorizations s.ftran_nnz
-    s.btran_nnz s.eta_entries s.pricing_hits s.pricing_sweeps s.bb_nodes
-    s.incumbents s.bound_updates s.greedy_lp_solves s.greedy_candidates
-    s.greedy_accepted s.greedy_time s.build_time s.search_time
+  let base =
+    Printf.sprintf
+      "%d LP solves, %d simplex iters, %d refactorizations | basis: %d \
+       ftran nnz, %d btran nnz, %d eta entries | pricing: %d list hits, %d \
+       sweeps | %d nodes, %d incumbents, %d bound updates | greedy: %d \
+       LPs, %d candidates, %d accepted | phases: greedy %.3fs, build \
+       %.3fs, search %.3fs"
+      s.lp_solves s.simplex_iterations s.refactorizations s.ftran_nnz
+      s.btran_nnz s.eta_entries s.pricing_hits s.pricing_sweeps s.bb_nodes
+      s.incumbents s.bound_updates s.greedy_lp_solves s.greedy_candidates
+      s.greedy_accepted s.greedy_time s.build_time s.search_time
+  in
+  if s.service_requests = 0 then base
+  else
+    base
+    ^ Printf.sprintf
+        " | service: %d requests, %d admitted, %d denied, %d fallbacks, %d \
+         re-evals, %.3fs"
+        s.service_requests s.service_admitted s.service_denied
+        s.service_fallbacks s.service_reevals s.service_time

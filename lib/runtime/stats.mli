@@ -28,10 +28,20 @@ type t = {
   mutable greedy_lp_solves : int;    (** feasibility LPs of the greedy *)
   mutable greedy_candidates : int;   (** candidate start times probed *)
   mutable greedy_accepted : int;     (** requests the greedy admitted *)
+  (* service (online admission loop) *)
+  mutable service_requests : int;    (** arrivals processed *)
+  mutable service_admitted : int;    (** arrivals committed *)
+  mutable service_denied : int;      (** arrivals denied admission *)
+  mutable service_fallbacks : int;   (** decisions that fell past the exact
+                                         rung to the greedy heuristic *)
+  mutable service_reevals : int;     (** speculative batch results discarded
+                                         and re-evaluated after an earlier
+                                         commit changed the substrate state *)
   (* phase durations, budget-clock seconds *)
   mutable greedy_time : float;
   mutable build_time : float;        (** MIP formulation build *)
   mutable search_time : float;       (** branch-and-bound *)
+  mutable service_time : float;      (** whole service run *)
 }
 
 val create : unit -> t

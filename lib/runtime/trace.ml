@@ -6,6 +6,12 @@ type event =
   | Bb_incumbent of { objective : float }
   | Bb_bound of { bound : float }
   | Greedy_admit of { request : int; start : float }
+  | Service_decision of {
+      request : int;
+      admitted : bool;
+      level : string;
+      ticks : int;
+    }
 
 type sink = elapsed:float -> event -> unit
 

@@ -17,6 +17,16 @@ type event =
   | Bb_bound of { bound : float }
       (** global dual bound improved (internal minimization sense) *)
   | Greedy_admit of { request : int; start : float }
+  | Service_decision of {
+      request : int;   (** request index in the instance *)
+      admitted : bool;
+      level : string;  (** degradation rung that decided: ["exact"],
+                           ["greedy"] or ["budget"] *)
+      ticks : int;     (** work ticks billed to this request's slice *)
+    }
+      (** emitted by the online embedding service at commit/deny time, in
+          arrival order (on the merging domain, so sinks need not be
+          domain-safe) *)
 
 type sink = elapsed:float -> event -> unit
 (** [elapsed] is {!Budget.elapsed} of the solve's budget at emission. *)

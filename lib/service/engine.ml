@@ -1,0 +1,594 @@
+module B = Runtime.Budget
+module Rstats = Runtime.Stats
+module Trace = Runtime.Trace
+module Pool = Runtime.Pool
+module Instance = Tvnep.Instance
+module Request = Tvnep.Request
+module Solution = Tvnep.Solution
+module Solver = Tvnep.Solver
+module Validator = Tvnep.Validator
+module Json = Statsutil.Json
+
+type rung = Exact | Greedy | Budget
+
+let rung_to_string = function
+  | Exact -> "exact"
+  | Greedy -> "greedy"
+  | Budget -> "budget"
+
+let rung_of_string = function
+  | "exact" -> Some Exact
+  | "greedy" -> Some Greedy
+  | "budget" -> Some Budget
+  | _ -> None
+
+type record = {
+  request : int;
+  name : string;
+  arrival : float;
+  admitted : bool;
+  rung : rung;
+  exact_status : Tvnep.Solver.status option;
+  greedy_status : Tvnep.Solver.status option;
+  revenue : float;
+  t_start : float;
+  t_end : float;
+  ticks : int;
+  reevaluated : bool;
+}
+
+type summary = {
+  records : record array;
+  solution : Tvnep.Solution.t;
+  accepted : int;
+  denied : int;
+  acceptance_ratio : float;
+  revenue : float;
+  admitted_exact : int;
+  admitted_greedy : int;
+  denied_exact : int;
+  denied_greedy : int;
+  denied_budget : int;
+  ticks_p50 : int;
+  ticks_p99 : int;
+  total_ticks : int;
+  runtime : float;
+  stats : Runtime.Stats.t;
+}
+
+type config = {
+  kind : Tvnep.Solver.model_kind;
+  use_cuts : bool;
+  pairwise_cuts : bool;
+  mip : Mip.Branch_bound.params;
+  slice : float;
+  exact_fraction : float;
+  time_limit : float;
+  deterministic : float option;
+  batch_size : int;
+  jobs : int;
+  trace : Runtime.Trace.sink option;
+}
+
+(* Same rate as the bench harness's deterministic work clock, so service
+   tick counts are comparable with the solver benches. *)
+let default_work_rate = 2e9
+
+let default_config =
+  {
+    kind = Solver.Csigma;
+    use_cuts = true;
+    pairwise_cuts = true;
+    mip = Mip.Branch_bound.default_params;
+    slice = 0.5;
+    exact_fraction = 0.7;
+    time_limit = infinity;
+    deterministic = Some default_work_rate;
+    batch_size = 4;
+    jobs = 1;
+    trace = None;
+  }
+
+(* A speculative admission decision for one arrival, computed against a
+   snapshot of the committed state.  [p_solution] is the full proposed
+   committed state on the original instance (snapshot assignments with
+   the participants' re-optimized flows and the arrival's schedule),
+   already validated — applying it is a plain array replacement. *)
+type proposal = {
+  p_admit : bool;
+  p_rung : rung;
+  p_exact : Solver.status option;
+  p_greedy : Solver.status option;
+  p_solution : Solution.t option;
+  p_stats : Runtime.Stats.t;
+}
+
+let deny ~pstats ?exact ?greedy rung =
+  {
+    p_admit = false;
+    p_rung = rung;
+    p_exact = exact;
+    p_greedy = greedy;
+    p_solution = None;
+    p_stats = pstats;
+  }
+
+(* Evaluate one arrival against the committed snapshot on a private
+   budget fork.  Pure speculation: no shared state is written, so batch
+   members may run concurrently; the merge loop decides what commits. *)
+let evaluate cfg inst (assignments : Solution.assignment array) committed req
+    ~fork =
+  let pstats = Rstats.create () in
+  try
+    (* The evaluation instance: every committed request — window narrowed
+       to exactly its committed interval and schedule pinned, so the
+       solver may re-route its flows but never move or evict it — plus
+       the arrival with its original flexibility. *)
+    let idxs = committed @ [ req ] in
+    let requests =
+      Array.of_list
+        (List.map
+           (fun i ->
+             let r = Instance.request inst i in
+             if i = req then r
+             else
+               let a = assignments.(i) in
+               Request.make ~name:r.Request.name ~graph:r.Request.graph
+                 ~node_demand:r.Request.node_demand
+                 ~link_demand:r.Request.link_demand
+                 ~duration:r.Request.duration ~start_min:a.Solution.t_start
+                 ~end_max:(a.Solution.t_start +. r.Request.duration))
+           idxs)
+    in
+    let mappings =
+      Array.of_list
+        (List.map (fun i -> Option.get (Instance.node_mapping inst i)) idxs)
+    in
+    let ev = Instance.with_requests inst requests ~node_mappings:mappings () in
+    let cand_pos = List.length committed in
+    let pinned =
+      List.mapi (fun pos i -> (pos, assignments.(i).Solution.t_start)) committed
+    in
+    (* Lift an evaluation solution back onto the original instance: the
+       participants' assignments replace their committed ones (joint flow
+       re-optimization re-routes everyone), the rest stay rejected. *)
+    let lift (sol : Solution.t) =
+      let out = Array.copy assignments in
+      List.iteri
+        (fun pos i ->
+          let a = sol.Solution.assignments.(pos) in
+          let r = Instance.request inst i in
+          out.(i) <-
+            { a with Solution.t_end = a.Solution.t_start +. r.Request.duration })
+        idxs;
+      let s = { Solution.assignments = out; objective = 0.0 } in
+      { s with Solution.objective = Solution.access_control_value inst s }
+    in
+    (* Admission gate: the proposed full state must pass the independent
+       validator before it may commit. *)
+    let gate (sol : Solution.t) =
+      if sol.Solution.assignments.(cand_pos).Solution.accepted then
+        let lifted = lift sol in
+        match Validator.check inst lifted with
+        | Ok () -> Some lifted
+        | Error _ -> None
+      else None
+    in
+    (* Rung 1: exact branch-and-bound on a fraction of the slice. *)
+    let mip =
+      {
+        cfg.mip with
+        Mip.Branch_bound.time_limit = infinity;
+        jobs = 1;
+        log_every = 0;
+      }
+    in
+    let exact_budget = B.sub ~time_limit:(cfg.exact_fraction *. cfg.slice) fork in
+    let xo =
+      Solver.run ev
+        (Solver.Options.make ~method_:Solver.Exact ~kind:cfg.kind
+           ~use_cuts:cfg.use_cuts ~pairwise_cuts:cfg.pairwise_cuts ~mip
+           ~budget:exact_budget ~pinned ())
+    in
+    Rstats.merge ~into:pstats xo.Solver.stats;
+    let exact = Some xo.Solver.status in
+    let exact_admission =
+      match (xo.Solver.status, xo.Solver.solution) with
+      | (Solver.Optimal | Solver.Feasible), Some sol -> gate sol
+      | _ -> None
+    in
+    match exact_admission with
+    | Some lifted ->
+      {
+        p_admit = true;
+        p_rung = Exact;
+        p_exact = exact;
+        p_greedy = None;
+        p_solution = Some lifted;
+        p_stats = pstats;
+      }
+    | None ->
+      if
+        (* A proved optimum that rejects the arrival is a proven denial:
+           with every committed request pinned, the objective differs
+           from "admit the arrival" only in the arrival's own term. *)
+        xo.Solver.status = Solver.Optimal
+      then deny ~pstats ?exact Exact
+      else if B.remaining fork <= 0.0 then
+        (* Slice gone before the fallback could run. *)
+        deny ~pstats ?exact Budget
+      else begin
+        (* Rung 2: greedy fallback on the rest of the slice.  The
+           heuristic raises when even the committed preplacements cannot
+           be re-established — with a validator-gated committed state
+           that only happens when the slice dies under its feasibility
+           LP, so treat it as budget exhaustion. *)
+        match
+          Solver.run ev
+            (Solver.Options.make ~method_:Solver.Greedy ~budget:fork ~pinned ())
+        with
+        | exception Invalid_argument _ ->
+          deny ~pstats ?exact ~greedy:Solver.Budget_exhausted Budget
+        | go -> (
+          Rstats.merge ~into:pstats go.Solver.stats;
+          let greedy = Some go.Solver.status in
+          match Option.bind go.Solver.solution gate with
+          | Some lifted ->
+            {
+              p_admit = true;
+              p_rung = Greedy;
+              p_exact = exact;
+              p_greedy = greedy;
+              p_solution = Some lifted;
+              p_stats = pstats;
+            }
+          | None ->
+            (* Rung 3: denial — by the heuristic's verdict, or because
+               the slice died under it. *)
+            let rung =
+              if go.Solver.status = Solver.Budget_exhausted then Budget
+              else Greedy
+            in
+            deny ~pstats ?exact ?greedy rung)
+      end
+  with _ ->
+    (* Defensive: an unexpected solver failure denies the arrival instead
+       of taking the whole stream down.  Deterministic — the same state
+       fails the same way at any jobs level. *)
+    deny ~pstats ~greedy:Solver.Failed Greedy
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let b, rest = take n [] l in
+    b :: chunk n rest
+
+(* Nearest-rank percentile of a sorted array. *)
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    sorted.(min (n - 1)
+              (max 0 (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
+let run ?(config = default_config) ?on_commit inst =
+  if not (Instance.has_fixed_mappings inst) then
+    invalid_arg "Engine.run: fixed node mappings required";
+  if config.slice <= 0.0 then invalid_arg "Engine.run: non-positive slice";
+  if config.exact_fraction < 0.0 || config.exact_fraction > 1.0 then
+    invalid_arg "Engine.run: exact_fraction outside [0, 1]";
+  if config.batch_size < 1 then
+    invalid_arg "Engine.run: non-positive batch_size";
+  let global =
+    match config.deterministic with
+    | Some rate -> B.create ~deterministic:rate ~time_limit:config.time_limit ()
+    | None -> B.create ~time_limit:config.time_limit ()
+  in
+  let stats = Rstats.create () in
+  let t0 = B.elapsed global in
+  let k = Instance.num_requests inst in
+  (* The arrival stream: Poisson start_min values from the scenario
+     generator, index-tiebroken for a total order. *)
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          ((Instance.request inst a).Request.start_min, a)
+          ((Instance.request inst b).Request.start_min, b))
+      (List.init k (fun i -> i))
+  in
+  let assignments =
+    Array.init k (fun i -> Solution.rejected (Instance.request inst i))
+  in
+  let committed = ref [] in
+  let version = ref 0 in
+  let records = ref [] in
+  let current_solution () =
+    let s = { Solution.assignments = Array.copy assignments; objective = 0.0 } in
+    { s with Solution.objective = Solution.access_control_value inst s }
+  in
+  let pool = if config.jobs > 1 then Some (Pool.create ~jobs:config.jobs) else None in
+  let dead_proposal () = deny ~pstats:(Rstats.create ()) Budget in
+  Fun.protect
+    ~finally:(fun () -> match pool with Some p -> Pool.shutdown p | None -> ())
+    (fun () ->
+      List.iter
+        (fun batch ->
+          let snapshot_committed = !committed in
+          let snapshot_version = !version in
+          (* Fork one slice per batch member, sequentially, before any
+             evaluation: every fork snapshots the same batch-start clock,
+             so deadlines do not depend on scheduling. *)
+          let tasks =
+            Array.of_list
+              (List.map
+                 (fun req ->
+                   if B.remaining global <= 0.0 then (req, None)
+                   else
+                     let fork = B.fork (B.sub ~time_limit:config.slice global) in
+                     (req, Some (fork, B.ticks fork)))
+                 batch)
+          in
+          let eval (req, f) =
+            match f with
+            | None -> None
+            | Some (fork, _) ->
+              Some (evaluate config inst assignments snapshot_committed req ~fork)
+          in
+          let proposals =
+            match pool with
+            | Some p when Array.length tasks > 1 ->
+              Pool.run p (fun ~worker:_ t -> eval t) tasks
+            | _ -> Array.map eval tasks
+          in
+          (* Deterministic merge in arrival order: join each fork back
+             into the global budget, then commit or deny.  A speculative
+             result computed before an earlier arrival committed is stale
+             — discard it and re-evaluate against the current state. *)
+          Array.iteri
+            (fun i (req, f) ->
+              let r = Instance.request inst req in
+              let proposal, ticks, reevaluated =
+                match f with
+                | None -> (dead_proposal (), 0, false)
+                | Some (fork, ft0) ->
+                  B.join ~into:global fork;
+                  let spec_ticks = B.ticks fork - ft0 in
+                  if snapshot_version = !version then
+                    (Option.get proposals.(i), spec_ticks, false)
+                  else begin
+                    stats.Rstats.service_reevals <-
+                      stats.Rstats.service_reevals + 1;
+                    if B.remaining global <= 0.0 then
+                      (dead_proposal (), spec_ticks, true)
+                    else begin
+                      let fork2 = B.fork (B.sub ~time_limit:config.slice global) in
+                      let ft2 = B.ticks fork2 in
+                      let p =
+                        evaluate config inst assignments !committed req
+                          ~fork:fork2
+                      in
+                      B.join ~into:global fork2;
+                      (p, spec_ticks + (B.ticks fork2 - ft2), true)
+                    end
+                  end
+              in
+              Rstats.merge ~into:stats proposal.p_stats;
+              if proposal.p_greedy <> None then
+                stats.Rstats.service_fallbacks <-
+                  stats.Rstats.service_fallbacks + 1;
+              if proposal.p_admit then begin
+                let sol = Option.get proposal.p_solution in
+                Array.blit sol.Solution.assignments 0 assignments 0 k;
+                committed := !committed @ [ req ];
+                incr version;
+                stats.Rstats.service_admitted <- stats.Rstats.service_admitted + 1;
+                match on_commit with
+                | Some f -> f req (current_solution ())
+                | None -> ()
+              end
+              else
+                stats.Rstats.service_denied <- stats.Rstats.service_denied + 1;
+              Trace.emit config.trace global
+                (Trace.Service_decision
+                   {
+                     request = req;
+                     admitted = proposal.p_admit;
+                     level = rung_to_string proposal.p_rung;
+                     ticks;
+                   });
+              records :=
+                {
+                  request = req;
+                  name = r.Request.name;
+                  arrival = r.Request.start_min;
+                  admitted = proposal.p_admit;
+                  rung = proposal.p_rung;
+                  exact_status = proposal.p_exact;
+                  greedy_status = proposal.p_greedy;
+                  revenue =
+                    (if proposal.p_admit then
+                       r.Request.duration *. Request.total_node_demand r
+                     else 0.0);
+                  t_start =
+                    (if proposal.p_admit then assignments.(req).Solution.t_start
+                     else nan);
+                  t_end =
+                    (if proposal.p_admit then assignments.(req).Solution.t_end
+                     else nan);
+                  ticks;
+                  reevaluated;
+                }
+                :: !records)
+            tasks)
+        (chunk config.batch_size order));
+  let records = Array.of_list (List.rev !records) in
+  let count p =
+    Array.fold_left (fun n (r : record) -> if p r then n + 1 else n) 0 records
+  in
+  let accepted = count (fun r -> r.admitted) in
+  let revenue =
+    Array.fold_left (fun acc (r : record) -> acc +. r.revenue) 0.0 records
+  in
+  let tick_values = Array.map (fun (r : record) -> r.ticks) records in
+  Array.sort compare tick_values;
+  let runtime = B.elapsed global -. t0 in
+  stats.Rstats.service_requests <- stats.Rstats.service_requests + k;
+  stats.Rstats.service_time <- stats.Rstats.service_time +. runtime;
+  {
+    records;
+    solution = current_solution ();
+    accepted;
+    denied = k - accepted;
+    acceptance_ratio = (if k = 0 then 0.0 else float_of_int accepted /. float_of_int k);
+    revenue;
+    admitted_exact = count (fun r -> r.admitted && r.rung = Exact);
+    admitted_greedy = count (fun r -> r.admitted && r.rung = Greedy);
+    denied_exact = count (fun r -> (not r.admitted) && r.rung = Exact);
+    denied_greedy = count (fun r -> (not r.admitted) && r.rung = Greedy);
+    denied_budget = count (fun r -> (not r.admitted) && r.rung = Budget);
+    ticks_p50 = percentile 0.50 tick_values;
+    ticks_p99 = percentile 0.99 tick_values;
+    total_ticks =
+      Array.fold_left (fun acc (r : record) -> acc + r.ticks) 0 records;
+    runtime;
+    stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Versioned JSON encoding                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = 1
+
+let json_of_float f =
+  if Float.is_finite f then Json.Num f else Json.Str (string_of_float f)
+
+let float_of_json = function
+  | Json.Num n -> Ok n
+  | Json.Str s -> (
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad float %S" s))
+  | Json.Null -> Ok nan
+  | _ -> Error "expected a number"
+
+let status_opt_to_json = function
+  | None -> Json.Null
+  | Some s -> Json.Str (Solver.status_to_string s)
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Num (float_of_int schema_version));
+      ("request", Json.Num (float_of_int r.request));
+      ("name", Json.Str r.name);
+      ("arrival", json_of_float r.arrival);
+      ("admitted", Json.Bool r.admitted);
+      ("rung", Json.Str (rung_to_string r.rung));
+      ("exact_status", status_opt_to_json r.exact_status);
+      ("greedy_status", status_opt_to_json r.greedy_status);
+      ("revenue", json_of_float r.revenue);
+      ("t_start", json_of_float r.t_start);
+      ("t_end", json_of_float r.t_end);
+      ("ticks", Json.Num (float_of_int r.ticks));
+      ("reevaluated", Json.Bool r.reevaluated);
+    ]
+
+let ( let* ) = Result.bind
+
+let record_of_json doc =
+  let fieldv name =
+    match Json.member name doc with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let floatf name = Result.bind (fieldv name) float_of_json in
+  let intf name =
+    match Json.member name doc with
+    | Some (Json.Num n) -> Ok (int_of_float n)
+    | _ -> Error (Printf.sprintf "missing integer %S" name)
+  in
+  let boolf name =
+    match Json.member name doc with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "missing boolean %S" name)
+  in
+  let status_opt name =
+    match Json.member name doc with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Str s) -> (
+      match Solver.status_of_string s with
+      | Some st -> Ok (Some st)
+      | None -> Error (Printf.sprintf "%s: unknown status %S" name s))
+    | Some _ -> Error (Printf.sprintf "%s: expected a string or null" name)
+  in
+  let* version = intf "schema_version" in
+  if version <> schema_version then
+    Error (Printf.sprintf "unsupported schema_version %d" version)
+  else
+    let* request = intf "request" in
+    let* name =
+      match Json.member "name" doc with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error "missing \"name\""
+    in
+    let* arrival = floatf "arrival" in
+    let* admitted = boolf "admitted" in
+    let* rung =
+      match Json.member "rung" doc with
+      | Some (Json.Str s) -> (
+        match rung_of_string s with
+        | Some r -> Ok r
+        | None -> Error (Printf.sprintf "unknown rung %S" s))
+      | _ -> Error "missing \"rung\""
+    in
+    let* exact_status = status_opt "exact_status" in
+    let* greedy_status = status_opt "greedy_status" in
+    let* revenue = floatf "revenue" in
+    let* t_start = floatf "t_start" in
+    let* t_end = floatf "t_end" in
+    let* ticks = intf "ticks" in
+    let* reevaluated = boolf "reevaluated" in
+    Ok
+      {
+        request;
+        name;
+        arrival;
+        admitted;
+        rung;
+        exact_status;
+        greedy_status;
+        revenue;
+        t_start;
+        t_end;
+        ticks;
+        reevaluated;
+      }
+
+let summary_to_json s =
+  let i n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ("schema", Json.Str "tvnep-service/1");
+      ("schema_version", i schema_version);
+      ("requests", i (Array.length s.records));
+      ("accepted", i s.accepted);
+      ("denied", i s.denied);
+      ("acceptance_ratio", json_of_float s.acceptance_ratio);
+      ("revenue", json_of_float s.revenue);
+      ("admitted_exact", i s.admitted_exact);
+      ("admitted_greedy", i s.admitted_greedy);
+      ("denied_exact", i s.denied_exact);
+      ("denied_greedy", i s.denied_greedy);
+      ("denied_budget", i s.denied_budget);
+      ("ticks_p50", i s.ticks_p50);
+      ("ticks_p99", i s.ticks_p99);
+      ("total_ticks", i s.total_ticks);
+      ("runtime", json_of_float s.runtime);
+      ("records", Json.List (Array.to_list (Array.map record_to_json s.records)));
+    ]

@@ -1,0 +1,134 @@
+(** Online embedding service: streaming admission with deadline budgets
+    and a graceful degradation chain.
+
+    The engine consumes the instance's requests as a time-ordered arrival
+    stream (sorted by [start_min], index-tiebroken), maintains the
+    committed substrate state across solves, and decides each arrival
+    with a per-request slice of a global {!Runtime.Budget}:
+
+    + {b exact}: a cΣ branch-and-bound on the committed requests (pinned
+      at their committed schedules) plus the arrival, on
+      [exact_fraction × slice] of the request's deadline;
+    + {b greedy}: on budget exhaustion or an inconclusive exact outcome,
+      the polynomial heuristic tries to admit the arrival around the
+      committed schedule, on whatever remains of the slice;
+    + {b deny}: a proven-infeasible exact outcome, a greedy rejection, or
+      an exhausted budget denies admission.
+
+    Every admission is re-checked by {!Tvnep.Validator} against the full
+    committed state before it commits; a solution that fails validation
+    falls down the chain instead of corrupting the substrate state.
+
+    Arrivals are admitted in {b batches} evaluated concurrently on a
+    {!Runtime.Pool} and merged deterministically in arrival order,
+    exactly like the branch-and-bound's node batches: every batch member
+    is evaluated speculatively against the batch-start state on a
+    {!Runtime.Budget.fork} of its slice; at merge time the forks join the
+    global budget in arrival order, and a speculative result computed
+    against a state that an earlier commit has since changed is discarded
+    and re-evaluated sequentially.  Decisions therefore depend only on
+    the arrival order — never on [jobs] — and under a deterministic
+    budget the whole summary (decisions, embeddings, revenue, tick
+    counts) is byte-identical at any parallelism level. *)
+
+(** Which rung of the degradation chain decided an arrival. *)
+type rung =
+  | Exact   (** the exact solve concluded (admit, or proven denial) *)
+  | Greedy  (** fell back to the greedy heuristic *)
+  | Budget  (** the global budget or the request's slice was exhausted *)
+
+val rung_to_string : rung -> string
+val rung_of_string : string -> rung option
+
+(** Per-request structured decision record, in arrival order. *)
+type record = {
+  request : int;          (** request index in the instance *)
+  name : string;
+  arrival : float;        (** the request's [start_min] *)
+  admitted : bool;
+  rung : rung;
+  exact_status : Tvnep.Solver.status option;
+      (** outcome of the exact rung, when it ran *)
+  greedy_status : Tvnep.Solver.status option;
+      (** outcome of the greedy rung, when it ran *)
+  revenue : float;        (** d·Σc when admitted, 0 otherwise *)
+  t_start : float;        (** committed schedule ([nan] when denied) *)
+  t_end : float;
+  ticks : int;            (** work ticks billed to this request's slice *)
+  reevaluated : bool;
+      (** the speculative batch result was discarded because an earlier
+          arrival in the batch committed first *)
+}
+
+type summary = {
+  records : record array;        (** one per request, in arrival order *)
+  solution : Tvnep.Solution.t;   (** final committed state on the instance *)
+  accepted : int;
+  denied : int;
+  acceptance_ratio : float;
+  revenue : float;               (** Σ admitted d·Σc *)
+  admitted_exact : int;
+  admitted_greedy : int;
+  denied_exact : int;
+  denied_greedy : int;
+  denied_budget : int;
+  ticks_p50 : int;               (** per-request tick percentiles *)
+  ticks_p99 : int;
+  total_ticks : int;
+  runtime : float;               (** budget-clock seconds, whole stream *)
+  stats : Runtime.Stats.t;
+}
+
+type config = {
+  kind : Tvnep.Solver.model_kind;   (** formulation of the exact rung *)
+  use_cuts : bool;
+  pairwise_cuts : bool;
+  mip : Mip.Branch_bound.params;
+      (** inner search parameters; [jobs] is forced to 1 (parallelism
+          belongs to the batch layer) and [time_limit] is ignored in
+          favour of the slice *)
+  slice : float;                    (** per-request deadline, budget seconds *)
+  exact_fraction : float;           (** share of the slice the exact rung
+                                        may spend before falling back *)
+  time_limit : float;               (** global deadline ([infinity] = none);
+                                        arrivals past it are denied at the
+                                        [Budget] rung without solving *)
+  deterministic : float option;
+      (** deterministic work-clock rate ([Some default_work_rate] by
+          default — required for jobs-independent byte-identical output);
+          [None] uses the wall clock *)
+  batch_size : int;                 (** arrivals admitted per batch *)
+  jobs : int;                       (** worker domains for the batch *)
+  trace : Runtime.Trace.sink option;
+      (** receives a {!Runtime.Trace.Service_decision} per arrival, in
+          arrival order, on the merging domain *)
+}
+
+val default_work_rate : float
+(** Ticks per deterministic "second" (2e9, the bench harness's rate). *)
+
+val default_config : config
+(** cΣ with all cuts, 0.5 s slices (70% exact), no global limit,
+    deterministic clock, batches of 4, [jobs = 1]. *)
+
+val run :
+  ?config:config ->
+  ?on_commit:(int -> Tvnep.Solution.t -> unit) ->
+  Tvnep.Instance.t ->
+  summary
+(** Serve the instance's requests as an arrival stream.  [on_commit] is
+    called after each admission (on the merging domain, in commit order)
+    with the request index and the full committed solution so far — the
+    validator-gating property test hooks in here.
+
+    @raise Invalid_argument without fixed node mappings, or for a
+    non-positive [slice]/[batch_size] or an [exact_fraction] outside
+    [0, 1]. *)
+
+(** {2 Versioned JSON encoding} (["schema_version"] = 1) *)
+
+val record_to_json : record -> Statsutil.Json.t
+val record_of_json : Statsutil.Json.t -> (record, string) result
+val summary_to_json : summary -> Statsutil.Json.t
+(** Carries ["schema": "tvnep-service/1"], the aggregates and the full
+    per-request record list. *)

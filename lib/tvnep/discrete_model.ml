@@ -142,6 +142,9 @@ let build ?(options = default_options) inst =
 
 let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
     ?budget ?stats ?trace inst =
+  let ticks0 =
+    match budget with Some b -> Runtime.Budget.ticks b | None -> 0
+  in
   let dm = build ~options inst in
   (* Access-control objective, as in the continuous model comparison. *)
   let terms =
@@ -188,16 +191,32 @@ let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
       in
       Some { Solution.assignments; objective }
   in
+  let status =
+    match result.Mip.Branch_bound.status with
+    | Mip.Branch_bound.Optimal -> Solver.Optimal
+    | Mip.Branch_bound.Infeasible -> Solver.Infeasible
+    | Mip.Branch_bound.Unbounded -> Solver.Unbounded
+    | Mip.Branch_bound.Time_limit | Mip.Branch_bound.Node_limit ->
+      if solution <> None then Solver.Feasible else Solver.Budget_exhausted
+    | Mip.Branch_bound.Numerical_failure -> Solver.Failed
+  in
   {
-    Solver.status = result.Mip.Branch_bound.status;
+    Solver.status;
+    method_used = Solver.Exact;
+    mip_status = Some result.Mip.Branch_bound.status;
     solution;
     objective = result.Mip.Branch_bound.objective;
     bound = result.Mip.Branch_bound.best_bound;
     gap = result.Mip.Branch_bound.gap;
     runtime = result.Mip.Branch_bound.solve_time;
+    ticks =
+      (match budget with
+      | Some b -> Runtime.Budget.ticks b - ticks0
+      | None -> 0);
     nodes = result.Mip.Branch_bound.nodes;
     lp_iterations = result.Mip.Branch_bound.lp_iterations;
     model_vars = Lp.Model.num_vars dm.model;
     model_rows = Lp.Model.num_constrs dm.model;
+    hybrid = None;
     stats = result.Mip.Branch_bound.stats;
   }

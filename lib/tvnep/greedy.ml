@@ -186,9 +186,9 @@ let try_schedule ?lp_params ?budget ?stats inst participants =
       None
   end
 
-let solve ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
+let run ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
   if not (Instance.has_fixed_mappings inst) then
-    invalid_arg "Greedy.solve: fixed node mappings required";
+    invalid_arg "Greedy.run: fixed node mappings required";
   let budget = match budget with Some b -> b | None -> Budget.create () in
   let rstats = match stats with Some s -> s | None -> Rstats.create () in
   let t0 = Budget.elapsed budget in
@@ -209,14 +209,14 @@ let solve ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
     List.iter
       (fun (req, start) ->
         if req < 0 || req >= k then
-          invalid_arg "Greedy.solve: preplaced request out of range";
+          invalid_arg "Greedy.run: preplaced request out of range";
         let r = Instance.request inst req in
         if
           start < r.Request.start_min -. 1e-9
           || start +. r.Request.duration > r.Request.end_max +. 1e-9
         then
           invalid_arg
-            (Printf.sprintf "Greedy.solve: preplacement of %s outside window"
+            (Printf.sprintf "Greedy.run: preplacement of %s outside window"
                r.Request.name))
       preplaced;
     let participants =
@@ -235,7 +235,7 @@ let solve ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
             { a_req = req; a_start = start; a_end = stop;
               a_flows = flows_of req })
           participants
-    | None -> invalid_arg "Greedy.solve: preplacements jointly infeasible"
+    | None -> invalid_arg "Greedy.run: preplacements jointly infeasible"
   end;
   let assignments =
     Array.init k (fun req -> Solution.rejected (Instance.request inst req))
@@ -301,3 +301,5 @@ let solve ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
     rstats.Rstats.greedy_accepted + List.length !accepted;
   ( solution,
     { lp_solves = !lp_solves; candidates_tried = !candidates_tried; runtime } )
+
+let solve = run

@@ -21,7 +21,7 @@ type stats = {
   runtime : float;       (** budget-clock seconds *)
 }
 
-val solve :
+val run :
   ?lp_params:Lp.Simplex.params ->
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
@@ -47,3 +47,15 @@ val solve :
     @raise Invalid_argument when the instance has no fixed node mappings,
     a pre-placement is out of range or outside its request's window, or
     the pre-placements are jointly infeasible. *)
+
+val solve :
+  ?lp_params:Lp.Simplex.params ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  ?trace:Runtime.Trace.sink ->
+  ?preplaced:(int * float) list ->
+  Instance.t ->
+  Solution.t * stats
+[@@deprecated "use Solver.run with ~method_:Greedy (or Greedy.run)"]
+(** Alias of {!run}, kept for source compatibility with the pre-service
+    API. *)

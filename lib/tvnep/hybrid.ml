@@ -1,5 +1,6 @@
-module Budget = Runtime.Budget
-module Rstats = Runtime.Stats
+(* Thin compatibility wrapper: the heavy-hitter hybrid now lives in
+   [Solver.run] with [method_ = Hybrid]; this module only reshapes the
+   unified outcome into the historical (solution, stats) pair. *)
 
 type stats = {
   heavy : int list;
@@ -9,95 +10,43 @@ type stats = {
   counters : Runtime.Stats.t;
 }
 
-let revenue inst req =
-  let r = Instance.request inst req in
-  r.Request.duration *. Request.total_node_demand r
-
 let solve ?(heavy_fraction = 0.3) ?(mip = Mip.Branch_bound.default_params)
     ?budget ?trace inst =
-  if not (Instance.has_fixed_mappings inst) then
-    invalid_arg "Hybrid.solve: fixed node mappings required";
-  if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
-    invalid_arg "Hybrid.solve: fraction outside [0, 1]";
-  let budget = match budget with Some b -> b | None -> Budget.create () in
-  let counters = Rstats.create () in
-  let t0 = Budget.elapsed budget in
-  let k = Instance.num_requests inst in
-  let by_revenue =
-    List.sort
-      (fun a b -> compare (revenue inst b, a) (revenue inst a, b))
-      (List.init k (fun i -> i))
+  let o =
+    Solver.run inst
+      (Solver.Options.make ~method_:Solver.Hybrid ~heavy_fraction ~mip ?budget
+         ?trace ())
   in
-  let n_heavy =
-    min k (int_of_float (Float.round (heavy_fraction *. float_of_int k)))
+  let detail =
+    match o.Solver.hybrid with
+    | Some h -> h
+    | None ->
+      (* Entry-exhausted budget: nothing ran, report the degenerate
+         outcome as its own (empty) exact pass. *)
+      { Solver.heavy = []; heavy_outcome = o }
   in
-  let heavy = List.filteri (fun i _ -> i < n_heavy) by_revenue in
-  let heavy = List.sort compare heavy in
-  (* Exact pass on the heavy subset. *)
-  let heavy_requests =
-    Array.of_list (List.map (Instance.request inst) heavy)
-  in
-  let heavy_mappings =
-    Array.of_list
-      (List.map (fun i -> Option.get (Instance.node_mapping inst i)) heavy)
-  in
-  let heavy_outcome =
-    if heavy = [] then
-      (* Nothing heavy: a degenerate, trivially-optimal outcome. *)
+  let solution =
+    match o.Solver.solution with
+    | Some sol -> sol
+    | None ->
       {
-        Solver.status = Mip.Branch_bound.Optimal;
-        solution = None;
-        objective = Some 0.0;
-        bound = 0.0;
-        gap = 0.0;
-        runtime = 0.0;
-        nodes = 0;
-        lp_iterations = 0;
-        model_vars = 0;
-        model_rows = 0;
-        stats = Rstats.create ();
+        Solution.assignments =
+          Array.init (Instance.num_requests inst) (fun i ->
+              Solution.rejected (Instance.request inst i));
+        objective = 0.0;
       }
-    else
-      (* The exact pass gets [mip.time_limit] of whatever remains on the
-         shared clock — a nested budget, so both the inner deadline and
-         the overall one are honoured. *)
-      Solver.solve
-        (Instance.with_requests inst heavy_requests
-           ~node_mappings:heavy_mappings ())
-        {
-          Solver.default_options with
-          mip;
-          budget =
-            Some
-              (Budget.sub ~time_limit:mip.Mip.Branch_bound.time_limit budget);
-          trace;
-        }
   in
-  Rstats.merge ~into:counters heavy_outcome.Solver.stats;
-  (* Fix the schedules the exact pass chose.  Heavy requests it rejected
-     get a second chance in the greedy scan — they can only add revenue. *)
-  let preplaced =
-    match heavy_outcome.Solver.solution with
-    | None -> []
-    | Some sol ->
-      List.mapi (fun pos req -> (pos, req)) heavy
-      |> List.filter_map (fun (pos, req) ->
-             let a = sol.Solution.assignments.(pos) in
-             if a.Solution.accepted then Some (req, a.Solution.t_start)
-             else None)
-  in
-  let solution, greedy_stats =
-    Greedy.solve ~budget ~stats:counters ?trace ~preplaced inst
-  in
+  let counters = o.Solver.stats in
   ( solution,
     {
-      heavy;
-      heavy_outcome;
-      greedy_stats;
-      (* One clock for both passes: the combined runtime is an elapsed
-         delta on the shared budget, never the sum of two independent
-         [gettimeofday] spans (which double-counted overlap and missed
-         glue work between the passes). *)
-      runtime = Budget.elapsed budget -. t0;
+      heavy = detail.Solver.heavy;
+      heavy_outcome = detail.Solver.heavy_outcome;
+      greedy_stats =
+        {
+          Greedy.lp_solves = counters.Runtime.Stats.greedy_lp_solves;
+          candidates_tried = counters.Runtime.Stats.greedy_candidates;
+          runtime = counters.Runtime.Stats.greedy_time;
+        };
+      runtime = o.Solver.runtime;
       counters;
     } )

@@ -1,17 +1,11 @@
-(** Heavy-hitter hybrid solver.
+(** Heavy-hitter hybrid solver — {b deprecated} compatibility wrapper.
 
-    The paper's conclusion suggests combining both algorithm families:
-    "allocating many smaller VNets [with the greedy] while more rigorous
-    optimizations are performed on the resource-intensive VNets (the
-    'heavy-hitters')".  This module implements exactly that split:
-
-    1. rank requests by revenue (duration × total node demand) and take
-       the top [heavy_fraction] as heavy hitters;
-    2. solve the heavy subset exactly with the cΣ-Model (access control);
-    3. admit the remaining requests with the greedy cΣ_A^G around the
-       fixed heavy schedule, re-optimizing all link flows jointly.
-
-    Requires fixed node mappings (both underlying algorithms do). *)
+    The split itself ("allocating many smaller VNets [with the greedy]
+    while more rigorous optimizations are performed on the
+    resource-intensive VNets", the paper's conclusion) now lives behind
+    {!Solver.run} with [method_ = Hybrid]; see
+    {!Solver.Options.t.heavy_fraction}.  This module reshapes the unified
+    {!Solver.outcome} into the historical [(solution, stats)] pair. *)
 
 type stats = {
   heavy : int list;          (** request indices solved exactly *)
@@ -19,11 +13,10 @@ type stats = {
   greedy_stats : Greedy.stats;
   runtime : float;
       (** budget-clock seconds for the whole hybrid solve, measured as one
-          elapsed delta on the shared budget — {e not} the sum of the two
-          passes' independent clocks *)
+          elapsed delta on the shared budget *)
   counters : Runtime.Stats.t;
       (** combined structured counters of the exact pass and the greedy
-          scan (simplex pivots, B&B nodes, greedy probes, phase times) *)
+          scan *)
 }
 
 val solve :
@@ -33,11 +26,7 @@ val solve :
   ?trace:Runtime.Trace.sink ->
   Instance.t ->
   Solution.t * stats
+[@@deprecated "use Solver.run with ~method_:Hybrid"]
 (** [heavy_fraction] (default 0.3) of the requests, by revenue, go to the
-    exact solver.
-
-    [?budget] is the shared clock for both passes; the exact pass runs on
-    a nested sub-budget capped at [mip.time_limit] of whatever remains, so
-    "give the exact pass at most N seconds of the overall deadline"
-    composes naturally.  @raise Invalid_argument without fixed mappings or
-    for a fraction outside [0, 1]. *)
+    exact solver.  @raise Invalid_argument without fixed mappings or for
+    a fraction outside [0, 1]. *)

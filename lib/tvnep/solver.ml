@@ -5,9 +5,840 @@ let model_kind_to_string = function
   | Sigma -> "sigma"
   | Csigma -> "csigma"
 
+type method_ = Exact | Greedy | Hybrid | Lp_only
+
+let method_to_string = function
+  | Exact -> "exact"
+  | Greedy -> "greedy"
+  | Hybrid -> "hybrid"
+  | Lp_only -> "lp_only"
+
+let method_of_string = function
+  | "exact" -> Some Exact
+  | "greedy" -> Some Greedy
+  | "hybrid" -> Some Hybrid
+  | "lp_only" -> Some Lp_only
+  | _ -> None
+
+type status =
+  | Optimal
+  | Feasible
+  | Infeasible
+  | Unbounded
+  | Budget_exhausted
+  | Failed
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Feasible -> "feasible"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Budget_exhausted -> "budget_exhausted"
+  | Failed -> "failed"
+
+let status_of_string = function
+  | "optimal" -> Some Optimal
+  | "feasible" -> Some Feasible
+  | "infeasible" -> Some Infeasible
+  | "unbounded" -> Some Unbounded
+  | "budget_exhausted" -> Some Budget_exhausted
+  | "failed" -> Some Failed
+  | _ -> None
+
 module Budget = Runtime.Budget
 module Rstats = Runtime.Stats
 module Trace = Runtime.Trace
+
+module Options = struct
+  type t = {
+    method_ : method_;
+    kind : model_kind;
+    objective : Objective.t;
+    use_cuts : bool;
+    pairwise_cuts : bool;
+    seed_with_greedy : bool;
+    heavy_fraction : float;
+    pinned : (int * float) list;
+    mip : Mip.Branch_bound.params;
+    budget : Runtime.Budget.t option;
+    trace : Runtime.Trace.sink option;
+  }
+
+  let make ?(method_ = Exact) ?(kind = Csigma)
+      ?(objective = Objective.Access_control) ?(use_cuts = true)
+      ?(pairwise_cuts = true) ?(seed_with_greedy = false)
+      ?(heavy_fraction = 0.3) ?(pinned = [])
+      ?(mip = Mip.Branch_bound.default_params) ?budget ?trace () =
+    if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
+      invalid_arg "Solver.Options.make: heavy_fraction outside [0, 1]";
+    {
+      method_;
+      kind;
+      objective;
+      use_cuts;
+      pairwise_cuts;
+      seed_with_greedy;
+      heavy_fraction;
+      pinned;
+      mip;
+      budget;
+      trace;
+    }
+
+  let default = make ()
+  let with_budget budget o = { o with budget }
+  let with_pinned pinned o = { o with pinned }
+end
+
+type outcome = {
+  status : status;
+  method_used : method_;
+  mip_status : Mip.Branch_bound.status option;
+  solution : Solution.t option;
+  objective : float option;
+  bound : float;
+  gap : float;
+  runtime : float;
+  ticks : int;
+  nodes : int;
+  lp_iterations : int;
+  model_vars : int;
+  model_rows : int;
+  hybrid : hybrid_detail option;
+  stats : Runtime.Stats.t;
+}
+
+and hybrid_detail = { heavy : int list; heavy_outcome : outcome }
+
+(* One budget per solve: either the caller's, or a private one derived
+   from the MIP parameters.  Everything below — model build, greedy
+   seeding, branch-and-bound including its node LPs — runs against this
+   single clock, so [outcome.runtime] covers the whole solve. *)
+let budget_of_options (o : Options.t) =
+  match o.Options.budget with
+  | Some b -> b
+  | None ->
+    Budget.create
+      ~time_limit:o.Options.mip.Mip.Branch_bound.time_limit
+      ~node_limit:o.Options.mip.Mip.Branch_bound.node_limit ()
+
+let validate_pinned inst pinned =
+  let k = Instance.num_requests inst in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (req, start) ->
+      if req < 0 || req >= k then
+        invalid_arg "Solver.run: pinned request out of range";
+      if Hashtbl.mem seen req then
+        invalid_arg "Solver.run: request pinned twice";
+      Hashtbl.replace seen req ();
+      let r = Instance.request inst req in
+      if
+        start < r.Request.start_min -. 1e-9
+        || start +. r.Request.duration > r.Request.end_max +. 1e-9
+      then
+        invalid_arg
+          (Printf.sprintf "Solver.run: pin of %s outside its window"
+             r.Request.name))
+    pinned
+
+let build inst (o : Options.t) =
+  let fm =
+    match o.Options.kind with
+    | Delta -> Delta_model.build inst
+    | Sigma -> Sigma_model.build inst
+    | Csigma ->
+      Csigma_model.build
+        ~options:
+          {
+            Csigma_model.use_cuts = o.Options.use_cuts;
+            pairwise_cuts = o.Options.pairwise_cuts;
+            relax_integrality = false;
+          }
+        inst
+  in
+  let extras = Objective.apply fm o.Options.objective in
+  (* Pinned requests: accepted, at exactly the given start.  The duration
+     equality rows tie the end variable, and the event-mapping binaries
+     are free to realize any ordering consistent with the fixed time. *)
+  List.iter
+    (fun (req, start) ->
+      Lp.Model.fix_var fm.Formulation.model
+        fm.Formulation.embeddings.(req).Embedding.x_r 1.0;
+      Lp.Model.fix_var fm.Formulation.model fm.Formulation.t_start.(req) start)
+    o.Options.pinned;
+  (fm, extras)
+
+(* An outcome for a solve that never started: the caller's budget was
+   already exhausted when [run] was entered.  The fallback chain of the
+   admission service depends on getting this clean status instead of a
+   partial solve against a dead clock. *)
+let exhausted_outcome ~method_used stats =
+  {
+    status = Budget_exhausted;
+    method_used;
+    mip_status = None;
+    solution = None;
+    objective = None;
+    bound = nan;
+    gap = infinity;
+    runtime = 0.0;
+    ticks = 0;
+    nodes = 0;
+    lp_iterations = 0;
+    model_vars = 0;
+    model_rows = 0;
+    hybrid = None;
+    stats;
+  }
+
+let status_of_mip mip_status ~has_incumbent =
+  match (mip_status : Mip.Branch_bound.status) with
+  | Mip.Branch_bound.Optimal -> Optimal
+  | Mip.Branch_bound.Infeasible -> Infeasible
+  | Mip.Branch_bound.Unbounded -> Unbounded
+  | Mip.Branch_bound.Time_limit | Mip.Branch_bound.Node_limit ->
+    if has_incumbent then Feasible else Budget_exhausted
+  | Mip.Branch_bound.Numerical_failure -> Failed
+
+let run_exact inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  let sink = o.Options.trace in
+  Trace.emit sink budget (Trace.Phase_start "build");
+  let fm, _extras = build inst o in
+  let build_time = Budget.elapsed budget -. t0 in
+  stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
+  Trace.emit sink budget (Trace.Phase_end ("build", build_time));
+  let model = fm.Formulation.model in
+  (* Optional greedy seeding (the combination the paper's conclusion
+     proposes): lift the heuristic solution into this model's variables as
+     the initial incumbent.  Only meaningful under access control; the MIP
+     layer re-verifies the point before trusting it.  The heuristic runs
+     on the shared budget, so its time counts against the deadline and
+     shows up in both [outcome.runtime] and [stats.greedy_time]. *)
+  let initial =
+    if
+      o.Options.seed_with_greedy
+      && o.Options.objective = Objective.Access_control
+      && Instance.has_fixed_mappings inst
+    then begin
+      Trace.emit sink budget (Trace.Phase_start "greedy");
+      match
+        Greedy.run ~budget ~stats ?trace:sink ~preplaced:o.Options.pinned inst
+      with
+      | greedy_sol, gstats ->
+        Trace.emit sink budget
+          (Trace.Phase_end ("greedy", gstats.Greedy.runtime));
+        Some (fm.Formulation.lift greedy_sol)
+      | exception Invalid_argument _ ->
+        (* e.g. pinned set jointly infeasible for the heuristic — the MIP
+           will discover infeasibility itself. *)
+        Trace.emit sink budget (Trace.Phase_end ("greedy", 0.0));
+        None
+    end
+    else None
+  in
+  Trace.emit sink budget (Trace.Phase_start "search");
+  let result =
+    Mip.Branch_bound.solve ~params:o.Options.mip ?initial ~budget ~stats
+      ?trace:sink model
+  in
+  stats.Rstats.search_time <-
+    stats.Rstats.search_time +. result.Mip.Branch_bound.solve_time;
+  Trace.emit sink budget
+    (Trace.Phase_end ("search", result.Mip.Branch_bound.solve_time));
+  let solution =
+    match result.Mip.Branch_bound.incumbent with
+    | None -> None
+    | Some x ->
+      let value_of id = x.(id) in
+      let objective =
+        match result.Mip.Branch_bound.objective with Some o -> o | None -> nan
+      in
+      Some (Formulation.extract_solution fm ~objective value_of)
+  in
+  {
+    status =
+      status_of_mip result.Mip.Branch_bound.status
+        ~has_incumbent:(solution <> None);
+    method_used = Exact;
+    mip_status = Some result.Mip.Branch_bound.status;
+    solution;
+    objective = result.Mip.Branch_bound.objective;
+    bound = result.Mip.Branch_bound.best_bound;
+    gap = result.Mip.Branch_bound.gap;
+    (* One-clock accounting: the elapsed delta on the shared budget covers
+       build + greedy seeding + search, not just the B&B loop. *)
+    runtime = Budget.elapsed budget -. t0;
+    ticks = Budget.ticks budget - ticks0;
+    nodes = result.Mip.Branch_bound.nodes;
+    lp_iterations = result.Mip.Branch_bound.lp_iterations;
+    model_vars = Lp.Model.num_vars model;
+    model_rows = Lp.Model.num_constrs model;
+    hybrid = None;
+    stats;
+  }
+
+let run_lp_only inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  let sink = o.Options.trace in
+  Trace.emit sink budget (Trace.Phase_start "build");
+  let fm, _extras = build inst o in
+  let build_time = Budget.elapsed budget -. t0 in
+  stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
+  Trace.emit sink budget (Trace.Phase_end ("build", build_time));
+  let result =
+    Lp.Simplex.solve_model ~budget ~stats ?trace:sink fm.Formulation.model
+  in
+  let status, objective =
+    match result.Lp.Simplex.status with
+    | Lp.Simplex.Optimal -> (Optimal, Some result.Lp.Simplex.objective)
+    | Lp.Simplex.Infeasible -> (Infeasible, None)
+    | Lp.Simplex.Unbounded -> (Unbounded, None)
+    | Lp.Simplex.Iter_limit | Lp.Simplex.Time_limit -> (Budget_exhausted, None)
+    | Lp.Simplex.Numerical_failure -> (Failed, None)
+  in
+  {
+    status;
+    method_used = Lp_only;
+    mip_status = None;
+    solution = None;
+    objective;
+    bound =
+      (match objective with Some v -> v | None -> nan);
+    gap = (match status with Optimal -> 0.0 | _ -> infinity);
+    runtime = Budget.elapsed budget -. t0;
+    ticks = Budget.ticks budget - ticks0;
+    nodes = 0;
+    lp_iterations = result.Lp.Simplex.iterations;
+    model_vars = Lp.Model.num_vars fm.Formulation.model;
+    model_rows = Lp.Model.num_constrs fm.Formulation.model;
+    hybrid = None;
+    stats;
+  }
+
+let run_greedy inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  if not (Instance.has_fixed_mappings inst) then
+    invalid_arg "Solver.run: Greedy requires fixed node mappings";
+  let sink = o.Options.trace in
+  Trace.emit sink budget (Trace.Phase_start "greedy");
+  let solution, gstats =
+    Greedy.run ~budget ~stats ?trace:sink ~preplaced:o.Options.pinned inst
+  in
+  Trace.emit sink budget (Trace.Phase_end ("greedy", gstats.Greedy.runtime));
+  {
+    (* The heuristic proves no bound; [Feasible] unless the clock died
+       mid-scan (a partial scan may have skipped admissible requests). *)
+    status =
+      (if Budget.remaining budget <= 0.0 then Budget_exhausted else Feasible);
+    method_used = Greedy;
+    mip_status = None;
+    solution = Some solution;
+    objective = Some solution.Solution.objective;
+    bound = nan;
+    gap = infinity;
+    runtime = Budget.elapsed budget -. t0;
+    ticks = Budget.ticks budget - ticks0;
+    nodes = 0;
+    lp_iterations = stats.Rstats.simplex_iterations;
+    model_vars = 0;
+    model_rows = 0;
+    hybrid = None;
+    stats;
+  }
+
+let revenue inst req =
+  let r = Instance.request inst req in
+  r.Request.duration *. Request.total_node_demand r
+
+let rec run inst (o : Options.t) =
+  validate_pinned inst o.Options.pinned;
+  let budget = budget_of_options o in
+  let stats = Rstats.create () in
+  let ticks0 = Budget.ticks budget in
+  let t0 = Budget.elapsed budget in
+  (* A dead budget cannot pay for a model build, let alone a search:
+     return the clean exhaustion outcome the fallback chain expects. *)
+  if Budget.remaining budget <= 0.0 then
+    exhausted_outcome ~method_used:o.Options.method_ stats
+  else
+    match o.Options.method_ with
+    | Exact -> run_exact inst o ~budget ~stats ~ticks0 ~t0
+    | Lp_only -> run_lp_only inst o ~budget ~stats ~ticks0 ~t0
+    | Greedy -> run_greedy inst o ~budget ~stats ~ticks0 ~t0
+    | Hybrid -> run_hybrid inst o ~budget ~stats ~ticks0 ~t0
+
+(* The heavy-hitter split of the paper's conclusion: rank requests by
+   revenue (duration × total node demand), solve the top fraction exactly
+   on a nested sub-budget, then admit the rest greedily around the fixed
+   heavy schedule, re-optimizing all link flows jointly. *)
+and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  if not (Instance.has_fixed_mappings inst) then
+    invalid_arg "Solver.run: Hybrid requires fixed node mappings";
+  if o.Options.pinned <> [] then
+    invalid_arg "Solver.run: pinned requests are not supported with Hybrid";
+  let k = Instance.num_requests inst in
+  let by_revenue =
+    List.sort
+      (fun a b -> compare (revenue inst b, a) (revenue inst a, b))
+      (List.init k (fun i -> i))
+  in
+  let n_heavy =
+    min k
+      (int_of_float
+         (Float.round (o.Options.heavy_fraction *. float_of_int k)))
+  in
+  let heavy = List.filteri (fun i _ -> i < n_heavy) by_revenue in
+  let heavy = List.sort compare heavy in
+  let heavy_requests =
+    Array.of_list (List.map (Instance.request inst) heavy)
+  in
+  let heavy_mappings =
+    Array.of_list
+      (List.map (fun i -> Option.get (Instance.node_mapping inst i)) heavy)
+  in
+  let heavy_outcome =
+    if heavy = [] then
+      (* Nothing heavy: a degenerate, trivially-optimal outcome. *)
+      {
+        status = Optimal;
+        method_used = Exact;
+        mip_status = Some Mip.Branch_bound.Optimal;
+        solution = None;
+        objective = Some 0.0;
+        bound = 0.0;
+        gap = 0.0;
+        runtime = 0.0;
+        ticks = 0;
+        nodes = 0;
+        lp_iterations = 0;
+        model_vars = 0;
+        model_rows = 0;
+        hybrid = None;
+        stats = Rstats.create ();
+      }
+    else
+      (* The exact pass gets [mip.time_limit] of whatever remains on the
+         shared clock — a nested budget, so both the inner deadline and
+         the overall one are honoured. *)
+      run
+        (Instance.with_requests inst heavy_requests
+           ~node_mappings:heavy_mappings ())
+        (Options.make ~method_:Exact ~kind:o.Options.kind
+           ~use_cuts:o.Options.use_cuts ~pairwise_cuts:o.Options.pairwise_cuts
+           ~mip:o.Options.mip
+           ~budget:
+             (Budget.sub ~time_limit:o.Options.mip.Mip.Branch_bound.time_limit
+                budget)
+           ?trace:o.Options.trace ())
+  in
+  Rstats.merge ~into:stats heavy_outcome.stats;
+  (* Fix the schedules the exact pass chose.  Heavy requests it rejected
+     get a second chance in the greedy scan — they can only add revenue. *)
+  let preplaced =
+    match heavy_outcome.solution with
+    | None -> []
+    | Some sol ->
+      List.mapi (fun pos req -> (pos, req)) heavy
+      |> List.filter_map (fun (pos, req) ->
+             let a = sol.Solution.assignments.(pos) in
+             if a.Solution.accepted then Some (req, a.Solution.t_start)
+             else None)
+  in
+  let solution, _gstats =
+    Greedy.run ~budget ~stats ?trace:o.Options.trace ~preplaced inst
+  in
+  {
+    status =
+      (if Budget.remaining budget <= 0.0 then Budget_exhausted else Feasible);
+    method_used = Hybrid;
+    mip_status = heavy_outcome.mip_status;
+    solution = Some solution;
+    objective = Some solution.Solution.objective;
+    bound = nan;
+    gap = infinity;
+    (* One clock for both passes: the combined runtime is an elapsed delta
+       on the shared budget, never the sum of two independent spans. *)
+    runtime = Budget.elapsed budget -. t0;
+    ticks = Budget.ticks budget - ticks0;
+    nodes = heavy_outcome.nodes;
+    lp_iterations = stats.Rstats.simplex_iterations;
+    model_vars = heavy_outcome.model_vars;
+    model_rows = heavy_outcome.model_rows;
+    hybrid = Some { heavy; heavy_outcome };
+    stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Versioned JSON encoding                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Statsutil.Json
+
+let schema_version = 1
+
+(* The writer renders non-finite floats as [null]; encode them as strings
+   instead so greedy/hybrid outcomes ([bound = nan], [gap = inf]) decode
+   back to exactly the value they were encoded from. *)
+let json_of_float f =
+  if Float.is_finite f then Json.Num f else Json.Str (string_of_float f)
+
+let float_of_json = function
+  | Json.Num n -> Ok n
+  | Json.Str s -> (
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad float %S" s))
+  | Json.Null -> Ok nan
+  | _ -> Error "expected a number"
+
+let int_of_json = function
+  | Json.Num n -> Ok (int_of_float n)
+  | _ -> Error "expected an integer"
+
+let ( let* ) = Result.bind
+
+let field name doc =
+  match Json.member name doc with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let float_field name doc =
+  let* v = field name doc in
+  Result.map_error (fun e -> name ^ ": " ^ e) (float_of_json v)
+
+let int_field name doc =
+  let* v = field name doc in
+  Result.map_error (fun e -> name ^ ": " ^ e) (int_of_json v)
+
+let stats_to_json (s : Rstats.t) =
+  let i n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ("simplex_iterations", i s.Rstats.simplex_iterations);
+      ("refactorizations", i s.Rstats.refactorizations);
+      ("lp_solves", i s.Rstats.lp_solves);
+      ("ftran_nnz", i s.Rstats.ftran_nnz);
+      ("btran_nnz", i s.Rstats.btran_nnz);
+      ("eta_entries", i s.Rstats.eta_entries);
+      ("pricing_hits", i s.Rstats.pricing_hits);
+      ("pricing_sweeps", i s.Rstats.pricing_sweeps);
+      ("bb_nodes", i s.Rstats.bb_nodes);
+      ("incumbents", i s.Rstats.incumbents);
+      ("bound_updates", i s.Rstats.bound_updates);
+      ("greedy_lp_solves", i s.Rstats.greedy_lp_solves);
+      ("greedy_candidates", i s.Rstats.greedy_candidates);
+      ("greedy_accepted", i s.Rstats.greedy_accepted);
+      ("service_requests", i s.Rstats.service_requests);
+      ("service_admitted", i s.Rstats.service_admitted);
+      ("service_denied", i s.Rstats.service_denied);
+      ("service_fallbacks", i s.Rstats.service_fallbacks);
+      ("service_reevals", i s.Rstats.service_reevals);
+      ("greedy_time", json_of_float s.Rstats.greedy_time);
+      ("build_time", json_of_float s.Rstats.build_time);
+      ("search_time", json_of_float s.Rstats.search_time);
+      ("service_time", json_of_float s.Rstats.service_time);
+    ]
+
+let stats_of_json doc =
+  match doc with
+  | Json.Obj _ ->
+    (* Tolerant on missing counters (they default to zero), strict on
+       malformed ones. *)
+    let s = Rstats.create () in
+    let geti name set =
+      match Json.member name doc with
+      | None -> Ok ()
+      | Some v ->
+        let* n = Result.map_error (fun e -> name ^ ": " ^ e) (int_of_json v) in
+        set n;
+        Ok ()
+    in
+    let getf name set =
+      match Json.member name doc with
+      | None -> Ok ()
+      | Some v ->
+        let* x =
+          Result.map_error (fun e -> name ^ ": " ^ e) (float_of_json v)
+        in
+        set x;
+        Ok ()
+    in
+    let* () = geti "simplex_iterations" (fun n -> s.Rstats.simplex_iterations <- n) in
+    let* () = geti "refactorizations" (fun n -> s.Rstats.refactorizations <- n) in
+    let* () = geti "lp_solves" (fun n -> s.Rstats.lp_solves <- n) in
+    let* () = geti "ftran_nnz" (fun n -> s.Rstats.ftran_nnz <- n) in
+    let* () = geti "btran_nnz" (fun n -> s.Rstats.btran_nnz <- n) in
+    let* () = geti "eta_entries" (fun n -> s.Rstats.eta_entries <- n) in
+    let* () = geti "pricing_hits" (fun n -> s.Rstats.pricing_hits <- n) in
+    let* () = geti "pricing_sweeps" (fun n -> s.Rstats.pricing_sweeps <- n) in
+    let* () = geti "bb_nodes" (fun n -> s.Rstats.bb_nodes <- n) in
+    let* () = geti "incumbents" (fun n -> s.Rstats.incumbents <- n) in
+    let* () = geti "bound_updates" (fun n -> s.Rstats.bound_updates <- n) in
+    let* () = geti "greedy_lp_solves" (fun n -> s.Rstats.greedy_lp_solves <- n) in
+    let* () = geti "greedy_candidates" (fun n -> s.Rstats.greedy_candidates <- n) in
+    let* () = geti "greedy_accepted" (fun n -> s.Rstats.greedy_accepted <- n) in
+    let* () = geti "service_requests" (fun n -> s.Rstats.service_requests <- n) in
+    let* () = geti "service_admitted" (fun n -> s.Rstats.service_admitted <- n) in
+    let* () = geti "service_denied" (fun n -> s.Rstats.service_denied <- n) in
+    let* () = geti "service_fallbacks" (fun n -> s.Rstats.service_fallbacks <- n) in
+    let* () = geti "service_reevals" (fun n -> s.Rstats.service_reevals <- n) in
+    let* () = getf "greedy_time" (fun x -> s.Rstats.greedy_time <- x) in
+    let* () = getf "build_time" (fun x -> s.Rstats.build_time <- x) in
+    let* () = getf "search_time" (fun x -> s.Rstats.search_time <- x) in
+    let* () = getf "service_time" (fun x -> s.Rstats.service_time <- x) in
+    Ok s
+  | _ -> Error "stats: expected an object"
+
+let assignment_to_json (a : Solution.assignment) =
+  Json.Obj
+    [
+      ("accepted", Json.Bool a.Solution.accepted);
+      ( "node_map",
+        Json.List
+          (Array.to_list
+             (Array.map (fun v -> Json.Num (float_of_int v)) a.Solution.node_map))
+      );
+      ( "link_flows",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun flows ->
+                  Json.List
+                    (List.map
+                       (fun (edge, flow) ->
+                         Json.List
+                           [ Json.Num (float_of_int edge); json_of_float flow ])
+                       flows))
+                a.Solution.link_flows)) );
+      ("t_start", json_of_float a.Solution.t_start);
+      ("t_end", json_of_float a.Solution.t_end);
+    ]
+
+let assignment_of_json doc =
+  let* accepted =
+    match Json.member "accepted" doc with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "assignment: missing boolean \"accepted\""
+  in
+  let* node_map =
+    match Option.bind (field "node_map" doc |> Result.to_option) Json.to_list with
+    | Some l ->
+      let* ids =
+        List.fold_right
+          (fun v acc ->
+            let* acc = acc in
+            let* n = int_of_json v in
+            Ok (n :: acc))
+          l (Ok [])
+      in
+      Ok (Array.of_list ids)
+    | None -> Error "assignment: missing \"node_map\""
+  in
+  let* link_flows =
+    match
+      Option.bind (field "link_flows" doc |> Result.to_option) Json.to_list
+    with
+    | Some l ->
+      let* flows =
+        List.fold_right
+          (fun per_link acc ->
+            let* acc = acc in
+            match Json.to_list per_link with
+            | None -> Error "assignment: link flow list expected"
+            | Some pairs ->
+              let* pairs =
+                List.fold_right
+                  (fun p acc ->
+                    let* acc = acc in
+                    match Json.to_list p with
+                    | Some [ e; f ] ->
+                      let* e = int_of_json e in
+                      let* f = float_of_json f in
+                      Ok ((e, f) :: acc)
+                    | _ -> Error "assignment: flow pair expected")
+                  pairs (Ok [])
+              in
+              Ok (pairs :: acc))
+          l (Ok [])
+      in
+      Ok (Array.of_list flows)
+    | None -> Error "assignment: missing \"link_flows\""
+  in
+  let* t_start = float_field "t_start" doc in
+  let* t_end = float_field "t_end" doc in
+  Ok { Solution.accepted; node_map; link_flows; t_start; t_end }
+
+let solution_to_json (sol : Solution.t) =
+  Json.Obj
+    [
+      ("objective", json_of_float sol.Solution.objective);
+      ( "assignments",
+        Json.List
+          (Array.to_list (Array.map assignment_to_json sol.Solution.assignments))
+      );
+    ]
+
+let solution_of_json doc =
+  let* objective = float_field "objective" doc in
+  match
+    Option.bind (field "assignments" doc |> Result.to_option) Json.to_list
+  with
+  | None -> Error "solution: missing \"assignments\""
+  | Some l ->
+    let* assignments =
+      List.fold_right
+        (fun a acc ->
+          let* acc = acc in
+          let* a = assignment_of_json a in
+          Ok (a :: acc))
+        l (Ok [])
+    in
+    Ok { Solution.assignments = Array.of_list assignments; objective }
+
+let mip_status_of_string = function
+  | "optimal" -> Some Mip.Branch_bound.Optimal
+  | "infeasible" -> Some Mip.Branch_bound.Infeasible
+  | "unbounded" -> Some Mip.Branch_bound.Unbounded
+  | "time limit" -> Some Mip.Branch_bound.Time_limit
+  | "node limit" -> Some Mip.Branch_bound.Node_limit
+  | "numerical failure" -> Some Mip.Branch_bound.Numerical_failure
+  | _ -> None
+
+let rec outcome_to_json o =
+  Json.Obj
+    [
+      ("schema", Json.Str "tvnep-outcome/1");
+      ("schema_version", Json.Num (float_of_int schema_version));
+      ("status", Json.Str (status_to_string o.status));
+      ("method", Json.Str (method_to_string o.method_used));
+      ( "mip_status",
+        match o.mip_status with
+        | Some s -> Json.Str (Mip.Branch_bound.status_to_string s)
+        | None -> Json.Null );
+      ( "objective",
+        match o.objective with Some v -> json_of_float v | None -> Json.Null );
+      ("bound", json_of_float o.bound);
+      ("gap", json_of_float o.gap);
+      ("runtime", json_of_float o.runtime);
+      ("ticks", Json.Num (float_of_int o.ticks));
+      ("nodes", Json.Num (float_of_int o.nodes));
+      ("lp_iterations", Json.Num (float_of_int o.lp_iterations));
+      ("model_vars", Json.Num (float_of_int o.model_vars));
+      ("model_rows", Json.Num (float_of_int o.model_rows));
+      ( "solution",
+        match o.solution with
+        | Some sol -> solution_to_json sol
+        | None -> Json.Null );
+      ( "hybrid",
+        match o.hybrid with
+        | None -> Json.Null
+        | Some h ->
+          Json.Obj
+            [
+              ( "heavy",
+                Json.List
+                  (List.map (fun i -> Json.Num (float_of_int i)) h.heavy) );
+              ("heavy_outcome", outcome_to_json h.heavy_outcome);
+            ] );
+      ("stats", stats_to_json o.stats);
+    ]
+
+let rec outcome_of_json doc =
+  let* version = int_field "schema_version" doc in
+  if version <> schema_version then
+    Error (Printf.sprintf "unsupported schema_version %d" version)
+  else
+    let* status =
+      match Json.member "status" doc with
+      | Some (Json.Str s) -> (
+        match status_of_string s with
+        | Some st -> Ok st
+        | None -> Error (Printf.sprintf "unknown status %S" s))
+      | _ -> Error "missing \"status\""
+    in
+    let* method_used =
+      match Json.member "method" doc with
+      | Some (Json.Str s) -> (
+        match method_of_string s with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown method %S" s))
+      | _ -> Error "missing \"method\""
+    in
+    let* mip_status =
+      match Json.member "mip_status" doc with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Str s) -> (
+        match mip_status_of_string s with
+        | Some st -> Ok (Some st)
+        | None -> Error (Printf.sprintf "unknown mip_status %S" s))
+      | Some _ -> Error "mip_status: expected a string or null"
+    in
+    let* objective =
+      match Json.member "objective" doc with
+      | None | Some Json.Null -> Ok None
+      | Some v -> Result.map Option.some (float_of_json v)
+    in
+    let* solution =
+      match Json.member "solution" doc with
+      | None | Some Json.Null -> Ok None
+      | Some v -> Result.map Option.some (solution_of_json v)
+    in
+    let* hybrid =
+      match Json.member "hybrid" doc with
+      | None | Some Json.Null -> Ok None
+      | Some h ->
+        let* heavy =
+          match Option.bind (Json.member "heavy" h) Json.to_list with
+          | None -> Error "hybrid: missing \"heavy\""
+          | Some l ->
+            List.fold_right
+              (fun v acc ->
+                let* acc = acc in
+                let* n = int_of_json v in
+                Ok (n :: acc))
+              l (Ok [])
+        in
+        let* heavy_outcome =
+          match Json.member "heavy_outcome" h with
+          | None -> Error "hybrid: missing \"heavy_outcome\""
+          | Some v -> outcome_of_json v
+        in
+        Ok (Some { heavy; heavy_outcome })
+    in
+    let* stats =
+      match Json.member "stats" doc with
+      | None -> Ok (Rstats.create ())
+      | Some v -> stats_of_json v
+    in
+    let* bound = float_field "bound" doc in
+    let* gap = float_field "gap" doc in
+    let* runtime = float_field "runtime" doc in
+    let* ticks = int_field "ticks" doc in
+    let* nodes = int_field "nodes" doc in
+    let* lp_iterations = int_field "lp_iterations" doc in
+    let* model_vars = int_field "model_vars" doc in
+    let* model_rows = int_field "model_rows" doc in
+    Ok
+      {
+        status;
+        method_used;
+        mip_status;
+        solution;
+        objective;
+        bound;
+        gap;
+        runtime;
+        ticks;
+        nodes;
+        lp_iterations;
+        model_vars;
+        model_rows;
+        hybrid;
+        stats;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated pre-[run] surface                                       *)
+(* ------------------------------------------------------------------ *)
 
 type options = {
   kind : model_kind;
@@ -32,120 +863,13 @@ let default_options =
     trace = None;
   }
 
-type outcome = {
-  status : Mip.Branch_bound.status;
-  solution : Solution.t option;
-  objective : float option;
-  bound : float;
-  gap : float;
-  runtime : float;
-  nodes : int;
-  lp_iterations : int;
-  model_vars : int;
-  model_rows : int;
-  stats : Runtime.Stats.t;
-}
+let options_to_new (o : options) =
+  Options.make ~kind:o.kind ~objective:o.objective ~use_cuts:o.use_cuts
+    ~pairwise_cuts:o.pairwise_cuts ~seed_with_greedy:o.seed_with_greedy
+    ~mip:o.mip ?budget:o.budget ?trace:o.trace ()
 
-(* One budget per solve: either the caller's, or a private one derived
-   from the MIP parameters.  Everything below — model build, greedy
-   seeding, branch-and-bound including its node LPs — runs against this
-   single clock, so [outcome.runtime] covers the whole solve. *)
-let budget_of_options options =
-  match options.budget with
-  | Some b -> b
-  | None ->
-    Budget.create
-      ~time_limit:options.mip.Mip.Branch_bound.time_limit
-      ~node_limit:options.mip.Mip.Branch_bound.node_limit ()
+let solve inst o = run inst (options_to_new o)
 
-let build inst options =
-  let fm =
-    match options.kind with
-    | Delta -> Delta_model.build inst
-    | Sigma -> Sigma_model.build inst
-    | Csigma ->
-      Csigma_model.build
-        ~options:
-          {
-            Csigma_model.use_cuts = options.use_cuts;
-            pairwise_cuts = options.pairwise_cuts;
-            relax_integrality = false;
-          }
-        inst
-  in
-  let extras = Objective.apply fm options.objective in
-  (fm, extras)
-
-let solve inst options =
-  let budget = budget_of_options options in
-  let stats = Rstats.create () in
-  let sink = options.trace in
-  let t0 = Budget.elapsed budget in
-  Trace.emit sink budget (Trace.Phase_start "build");
-  let fm, _extras = build inst options in
-  let build_time = Budget.elapsed budget -. t0 in
-  stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
-  Trace.emit sink budget (Trace.Phase_end ("build", build_time));
-  let model = fm.Formulation.model in
-  (* Optional greedy seeding (the combination the paper's conclusion
-     proposes): lift the heuristic solution into this model's variables as
-     the initial incumbent.  Only meaningful under access control; the MIP
-     layer re-verifies the point before trusting it.  The heuristic runs
-     on the shared budget, so its time counts against the deadline and
-     shows up in both [outcome.runtime] and [stats.greedy_time]. *)
-  let initial =
-    if
-      options.seed_with_greedy
-      && options.objective = Objective.Access_control
-      && Instance.has_fixed_mappings inst
-    then begin
-      Trace.emit sink budget (Trace.Phase_start "greedy");
-      let greedy_sol, gstats =
-        Greedy.solve ~budget ~stats ?trace:sink inst
-      in
-      Trace.emit sink budget (Trace.Phase_end ("greedy", gstats.Greedy.runtime));
-      Some (fm.Formulation.lift greedy_sol)
-    end
-    else None
-  in
-  Trace.emit sink budget (Trace.Phase_start "search");
-  let result =
-    Mip.Branch_bound.solve ~params:options.mip ?initial ~budget ~stats
-      ?trace:sink model
-  in
-  stats.Rstats.search_time <-
-    stats.Rstats.search_time +. result.Mip.Branch_bound.solve_time;
-  Trace.emit sink budget
-    (Trace.Phase_end ("search", result.Mip.Branch_bound.solve_time));
-  let solution =
-    match result.Mip.Branch_bound.incumbent with
-    | None -> None
-    | Some x ->
-      let value_of id = x.(id) in
-      let objective =
-        match result.Mip.Branch_bound.objective with
-        | Some o -> o
-        | None -> nan
-      in
-      Some (Formulation.extract_solution fm ~objective value_of)
-  in
-  {
-    status = result.Mip.Branch_bound.status;
-    solution;
-    objective = result.Mip.Branch_bound.objective;
-    bound = result.Mip.Branch_bound.best_bound;
-    gap = result.Mip.Branch_bound.gap;
-    (* One-clock accounting: the elapsed delta on the shared budget covers
-       build + greedy seeding + search, not just the B&B loop. *)
-    runtime = Budget.elapsed budget -. t0;
-    nodes = result.Mip.Branch_bound.nodes;
-    lp_iterations = result.Mip.Branch_bound.lp_iterations;
-    model_vars = Lp.Model.num_vars model;
-    model_rows = Lp.Model.num_constrs model;
-    stats;
-  }
-
-let solve_lp_relaxation inst options =
-  let fm, _ = build inst options in
-  Lp.Simplex.solve_model ?budget:options.budget ?trace:options.trace
-    fm.Formulation.model
+let solve_lp_relaxation inst o =
+  let fm, _ = build inst (options_to_new o) in
+  Lp.Simplex.solve_model ?budget:o.budget ?trace:o.trace fm.Formulation.model

@@ -1,63 +1,206 @@
-(** One-call interface: choose a formulation (Δ / Σ / cΣ), an objective,
-    build the MIP and optimize it with the branch-and-bound engine.
+(** Unified one-call solver interface.
 
-    This is the API the evaluation harness, the examples and the CLI use;
-    it returns both the solver statistics the paper plots (runtime, gap,
-    node counts) and the decoded {!Solution.t}. *)
+    [run] is the single entry point for every solve method — exact MIP
+    (Δ / Σ / cΣ branch-and-bound), the greedy heuristic cΣ_A^G, the
+    heavy-hitter hybrid, or the root LP relaxation — selected by
+    {!Options.t.method_}.  It returns one {!outcome} shape for all of
+    them, with a unified {!status} that distinguishes "proved optimal"
+    from "feasible but budget ran out" from "budget exhausted with
+    nothing to show", which is what the online admission service's
+    degradation chain keys on.
+
+    Options are built with the {!Options.make} smart constructor (the
+    record is private), so adding a knob is not a breaking change for
+    callers.  The old entry points ([solve], [solve_lp_relaxation],
+    {!Greedy.solve}, {!Hybrid.solve}) survive as thin deprecated
+    wrappers. *)
 
 type model_kind = Delta | Sigma | Csigma
 
 val model_kind_to_string : model_kind -> string
 
-type options = {
-  kind : model_kind;
-  objective : Objective.t;
-  use_cuts : bool;       (** cΣ only: dependency ranges + state presolve *)
-  pairwise_cuts : bool;  (** cΣ only: Constraint (20) *)
-  seed_with_greedy : bool;
-      (** seed branch-and-bound with the lifted greedy solution (access
-          control + fixed mappings only) — the greedy/exact combination
-          suggested in the paper's conclusion *)
-  mip : Mip.Branch_bound.params;
-  budget : Runtime.Budget.t option;
-      (** shared solve budget; when [None] a private one is derived from
-          [mip.time_limit] / [mip.node_limit].  Build, greedy seeding and
-          branch-and-bound (node LPs included) all run against this single
-          clock, so time limits compose when greedy seeds exact search. *)
-  trace : Runtime.Trace.sink option;
-      (** optional event sink: phase enter/exit, simplex refactorizations,
-          B&B node / incumbent / bound updates, greedy admissions *)
-}
+type method_ =
+  | Exact    (** build the chosen formulation, branch-and-bound *)
+  | Greedy   (** the polynomial heuristic cΣ_A^G (fixed mappings only) *)
+  | Hybrid   (** exact on the heavy hitters, greedy around them *)
+  | Lp_only  (** root LP relaxation of the chosen formulation *)
 
-val default_options : options
-(** cΣ, access control, all cuts, default MIP parameters. *)
+val method_to_string : method_ -> string
+val method_of_string : string -> method_ option
+
+(** Unified result classification across all methods.  For [Exact] it
+    refines {!Mip.Branch_bound.status} (the raw MIP status is kept in
+    [outcome.mip_status]): a limit status becomes [Feasible] when an
+    incumbent exists and [Budget_exhausted] when the search stopped with
+    nothing.  [Greedy] and [Hybrid] complete as [Feasible] (they prove no
+    bound) unless their budget died first. *)
+type status =
+  | Optimal           (** proved optimal (exact methods only) *)
+  | Feasible          (** a feasible solution, no optimality proof *)
+  | Infeasible
+  | Unbounded
+  | Budget_exhausted  (** deadline/node/iteration budget ran out before
+                          any solution was found *)
+  | Failed            (** numerical failure *)
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+module Options : sig
+  type t = private {
+    method_ : method_;
+    kind : model_kind;
+    objective : Objective.t;
+    use_cuts : bool;       (** cΣ only: dependency ranges + state presolve *)
+    pairwise_cuts : bool;  (** cΣ only: Constraint (20) *)
+    seed_with_greedy : bool;
+        (** [Exact] only: seed branch-and-bound with the lifted greedy
+            solution (access control + fixed mappings only) — the
+            greedy/exact combination suggested in the paper's
+            conclusion *)
+    heavy_fraction : float;
+        (** [Hybrid] only: revenue share of requests solved exactly *)
+    pinned : (int * float) list;
+        (** (request index, start time) pairs forced into the solution at
+            exactly that schedule — the admission service pins its
+            committed requests this way.  [Exact]/[Lp_only] fix the
+            acceptance and start variables; [Greedy] pre-places them.
+            Not supported by [Hybrid]. *)
+    mip : Mip.Branch_bound.params;
+    budget : Runtime.Budget.t option;
+        (** shared solve budget; when [None] a private one is derived
+            from [mip.time_limit] / [mip.node_limit].  Build, greedy
+            seeding and branch-and-bound (node LPs included) all run
+            against this single clock, so time limits compose.  A budget
+            that is {e already exhausted} yields a clean
+            [Budget_exhausted] outcome without building the model. *)
+    trace : Runtime.Trace.sink option;
+        (** optional event sink: phase enter/exit, simplex
+            refactorizations, B&B node / incumbent / bound updates,
+            greedy admissions *)
+  }
+
+  val make :
+    ?method_:method_ ->
+    ?kind:model_kind ->
+    ?objective:Objective.t ->
+    ?use_cuts:bool ->
+    ?pairwise_cuts:bool ->
+    ?seed_with_greedy:bool ->
+    ?heavy_fraction:float ->
+    ?pinned:(int * float) list ->
+    ?mip:Mip.Branch_bound.params ->
+    ?budget:Runtime.Budget.t ->
+    ?trace:Runtime.Trace.sink ->
+    unit ->
+    t
+  (** Defaults: [Exact] cΣ, access control, all cuts, no seeding,
+      [heavy_fraction = 0.3], nothing pinned, default MIP parameters, a
+      private budget, no trace.
+      @raise Invalid_argument for a [heavy_fraction] outside [0, 1]. *)
+
+  val default : t
+  (** [make ()]. *)
+
+  val with_budget : Runtime.Budget.t option -> t -> t
+  (** The same options solving against a different budget — the admission
+      service re-uses one options value across per-request budget
+      slices. *)
+
+  val with_pinned : (int * float) list -> t -> t
+  (** The same options with a different pinned set. *)
+end
 
 type outcome = {
-  status : Mip.Branch_bound.status;
-  solution : Solution.t option;  (** decoded incumbent, when one exists *)
-  objective : float option;      (** incumbent objective value *)
-  bound : float;                 (** proved dual bound *)
+  status : status;
+  method_used : method_;
+  mip_status : Mip.Branch_bound.status option;
+      (** the raw branch-and-bound status, for [Exact] (and the hybrid's
+          exact pass via [hybrid.heavy_outcome]) *)
+  solution : Solution.t option;  (** best solution found, when any *)
+  objective : float option;      (** its objective value *)
+  bound : float;
+      (** proved dual bound; [nan] when the method proves none (greedy,
+          hybrid, degenerate outcomes) *)
   gap : float;                   (** relative gap as defined in [Mip] *)
   runtime : float;
       (** budget-clock seconds for the {e whole} solve — model build plus
           greedy seeding plus branch-and-bound — measured as one elapsed
-          delta on the solve budget (not the sum of separately-clocked
-          phases) *)
+          delta on the solve budget *)
+  ticks : int;
+      (** work ticks recorded on the solve budget during this run *)
   nodes : int;
   lp_iterations : int;
   model_vars : int;
   model_rows : int;
+  hybrid : hybrid_detail option;  (** [Hybrid] runs only *)
   stats : Runtime.Stats.t;
       (** structured counters for this solve: simplex pivots and
           refactorizations, LP solves, B&B nodes/incumbents/bound updates,
           greedy probe counts, and per-phase times *)
 }
 
-val build : Instance.t -> options -> Formulation.t * Objective.extras
-(** The assembled MIP without solving it (for inspection/tests). *)
+and hybrid_detail = {
+  heavy : int list;          (** request indices solved exactly *)
+  heavy_outcome : outcome;   (** the exact pass on the heavy subset *)
+}
+
+val run : Instance.t -> Options.t -> outcome
+(** Solve [inst] with the configured method.
+
+    @raise Invalid_argument when [pinned] entries are out of range,
+    scheduled outside their request's window, duplicated, or combined
+    with [Hybrid]; when [Greedy]/[Hybrid] run without fixed node
+    mappings. *)
+
+val build : Instance.t -> Options.t -> Formulation.t * Objective.extras
+(** The assembled MIP without solving it (for inspection/tests); applies
+    [pinned] by fixing acceptance and start variables. *)
+
+(** {2 Versioned JSON encoding}
+
+    [outcome_to_json] renders an outcome as a {!Statsutil.Json.t}
+    document carrying ["schema_version"] — the encoding used by
+    [tvnep_solve --json] and the bench result files.  Non-finite numbers
+    are encoded as strings (["inf"], ["nan"]) so decoding round-trips
+    exactly.  Trace sinks are not representable and are omitted. *)
+
+val schema_version : int
+
+val outcome_to_json : outcome -> Statsutil.Json.t
+val outcome_of_json : Statsutil.Json.t -> (outcome, string) result
+val stats_to_json : Runtime.Stats.t -> Statsutil.Json.t
+val stats_of_json : Statsutil.Json.t -> (Runtime.Stats.t, string) result
+val solution_to_json : Solution.t -> Statsutil.Json.t
+val solution_of_json : Statsutil.Json.t -> (Solution.t, string) result
+
+(** {2 Deprecated pre-[run] surface} *)
+
+type options = {
+  kind : model_kind;
+  objective : Objective.t;
+  use_cuts : bool;
+  pairwise_cuts : bool;
+  seed_with_greedy : bool;
+  mip : Mip.Branch_bound.params;
+  budget : Runtime.Budget.t option;
+  trace : Runtime.Trace.sink option;
+}
+[@@deprecated "use Solver.Options.make"]
+
+(* The wrappers below necessarily mention the deprecated [options] type;
+   silence the alert for the rest of this interface only (their own
+   [@@deprecated] marks still fire at external use sites). *)
+[@@@alert "-deprecated"]
+
+val default_options : options
+  [@@deprecated "use Solver.Options.default"]
 
 val solve : Instance.t -> options -> outcome
+  [@@deprecated "use Solver.run"]
+(** [run] with [method_ = Exact]. *)
 
 val solve_lp_relaxation : Instance.t -> options -> Lp.Simplex.result
-(** Root LP relaxation only — used to compare formulation strength
-    (Section III's Δ-vs-Σ discussion). *)
+  [@@deprecated "use Solver.run with ~method_:Lp_only"]
+(** Root LP relaxation only — kept for its raw {!Lp.Simplex.result}
+    shape; [run] reports the same solve as an {!outcome}. *)

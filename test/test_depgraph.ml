@@ -159,12 +159,11 @@ let cut_soundness =
            let inst = Tvnep.Scenario.generate rng p in
            let solve ~use_cuts ~pairwise_cuts =
              let opts =
-               { Tvnep.Solver.default_options with
-                 use_cuts;
-                 pairwise_cuts;
-                 mip = { Mip.Branch_bound.default_params with time_limit = 60.0 } }
+               Tvnep.Solver.Options.make ~use_cuts ~pairwise_cuts
+                 ~mip:{ Mip.Branch_bound.default_params with time_limit = 60.0 }
+                 ()
              in
-             Tvnep.Solver.solve inst opts
+             Tvnep.Solver.run inst opts
            in
            let with_cuts = solve ~use_cuts:true ~pairwise_cuts:true in
            let without = solve ~use_cuts:false ~pairwise_cuts:false in

@@ -24,9 +24,10 @@ let free_mapping_tests =
     Alcotest.test_case "solver places virtual nodes itself" `Slow (fun () ->
         let inst = free_mapping_instance () in
         let o =
-          Tvnep.Solver.solve inst
-            { Tvnep.Solver.default_options with
-              mip = { Mip.Branch_bound.default_params with time_limit = 120.0 } }
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make
+               ~mip:{ Mip.Branch_bound.default_params with time_limit = 120.0 }
+               ())
         in
         match o.Tvnep.Solver.solution with
         | Some sol ->
@@ -45,14 +46,17 @@ let free_mapping_tests =
       `Quick (fun () ->
         let inst = free_mapping_instance () in
         let lp =
-          Tvnep.Solver.solve_lp_relaxation inst Tvnep.Solver.default_options
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Lp_only ())
         in
         Alcotest.(check bool) "lp optimal" true
-          (lp.Lp.Simplex.status = Lp.Simplex.Optimal);
+          (lp.Tvnep.Solver.status = Tvnep.Solver.Optimal);
         (* Revenue of both requests = 2 * (1 * 2.0) = 4; the relaxation
            must be at least that. *)
         Alcotest.(check bool) "bound dominates" true
-          (lp.Lp.Simplex.objective >= 4.0 -. 1e-6));
+          (match lp.Tvnep.Solver.objective with
+          | Some v -> v >= 4.0 -. 1e-6
+          | None -> false));
   ]
 
 let discrete_tests =
@@ -67,9 +71,7 @@ let discrete_tests =
         let p = { Tvnep.Scenario.scaled with num_requests = 3; flexibility = 1.5 } in
         let inst = Tvnep.Scenario.generate rng p in
         let mip = { Mip.Branch_bound.default_params with time_limit = 90.0 } in
-        let cont =
-          Tvnep.Solver.solve inst { Tvnep.Solver.default_options with mip }
-        in
+        let cont = Tvnep.Solver.run inst (Tvnep.Solver.Options.make ~mip ()) in
         let disc =
           Tvnep.Discrete_model.solve
             ~options:{ Tvnep.Discrete_model.default_options with slot_width = 1.0 }
@@ -77,8 +79,8 @@ let discrete_tests =
         in
         match (cont.Tvnep.Solver.objective, disc.Tvnep.Solver.objective) with
         | Some c, Some d
-          when cont.Tvnep.Solver.status = Mip.Branch_bound.Optimal
-               && disc.Tvnep.Solver.status = Mip.Branch_bound.Optimal ->
+          when cont.Tvnep.Solver.status = Tvnep.Solver.Optimal
+               && disc.Tvnep.Solver.status = Tvnep.Solver.Optimal ->
           Alcotest.(check bool)
             (Printf.sprintf "discrete %g <= continuous %g" d c)
             true (d <= c +. 1e-6)
@@ -127,12 +129,11 @@ let seeding_tests =
         let rng = Workload.Rng.create 47L in
         let p = { Tvnep.Scenario.scaled with num_requests = 4; flexibility = 1.5 } in
         let inst = Tvnep.Scenario.generate rng p in
-        let greedy_sol, _ = Tvnep.Greedy.solve inst in
+        let greedy_sol, _ = Tvnep.Greedy.run inst in
         List.iter
           (fun kind ->
             let fm, _ =
-              Tvnep.Solver.build inst
-                { Tvnep.Solver.default_options with kind }
+              Tvnep.Solver.build inst (Tvnep.Solver.Options.make ~kind ())
             in
             let arr = fm.Tvnep.Formulation.lift greedy_sol in
             let sf = Lp.Std_form.of_model fm.Tvnep.Formulation.model in
@@ -146,12 +147,12 @@ let seeding_tests =
         let rng = Workload.Rng.create 53L in
         let p = { Tvnep.Scenario.scaled with num_requests = 4; flexibility = 2.0 } in
         let inst = Tvnep.Scenario.generate rng p in
-        let greedy_sol, _ = Tvnep.Greedy.solve inst in
+        let greedy_sol, _ = Tvnep.Greedy.run inst in
         let o =
-          Tvnep.Solver.solve inst
-            { Tvnep.Solver.default_options with
-              seed_with_greedy = true;
-              mip = { Mip.Branch_bound.default_params with time_limit = 10.0 } }
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~seed_with_greedy:true
+               ~mip:{ Mip.Branch_bound.default_params with time_limit = 10.0 }
+               ())
         in
         match o.Tvnep.Solver.objective with
         | Some v ->
@@ -225,10 +226,10 @@ let makespan_tests =
     Alcotest.test_case "minimal makespan of a forced sequence" `Quick (fun () ->
         let inst = makespan_fixture () in
         let o =
-          Tvnep.Solver.solve inst
-            { Tvnep.Solver.default_options with
-              objective = Tvnep.Objective.Min_makespan;
-              mip = { Mip.Branch_bound.default_params with time_limit = 60.0 } }
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~objective:Tvnep.Objective.Min_makespan
+               ~mip:{ Mip.Branch_bound.default_params with time_limit = 60.0 }
+               ())
         in
         (match o.Tvnep.Solver.objective with
         | Some v -> feq 1e-5 "back-to-back makespan" 2.0 v
@@ -283,9 +284,10 @@ let hose_tests =
             ~horizon:3.0 ()
         in
         let o =
-          Tvnep.Solver.solve inst
-            { Tvnep.Solver.default_options with
-              mip = { Mip.Branch_bound.default_params with time_limit = 60.0 } }
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make
+               ~mip:{ Mip.Branch_bound.default_params with time_limit = 60.0 }
+               ())
         in
         match o.Tvnep.Solver.solution with
         | Some sol ->
@@ -308,7 +310,7 @@ let hybrid_and_preplaced_tests =
         let inst = makespan_fixture () in
         (* Force request 1 to the front; request 0 must then be scheduled
            after it. *)
-        let sol, _ = Tvnep.Greedy.solve ~preplaced:[ (1, 0.0) ] inst in
+        let sol, _ = Tvnep.Greedy.run ~preplaced:[ (1, 0.0) ] inst in
         Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol);
         let a0 = sol.Tvnep.Solution.assignments.(0) in
         let a1 = sol.Tvnep.Solution.assignments.(1) in
@@ -319,37 +321,48 @@ let hybrid_and_preplaced_tests =
         let inst = makespan_fixture () in
         Alcotest.(check bool) "window violation raises" true
           (try
-             ignore (Tvnep.Greedy.solve ~preplaced:[ (0, 99.0) ] inst);
+             ignore (Tvnep.Greedy.run ~preplaced:[ (0, 99.0) ] inst);
              false
            with Invalid_argument _ -> true);
         Alcotest.(check bool) "out of range raises" true
           (try
-             ignore (Tvnep.Greedy.solve ~preplaced:[ (7, 0.0) ] inst);
+             ignore (Tvnep.Greedy.run ~preplaced:[ (7, 0.0) ] inst);
              false
            with Invalid_argument _ -> true));
     Alcotest.test_case "hybrid solves and validates" `Slow (fun () ->
         let rng = Workload.Rng.create 61L in
         let p = { Tvnep.Scenario.scaled with num_requests = 5; flexibility = 2.0 } in
         let inst = Tvnep.Scenario.generate rng p in
-        let sol, stats =
-          Tvnep.Hybrid.solve ~heavy_fraction:0.4
-            ~mip:{ Mip.Branch_bound.default_params with time_limit = 30.0 }
-            inst
+        let o =
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Hybrid
+               ~heavy_fraction:0.4
+               ~mip:{ Mip.Branch_bound.default_params with time_limit = 30.0 }
+               ())
+        in
+        let sol =
+          match o.Tvnep.Solver.solution with
+          | Some sol -> sol
+          | None -> Alcotest.fail "no solution"
+        in
+        let heavy =
+          match o.Tvnep.Solver.hybrid with
+          | Some h -> h.Tvnep.Solver.heavy
+          | None -> Alcotest.fail "no hybrid detail"
         in
         Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol);
-        Alcotest.(check int) "two heavy hitters" 2 (List.length stats.Tvnep.Hybrid.heavy);
+        Alcotest.(check int) "two heavy hitters" 2 (List.length heavy);
         (* heavy hitters are the highest-revenue requests *)
         let revenue i =
           let r = Tvnep.Instance.request inst i in
           r.Tvnep.Request.duration *. Tvnep.Request.total_node_demand r
         in
         let heavy_min =
-          List.fold_left (fun acc i -> Float.min acc (revenue i)) infinity
-            stats.Tvnep.Hybrid.heavy
+          List.fold_left (fun acc i -> Float.min acc (revenue i)) infinity heavy
         in
         List.iter
           (fun i ->
-            if not (List.mem i stats.Tvnep.Hybrid.heavy) then
+            if not (List.mem i heavy) then
               Alcotest.(check bool) "light below heavy" true
                 (revenue i <= heavy_min +. 1e-9))
           (List.init (Tvnep.Instance.num_requests inst) (fun i -> i)));
@@ -357,11 +370,17 @@ let hybrid_and_preplaced_tests =
         let rng = Workload.Rng.create 67L in
         let p = { Tvnep.Scenario.scaled with num_requests = 5; flexibility = 2.0 } in
         let inst = Tvnep.Scenario.generate rng p in
-        let plain, _ = Tvnep.Greedy.solve inst in
-        let hybrid, _ =
-          Tvnep.Hybrid.solve
-            ~mip:{ Mip.Branch_bound.default_params with time_limit = 30.0 }
-            inst
+        let plain, _ = Tvnep.Greedy.run inst in
+        let hybrid =
+          let o =
+            Tvnep.Solver.run inst
+              (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Hybrid
+                 ~mip:{ Mip.Branch_bound.default_params with time_limit = 30.0 }
+                 ())
+          in
+          match o.Tvnep.Solver.solution with
+          | Some sol -> sol
+          | None -> Alcotest.fail "no solution"
         in
         (* Not a theorem in general, but the exact heavy pass plus a
            second greedy chance should not collapse on these seeds; treat
@@ -375,7 +394,7 @@ let gantt_tests =
   [
     Alcotest.test_case "render shape" `Quick (fun () ->
         let inst = makespan_fixture () in
-        let sol, _ = Tvnep.Greedy.solve inst in
+        let sol, _ = Tvnep.Greedy.run inst in
         let text = Tvnep.Gantt.render ~width:40 inst sol in
         let lines = String.split_on_char '\n' text in
         (* header + one row per request + trailing newline *)

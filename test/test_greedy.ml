@@ -2,8 +2,8 @@
    easy instances, and the earliest-start behaviour of objective (21). *)
 
 let quick_opts time_limit =
-  { Tvnep.Solver.default_options with
-    mip = { Mip.Branch_bound.default_params with time_limit } }
+  Tvnep.Solver.Options.make
+    ~mip:{ Mip.Branch_bound.default_params with time_limit } ()
 
 let scenario ?(k = 3) ?(flex = 1.0) seed =
   let rng = Workload.Rng.create seed in
@@ -24,8 +24,8 @@ let unit_tests =
           Tvnep.Instance.make ~substrate ~requests:[| r |] ~horizon:1.0 ()
         in
         Alcotest.check_raises "raise"
-          (Invalid_argument "Greedy.solve: fixed node mappings required")
-          (fun () -> ignore (Tvnep.Greedy.solve inst)));
+          (Invalid_argument "Greedy.run: fixed node mappings required")
+          (fun () -> ignore (Tvnep.Greedy.run inst)));
     Alcotest.test_case "accepts everything on an uncontended instance" `Quick
       (fun () ->
         let g = Graphs.Generators.grid ~rows:2 ~cols:2 in
@@ -43,7 +43,7 @@ let unit_tests =
             ~requests:[| mk "a" 0.0; mk "b" 0.3; mk "c" 0.6 |]
             ~horizon:3.0 ()
         in
-        let sol, stats = Tvnep.Greedy.solve inst in
+        let sol, stats = Tvnep.Greedy.run inst in
         Alcotest.(check int) "all accepted" 3 (Tvnep.Solution.num_accepted sol);
         Alcotest.(check bool) "valid" true (Tvnep.Validator.is_feasible inst sol);
         (* objective (21): as early as possible -> each at its window open *)
@@ -72,7 +72,7 @@ let unit_tests =
             ~requests:[| mk "a" 0.0; mk "b" 0.0 |]
             ~horizon:4.0 ()
         in
-        let sol_tight, _ = Tvnep.Greedy.solve tight in
+        let sol_tight, _ = Tvnep.Greedy.run tight in
         Alcotest.(check int) "no flexibility: one fits" 1
           (Tvnep.Solution.num_accepted sol_tight);
         let flexible =
@@ -80,7 +80,7 @@ let unit_tests =
             ~requests:[| mk "a" 1.0; mk "b" 1.0 |]
             ~horizon:4.0 ()
         in
-        let sol_flex, _ = Tvnep.Greedy.solve flexible in
+        let sol_flex, _ = Tvnep.Greedy.run flexible in
         Alcotest.(check int) "flexibility: both fit" 2
           (Tvnep.Solution.num_accepted sol_flex);
         Alcotest.(check bool) "valid" true
@@ -94,17 +94,17 @@ let properties =
          QCheck2.Gen.(int_bound 100_000)
          (fun seed ->
            let inst = scenario ~k:5 ~flex:2.0 (Int64.of_int (seed + 7)) in
-           let sol, _ = Tvnep.Greedy.solve inst in
+           let sol, _ = Tvnep.Greedy.run inst in
            Tvnep.Validator.is_feasible inst sol));
     QCheck_alcotest.to_alcotest
       (QCheck2.Test.make ~name:"greedy never beats the exact optimum" ~count:6
          QCheck2.Gen.(int_bound 10_000)
          (fun seed ->
            let inst = scenario ~k:3 ~flex:1.5 (Int64.of_int (seed + 13)) in
-           let sol, _ = Tvnep.Greedy.solve inst in
-           let exact = Tvnep.Solver.solve inst (quick_opts 90.0) in
+           let sol, _ = Tvnep.Greedy.run inst in
+           let exact = Tvnep.Solver.run inst (quick_opts 90.0) in
            match exact.Tvnep.Solver.objective with
-           | Some opt when exact.Tvnep.Solver.status = Mip.Branch_bound.Optimal ->
+           | Some opt when exact.Tvnep.Solver.status = Tvnep.Solver.Optimal ->
              sol.Tvnep.Solution.objective <= opt +. 1e-5
            | _ -> true));
     QCheck_alcotest.to_alcotest
@@ -113,7 +113,7 @@ let properties =
          QCheck2.Gen.(int_bound 100_000)
          (fun seed ->
            let inst = scenario ~k:4 ~flex:1.0 (Int64.of_int (seed + 19)) in
-           let sol, _ = Tvnep.Greedy.solve inst in
+           let sol, _ = Tvnep.Greedy.run inst in
            Float.abs
              (sol.Tvnep.Solution.objective
              -. Tvnep.Solution.access_control_value inst sol)
@@ -127,7 +127,7 @@ let properties =
            (* Definition 2.1 fixes start/end times for every request,
               accepted or not. *)
            let inst = scenario ~k:5 ~flex:0.5 (Int64.of_int (seed + 29)) in
-           let sol, _ = Tvnep.Greedy.solve inst in
+           let sol, _ = Tvnep.Greedy.run inst in
            Array.for_all
              (fun i ->
                let a = sol.Tvnep.Solution.assignments.(i) in

@@ -8,11 +8,8 @@ let quick_mip time_limit =
 
 let solve ?(objective = Tvnep.Objective.Access_control) ?(time_limit = 60.0)
     kind inst =
-  Tvnep.Solver.solve inst
-    { Tvnep.Solver.default_options with
-      kind;
-      objective;
-      mip = quick_mip time_limit }
+  Tvnep.Solver.run inst
+    (Tvnep.Solver.Options.make ~kind ~objective ~mip:(quick_mip time_limit) ())
 
 (* Tiny deterministic instance: single-node substrate pair, two requests
    competing for one node. *)
@@ -182,7 +179,7 @@ let cross_model_properties =
            let o = solve ~time_limit:90.0 Tvnep.Solver.Csigma inst in
            match o.Tvnep.Solver.solution with
            | Some sol -> Tvnep.Validator.is_feasible inst sol
-           | None -> o.Tvnep.Solver.status <> Mip.Branch_bound.Optimal));
+           | None -> o.Tvnep.Solver.status <> Tvnep.Solver.Optimal));
   ]
 
 let objective_tests =
@@ -232,7 +229,7 @@ let objective_tests =
         let inst = contention_instance ~flex:0.0 in
         let o = solve ~objective:Tvnep.Objective.Max_earliness Tvnep.Solver.Csigma inst in
         Alcotest.(check bool) "infeasible" true
-          (o.Tvnep.Solver.status = Mip.Branch_bound.Infeasible));
+          (o.Tvnep.Solver.status = Tvnep.Solver.Infeasible));
     Alcotest.test_case "balance fraction validated" `Quick (fun () ->
         let inst = contention_instance ~flex:1.0 in
         Alcotest.(check bool) "raises" true
@@ -256,10 +253,12 @@ let lp_strength_tests =
         let inst = Tvnep.Scenario.generate rng p in
         let bound kind =
           let o =
-            Tvnep.Solver.solve_lp_relaxation inst
-              { Tvnep.Solver.default_options with kind }
+            Tvnep.Solver.run inst
+              (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Lp_only ~kind ())
           in
-          o.Lp.Simplex.objective
+          match o.Tvnep.Solver.objective with
+          | Some v -> v
+          | None -> Alcotest.fail "relaxation did not solve"
         in
         let delta = bound Tvnep.Solver.Delta in
         let sigma = bound Tvnep.Solver.Sigma in
@@ -272,9 +271,14 @@ let lp_strength_tests =
         let p = { Tvnep.Scenario.scaled with num_requests = 4; flexibility = 1.0 } in
         let inst = Tvnep.Scenario.generate rng p in
         let bound ~use_cuts ~pairwise_cuts =
-          (Tvnep.Solver.solve_lp_relaxation inst
-             { Tvnep.Solver.default_options with use_cuts; pairwise_cuts })
-            .Lp.Simplex.objective
+          let o =
+            Tvnep.Solver.run inst
+              (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Lp_only
+                 ~use_cuts ~pairwise_cuts ())
+          in
+          match o.Tvnep.Solver.objective with
+          | Some v -> v
+          | None -> Alcotest.fail "relaxation did not solve"
         in
         let with_cuts = bound ~use_cuts:true ~pairwise_cuts:true in
         let without = bound ~use_cuts:false ~pairwise_cuts:false in

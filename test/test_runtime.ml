@@ -279,12 +279,10 @@ let accounting_tests =
       (fun () ->
         let inst = scenario_instance 3L in
         let o =
-          Tvnep.Solver.solve inst
-            {
-              Tvnep.Solver.default_options with
-              seed_with_greedy = true;
-              budget = Some (Budget.create ~deterministic:1000.0 ());
-            }
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~seed_with_greedy:true
+               ~budget:(Budget.create ~deterministic:1000.0 ())
+               ())
         in
         let s = o.Tvnep.Solver.stats in
         Alcotest.(check bool) "greedy ran" true
@@ -302,13 +300,10 @@ let accounting_tests =
         let inst = scenario_instance 3L in
         let sink, collected = Runtime.Trace.collector () in
         let o =
-          Tvnep.Solver.solve inst
-            {
-              Tvnep.Solver.default_options with
-              seed_with_greedy = true;
-              budget = Some (Budget.create ~deterministic:1000.0 ());
-              trace = Some sink;
-            }
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~seed_with_greedy:true
+               ~budget:(Budget.create ~deterministic:1000.0 ())
+               ~trace:sink ())
         in
         ignore o;
         let phases =
@@ -322,21 +317,27 @@ let accounting_tests =
     Alcotest.test_case "hybrid combines both passes on one clock" `Slow
       (fun () ->
         let inst = scenario_instance 3L in
-        let _, h =
-          Tvnep.Hybrid.solve
-            ~budget:(Budget.create ~deterministic:1000.0 ())
-            inst
+        let o =
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Hybrid
+               ~budget:(Budget.create ~deterministic:1000.0 ())
+               ())
         in
         (* Exact pass and greedy scan ran sequentially on the shared
            clock, so the combined runtime dominates the sum of the two
            per-pass spans (the old two-clock version could report less
            than either). *)
+        let heavy_runtime =
+          match o.Tvnep.Solver.hybrid with
+          | Some h -> h.Tvnep.Solver.heavy_outcome.Tvnep.Solver.runtime
+          | None -> Alcotest.fail "no hybrid detail"
+        in
         Alcotest.(check bool) "combined covers both passes" true
-          (h.Tvnep.Hybrid.runtime
-           >= h.Tvnep.Hybrid.heavy_outcome.Tvnep.Solver.runtime
-              +. h.Tvnep.Hybrid.greedy_stats.Tvnep.Greedy.runtime -. 1e-9);
+          (o.Tvnep.Solver.runtime
+           >= heavy_runtime
+              +. o.Tvnep.Solver.stats.Runtime.Stats.greedy_time -. 1e-9);
         Alcotest.(check bool) "counters merged" true
-          (h.Tvnep.Hybrid.counters.Runtime.Stats.greedy_lp_solves > 0));
+          (o.Tvnep.Solver.stats.Runtime.Stats.greedy_lp_solves > 0));
   ]
 
 (* ---- Domain pool ------------------------------------------------------ *)

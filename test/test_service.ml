@@ -1,0 +1,225 @@
+(* The online admission service (Service.Engine) and the unified
+   Solver.run surface it is built on: clean budget-exhaustion outcomes,
+   versioned JSON round-trips, validator-gated commits (greedy fallback
+   included), and jobs-independence of the whole stream. *)
+
+module Engine = Service.Engine
+
+let scenario ?(k = 6) seed =
+  let rng = Workload.Rng.create seed in
+  Tvnep.Scenario.generate rng { Tvnep.Scenario.scaled with num_requests = k }
+
+(* The config the service bench uses: deterministic clock, slices tight
+   enough that the degradation chain actually degrades. *)
+let tight_config ?(jobs = 1) () =
+  { Engine.default_config with slice = 1e-4; exact_fraction = 0.05; jobs }
+
+let budget_tests =
+  [
+    Alcotest.test_case "already-exhausted budget yields a clean outcome"
+      `Quick (fun () ->
+        (* Regression: a caller handing the solver a dead budget used to
+           get a partially-built solve; it must get Budget_exhausted
+           without any model being built. *)
+        let inst = scenario ~k:3 11L in
+        let budget =
+          Runtime.Budget.create ~deterministic:1000.0 ~time_limit:0.0 ()
+        in
+        List.iter
+          (fun method_ ->
+            let o =
+              Tvnep.Solver.run inst
+                (Tvnep.Solver.Options.make ~method_ ~budget ())
+            in
+            let tag s =
+              Tvnep.Solver.method_to_string method_ ^ ": " ^ s
+            in
+            Alcotest.(check string) (tag "status") "budget_exhausted"
+              (Tvnep.Solver.status_to_string o.Tvnep.Solver.status);
+            Alcotest.(check bool) (tag "no solution") true
+              (o.Tvnep.Solver.solution = None);
+            Alcotest.(check int) (tag "no model built") 0
+              o.Tvnep.Solver.model_vars;
+            Alcotest.(check int) (tag "no nodes") 0 o.Tvnep.Solver.nodes)
+          [ Tvnep.Solver.Exact; Tvnep.Solver.Greedy; Tvnep.Solver.Hybrid;
+            Tvnep.Solver.Lp_only ]);
+    Alcotest.test_case "pinned requests are honoured by the exact solve"
+      `Quick (fun () ->
+        let inst = scenario ~k:3 11L in
+        let r0 = Tvnep.Instance.request inst 0 in
+        (* Halfway into the window's slack, so the pin is never the
+           default earliest start by accident on a zero-flex scenario. *)
+        let pin =
+          r0.Tvnep.Request.start_min
+          +. 0.5
+             *. (r0.Tvnep.Request.end_max -. r0.Tvnep.Request.duration
+                -. r0.Tvnep.Request.start_min)
+        in
+        let o =
+          Tvnep.Solver.run inst
+            (Tvnep.Solver.Options.make ~pinned:[ (0, pin) ] ())
+        in
+        match o.Tvnep.Solver.solution with
+        | Some sol ->
+          let a = sol.Tvnep.Solution.assignments.(0) in
+          Alcotest.(check bool) "pinned request accepted" true
+            a.Tvnep.Solution.accepted;
+          Alcotest.(check (float 1e-6)) "pinned start" pin
+            a.Tvnep.Solution.t_start
+        | None -> Alcotest.fail "no solution");
+    Alcotest.test_case "bad pins rejected" `Quick (fun () ->
+        let inst = scenario ~k:3 11L in
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        let raises exn_sub pins =
+          try
+            ignore
+              (Tvnep.Solver.run inst
+                 (Tvnep.Solver.Options.make ~pinned:pins ()));
+            Alcotest.fail "expected Invalid_argument"
+          with Invalid_argument msg ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%S mentions %S" msg exn_sub)
+              true (contains msg exn_sub)
+        in
+        let ok = (Tvnep.Instance.request inst 0).Tvnep.Request.start_min in
+        raises "out of range" [ (9, ok) ];
+        raises "pinned twice" [ (0, ok); (0, ok) ];
+        raises "outside its window" [ (0, 1e9) ]);
+  ]
+
+let json_tests =
+  [
+    Alcotest.test_case "outcome JSON round-trips" `Quick (fun () ->
+        let inst = scenario ~k:3 13L in
+        let o = Tvnep.Solver.run inst Tvnep.Solver.Options.default in
+        let doc = Tvnep.Solver.outcome_to_json o in
+        match Tvnep.Solver.outcome_of_json doc with
+        | Error msg -> Alcotest.fail msg
+        | Ok o' ->
+          (* Stdlib.compare is nan-safe (compare nan nan = 0), which is
+             exactly what bound/gap need. *)
+          Alcotest.(check int) "outcome round-trip" 0 (Stdlib.compare o o'));
+    Alcotest.test_case "budget-exhausted outcome round-trips (nan/inf)"
+      `Quick (fun () ->
+        (* The degenerate outcome carries nan bound/gap and infinite
+           runtime fields encoded as strings — the round-trip must not
+           lose them. *)
+        let inst = scenario ~k:3 13L in
+        let budget =
+          Runtime.Budget.create ~deterministic:1000.0 ~time_limit:0.0 ()
+        in
+        let o =
+          Tvnep.Solver.run inst (Tvnep.Solver.Options.make ~budget ())
+        in
+        Alcotest.(check bool) "bound is nan" true
+          (Float.is_nan o.Tvnep.Solver.bound);
+        match Tvnep.Solver.outcome_of_json (Tvnep.Solver.outcome_to_json o) with
+        | Error msg -> Alcotest.fail msg
+        | Ok o' -> Alcotest.(check int) "round-trip" 0 (Stdlib.compare o o'));
+    Alcotest.test_case "rejects the wrong schema_version" `Quick (fun () ->
+        let inst = scenario ~k:3 13L in
+        let o = Tvnep.Solver.run inst Tvnep.Solver.Options.default in
+        let doc =
+          match Tvnep.Solver.outcome_to_json o with
+          | Statsutil.Json.Obj fields ->
+            Statsutil.Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = "schema_version" then (k, Statsutil.Json.Num 999.0)
+                   else (k, v))
+                 fields)
+          | _ -> Alcotest.fail "outcome did not encode as an object"
+        in
+        match Tvnep.Solver.outcome_of_json doc with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "version 999 was accepted");
+    Alcotest.test_case "service records round-trip" `Quick (fun () ->
+        let inst = scenario ~k:6 1L in
+        let s = Engine.run ~config:(tight_config ()) inst in
+        Array.iter
+          (fun r ->
+            match Engine.record_of_json (Engine.record_to_json r) with
+            | Error msg -> Alcotest.fail msg
+            | Ok r' ->
+              Alcotest.(check int)
+                (Printf.sprintf "record %d round-trip" r.Engine.request)
+                0 (Stdlib.compare r r'))
+          s.Engine.records);
+  ]
+
+let service_tests =
+  [
+    Alcotest.test_case "every commit passes the validator (greedy included)"
+      `Slow (fun () ->
+        (* The validator-gating property: after every commit — whichever
+           rung produced it — the full committed state is feasible on the
+           original substrate. *)
+        let inst = scenario ~k:8 1L in
+        let commits = ref 0 in
+        let s =
+          Engine.run ~config:(tight_config ())
+            ~on_commit:(fun req sol ->
+              incr commits;
+              match Tvnep.Validator.check inst sol with
+              | Ok () -> ()
+              | Error es ->
+                Alcotest.fail
+                  (Printf.sprintf "commit of request %d broke the state: %s"
+                     req (String.concat "; " es)))
+            inst
+        in
+        Alcotest.(check bool) "at least 3 sequential commits" true
+          (!commits >= 3);
+        Alcotest.(check int) "every admission committed" s.Engine.accepted
+          !commits;
+        Alcotest.(check bool) "a greedy-fallback admission committed" true
+          (s.Engine.admitted_greedy >= 1);
+        Alcotest.(check bool) "final state valid" true
+          (Tvnep.Validator.is_feasible inst s.Engine.solution));
+    Alcotest.test_case "jobs do not change decisions" `Slow (fun () ->
+        let inst = scenario ~k:8 1L in
+        let s1 = Engine.run ~config:(tight_config ~jobs:1 ()) inst in
+        let s4 = Engine.run ~config:(tight_config ~jobs:4 ()) inst in
+        Alcotest.(check int) "same record count"
+          (Array.length s1.Engine.records)
+          (Array.length s4.Engine.records);
+        Array.iter2
+          (fun (a : Engine.record) (b : Engine.record) ->
+            Alcotest.(check int)
+              (Printf.sprintf "request %d identical" a.Engine.request)
+              0 (Stdlib.compare a b))
+          s1.Engine.records s4.Engine.records;
+        Alcotest.(check (float 0.0)) "same revenue" s1.Engine.revenue
+          s4.Engine.revenue;
+        Alcotest.(check int) "same total ticks" s1.Engine.total_ticks
+          s4.Engine.total_ticks);
+    Alcotest.test_case "global deadline denies the tail at the budget rung"
+      `Quick (fun () ->
+        let inst = scenario ~k:6 1L in
+        let config = { (tight_config ()) with time_limit = 1e-4 } in
+        let s = Engine.run ~config inst in
+        Alcotest.(check bool) "some requests were never solved" true
+          (s.Engine.denied_budget >= 1);
+        Alcotest.(check bool) "final state still valid" true
+          (Tvnep.Validator.is_feasible inst s.Engine.solution));
+    Alcotest.test_case "generous slices admit like the offline greedy"
+      `Slow (fun () ->
+        (* With no budget pressure every arrival gets a conclusive exact
+           answer; the service must not deny at the budget rung. *)
+        let inst = scenario ~k:4 21L in
+        let s = Engine.run inst in
+        Alcotest.(check int) "no budget denials" 0 s.Engine.denied_budget;
+        Alcotest.(check bool) "someone was admitted" true
+          (s.Engine.accepted >= 1));
+  ]
+
+let suite =
+  [
+    ("service.solver-run", budget_tests);
+    ("service.json", json_tests);
+    ("service.engine", service_tests);
+  ]
