@@ -1,5 +1,5 @@
-.PHONY: all build test bench-smoke bench-micro bench-bnb bench-service check \
-	clean
+.PHONY: all build test bench-smoke bench-micro bench-bnb bench-service \
+	bench-profile doc check clean
 
 all: build
 
@@ -14,14 +14,14 @@ test: build
 # so the tables are reproducible byte for byte).
 bench-smoke: build
 	dune exec bench/main.exe -- --quick --figures 3 --jobs 2 \
-	  --no-ablations --no-micro --no-bnb --no-service
+	  --no-ablations --no-micro --no-bnb --no-service --no-profile
 
 # Deterministic simplex micro bench; writes BENCH_simplex.json (per-case
 # iterations, pivots, work-clock ticks, wall time) and exits nonzero when
 # the emitted file fails validation, so CI catches a malformed bench file.
 bench-micro: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-bnb \
-	  --no-service
+	  --no-service --no-profile
 
 # Parallel branch-and-bound gate: solves the same contended cΣ search at
 # jobs 1, 2 and 4 on the deterministic work clock, fails if any level's
@@ -29,7 +29,7 @@ bench-micro: build
 # (on >= 4-core hosts) jobs=4 is < 2x faster, and writes BENCH_bnb.json.
 bench-bnb: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
-	  --no-service
+	  --no-service --no-profile
 
 # Online admission service gate: serves the same arrival stream at
 # jobs 1 and 4 on the deterministic work clock, fails if any decision,
@@ -38,9 +38,30 @@ bench-bnb: build
 # fails the validator; writes BENCH_service.json.
 bench-service: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
-	  --no-bnb
+	  --no-bnb --no-profile
 
-check: build test bench-smoke bench-micro bench-bnb bench-service
+# Profiling smoke gate: the contended cΣ solve with a span recorder
+# attached, at jobs 1 and 4.  Fails if profiling perturbs the solve, the
+# recorder is unbalanced, spans do not nest, per-phase self ticks do not
+# sum to the solve's work ticks, an export fails to parse back, or the
+# exported spans (domain tags zeroed) differ across jobs levels.
+bench-profile: build
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
+	  --no-bnb --no-service
+
+# API documentation via odoc, when the toolchain has it; a clean skip
+# otherwise (the docs below are the odoc comments in the .mli files).
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc && \
+	  echo "docs: _build/default/_doc/_html/index.html"; \
+	else \
+	  echo "odoc not installed; skipping HTML docs (the .mli files carry \
+	the same documentation)"; \
+	fi
+
+check: build test bench-smoke bench-micro bench-bnb bench-service \
+	bench-profile
 
 clean:
 	dune clean

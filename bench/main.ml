@@ -121,6 +121,14 @@ let skip_service_arg =
         ~doc:"Skip the online admission service benchmark (the jobs=1/4 \
               decision-determinism and rung-coverage gate).")
 
+let skip_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-profile" ]
+        ~doc:"Skip the profiling smoke gate (span nesting, tick \
+              attribution, export parsing and jobs=1/4 invariance on a \
+              contended c\xce\xa3 solve).")
+
 let bench_json_arg =
   Arg.(
     value
@@ -155,8 +163,8 @@ let flex_sweep ~flex_max ~flex_step =
 
 let run figures scenarios time_limit requests flex_max flex_step scale seed
     no_delta no_sigma no_seeding jobs wall_clock quick skip_figures
-    skip_ablations skip_micro skip_bnb skip_service bench_json bnb_json
-    service_json =
+    skip_ablations skip_micro skip_bnb skip_service skip_profile bench_json
+    bnb_json service_json =
   let open Bench_harness in
   let params =
     match scale with
@@ -209,6 +217,7 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
     Service_bench.run
       ?json_path:(if service_json = "" then None else Some service_json)
       ();
+  if not skip_profile then Profile_gate.run ();
   0
 
 let cmd =
@@ -218,7 +227,8 @@ let cmd =
       $ flex_max_arg $ flex_step_arg $ scale_arg $ seed_arg $ no_delta_arg
       $ no_sigma_arg $ no_seeding_arg $ jobs_arg $ wall_clock_arg $ quick_arg
       $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg $ skip_bnb_arg
-      $ skip_service_arg $ bench_json_arg $ bnb_json_arg $ service_json_arg)
+      $ skip_service_arg $ skip_profile_arg $ bench_json_arg $ bnb_json_arg
+      $ service_json_arg)
   in
   Cmd.v
     (Cmd.info "tvnep-bench"

@@ -1,0 +1,187 @@
+(* Profiling smoke gate: the contended cΣ solve of the branch-and-bound
+   benchmark, run with a span recorder attached, at jobs = 1 and 4.
+
+   The run *fails* (exit 1) when any part of the observability contract
+   breaks:
+
+   - profiling perturbs the solve: the profiled run must return the same
+     (status, objective, nodes, LP iterations, ticks) as an unprofiled
+     one;
+   - the recorder is unbalanced or spans do not nest (a child interval
+     escaping its parent's);
+   - the accounting identity fails: per-phase self ticks must sum to
+     exactly the solve's total work ticks, at every jobs level;
+   - the exports break: the Chrome trace document must round-trip
+     through the JSON parser, and the JSONL export must be one valid
+     document per line;
+   - the exported spans differ across jobs levels once the worker-domain
+     tag (the one legitimately scheduling-dependent field) is zeroed. *)
+
+module Span = Runtime.Span
+
+let jobs_levels = [ 1; 4 ]
+
+(* Same contended instance as the branch-and-bound gate: a real search
+   tree, several rounds of node batches, so grafted per-node recorders
+   and the merged timeline are actually exercised. *)
+let bench_instance () =
+  let rng = Workload.Rng.create 23L in
+  Tvnep.Scenario.generate rng
+    { Tvnep.Scenario.scaled with num_requests = 8; flexibility = 2.0 }
+
+type run = {
+  jobs : int;
+  status : string;
+  objective : float;  (* nan = no incumbent *)
+  nodes : int;
+  lp_iterations : int;
+  ticks : int;
+  spans : Span.span list;
+  tree : Span.tree list;
+}
+
+let solve_at ~inst ~time_limit ~profiled jobs =
+  let mip =
+    { Mip.Branch_bound.default_params with time_limit; jobs; log_every = 0 }
+  in
+  let budget =
+    Runtime.Budget.create ~deterministic:Figures.work_rate ~time_limit ()
+  in
+  let prof = if profiled then Some (Span.create ()) else None in
+  let o =
+    Tvnep.Solver.run inst
+      (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Exact ~mip ~budget
+         ?prof ())
+  in
+  (match prof with
+  | Some r when Span.open_spans r <> 0 ->
+    Printf.eprintf "PROFILE GATE: recorder left %d open span(s) at jobs=%d\n"
+      (Span.open_spans r) jobs;
+    exit 1
+  | _ -> ());
+  let spans = match prof with Some r -> Span.spans r | None -> [] in
+  {
+    jobs;
+    status = Tvnep.Solver.status_to_string o.Tvnep.Solver.status;
+    objective = Option.value o.Tvnep.Solver.objective ~default:Float.nan;
+    nodes = o.Tvnep.Solver.nodes;
+    lp_iterations = o.Tvnep.Solver.lp_iterations;
+    ticks = o.Tvnep.Solver.ticks;
+    spans;
+    tree = Span.tree_of spans;
+  }
+
+let fingerprint r = (r.status, r.objective, r.nodes, r.lp_iterations, r.ticks)
+
+(* Every span's interval must lie inside its parent's.  Spans come in
+   [seq] order (parents precede children), so the innermost open ancestor
+   of a span is the latest preceding span of smaller depth. *)
+let check_nesting spans =
+  let stack : (int * int * int) list ref = ref [] in
+  List.for_all
+    (fun (s : Span.span) ->
+      while
+        match !stack with (d, _, _) :: _ -> d >= s.Span.depth | [] -> false
+      do
+        stack := List.tl !stack
+      done;
+      let ok =
+        s.Span.t0 <= s.Span.t1
+        &&
+        match !stack with
+        | (_, pt0, pt1) :: _ -> pt0 <= s.Span.t0 && s.Span.t1 <= pt1
+        | [] -> true
+      in
+      stack := (s.Span.depth, s.Span.t0, s.Span.t1) :: !stack;
+      ok)
+    spans
+
+(* The exported span stream with the worker-domain tag zeroed — the only
+   field allowed to vary with scheduling. *)
+let domainless spans =
+  List.map (fun (s : Span.span) -> { s with Span.domain = 0 }) spans
+
+let check_exports ~jobs spans =
+  let chrome = Statsutil.Json.to_string (Span.to_chrome spans) in
+  (match Statsutil.Json.of_string chrome with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf
+      "PROFILE GATE: jobs=%d Chrome trace does not parse back: %s\n" jobs msg;
+    exit 1);
+  let jsonl = Span.to_jsonl spans in
+  List.iteri
+    (fun i line ->
+      if line <> "" then
+        match Statsutil.Json.of_string line with
+        | Ok _ -> ()
+        | Error msg ->
+          Printf.eprintf
+            "PROFILE GATE: jobs=%d JSONL line %d does not parse: %s\n" jobs
+            (i + 1) msg;
+          exit 1)
+    (String.split_on_char '\n' jsonl)
+
+let run ?(time_limit = 30.0) () =
+  Printf.printf "\n== Profiling smoke gate (contended c\xce\xa3 solve) ==\n";
+  let inst = bench_instance () in
+  let baseline = solve_at ~inst ~time_limit ~profiled:false 1 in
+  let runs =
+    List.map (fun jobs -> solve_at ~inst ~time_limit ~profiled:true jobs)
+      jobs_levels
+  in
+  let base = List.hd runs in
+  (* Zero perturbation: profiling must not change the solve. *)
+  if fingerprint base <> fingerprint baseline then begin
+    Printf.eprintf
+      "PROFILE GATE: profiling perturbed the solve — unprofiled (%s, %g, %d \
+       nodes, %d iters, %d ticks) vs profiled (%s, %g, %d nodes, %d iters, \
+       %d ticks)\n"
+      baseline.status baseline.objective baseline.nodes baseline.lp_iterations
+      baseline.ticks base.status base.objective base.nodes base.lp_iterations
+      base.ticks;
+    exit 1
+  end;
+  List.iter
+    (fun r ->
+      if fingerprint r <> fingerprint base then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d solve differs from jobs=%d\n" r.jobs base.jobs;
+        exit 1
+      end;
+      if not (check_nesting r.spans) then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d spans do not nest (a child interval escapes \
+           its parent)\n"
+          r.jobs;
+        exit 1
+      end;
+      let self = Span.sum_self r.tree in
+      if self <> r.ticks then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d per-phase self ticks (%d) do not sum to the \
+           solve's work ticks (%d)\n"
+          r.jobs self r.ticks;
+        exit 1
+      end;
+      check_exports ~jobs:r.jobs r.spans)
+    runs;
+  (* Jobs invariance of the exported stream, domain tags aside. *)
+  List.iter
+    (fun r ->
+      if
+        Span.to_jsonl (domainless r.spans)
+        <> Span.to_jsonl (domainless base.spans)
+      then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d exported spans differ from jobs=%d (domains \
+           zeroed)\n"
+          r.jobs base.jobs;
+        exit 1
+      end)
+    runs;
+  Printf.printf
+    "profile gate: %d spans, %d ticks attributed (= solve ticks), nesting \
+     ok, exports parse, jobs levels identical\n"
+    (List.length base.spans) (Span.sum_self base.tree);
+  print_string (Span.render_tree ~rate:Figures.work_rate base.tree)

@@ -88,6 +88,34 @@ let json_arg =
         ~doc:"Print the result as a versioned JSON document (schema_version \
               1) instead of the human-readable report.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"PATH"
+        ~doc:"Write a span profile of the solve to $(docv): a Chrome trace \
+              JSON document (load it in chrome://tracing or ui.perfetto.dev), \
+              or newline-delimited JSON when $(docv) ends in .jsonl.  \
+              Profiling reads the work clock without advancing it, so the \
+              reported result is identical with or without this flag.")
+
+(* Format is chosen by extension; tick stamps convert to trace microseconds
+   at the deterministic work-clock rate, so durations read as solver time. *)
+let write_profile path recorder =
+  let rate = Service.Engine.default_work_rate in
+  let spans = Runtime.Span.spans recorder in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if Filename.check_suffix path ".jsonl" then
+        output_string oc (Runtime.Span.to_jsonl ~rate spans)
+      else begin
+        output_string oc
+          (Statsutil.Json.to_string (Runtime.Span.to_chrome ~rate spans));
+        output_char oc '\n'
+      end)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
@@ -138,7 +166,7 @@ let report_outcome ?gantt ~json inst (o : Tvnep.Solver.outcome) =
 
 let solve_cmd =
   let run file model objective no_cuts seed_greedy slot time_limit jobs
-      verbose gantt json =
+      verbose gantt json profile =
     setup_logs verbose;
     let inst = Tvnep.Instance_io.load file in
     let mip =
@@ -146,6 +174,9 @@ let solve_cmd =
     in
     match model with
     | `Discrete ->
+      (if profile <> None then
+         Logs.warn (fun m ->
+             m "--profile is not supported by --model discrete; ignored"));
       let o =
         Tvnep.Discrete_model.solve
           ~options:
@@ -168,31 +199,40 @@ let solve_cmd =
         | `Sigma -> Tvnep.Solver.Sigma
         | `Csigma -> Tvnep.Solver.Csigma
       in
+      let prof = Option.map (fun _ -> Runtime.Span.create ()) profile in
       let o =
         Tvnep.Solver.run inst
           (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Exact ~kind
              ~objective ~use_cuts:(not no_cuts) ~pairwise_cuts:(not no_cuts)
-             ~seed_with_greedy:seed_greedy ~mip ())
+             ~seed_with_greedy:seed_greedy ~mip ?prof ())
       in
-      report_outcome ~gantt ~json inst o
+      let code = report_outcome ~gantt ~json inst o in
+      (match (profile, prof) with
+      | Some path, Some r -> write_profile path r
+      | _ -> ());
+      code
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance exactly with a chosen model")
     Term.(
       const run $ file_arg $ model_arg $ objective_arg $ no_cuts_arg
       $ seed_greedy_arg $ slot_arg $ time_limit_arg $ jobs_arg $ verbose_arg
-      $ gantt_arg $ json_arg)
+      $ gantt_arg $ json_arg $ profile_arg)
 
 (* ---- greedy ------------------------------------------------------------ *)
 
 let greedy_cmd =
-  let run file verbose gantt json =
+  let run file verbose gantt json profile =
     setup_logs verbose;
     let inst = Tvnep.Instance_io.load file in
+    let prof = Option.map (fun _ -> Runtime.Span.create ()) profile in
     let o =
       Tvnep.Solver.run inst
-        (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Greedy ())
+        (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Greedy ?prof ())
     in
+    (match (profile, prof) with
+    | Some path, Some r -> write_profile path r
+    | _ -> ());
     if json then report_outcome ~json:true inst o
     else
       match o.Tvnep.Solver.solution with
@@ -210,7 +250,8 @@ let greedy_cmd =
   in
   Cmd.v
     (Cmd.info "greedy" ~doc:"Run the greedy heuristic on an instance")
-    Term.(const run $ file_arg $ verbose_arg $ gantt_arg $ json_arg)
+    Term.(
+      const run $ file_arg $ verbose_arg $ gantt_arg $ json_arg $ profile_arg)
 
 (* ---- serve ------------------------------------------------------------- *)
 
@@ -269,7 +310,7 @@ let serve_cmd =
                 (results then depend on machine speed and --jobs).")
   in
   let run file seed requests slice exact_fraction batch time_limit jobs
-      wall_clock verbose json =
+      wall_clock verbose json profile =
     setup_logs verbose;
     let inst =
       match file with
@@ -279,6 +320,7 @@ let serve_cmd =
         Tvnep.Scenario.generate rng
           { Tvnep.Scenario.scaled with num_requests = requests }
     in
+    let prof = Option.map (fun _ -> Runtime.Span.create ()) profile in
     let config =
       {
         Service.Engine.default_config with
@@ -290,9 +332,13 @@ let serve_cmd =
         deterministic =
           (if wall_clock then None
            else Some Service.Engine.default_work_rate);
+        prof;
       }
     in
     let s = Service.Engine.run ~config inst in
+    (match (profile, prof) with
+    | Some path, Some r -> write_profile path r
+    | _ -> ());
     if json then
       print_endline (Statsutil.Json.to_string (Service.Engine.summary_to_json s))
     else begin
@@ -336,7 +382,113 @@ let serve_cmd =
     Term.(
       const run $ file_opt_arg $ seed_arg $ requests_arg $ slice_arg
       $ exact_fraction_arg $ batch_arg $ global_limit_arg $ jobs_arg
-      $ wall_clock_arg $ verbose_arg $ json_arg)
+      $ wall_clock_arg $ verbose_arg $ json_arg $ profile_arg)
+
+(* ---- explain ------------------------------------------------------------ *)
+
+let explain_cmd =
+  let file_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Instance file to explain; omitted, a contended scenario is \
+                generated from --seed/--requests/--flexibility.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 23
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the generated scenario (ignored with FILE).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "requests" ] ~docv:"K"
+          ~doc:"Request count for the generated scenario (ignored with \
+                FILE).")
+  in
+  let flex_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "flexibility" ] ~docv:"HOURS"
+          ~doc:"Temporal flexibility of the generated scenario (ignored \
+                with FILE).")
+  in
+  let run file seed requests flex time_limit jobs no_cuts verbose profile =
+    setup_logs verbose;
+    let inst =
+      match file with
+      | Some f -> Tvnep.Instance_io.load f
+      | None ->
+        let rng = Workload.Rng.create (Int64.of_int seed) in
+        Tvnep.Scenario.generate rng
+          {
+            Tvnep.Scenario.scaled with
+            num_requests = requests;
+            flexibility = flex;
+          }
+    in
+    let rate = Service.Engine.default_work_rate in
+    (* A deterministic budget: the same instance attributes the same ticks
+       to the same phases on every run, at every --jobs level. *)
+    let budget = Runtime.Budget.create ~deterministic:rate ~time_limit () in
+    let prof = Runtime.Span.create () in
+    let mip = { Mip.Branch_bound.default_params with time_limit; jobs } in
+    let o =
+      Tvnep.Solver.run inst
+        (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Exact
+           ~use_cuts:(not no_cuts) ~pairwise_cuts:(not no_cuts) ~mip ~budget
+           ~prof ())
+    in
+    (match profile with Some path -> write_profile path prof | None -> ());
+    let spans = Runtime.Span.spans prof in
+    let tree = Runtime.Span.tree_of spans in
+    Printf.printf "status:    %s" (Tvnep.Solver.status_to_string o.Tvnep.Solver.status);
+    (match o.Tvnep.Solver.objective with
+    | Some v -> Printf.printf "  objective: %g\n" v
+    | None -> print_newline ());
+    Printf.printf "work:      %d ticks (%.3f budget seconds), %d nodes, %d LP \
+                   iterations\n\n"
+      o.Tvnep.Solver.ticks
+      (float_of_int o.Tvnep.Solver.ticks /. rate)
+      o.Tvnep.Solver.nodes o.Tvnep.Solver.lp_iterations;
+    print_string (Runtime.Span.render_tree ~rate tree);
+    (match Runtime.Span.domain_ticks spans with
+    | [] | [ _ ] -> ()
+    | per ->
+      Printf.printf "\nper-domain ticks (worker attribution varies with \
+                     scheduling; totals do not):\n";
+      List.iter
+        (fun (d, t) -> Printf.printf "  domain %d: %d ticks\n" d t)
+        per);
+    let metrics = Runtime.Metrics.to_string (Runtime.Span.metrics prof) in
+    if metrics <> "" then begin
+      Printf.printf "\nmetrics:\n";
+      String.split_on_char '\n' metrics
+      |> List.iter (fun l -> if l <> "" then Printf.printf "  %s\n" l)
+    end;
+    (* The accounting invariant the profiler is built around: per-phase
+       self ticks partition the solve's work ticks exactly. *)
+    let self = Runtime.Span.sum_self tree in
+    if self <> o.Tvnep.Solver.ticks then begin
+      Printf.eprintf
+        "explain: phase self ticks (%d) do not sum to the solve's ticks \
+         (%d)\n"
+        self o.Tvnep.Solver.ticks;
+      4
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Solve an instance with profiling on and print a top-down phase \
+             tree: per phase the work-clock ticks spent below it, its own \
+             self ticks, and call counts.  Per-phase self ticks sum exactly \
+             to the solve's total work ticks (the command fails otherwise).")
+    Term.(
+      const run $ file_opt_arg $ seed_arg $ requests_arg $ flex_arg
+      $ time_limit_arg $ jobs_arg $ no_cuts_arg $ verbose_arg $ profile_arg)
 
 (* ---- generate ----------------------------------------------------------- *)
 
@@ -427,4 +579,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ solve_cmd; greedy_cmd; serve_cmd; generate_cmd; show_cmd ]))
+          [
+            solve_cmd; greedy_cmd; serve_cmd; explain_cmd; generate_cmd;
+            show_cmd;
+          ]))

@@ -1,5 +1,6 @@
 module Budget = Runtime.Budget
 module Rstats = Runtime.Stats
+module Span = Runtime.Span
 
 type status =
   | Optimal
@@ -55,6 +56,19 @@ type result = {
   final_basis : basis option;
 }
 
+(* Work-clock ticks billed per simplex work category during one solve.
+   The accumulators mirror the [Budget.tick] calls exactly, so at solve
+   end they partition the ticks the solve billed; the profiler turns them
+   into factorize/ftran/btran/pricing leaf spans under the "lp" span
+   (one leaf per category per solve — per-call spans would add millions
+   of spans to a branch-and-bound run). *)
+type prof_ticks = {
+  mutable pf_factor : int;
+  mutable pf_ftran : int;
+  mutable pf_btran : int;
+  mutable pf_pricing : int;
+}
+
 (* Internal solver state.  Columns 0 .. n_total-1 are the structural and
    logical columns of the standard form; columns n_total .. n_total+m-1 are
    phase-1 artificials (one per row, sign [art_sign.(i)], unused ones kept
@@ -80,6 +94,8 @@ type state = {
   budget : Budget.t;  (* shared solve budget: deadline + iteration cap *)
   stats : Rstats.t;
   sink : Runtime.Trace.sink option;
+  prof : Span.recorder option;
+  ptk : prof_ticks;
   (* scratch buffers *)
   w : float array;  (* FTRAN result *)
   y : float array;  (* duals *)
@@ -110,6 +126,54 @@ let budget_of_params ?budget (params : params) =
   | Some b -> b
   | None -> Budget.create ~time_limit:params.time_limit ()
 
+let fresh_ptk () = { pf_factor = 0; pf_ftran = 0; pf_btran = 0; pf_pricing = 0 }
+
+let reset_ptk p =
+  p.pf_factor <- 0;
+  p.pf_ftran <- 0;
+  p.pf_btran <- 0;
+  p.pf_pricing <- 0
+
+(* Category-tagged clock charges: same [Budget.tick] as before, plus the
+   per-category accumulator the profiler reads at solve end. *)
+let tick_factor st n =
+  Budget.tick ~n st.budget;
+  st.ptk.pf_factor <- st.ptk.pf_factor + n
+
+let tick_ftran st n =
+  Budget.tick ~n st.budget;
+  st.ptk.pf_ftran <- st.ptk.pf_ftran + n
+
+let tick_btran st n =
+  Budget.tick ~n st.budget;
+  st.ptk.pf_btran <- st.ptk.pf_btran + n
+
+let tick_pricing st n =
+  Budget.tick ~n st.budget;
+  st.ptk.pf_pricing <- st.ptk.pf_pricing + n
+
+(* Turn the accumulated category ticks into leaf spans tiling the tail of
+   the enclosing "lp" span.  The interval positions are synthetic (the
+   categories interleave in reality); the tick totals are exact, which is
+   what the phase tree and the tick-sum invariant consume. *)
+let emit_prof_leaves st =
+  match st.prof with
+  | None -> ()
+  | Some _ ->
+    let p = st.ptk in
+    let tot = p.pf_factor + p.pf_ftran + p.pf_btran + p.pf_pricing in
+    let cur = ref (Budget.ticks st.budget - tot) in
+    let leaf name n =
+      if n > 0 then begin
+        Span.leaf st.prof ~name ~t0:!cur ~t1:(!cur + n);
+        cur := !cur + n
+      end
+    in
+    leaf "factorize" p.pf_factor;
+    leaf "ftran" p.pf_ftran;
+    leaf "btran" p.pf_btran;
+    leaf "pricing" p.pf_pricing
+
 (* --- column access -------------------------------------------------- *)
 
 let col_iter st j f =
@@ -130,7 +194,7 @@ let ftran st j =
     if st.w.(i) <> 0.0 then incr nnz
   done;
   st.stats.Rstats.ftran_nnz <- st.stats.Rstats.ftran_nnz + !nnz;
-  Budget.tick ~n:(Basis.solve_cost st.rep) st.budget
+  tick_ftran st (Basis.solve_cost st.rep)
 
 (* --- (re)factorization ---------------------------------------------- *)
 
@@ -171,7 +235,7 @@ let full_refactorize st =
   Runtime.Trace.emit st.sink st.budget Runtime.Trace.Simplex_refactor;
   Basis.factorize st.rep (fun pos f -> col_iter st st.basis.(pos) f);
   st.pivots_since_refactor <- 0;
-  Budget.tick ~n:(Basis.solve_cost st.rep) st.budget;
+  tick_factor st (Basis.solve_cost st.rep);
   let rhs = nonbasic_rhs st in
   Basis.ftran_in_place st.rep rhs;
   Array.iteri (fun pos j -> st.xval.(j) <- rhs.(pos)) st.basis
@@ -215,7 +279,7 @@ let compute_duals st =
     if st.y.(i) <> 0.0 then incr nnz
   done;
   st.stats.Rstats.btran_nnz <- st.stats.Rstats.btran_nnz + !nnz;
-  Budget.tick ~n:(Basis.solve_cost st.rep) st.budget
+  tick_btran st (Basis.solve_cost st.rep)
 
 (* Returns [Some (j, dir)] for the entering column and its direction of
    movement (+1 increase, -1 decrease), or [None] at (phase) optimality.
@@ -254,7 +318,7 @@ let price st =
          | None -> ()
        done
      with Exit -> ());
-    Budget.tick ~n:ncols st.budget;
+    tick_pricing st ncols;
     !best
   end
   else begin
@@ -269,7 +333,7 @@ let price st =
     let partial = st.params.partial_pricing in
     if partial && st.cand_n > 0 then begin
       (* Re-price the surviving candidates, compacting the list. *)
-      Budget.tick ~n:st.cand_n st.budget;
+      tick_pricing st st.cand_n;
       let kept = ref 0 in
       for k = 0 to st.cand_n - 1 do
         let j = st.cand.(k) in
@@ -289,7 +353,7 @@ let price st =
     | None ->
       (* Full sweep; every eligible column is scored for the restock. *)
       st.stats.Rstats.pricing_sweeps <- st.stats.Rstats.pricing_sweeps + 1;
-      Budget.tick ~n:ncols st.budget;
+      tick_pricing st ncols;
       let found = ref 0 in
       for j = 0 to ncols - 1 do
         match eligible j with
@@ -741,7 +805,7 @@ let dual_optimize st =
          meeting the row are visited (rho is sparse under the factored
          basis). *)
       Basis.unit_row st.rep r rho;
-      Budget.tick ~n:(Basis.solve_cost st.rep) st.budget;
+      tick_btran st (Basis.solve_cost st.rep);
       let rnnz = ref 0 in
       for i = 0 to st.m - 1 do
         if rho.(i) <> 0.0 then incr rnnz
@@ -764,7 +828,7 @@ let dual_optimize st =
               end;
               ws.d_alpha.(j) <- ws.d_alpha.(j) +. (ri *. v))
       done;
-      Budget.tick ~n:(max 1 !ntouch) st.budget;
+      tick_pricing st (max 1 !ntouch);
       (* Dual ratio test: smallest d_j / (e·alpha_j) over admissible j. *)
       let best = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0.0 in
       for k = 0 to !ntouch - 1 do
@@ -889,7 +953,8 @@ let extract st status =
     final_basis;
   }
 
-let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
+let solve ?(params = default_params) ?budget ?stats ?trace ?prof ?lb ?ub ?warm
+    sf =
   let budget = budget_of_params ?budget params in
   let stats = match stats with Some s -> s | None -> Rstats.create () in
   stats.Rstats.lp_solves <- stats.Rstats.lp_solves + 1;
@@ -943,6 +1008,8 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
       budget;
       stats;
       sink = trace;
+      prof;
+      ptk = fresh_ptk ();
       w = Array.make m 0.0;
       y = Array.make m 0.0;
       cand = Array.make (n_total + m) 0;
@@ -953,6 +1020,7 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
   in
   if !crossed then extract st Infeasible
   else
+    Span.with_ st.prof st.budget "lp" @@ fun () ->
     let run () =
       let warm_ok =
         match warm with
@@ -977,11 +1045,13 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?lb ?ub ?warm sf =
       Optimal
     in
     let status = try run () with Solver_stop s -> s in
-    extract st status
+    let res = extract st status in
+    emit_prof_leaves st;
+    res
 
-let solve_model ?params ?budget ?stats ?trace m =
+let solve_model ?params ?budget ?stats ?trace ?prof m =
   let sf = Std_form.of_model m in
-  solve ?params ?budget ?stats ?trace sf
+  solve ?params ?budget ?stats ?trace ?prof sf
 
 (* --- persistent sessions ----------------------------------------------- *)
 
@@ -994,7 +1064,7 @@ type session = {
 let create_session ?(params = default_params) sf =
   { s_sf = sf; s_params = params; s_state = None }
 
-let fresh_state sf params budget stats sink lb ub =
+let fresh_state sf params budget stats sink prof lb ub =
   let m = sf.Std_form.n_rows in
   let n_total = Std_form.n_total sf in
   {
@@ -1018,6 +1088,8 @@ let fresh_state sf params budget stats sink lb ub =
     budget;
     stats;
     sink;
+    prof;
+    ptk = fresh_ptk ();
     w = Array.make m 0.0;
     y = Array.make m 0.0;
     cand = Array.make (n_total + m) 0;
@@ -1051,7 +1123,8 @@ let rebound_state st lb ub =
     end
   done
 
-let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
+let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm ~lb ~ub
+    () =
   let sf = session.s_sf in
   let n_total = Std_form.n_total sf in
   if Array.length lb <> n_total || Array.length ub <> n_total then
@@ -1077,8 +1150,13 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
       else crossed := true
     end
   done;
+  let finish st status =
+    let res = extract st status in
+    emit_prof_leaves st;
+    res
+  in
   let cold_solve () =
-    let st = fresh_state sf params budget stats trace lb ub in
+    let st = fresh_state sf params budget stats trace prof lb ub in
     session.s_state <- Some st;
     let status =
       try
@@ -1088,13 +1166,14 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
         Optimal
       with Solver_stop s -> s
     in
-    extract st status
+    finish st status
   in
   if !crossed then begin
-    let st = fresh_state sf params budget stats trace lb ub in
+    let st = fresh_state sf params budget stats trace prof lb ub in
     extract st Infeasible
   end
   else
+    Span.with_ prof budget "lp" @@ fun () ->
     match warm with
     | Some wb -> begin
       (* Explicit warm basis: reuse the session's allocated state (arrays,
@@ -1105,13 +1184,14 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
          nodes land on arbitrary workers. *)
       let st =
         match session.s_state with
-        | None -> fresh_state sf params budget stats trace lb ub
+        | None -> fresh_state sf params budget stats trace prof lb ub
         | Some st ->
           st.iterations <- 0;
           st.bland <- false;
           st.degenerate_run <- 0;
           st.cand_n <- 0;
-          let st = { st with params; budget; stats; sink = trace } in
+          reset_ptk st.ptk;
+          let st = { st with params; budget; stats; sink = trace; prof } in
           rebound_state st lb ub;
           st
       in
@@ -1132,7 +1212,7 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
           (* Unusable basis, drift or a bad pivot: one authoritative cold
              retry (itself a function of bounds alone). *)
           cold_solve ()
-        | s -> extract st s
+        | s -> finish st s
       end
     end
     | None -> (
@@ -1142,7 +1222,8 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
         st.iterations <- 0;
         st.bland <- false;
         st.degenerate_run <- 0;
-        let st = { st with params; budget; stats; sink = trace } in
+        reset_ptk st.ptk;
+        let st = { st with params; budget; stats; sink = trace; prof } in
         session.s_state <- Some st;
         rebound_state st lb ub;
         let usable =
@@ -1167,5 +1248,5 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?warm ~lb ~ub () =
           | Numerical_failure ->
             (* Drift or a bad pivot: one authoritative cold retry. *)
             cold_solve ()
-          | s -> extract st s
+          | s -> finish st s
         end)

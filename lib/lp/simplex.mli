@@ -62,6 +62,7 @@ val solve :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   ?lb:float array ->
   ?ub:float array ->
   ?warm:basis ->
@@ -78,13 +79,19 @@ val solve :
     pivot ticks the budget clock (deterministic time advances per pivot).
     Without it a private budget is derived from [params.time_limit].
     [?stats] accumulates pivots, refactorizations and LP-solve counts into
-    the caller's counters; [?trace] receives refactorization events. *)
+    the caller's counters; [?trace] receives refactorization events.
+
+    [?prof] records one ["lp"] span per solve with a
+    factorize/ftran/btran/pricing leaf breakdown of the ticks the solve
+    billed (accumulated per category as the solve runs, attributed as leaf
+    spans when it ends — exact tick totals, bounded span count). *)
 
 val solve_model :
   ?params:params ->
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   Model.t ->
   result
 (** Convenience wrapper: compiles the model's continuous relaxation
@@ -108,6 +115,7 @@ val session_solve :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   ?warm:basis ->
   lb:float array ->
   ub:float array ->
@@ -117,7 +125,7 @@ val session_solve :
     [Std_form.n_total]).  Falls back to a cold start internally whenever
     the carried basis is unusable; the result is always as authoritative
     as a fresh {!solve}.  [?budget] takes precedence over [?time_limit];
-    [?stats]/[?trace] as in {!solve}.
+    [?stats]/[?trace]/[?prof] as in {!solve}.
 
     Without [?warm] the re-solve warm-starts from whatever basis the
     session's {e previous} solve left behind — fastest when consecutive

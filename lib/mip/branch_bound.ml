@@ -5,6 +5,8 @@ module Budget = Runtime.Budget
 module Rstats = Runtime.Stats
 module Trace = Runtime.Trace
 module Pool = Runtime.Pool
+module Span = Runtime.Span
+module Metrics = Runtime.Metrics
 
 type status =
   | Optimal
@@ -117,6 +119,7 @@ type search = {
   search_origin : float;  (* budget elapsed when this search started *)
   stats : Rstats.t;
   sink : Trace.sink option;
+  prof : Span.recorder option;
   mutable emitted_bound : float;
       (* last global dual bound reported (internal sense); tracks
          improvements for the [Bb_bound] trace event *)
@@ -268,7 +271,9 @@ type eval =
    the node's own parent basis rather than whatever the worker's session
    held.  No trace sink: sinks are not domain-safe, and the merge emits
    every search-level event in order. *)
-let eval_node s ~worker ~fork ~fstats node =
+let eval_node s ~worker ~fork ~fstats ~fprof node =
+  Option.iter (fun r -> Span.set_domain r worker) fprof;
+  Span.with_ fprof fork "eval" @@ fun () ->
   let lb, ub = node_bounds s node in
   match
     if s.params.propagate then Propagate.run s.prop ~lb ~ub
@@ -280,13 +285,13 @@ let eval_node s ~worker ~fork ~fstats node =
       match (s.params.warm_sessions, node.warm) with
       | true, Some wb ->
         Lp.Simplex.session_solve s.sessions.(worker) ~budget:fork
-          ~stats:fstats ~warm:wb ~lb ~ub ()
+          ~stats:fstats ?prof:fprof ~warm:wb ~lb ~ub ()
       | _ ->
         (* Root node, a parent whose LP left no clean basis, or warm
            sessions disabled: a cold solve, itself a function of the
            bounds alone. *)
         Lp.Simplex.solve ~params:s.params.lp_params ~budget:fork
-          ~stats:fstats ~lb ~ub s.sf
+          ~stats:fstats ?prof:fprof ~lb ~ub s.sf
     in
     let branch =
       match r.Lp.Simplex.status with
@@ -374,7 +379,10 @@ let log_progress s =
    totals are identical at every jobs level.  Only then are the search
    decisions replayed (phase B). *)
 let run_round s dispatch =
-  let batch = select_batch s (max 1 s.params.batch_size) in
+  let batch =
+    Span.with_ s.prof s.budget "select" @@ fun () ->
+    select_batch s (max 1 s.params.batch_size)
+  in
   let n = Array.length batch in
   if n > 0 then begin
     let iter_rem =
@@ -384,15 +392,37 @@ let run_round s dispatch =
       Array.map (fun _ -> Budget.fork ~iter_limit:iter_rem s.budget) batch
     in
     let fstats = Array.map (fun _ -> Rstats.create ()) batch in
+    (* One child recorder per node, its timeline anchored at the fork's
+       starting tick count; grafted back below in index order, so the
+       profile is as jobs-invariant as the budget accounting. *)
+    let fprofs =
+      Array.map
+        (fun fork ->
+          match s.prof with
+          | None -> None
+          | Some _ -> Some (Span.create ~base:(Budget.ticks fork) ()))
+        forks
+    in
     let evals =
       dispatch
         (fun ~worker i ->
-          eval_node s ~worker ~fork:forks.(i) ~fstats:fstats.(i) batch.(i))
+          eval_node s ~worker ~fork:forks.(i) ~fstats:fstats.(i)
+            ~fprof:fprofs.(i) batch.(i))
         n
     in
     (* Phase A: jobs-invariant accounting, unconditionally for the whole
        batch, in index order. *)
     for i = 0 to n - 1 do
+      (match (s.prof, fprofs.(i)) with
+      | Some into, Some child ->
+        Span.graft ~into ~at:(Budget.ticks s.budget) child;
+        let m = Span.metrics into in
+        Metrics.incr m "bb.nodes_evaluated";
+        (match evals.(i) with
+        | Lp_result r ->
+          Metrics.observe m "bb.node_lp_iters" (float_of_int r.iterations)
+        | Prop_infeasible -> Metrics.incr m "bb.prop_infeasible")
+      | _ -> ());
       Budget.join ~into:s.budget forks.(i);
       Rstats.merge ~into:s.stats fstats.(i);
       s.lp_iters <-
@@ -406,6 +436,7 @@ let run_round s dispatch =
     for i = n - 1 downto 0 do
       suffix_min.(i) <- Float.min batch.(i).parent_bound suffix_min.(i + 1)
     done;
+    Span.with_ s.prof s.budget "merge" @@ fun () ->
     for i = 0 to n - 1 do
       s.pending_bound <- suffix_min.(i);
       merge_decide s batch.(i) evals.(i);
@@ -429,7 +460,8 @@ let run_round s dispatch =
     done
   end
 
-let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
+let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace ?prof
+    sf =
   let budget =
     match budget with
     | Some b -> b
@@ -465,6 +497,7 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
       search_origin = Budget.elapsed budget;
       stats;
       sink = trace;
+      prof;
       emitted_bound = neg_infinity;
       root_lb = Array.append (Array.sub sf.Lp.Std_form.lb 0 n_total) [||];
       root_ub = Array.append (Array.sub sf.Lp.Std_form.ub 0 n_total) [||];
@@ -536,5 +569,6 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace sf =
     stats;
   }
 
-let solve ?params ?initial ?budget ?stats ?trace m =
-  solve_form ?params ?initial ?budget ?stats ?trace (Lp.Std_form.of_model m)
+let solve ?params ?initial ?budget ?stats ?trace ?prof m =
+  solve_form ?params ?initial ?budget ?stats ?trace ?prof
+    (Lp.Std_form.of_model m)

@@ -85,6 +85,7 @@ val solve_form :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   Lp.Std_form.t ->
   result
 (** [?initial] seeds the search with a known integer-feasible structural
@@ -97,7 +98,14 @@ val solve_form :
     pivots against the same clock).  Without it a private budget is
     derived from [params.time_limit]/[params.node_limit].  [?stats]
     accumulates node/incumbent/LP counters into the caller's record;
-    [?trace] receives node, incumbent and bound-update events. *)
+    [?trace] receives node, incumbent and bound-update events.
+
+    [?prof] records per-round ["select"]/["eval"]/["merge"] spans.  Each
+    node is evaluated under its own child recorder (spans tagged with the
+    evaluating worker's domain id) grafted back in node-index order at
+    the shared budget's pre-join tick count — so every exported tick
+    stamp and total, and the ["bb.*"] metrics, are identical at every
+    [jobs] level; only the worker-domain tags vary. *)
 
 val solve :
   ?params:params ->
@@ -105,6 +113,7 @@ val solve :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   Lp.Model.t ->
   result
 (** Compiles the model and optimizes. *)

@@ -1,5 +1,7 @@
 module B = Runtime.Budget
 module Rstats = Runtime.Stats
+module Span = Runtime.Span
+module Metrics = Runtime.Metrics
 module Trace = Runtime.Trace
 module Pool = Runtime.Pool
 module Instance = Tvnep.Instance
@@ -68,6 +70,7 @@ type config = {
   batch_size : int;
   jobs : int;
   trace : Runtime.Trace.sink option;
+  prof : Runtime.Span.recorder option;
 }
 
 (* Same rate as the bench harness's deterministic work clock, so service
@@ -87,6 +90,7 @@ let default_config =
     batch_size = 4;
     jobs = 1;
     trace = None;
+    prof = None;
   }
 
 (* A speculative admission decision for one arrival, computed against a
@@ -117,8 +121,9 @@ let deny ~pstats ?exact ?greedy rung =
    budget fork.  Pure speculation: no shared state is written, so batch
    members may run concurrently; the merge loop decides what commits. *)
 let evaluate cfg inst (assignments : Solution.assignment array) committed req
-    ~fork =
+    ~fork ~fprof =
   let pstats = Rstats.create () in
+  Span.with_ fprof fork "arrival" @@ fun () ->
   try
     (* The evaluation instance: every committed request — window narrowed
        to exactly its committed interval and schedule pinned, so the
@@ -167,11 +172,13 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
     (* Admission gate: the proposed full state must pass the independent
        validator before it may commit. *)
     let gate (sol : Solution.t) =
-      if sol.Solution.assignments.(cand_pos).Solution.accepted then
+      if sol.Solution.assignments.(cand_pos).Solution.accepted then begin
         let lifted = lift sol in
+        Span.with_ fprof fork "validate" @@ fun () ->
         match Validator.check inst lifted with
         | Ok () -> Some lifted
         | Error _ -> None
+      end
       else None
     in
     (* Rung 1: exact branch-and-bound on a fraction of the slice. *)
@@ -185,10 +192,11 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
     in
     let exact_budget = B.sub ~time_limit:(cfg.exact_fraction *. cfg.slice) fork in
     let xo =
+      Span.with_ fprof fork "exact" @@ fun () ->
       Solver.run ev
         (Solver.Options.make ~method_:Solver.Exact ~kind:cfg.kind
            ~use_cuts:cfg.use_cuts ~pairwise_cuts:cfg.pairwise_cuts ~mip
-           ~budget:exact_budget ~pinned ())
+           ~budget:exact_budget ~pinned ?prof:fprof ())
     in
     Rstats.merge ~into:pstats xo.Solver.stats;
     let exact = Some xo.Solver.status in
@@ -224,8 +232,10 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
            that only happens when the slice dies under its feasibility
            LP, so treat it as budget exhaustion. *)
         match
+          Span.with_ fprof fork "greedy" @@ fun () ->
           Solver.run ev
-            (Solver.Options.make ~method_:Solver.Greedy ~budget:fork ~pinned ())
+            (Solver.Options.make ~method_:Solver.Greedy ~budget:fork ~pinned
+               ?prof:fprof ())
         with
         | exception Invalid_argument _ ->
           deny ~pstats ?exact ~greedy:Solver.Budget_exhausted Budget
@@ -330,20 +340,30 @@ let run ?(config = default_config) ?on_commit inst =
                    if B.remaining global <= 0.0 then (req, None)
                    else
                      let fork = B.fork (B.sub ~time_limit:config.slice global) in
-                     (req, Some (fork, B.ticks fork)))
+                     (* One child recorder per slice, rebased to the fork's
+                        private clock; grafted back at merge time. *)
+                     let fprof =
+                       match config.prof with
+                       | None -> None
+                       | Some _ -> Some (Span.create ~base:(B.ticks fork) ())
+                     in
+                     (req, Some (fork, B.ticks fork, fprof)))
                  batch)
           in
-          let eval (req, f) =
+          let eval ~worker (req, f) =
             match f with
             | None -> None
-            | Some (fork, _) ->
-              Some (evaluate config inst assignments snapshot_committed req ~fork)
+            | Some (fork, _, fprof) ->
+              Option.iter (fun r -> Span.set_domain r worker) fprof;
+              Some
+                (evaluate config inst assignments snapshot_committed req ~fork
+                   ~fprof)
           in
           let proposals =
             match pool with
             | Some p when Array.length tasks > 1 ->
-              Pool.run p (fun ~worker:_ t -> eval t) tasks
-            | _ -> Array.map eval tasks
+              Pool.run p (fun ~worker t -> eval ~worker t) tasks
+            | _ -> Array.map (eval ~worker:0) tasks
           in
           (* Deterministic merge in arrival order: join each fork back
              into the global budget, then commit or deny.  A speculative
@@ -355,7 +375,14 @@ let run ?(config = default_config) ?on_commit inst =
               let proposal, ticks, reevaluated =
                 match f with
                 | None -> (dead_proposal (), 0, false)
-                | Some (fork, ft0) ->
+                | Some (fork, ft0, fprof) ->
+                  (* Graft the slice's spans onto the global timeline at the
+                     pre-join tick count, so the merged trace tiles exactly
+                     and is identical at any jobs level. *)
+                  (match (config.prof, fprof) with
+                  | Some into, Some child ->
+                    Span.graft ~into ~at:(B.ticks global) child
+                  | _ -> ());
                   B.join ~into:global fork;
                   let spec_ticks = B.ticks fork - ft0 in
                   if snapshot_version = !version then
@@ -368,10 +395,19 @@ let run ?(config = default_config) ?on_commit inst =
                     else begin
                       let fork2 = B.fork (B.sub ~time_limit:config.slice global) in
                       let ft2 = B.ticks fork2 in
+                      let fprof2 =
+                        match config.prof with
+                        | None -> None
+                        | Some _ -> Some (Span.create ~base:(B.ticks fork2) ())
+                      in
                       let p =
                         evaluate config inst assignments !committed req
-                          ~fork:fork2
+                          ~fork:fork2 ~fprof:fprof2
                       in
+                      (match (config.prof, fprof2) with
+                      | Some into, Some child ->
+                        Span.graft ~into ~at:(B.ticks global) child
+                      | _ -> ());
                       B.join ~into:global fork2;
                       (p, spec_ticks + (B.ticks fork2 - ft2), true)
                     end
@@ -393,6 +429,16 @@ let run ?(config = default_config) ?on_commit inst =
               end
               else
                 stats.Rstats.service_denied <- stats.Rstats.service_denied + 1;
+              (match config.prof with
+              | Some into ->
+                let m = Span.metrics into in
+                Metrics.incr m
+                  (if proposal.p_admit then "service.admitted"
+                   else "service.denied");
+                Metrics.incr m ("service.rung." ^ rung_to_string proposal.p_rung);
+                if reevaluated then Metrics.incr m "service.reevals";
+                Metrics.observe m "service.arrival_ticks" (float_of_int ticks)
+              | None -> ());
               Trace.emit config.trace global
                 (Trace.Service_decision
                    {

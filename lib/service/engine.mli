@@ -102,6 +102,17 @@ type config = {
   trace : Runtime.Trace.sink option;
       (** receives a {!Runtime.Trace.Service_decision} per arrival, in
           arrival order, on the merging domain *)
+  prof : Runtime.Span.recorder option;
+      (** optional span recorder: each slice records an ["arrival"] span
+          (its width is exactly the record's [ticks]) with
+          ["exact"]/["greedy"]/["validate"] children and the full solver
+          span tree below them, recorded on a per-slice child recorder
+          tagged with the evaluating worker's domain and grafted back
+          onto the global timeline at merge time, in arrival order.
+          Everything except the domain tag is independent of [jobs].
+          Metrics accumulate [service.admitted] / [service.denied] /
+          [service.rung.*] / [service.reevals] counters and a
+          [service.arrival_ticks] histogram. *)
 }
 
 val default_work_rate : float

@@ -17,6 +17,9 @@ type t =
 val to_string : t -> string
 (** Rendered document, newline-terminated. *)
 
+val to_compact_string : t -> string
+(** Single-line rendering with no trailing newline — one JSONL record. *)
+
 val of_string : string -> (t, string) result
 (** Parses one JSON document; [Error] carries a message with the byte
     offset of the problem. *)

@@ -19,7 +19,17 @@ let state_activity (ranges : Depgraph.event_ranges) req i =
   else if i >= s_hi && i <= e_lo - 1 then `Always
   else `Maybe
 
-let build ?(options = default_options) inst =
+let build ?(options = default_options) ?prof ?budget inst =
+  (* Model construction does not tick the work clock, so these spans show
+     ≈0 ticks under a deterministic budget — they exist to make the
+     presolve (dependency-graph event ranges) and cut-separation passes
+     visible in the phase tree, with wall time when the recorder captures
+     it. *)
+  let span name f =
+    match budget with
+    | Some b -> Runtime.Span.with_ prof b name f
+    | None -> f ()
+  in
   let k = Instance.num_requests inst in
   if k = 0 then invalid_arg "Csigma_model.build: no requests";
   let n_events = k + 1 and n_states = k in
@@ -31,6 +41,7 @@ let build ?(options = default_options) inst =
       ~relax_integrality:options.relax_integrality
   in
   let ranges =
+    span "presolve" @@ fun () ->
     if options.use_cuts then Depgraph.csigma_event_ranges inst
     else Depgraph.trivial_ranges inst
   in
@@ -244,5 +255,6 @@ let build ?(options = default_options) inst =
       lift;
     }
   in
-  if options.pairwise_cuts then Formulation.add_pairwise_cuts model inst fm;
+  if options.pairwise_cuts then
+    span "cuts" (fun () -> Formulation.add_pairwise_cuts model inst fm);
   fm

@@ -22,4 +22,14 @@ type options = {
 val default_options : options
 (** Cuts on, integrality kept. *)
 
-val build : ?options:options -> Instance.t -> Formulation.t
+val build :
+  ?options:options ->
+  ?prof:Runtime.Span.recorder ->
+  ?budget:Runtime.Budget.t ->
+  Instance.t ->
+  Formulation.t
+(** Builds the formulation.  With both [?prof] and [?budget], the
+    dependency-graph presolve and the pairwise cut separation record
+    ["presolve"] and ["cuts"] spans (build work does not tick the work
+    clock, so their tick width is ≈0 under a deterministic budget; they
+    carry wall time when the recorder captures it). *)

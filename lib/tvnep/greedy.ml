@@ -71,7 +71,7 @@ let node_caps_ok inst active_sets =
 
 (* One feasibility LP: flows for all participating requests, per-state link
    capacities.  Returns the flows per request on success. *)
-let try_schedule ?lp_params ?budget ?stats inst participants =
+let try_schedule ?lp_params ?budget ?stats ?prof inst participants =
   (* participants: (req, start, end) with fixed times; all embedded. *)
   let sub = inst.Instance.substrate in
   let sgraph = Substrate.graph sub in
@@ -164,7 +164,9 @@ let try_schedule ?lp_params ?budget ?stats inst participants =
         flows Lp.Expr.zero
     in
     Lp.Model.set_objective model Lp.Model.Minimize total;
-    let result = Lp.Simplex.solve_model ?params:lp_params ?budget ?stats model in
+    let result =
+      Lp.Simplex.solve_model ?params:lp_params ?budget ?stats ?prof model
+    in
     match result.Lp.Simplex.status with
     | Lp.Simplex.Optimal ->
       let extract req =
@@ -186,7 +188,7 @@ let try_schedule ?lp_params ?budget ?stats inst participants =
       None
   end
 
-let run ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
+let run ?lp_params ?budget ?stats ?trace ?prof ?(preplaced = []) inst =
   if not (Instance.has_fixed_mappings inst) then
     invalid_arg "Greedy.run: fixed node mappings required";
   let budget = match budget with Some b -> b | None -> Budget.create () in
@@ -227,7 +229,9 @@ let run ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
     in
     incr lp_solves;
     rstats.Rstats.greedy_lp_solves <- rstats.Rstats.greedy_lp_solves + 1;
-    match try_schedule ?lp_params ~budget ~stats:rstats inst participants with
+    match
+      try_schedule ?lp_params ~budget ~stats:rstats ?prof inst participants
+    with
     | Some flows_of ->
       accepted :=
         List.map
@@ -258,7 +262,10 @@ let run ?lp_params ?budget ?stats ?trace ?(preplaced = []) inst =
             in
             incr lp_solves;
             rstats.Rstats.greedy_lp_solves <- rstats.Rstats.greedy_lp_solves + 1;
-            match try_schedule ?lp_params ~budget ~stats:rstats inst participants with
+            match
+              try_schedule ?lp_params ~budget ~stats:rstats ?prof inst
+                participants
+            with
             | Some flows_of ->
               placed := true;
               Runtime.Trace.emit trace budget

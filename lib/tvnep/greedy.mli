@@ -26,6 +26,7 @@ val run :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   ?preplaced:(int * float) list ->
   Instance.t ->
   Solution.t * stats
@@ -37,7 +38,8 @@ val run :
     [?stats] accumulates [greedy_lp_solves] / [greedy_candidates] /
     [greedy_accepted] / [greedy_time] (plus the usual simplex counters)
     into the caller's record; [?trace] receives a
-    {!Runtime.Trace.Greedy_admit} event per accepted request.
+    {!Runtime.Trace.Greedy_admit} event per accepted request; [?prof]
+    records one ["lp"] span (with its category leaves) per probe LP.
 
     [?preplaced] pre-accepts the given (request index, start time) pairs
     before the greedy scan begins — the "heavy hitters" of the paper's
@@ -53,6 +55,7 @@ val solve :
   ?budget:Runtime.Budget.t ->
   ?stats:Runtime.Stats.t ->
   ?trace:Runtime.Trace.sink ->
+  ?prof:Runtime.Span.recorder ->
   ?preplaced:(int * float) list ->
   Instance.t ->
   Solution.t * stats

@@ -48,6 +48,7 @@ let status_of_string = function
 module Budget = Runtime.Budget
 module Rstats = Runtime.Stats
 module Trace = Runtime.Trace
+module Span = Runtime.Span
 
 module Options = struct
   type t = {
@@ -62,13 +63,14 @@ module Options = struct
     mip : Mip.Branch_bound.params;
     budget : Runtime.Budget.t option;
     trace : Runtime.Trace.sink option;
+    prof : Runtime.Span.recorder option;
   }
 
   let make ?(method_ = Exact) ?(kind = Csigma)
       ?(objective = Objective.Access_control) ?(use_cuts = true)
       ?(pairwise_cuts = true) ?(seed_with_greedy = false)
       ?(heavy_fraction = 0.3) ?(pinned = [])
-      ?(mip = Mip.Branch_bound.default_params) ?budget ?trace () =
+      ?(mip = Mip.Branch_bound.default_params) ?budget ?trace ?prof () =
     if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
       invalid_arg "Solver.Options.make: heavy_fraction outside [0, 1]";
     {
@@ -83,6 +85,7 @@ module Options = struct
       mip;
       budget;
       trace;
+      prof;
     }
 
   let default = make ()
@@ -142,7 +145,7 @@ let validate_pinned inst pinned =
              r.Request.name))
     pinned
 
-let build inst (o : Options.t) =
+let build ?budget inst (o : Options.t) =
   let fm =
     match o.Options.kind with
     | Delta -> Delta_model.build inst
@@ -155,7 +158,7 @@ let build inst (o : Options.t) =
             pairwise_cuts = o.Options.pairwise_cuts;
             relax_integrality = false;
           }
-        inst
+        ?prof:o.Options.prof ?budget inst
   in
   let extras = Objective.apply fm o.Options.objective in
   (* Pinned requests: accepted, at exactly the given start.  The duration
@@ -203,8 +206,11 @@ let status_of_mip mip_status ~has_incumbent =
 
 let run_exact inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
   let sink = o.Options.trace in
+  let prof = o.Options.prof in
   Trace.emit sink budget (Trace.Phase_start "build");
-  let fm, _extras = build inst o in
+  let fm, _extras =
+    Span.with_ prof budget "build" @@ fun () -> build ~budget inst o
+  in
   let build_time = Budget.elapsed budget -. t0 in
   stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
   Trace.emit sink budget (Trace.Phase_end ("build", build_time));
@@ -221,9 +227,11 @@ let run_exact inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
       && o.Options.objective = Objective.Access_control
       && Instance.has_fixed_mappings inst
     then begin
+      Span.with_ prof budget "greedy" @@ fun () ->
       Trace.emit sink budget (Trace.Phase_start "greedy");
       match
-        Greedy.run ~budget ~stats ?trace:sink ~preplaced:o.Options.pinned inst
+        Greedy.run ~budget ~stats ?trace:sink ?prof
+          ~preplaced:o.Options.pinned inst
       with
       | greedy_sol, gstats ->
         Trace.emit sink budget
@@ -239,8 +247,9 @@ let run_exact inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
   in
   Trace.emit sink budget (Trace.Phase_start "search");
   let result =
+    Span.with_ prof budget "search" @@ fun () ->
     Mip.Branch_bound.solve ~params:o.Options.mip ?initial ~budget ~stats
-      ?trace:sink model
+      ?trace:sink ?prof model
   in
   stats.Rstats.search_time <-
     stats.Rstats.search_time +. result.Mip.Branch_bound.solve_time;
@@ -280,13 +289,17 @@ let run_exact inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
 
 let run_lp_only inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
   let sink = o.Options.trace in
+  let prof = o.Options.prof in
   Trace.emit sink budget (Trace.Phase_start "build");
-  let fm, _extras = build inst o in
+  let fm, _extras =
+    Span.with_ prof budget "build" @@ fun () -> build ~budget inst o
+  in
   let build_time = Budget.elapsed budget -. t0 in
   stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
   Trace.emit sink budget (Trace.Phase_end ("build", build_time));
   let result =
-    Lp.Simplex.solve_model ~budget ~stats ?trace:sink fm.Formulation.model
+    Lp.Simplex.solve_model ~budget ~stats ?trace:sink ?prof
+      fm.Formulation.model
   in
   let status, objective =
     match result.Lp.Simplex.status with
@@ -319,9 +332,12 @@ let run_greedy inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
   if not (Instance.has_fixed_mappings inst) then
     invalid_arg "Solver.run: Greedy requires fixed node mappings";
   let sink = o.Options.trace in
+  let prof = o.Options.prof in
   Trace.emit sink budget (Trace.Phase_start "greedy");
   let solution, gstats =
-    Greedy.run ~budget ~stats ?trace:sink ~preplaced:o.Options.pinned inst
+    Span.with_ prof budget "greedy" @@ fun () ->
+    Greedy.run ~budget ~stats ?trace:sink ?prof ~preplaced:o.Options.pinned
+      inst
   in
   Trace.emit sink budget (Trace.Phase_end ("greedy", gstats.Greedy.runtime));
   {
@@ -360,6 +376,10 @@ let rec run inst (o : Options.t) =
   if Budget.remaining budget <= 0.0 then
     exhausted_outcome ~method_used:o.Options.method_ stats
   else
+    (* The root span opens at the same point [ticks0] was read, so its
+       width is exactly [outcome.ticks] — which makes the phase tree's
+       self-tick total equal the solve's total work ticks. *)
+    Span.with_ o.Options.prof budget "solve" @@ fun () ->
     match o.Options.method_ with
     | Exact -> run_exact inst o ~budget ~stats ~ticks0 ~t0
     | Lp_only -> run_lp_only inst o ~budget ~stats ~ticks0 ~t0
@@ -428,7 +448,7 @@ and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
            ~budget:
              (Budget.sub ~time_limit:o.Options.mip.Mip.Branch_bound.time_limit
                 budget)
-           ?trace:o.Options.trace ())
+           ?trace:o.Options.trace ?prof:o.Options.prof ())
   in
   Rstats.merge ~into:stats heavy_outcome.stats;
   (* Fix the schedules the exact pass chose.  Heavy requests it rejected
@@ -444,7 +464,9 @@ and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
              else None)
   in
   let solution, _gstats =
-    Greedy.run ~budget ~stats ?trace:o.Options.trace ~preplaced inst
+    Span.with_ o.Options.prof budget "greedy" @@ fun () ->
+    Greedy.run ~budget ~stats ?trace:o.Options.trace ?prof:o.Options.prof
+      ~preplaced inst
   in
   {
     status =
@@ -871,5 +893,11 @@ let options_to_new (o : options) =
 let solve inst o = run inst (options_to_new o)
 
 let solve_lp_relaxation inst o =
-  let fm, _ = build inst (options_to_new o) in
-  Lp.Simplex.solve_model ?budget:o.budget ?trace:o.trace fm.Formulation.model
+  let o' = options_to_new o in
+  (* Derive the budget exactly as [run] does: without this, a caller
+     relying on [mip.time_limit]/[node_limit] (no explicit budget) got an
+     unlimited LP solve here while every other entry point honoured the
+     limits. *)
+  let budget = budget_of_options o' in
+  let fm, _ = build inst o' in
+  Lp.Simplex.solve_model ~budget ?trace:o.trace fm.Formulation.model

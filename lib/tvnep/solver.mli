@@ -78,6 +78,14 @@ module Options : sig
         (** optional event sink: phase enter/exit, simplex
             refactorizations, B&B node / incumbent / bound updates,
             greedy admissions *)
+    prof : Runtime.Span.recorder option;
+        (** optional span recorder: the solve records a root ["solve"]
+            span (width exactly [outcome.ticks]) with
+            ["build"]/["greedy"]/["search"] children, B&B round and
+            per-node spans below that, and per-LP category leaves at the
+            bottom.  Profiling reads the work clock and never advances
+            it, so a profiled solve is byte-identical to an unprofiled
+            one. *)
   }
 
   val make :
@@ -92,11 +100,12 @@ module Options : sig
     ?mip:Mip.Branch_bound.params ->
     ?budget:Runtime.Budget.t ->
     ?trace:Runtime.Trace.sink ->
+    ?prof:Runtime.Span.recorder ->
     unit ->
     t
   (** Defaults: [Exact] cΣ, access control, all cuts, no seeding,
       [heavy_fraction = 0.3], nothing pinned, default MIP parameters, a
-      private budget, no trace.
+      private budget, no trace, no profiling.
       @raise Invalid_argument for a [heavy_fraction] outside [0, 1]. *)
 
   val default : t
@@ -153,9 +162,14 @@ val run : Instance.t -> Options.t -> outcome
     with [Hybrid]; when [Greedy]/[Hybrid] run without fixed node
     mappings. *)
 
-val build : Instance.t -> Options.t -> Formulation.t * Objective.extras
+val build :
+  ?budget:Runtime.Budget.t ->
+  Instance.t ->
+  Options.t ->
+  Formulation.t * Objective.extras
 (** The assembled MIP without solving it (for inspection/tests); applies
-    [pinned] by fixing acceptance and start variables. *)
+    [pinned] by fixing acceptance and start variables.  [?budget] only
+    timestamps the build spans when the options carry a profiler. *)
 
 (** {2 Versioned JSON encoding}
 
