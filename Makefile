@@ -1,5 +1,5 @@
 .PHONY: all build test bench-smoke bench-micro bench-bnb bench-service \
-	bench-profile doc check clean
+	bench-profile bench-colgen doc check clean
 
 all: build
 
@@ -14,14 +14,15 @@ test: build
 # so the tables are reproducible byte for byte).
 bench-smoke: build
 	dune exec bench/main.exe -- --quick --figures 3 --jobs 2 \
-	  --no-ablations --no-micro --no-bnb --no-service --no-profile
+	  --no-ablations --no-micro --no-bnb --no-service --no-profile \
+	  --no-colgen
 
 # Deterministic simplex micro bench; writes BENCH_simplex.json (per-case
 # iterations, pivots, work-clock ticks, wall time) and exits nonzero when
 # the emitted file fails validation, so CI catches a malformed bench file.
 bench-micro: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-bnb \
-	  --no-service --no-profile
+	  --no-service --no-profile --no-colgen
 
 # Parallel branch-and-bound gate: solves the same contended cΣ search at
 # jobs 1, 2 and 4 on the deterministic work clock, fails if any level's
@@ -29,7 +30,7 @@ bench-micro: build
 # (on >= 4-core hosts) jobs=4 is < 2x faster, and writes BENCH_bnb.json.
 bench-bnb: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
-	  --no-service --no-profile
+	  --no-service --no-profile --no-colgen
 
 # Online admission service gate: serves the same arrival stream at
 # jobs 1 and 4 on the deterministic work clock, fails if any decision,
@@ -38,7 +39,7 @@ bench-bnb: build
 # fails the validator; writes BENCH_service.json.
 bench-service: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
-	  --no-bnb --no-profile
+	  --no-bnb --no-profile --no-colgen
 
 # Profiling smoke gate: the contended cΣ solve with a span recorder
 # attached, at jobs 1 and 4.  Fails if profiling perturbs the solve, the
@@ -47,7 +48,17 @@ bench-service: build
 # exported spans (domain tags zeroed) differ across jobs levels.
 bench-profile: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
-	  --no-bnb --no-service
+	  --no-bnb --no-service --no-colgen
+
+# Column-generation gate: the path-form restricted master vs the arc-form
+# LP on a ~10x substrate (9x10 grid, 8-vlink requests), deterministic
+# work clock.  Fails unless the converged master matches the arc LP
+# objective, costs strictly fewer work ticks, keeps its flow columns
+# <= 20% of the arc form's, and is byte-identical at jobs 1 and 4;
+# writes and validates BENCH_colgen.json.
+bench-colgen: build
+	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
+	  --no-bnb --no-service --no-profile
 
 # API documentation via odoc, when the toolchain has it; a clean skip
 # otherwise (the docs below are the odoc comments in the .mli files).
@@ -61,7 +72,7 @@ doc:
 	fi
 
 check: build test bench-smoke bench-micro bench-bnb bench-service \
-	bench-profile
+	bench-profile bench-colgen
 
 clean:
 	dune clean

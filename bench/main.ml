@@ -129,6 +129,24 @@ let skip_profile_arg =
               attribution, export parsing and jobs=1/4 invariance on a \
               contended c\xce\xa3 solve).")
 
+let skip_colgen_arg =
+  Arg.(
+    value & flag
+    & info [ "no-colgen" ]
+        ~doc:"Skip the column-generation benchmark (path-form restricted \
+              master vs the arc-form LP on a ~10x substrate: objective \
+              agreement, tick win, master size and jobs=1/4 byte-identity \
+              gates).")
+
+let colgen_json_arg =
+  Arg.(
+    value
+    & opt string "BENCH_colgen.json"
+    & info [ "colgen-json" ] ~docv:"PATH"
+        ~doc:"Where the column-generation pass writes its machine-readable \
+              benchmark (JSON; validated after writing).  Empty = don't \
+              write.")
+
 let bench_json_arg =
   Arg.(
     value
@@ -163,8 +181,8 @@ let flex_sweep ~flex_max ~flex_step =
 
 let run figures scenarios time_limit requests flex_max flex_step scale seed
     no_delta no_sigma no_seeding jobs wall_clock quick skip_figures
-    skip_ablations skip_micro skip_bnb skip_service skip_profile bench_json
-    bnb_json service_json =
+    skip_ablations skip_micro skip_bnb skip_service skip_profile skip_colgen
+    bench_json bnb_json service_json colgen_json =
   let open Bench_harness in
   let params =
     match scale with
@@ -217,6 +235,10 @@ let run figures scenarios time_limit requests flex_max flex_step scale seed
     Service_bench.run
       ?json_path:(if service_json = "" then None else Some service_json)
       ();
+  if not skip_colgen then
+    Colgen_bench.run
+      ?json_path:(if colgen_json = "" then None else Some colgen_json)
+      ();
   if not skip_profile then Profile_gate.run ();
   0
 
@@ -227,8 +249,8 @@ let cmd =
       $ flex_max_arg $ flex_step_arg $ scale_arg $ seed_arg $ no_delta_arg
       $ no_sigma_arg $ no_seeding_arg $ jobs_arg $ wall_clock_arg $ quick_arg
       $ skip_figures_arg $ skip_ablations_arg $ skip_micro_arg $ skip_bnb_arg
-      $ skip_service_arg $ skip_profile_arg $ bench_json_arg $ bnb_json_arg
-      $ service_json_arg)
+      $ skip_service_arg $ skip_profile_arg $ skip_colgen_arg $ bench_json_arg
+      $ bnb_json_arg $ service_json_arg $ colgen_json_arg)
   in
   Cmd.v
     (Cmd.info "tvnep-bench"

@@ -122,6 +122,166 @@ let check_exports ~jobs spans =
           exit 1)
     (String.split_on_char '\n' jsonl)
 
+(* --- column-generation profiling pass ------------------------------- *)
+
+(* The path-form root LP on the colgen benchmark's large instance: the
+   generation loop telescopes into per-round master / price / add_col
+   leaves under the "colgen" phase, and the per-commodity pricing
+   fan-out is the one place worker domains touch this solve — so the
+   domain-stripped export must still be byte-identical across jobs. *)
+let solve_colgen_at ~inst ~time_limit ~profiled jobs =
+  let mip =
+    { Mip.Branch_bound.default_params with time_limit; jobs; log_every = 0 }
+  in
+  let budget =
+    Runtime.Budget.create ~deterministic:Figures.work_rate ~time_limit ()
+  in
+  let prof = if profiled then Some (Span.create ()) else None in
+  let o =
+    Tvnep.Solver.run inst
+      (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Lp_only
+         ~flow_form:Tvnep.Solver.Path ~mip ~budget ?prof ())
+  in
+  (match prof with
+  | Some r when Span.open_spans r <> 0 ->
+    Printf.eprintf
+      "PROFILE GATE: colgen recorder left %d open span(s) at jobs=%d\n"
+      (Span.open_spans r) jobs;
+    exit 1
+  | _ -> ());
+  let spans = match prof with Some r -> Span.spans r | None -> [] in
+  ( {
+      jobs;
+      status = Tvnep.Solver.status_to_string o.Tvnep.Solver.status;
+      objective = Option.value o.Tvnep.Solver.objective ~default:Float.nan;
+      nodes = o.Tvnep.Solver.nodes;
+      lp_iterations = o.Tvnep.Solver.lp_iterations;
+      ticks = o.Tvnep.Solver.ticks;
+      spans;
+      tree = Span.tree_of spans;
+    },
+    match o.Tvnep.Solver.colgen with
+    | Some c -> c.Tvnep.Solver.columns_generated
+    | None -> 0 )
+
+let rec find_tree name = function
+  | [] -> None
+  | (t : Span.tree) :: rest ->
+    if t.Span.tree_name = name then Some t
+    else (
+      match find_tree name t.Span.children with
+      | Some _ as hit -> hit
+      | None -> find_tree name rest)
+
+(* The generation loop's phase shape: a "colgen" phase holding "master"
+   and "price" leaves (every round solves then prices) and — whenever
+   columns actually entered — "add_col" splices, with one call per
+   round-level occurrence telescoping into the aggregated tree. *)
+let check_colgen_tree ~jobs ~generated tree =
+  match find_tree "colgen" tree with
+  | None ->
+    Printf.eprintf "PROFILE GATE: jobs=%d has no \"colgen\" phase\n" jobs;
+    exit 1
+  | Some cg ->
+    let need name =
+      match find_tree name cg.Span.children with
+      | Some t -> t
+      | None ->
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d \"colgen\" phase lacks a %S leaf\n" jobs name;
+        exit 1
+    in
+    let master = need "master" and price = need "price" in
+    if generated > 0 then begin
+      let add_col = need "add_col" in
+      (* One master solve and one pricing sweep per round, plus the
+         convergence round's final solve/sweep; splices happen on the
+         non-final rounds only. *)
+      if add_col.Span.calls >= master.Span.calls then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d add_col ran %d times >= %d master solves\n"
+          jobs add_col.Span.calls master.Span.calls;
+        exit 1
+      end
+    end;
+    if price.Span.calls <> master.Span.calls then begin
+      Printf.eprintf
+        "PROFILE GATE: jobs=%d %d pricing sweeps do not telescope with %d \
+         master solves\n"
+        jobs price.Span.calls master.Span.calls;
+      exit 1
+    end
+
+let run_colgen ~time_limit () =
+  Printf.printf
+    "\n== Profiling gate, column-generation pass (path-form root LP) ==\n";
+  let inst = Colgen_bench.bench_instance () in
+  let baseline, _ =
+    solve_colgen_at ~inst ~time_limit ~profiled:false 1
+  in
+  let runs =
+    List.map
+      (fun jobs -> solve_colgen_at ~inst ~time_limit ~profiled:true jobs)
+      jobs_levels
+  in
+  let base, base_generated = List.hd runs in
+  if fingerprint base <> fingerprint baseline then begin
+    Printf.eprintf
+      "PROFILE GATE: profiling perturbed the colgen solve (%s, %g, %d ticks \
+       vs %s, %g, %d ticks)\n"
+      baseline.status baseline.objective baseline.ticks base.status
+      base.objective base.ticks;
+    exit 1
+  end;
+  if base_generated = 0 then begin
+    (* The instance is chosen to force pricing; silently passing with an
+       idle loop would gate nothing. *)
+    Printf.eprintf "PROFILE GATE: colgen pass generated no columns\n";
+    exit 1
+  end;
+  List.iter
+    (fun (r, generated) ->
+      if fingerprint r <> fingerprint base then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d colgen solve differs from jobs=%d\n" r.jobs
+          base.jobs;
+        exit 1
+      end;
+      if not (check_nesting r.spans) then begin
+        Printf.eprintf "PROFILE GATE: jobs=%d colgen spans do not nest\n"
+          r.jobs;
+        exit 1
+      end;
+      let self = Span.sum_self r.tree in
+      if self <> r.ticks then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d colgen self ticks (%d) do not sum to the \
+           solve's work ticks (%d)\n"
+          r.jobs self r.ticks;
+        exit 1
+      end;
+      check_colgen_tree ~jobs:r.jobs ~generated r.tree;
+      check_exports ~jobs:r.jobs r.spans)
+    runs;
+  List.iter
+    (fun (r, _) ->
+      if
+        Span.to_jsonl (domainless r.spans)
+        <> Span.to_jsonl (domainless base.spans)
+      then begin
+        Printf.eprintf
+          "PROFILE GATE: jobs=%d colgen exported spans differ from jobs=%d \
+           (domains zeroed)\n"
+          r.jobs base.jobs;
+        exit 1
+      end)
+    runs;
+  Printf.printf
+    "colgen profiling: %d spans, %d columns generated, master/price/add_col \
+     telescope, jobs levels identical\n"
+    (List.length base.spans) base_generated;
+  print_string (Span.render_tree ~rate:Figures.work_rate base.tree)
+
 let run ?(time_limit = 30.0) () =
   Printf.printf "\n== Profiling smoke gate (contended c\xce\xa3 solve) ==\n";
   let inst = bench_instance () in
@@ -184,4 +344,5 @@ let run ?(time_limit = 30.0) () =
     "profile gate: %d spans, %d ticks attributed (= solve ticks), nesting \
      ok, exports parse, jobs levels identical\n"
     (List.length base.spans) (Span.sum_self base.tree);
-  print_string (Span.render_tree ~rate:Figures.work_rate base.tree)
+  print_string (Span.render_tree ~rate:Figures.work_rate base.tree);
+  run_colgen ~time_limit ()

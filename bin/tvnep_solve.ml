@@ -61,6 +61,17 @@ let no_cuts_arg =
     & info [ "no-cuts" ]
         ~doc:"Disable the temporal dependency graph cuts (cΣ only).")
 
+let flow_form_arg =
+  Arg.(
+    value
+    & opt (enum [ ("arc", Tvnep.Solver.Arc); ("path", Tvnep.Solver.Path) ])
+        Tvnep.Solver.Arc
+    & info [ "flow-form" ] ~docv:"FORM"
+        ~doc:"Link-flow formulation: arc (default, one variable per \
+              (virtual link, substrate arc)) or path (column generation: \
+              a path-based restricted master grown by shortest-path \
+              pricing; csigma model with fixed node mappings only).")
+
 let seed_greedy_arg =
   Arg.(
     value & flag
@@ -155,6 +166,16 @@ let report_outcome ?gantt ~json inst (o : Tvnep.Solver.outcome) =
                    %.2fs\n"
       o.Tvnep.Solver.model_vars o.Tvnep.Solver.model_rows o.Tvnep.Solver.nodes
       o.Tvnep.Solver.lp_iterations o.Tvnep.Solver.runtime;
+    (match o.Tvnep.Solver.colgen with
+    | None -> ()
+    | Some c ->
+      Printf.printf
+        "colgen:    %d columns in %d rounds (%d master flow columns vs %d \
+         arc-form)%s\n"
+        c.Tvnep.Solver.columns_generated c.Tvnep.Solver.pricing_rounds
+        c.Tvnep.Solver.master_flow_columns c.Tvnep.Solver.arc_flow_columns
+        (if c.Tvnep.Solver.colgen_converged then ", converged"
+         else ", round cap"));
     Printf.printf "counters:  %s\n"
       (Runtime.Stats.to_string o.Tvnep.Solver.stats);
     match o.Tvnep.Solver.solution with
@@ -165,8 +186,8 @@ let report_outcome ?gantt ~json inst (o : Tvnep.Solver.outcome) =
   end
 
 let solve_cmd =
-  let run file model objective no_cuts seed_greedy slot time_limit jobs
-      verbose gantt json profile =
+  let run file model objective no_cuts flow_form seed_greedy slot time_limit
+      jobs verbose gantt json profile =
     setup_logs verbose;
     let inst = Tvnep.Instance_io.load file in
     let mip =
@@ -204,7 +225,7 @@ let solve_cmd =
         Tvnep.Solver.run inst
           (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Exact ~kind
              ~objective ~use_cuts:(not no_cuts) ~pairwise_cuts:(not no_cuts)
-             ~seed_with_greedy:seed_greedy ~mip ?prof ())
+             ~flow_form ~seed_with_greedy:seed_greedy ~mip ?prof ())
       in
       let code = report_outcome ~gantt ~json inst o in
       (match (profile, prof) with
@@ -216,8 +237,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve an instance exactly with a chosen model")
     Term.(
       const run $ file_arg $ model_arg $ objective_arg $ no_cuts_arg
-      $ seed_greedy_arg $ slot_arg $ time_limit_arg $ jobs_arg $ verbose_arg
-      $ gantt_arg $ json_arg $ profile_arg)
+      $ flow_form_arg $ seed_greedy_arg $ slot_arg $ time_limit_arg $ jobs_arg
+      $ verbose_arg $ gantt_arg $ json_arg $ profile_arg)
 
 (* ---- greedy ------------------------------------------------------------ *)
 
@@ -415,7 +436,8 @@ let explain_cmd =
           ~doc:"Temporal flexibility of the generated scenario (ignored \
                 with FILE).")
   in
-  let run file seed requests flex time_limit jobs no_cuts verbose profile =
+  let run file seed requests flex time_limit jobs no_cuts flow_form verbose
+      profile =
     setup_logs verbose;
     let inst =
       match file with
@@ -438,8 +460,8 @@ let explain_cmd =
     let o =
       Tvnep.Solver.run inst
         (Tvnep.Solver.Options.make ~method_:Tvnep.Solver.Exact
-           ~use_cuts:(not no_cuts) ~pairwise_cuts:(not no_cuts) ~mip ~budget
-           ~prof ())
+           ~use_cuts:(not no_cuts) ~pairwise_cuts:(not no_cuts) ~flow_form
+           ~mip ~budget ~prof ())
     in
     (match profile with Some path -> write_profile path prof | None -> ());
     let spans = Runtime.Span.spans prof in
@@ -488,7 +510,8 @@ let explain_cmd =
              to the solve's total work ticks (the command fails otherwise).")
     Term.(
       const run $ file_opt_arg $ seed_arg $ requests_arg $ flex_arg
-      $ time_limit_arg $ jobs_arg $ no_cuts_arg $ verbose_arg $ profile_arg)
+      $ time_limit_arg $ jobs_arg $ no_cuts_arg $ flow_form_arg $ verbose_arg
+      $ profile_arg)
 
 (* ---- generate ----------------------------------------------------------- *)
 

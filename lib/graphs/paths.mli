@@ -33,3 +33,78 @@ val max_distances : Digraph.t -> weight:(Digraph.edge -> float) -> float array a
 
 val shortest_path : Digraph.t -> src:int -> dst:int -> int list option
 (** Minimum-hop path as a node list (inclusive), [None] if unreachable. *)
+
+(** {2 Weighted shortest paths and k-shortest simple paths}
+
+    The column-generation flow layer prices substrate paths per virtual
+    link; everything below is deterministic — ties on distance resolve to
+    the smallest node id inside Dijkstra, and candidate paths order by
+    (cost, then edge-id sequence lexicographically) — so generated
+    columns are a pure function of the graph and the weights, whatever
+    the parallel schedule. *)
+
+type weighted_path = {
+  edges : int list;  (** edge ids in path order; [[]] iff src = dst *)
+  cost : float;
+}
+
+val path_nodes : Digraph.t -> weighted_path -> src:int -> int list
+(** The node sequence of a path (inclusive of both endpoints). *)
+
+val compare_paths : weighted_path -> weighted_path -> int
+(** Total order: cost, then edge ids lexicographically. *)
+
+val dijkstra :
+  Digraph.t -> weight:(Digraph.edge -> float) -> src:int -> float array * int array
+(** Single-source shortest distances and the parent {e edge} id per node
+    ([-1] = unreached/source).  Deterministic smallest-node-id
+    tie-breaking.
+    @raise Invalid_argument on a negative arc weight or bad source. *)
+
+val shortest_weighted_path :
+  Digraph.t ->
+  weight:(Digraph.edge -> float) ->
+  src:int ->
+  dst:int ->
+  weighted_path option
+(** Cheapest path under nonnegative arc weights; [None] if unreachable.
+    [src = dst] yields the empty path of cost 0. *)
+
+val k_shortest_paths :
+  Digraph.t ->
+  weight:(Digraph.edge -> float) ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  weighted_path list
+(** Yen's algorithm: up to [k] {e simple} paths in ascending
+    [compare_paths] order (fewer when the graph runs out).  Deterministic
+    by the same tie-breaks.  [src = dst] yields just the empty path. *)
+
+(** Reduced-cost shortest-path pricing for the restricted master of the
+    path-form flow layer: a commodity is one virtual link with
+    dual-adjusted arc costs and the dual of its convexity row as the
+    price threshold. *)
+module Pricer : sig
+  type commodity = {
+    src : int;
+    dst : int;
+    arc_cost : int -> float;  (** dual-adjusted cost per edge id, >= 0 *)
+    threshold : float;
+        (** a path prices in when [cost(p) - threshold < -eps] *)
+  }
+
+  type verdict = {
+    path : weighted_path option;
+    reduced_cost : float;
+        (** [cost(path) - threshold]; [infinity] when the destination is
+            unreachable *)
+  }
+
+  val price : Digraph.t -> commodity -> verdict
+  (** The cheapest path under [arc_cost] and its reduced cost. *)
+
+  val improves : eps:float -> verdict -> bool
+  (** Whether the verdict's column strictly prices in ([reduced_cost <
+      -eps]). *)
+end

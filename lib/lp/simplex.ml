@@ -1056,13 +1056,15 @@ let solve_model ?params ?budget ?stats ?trace ?prof m =
 (* --- persistent sessions ----------------------------------------------- *)
 
 type session = {
-  s_sf : Std_form.t;
+  mutable s_sf : Std_form.t;  (* grows via [session_add_columns] *)
   s_params : params;
   mutable s_state : state option;  (* carries basis + inverse across solves *)
 }
 
 let create_session ?(params = default_params) sf =
   { s_sf = sf; s_params = params; s_state = None }
+
+let session_std_form session = session.s_sf
 
 let fresh_state sf params budget stats sink prof lb ub =
   let m = sf.Std_form.n_rows in
@@ -1123,8 +1125,84 @@ let rebound_state st lb ub =
     end
   done
 
-let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm ~lb ~ub
-    () =
+(* Splices freshly generated columns into the live session: the standard
+   form is replaced by the enlarged one and the carried state is remapped
+   in place — old indices >= old [n_struct] (logicals, artificials) shift
+   up by [k], the new columns enter nonbasic at their nearest bound, and
+   the factored basis representation survives untouched (the basis matrix
+   itself did not change, only the numbering of the columns it indexes).
+   The candidate list is cleared so the next pricing pass is a full sweep
+   that sees the entrants; the cached transpose of the dual pricer is
+   invalidated.  Work billed on the clock: one FTRAN per new column
+   against the current factorization — the price-in the entrant pays
+   anyway on its first pivot — keeping the tick stream a pure function of
+   the column sequence. *)
+let session_add_columns session ?budget ?stats cols =
+  let k = List.length cols in
+  if k = 0 then session.s_sf
+  else begin
+    let sf' = Std_form.append_columns session.s_sf cols in
+    (match session.s_state with
+    | None -> ()
+    | Some st ->
+      let n = st.sf.Std_form.n_struct in
+      let m = st.m in
+      let n_total' = st.n_total + k in
+      let splice old mk_new =
+        Array.init
+          (n_total' + m)
+          (fun j ->
+            if j < n then old.(j)
+            else if j < n + k then mk_new (j - n)
+            else old.(j - k))
+      in
+      let lb = splice st.lb (fun i -> sf'.Std_form.lb.(n + i)) in
+      let ub = splice st.ub (fun i -> sf'.Std_form.ub.(n + i)) in
+      (* After a finished solve [cost] equals [real_cost] on real columns
+         and 0 on artificials; splicing both keeps that alignment. *)
+      let cost = splice st.cost (fun i -> sf'.Std_form.cost.(n + i)) in
+      let real_cost =
+        Array.init n_total' (fun j ->
+            if j < n then st.real_cost.(j)
+            else if j < n + k then sf'.Std_form.cost.(j)
+            else st.real_cost.(j - k))
+      in
+      let xval = splice st.xval (fun i -> fst (nearest_bound lb.(n + i) ub.(n + i))) in
+      let vstat =
+        splice st.vstat (fun i -> snd (nearest_bound lb.(n + i) ub.(n + i)))
+      in
+      let basis = Array.map (fun j -> if j < n then j else j + k) st.basis in
+      let st' =
+        {
+          st with
+          sf = sf';
+          n_total = n_total';
+          lb;
+          ub;
+          cost;
+          real_cost;
+          xval;
+          vstat;
+          basis;
+          budget = (match budget with Some b -> b | None -> st.budget);
+          stats = (match stats with Some s -> s | None -> st.stats);
+          cand = Array.make (n_total' + m) 0;
+          cand_score = Array.make (n_total' + m) 0.0;
+          cand_n = 0;
+          dualw = None;
+        }
+      in
+      session.s_state <- Some st';
+      (* Bill the price-in: one basis solve per entrant (skipped when the
+         session never built a basis — nothing to price against). *)
+      if Array.for_all (fun j -> j >= 0) st'.basis then
+        List.iteri (fun i _ -> ftran st' (n + i)) cols);
+    session.s_sf <- sf';
+    sf'
+  end
+
+let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm
+    ?(primal = false) ~lb ~ub () =
   let sf = session.s_sf in
   let n_total = Std_form.n_total sf in
   if Array.length lb <> n_total || Array.length ub <> n_total then
@@ -1226,27 +1304,31 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm ~lb ~ub
         let st = { st with params; budget; stats; sink = trace; prof } in
         session.s_state <- Some st;
         rebound_state st lb ub;
-        let usable =
-          (* A valid basis (no artificial columns) that is still dual
-             feasible lets the dual simplex re-solve in place. *)
-          Array.for_all (fun j -> j >= 0 && j < st.n_total) st.basis
-          && begin
-               recompute_basics st;
-               dual_feasible st
-             end
-        in
-        if not usable then cold_solve ()
-        else begin
-          let status =
-            try
-              dual_optimize st;
-              optimize st ~allow_unbounded:true;
-              Optimal
-            with Solver_stop s -> s
-          in
-          match status with
+        let run body =
+          match (try body (); Optimal with Solver_stop s -> s) with
           | Numerical_failure ->
             (* Drift or a bad pivot: one authoritative cold retry. *)
             cold_solve ()
           | s -> finish st s
+        in
+        if not (Array.for_all (fun j -> j >= 0 && j < st.n_total) st.basis)
+        then cold_solve ()
+        else begin
+          recompute_basics st;
+          (* [~primal] is the column-generation continuation: freshly
+             added columns leave the carried basis primal feasible (the
+             entrants sit on a bound) but dual {e infeasible} — exactly
+             the state the primal simplex resumes from, where the old
+             path would have thrown the basis away and cold-started. *)
+          if primal && basics_primal_feasible st then
+            run (fun () -> optimize st ~allow_unbounded:true)
+          else if
+            (* A valid basis (no artificial columns) that is still dual
+               feasible lets the dual simplex re-solve in place. *)
+            dual_feasible st
+          then
+            run (fun () ->
+                dual_optimize st;
+                optimize st ~allow_unbounded:true)
+          else cold_solve ()
         end)

@@ -109,6 +109,30 @@ type session
 
 val create_session : ?params:params -> Std_form.t -> session
 
+val session_std_form : session -> Std_form.t
+(** The session's current standard form — the one given to
+    {!create_session} until {!session_add_columns} enlarges it. *)
+
+val session_add_columns :
+  session ->
+  ?budget:Runtime.Budget.t ->
+  ?stats:Runtime.Stats.t ->
+  Std_form.column list ->
+  Std_form.t
+(** Splices generated columns into the live session without rebuilding
+    it: the standard form grows per {!Std_form.append_columns}, and the
+    carried solver state — basis, factorization, bounds, values — is
+    remapped in place.  The factored basis is {e reused} (the basis
+    matrix is unchanged); entrants arrive nonbasic on their nearest
+    bound, so a following [session_solve ~primal:true] resumes the
+    primal simplex from the previous optimum and the next pricing sweep
+    sees the new columns.  Billed on the deterministic work clock as one
+    FTRAN per entrant against [?budget] (default: the budget of the last
+    solve).  Returns the enlarged form.
+
+    Bound arrays passed to later [session_solve] calls must match the
+    {e new} [Std_form.n_total]. *)
+
 val session_solve :
   session ->
   ?time_limit:float ->
@@ -117,6 +141,7 @@ val session_solve :
   ?trace:Runtime.Trace.sink ->
   ?prof:Runtime.Span.recorder ->
   ?warm:basis ->
+  ?primal:bool ->
   lb:float array ->
   ub:float array ->
   unit ->
@@ -134,4 +159,13 @@ val session_solve :
     exactly the given basis (reusing its allocated state and cached
     transpose), making the result a function of the (warm basis, bounds)
     pair alone — the reproducibility the parallel branch-and-bound needs
-    when nodes land on arbitrary workers. *)
+    when nodes land on arbitrary workers.
+
+    [?primal:true] is the column-generation continuation: when the
+    carried basis is valid and primal feasible under the new bounds —
+    the state {!session_add_columns} leaves behind — the {e primal}
+    simplex resumes from it directly instead of demanding dual
+    feasibility (which fresh improving columns violate by design) and
+    falling back to a cold start.  When the basis is not primal
+    feasible the flag is ignored and the normal dual-first logic
+    applies. *)

@@ -65,6 +65,72 @@ let of_model m =
 
 let n_total sf = sf.n_struct + sf.n_rows
 
+type column = {
+  col_name : string;
+  col_cost : float;
+  col_lb : float;
+  col_ub : float;
+  col_entries : (int * float) list;
+}
+
+(* New columns are inserted at structural positions [n_struct ..
+   n_struct+k-1] — i.e. {e before} the logicals — so every index contract
+   downstream survives unchanged: logicals stay the last [n_rows]
+   columns, [x = xval[0..n_struct)] still extracts the structurals, and a
+   basis over the old form maps to the new one by shifting indices
+   >= old [n_struct] up by [k]. *)
+let append_columns sf cols =
+  let k = List.length cols in
+  if k = 0 then sf
+  else begin
+    let n = sf.n_struct and nr = sf.n_rows in
+    let carr = Array.of_list cols in
+    Array.iter
+      (fun c ->
+        if c.col_lb > c.col_ub then
+          invalid_arg
+            (Printf.sprintf "Std_form.append_columns %s: lb > ub" c.col_name);
+        List.iter
+          (fun (i, _) ->
+            if i < 0 || i >= nr then
+              invalid_arg
+                (Printf.sprintf "Std_form.append_columns %s: unknown row %d"
+                   c.col_name i))
+          c.col_entries)
+      carr;
+    let n' = n + k in
+    let total' = n' + nr in
+    let b = Lina.Csc.Builder.create ~rows:nr ~cols:total' in
+    for j = 0 to n + nr - 1 do
+      let j' = if j < n then j else j + k in
+      Lina.Csc.iter_col sf.a j (fun i v -> Lina.Csc.Builder.add b ~row:i ~col:j' v)
+    done;
+    Array.iteri
+      (fun idx c ->
+        List.iter
+          (fun (i, v) -> Lina.Csc.Builder.add b ~row:i ~col:(n + idx) v)
+          c.col_entries)
+      carr;
+    let a = Lina.Csc.Builder.finish b in
+    let splice old mk_new =
+      Array.init total' (fun j ->
+          if j < n then old.(j)
+          else if j < n' then mk_new (j - n)
+          else old.(j - k))
+    in
+    let cost = splice sf.cost (fun i -> sf.obj_factor *. carr.(i).col_cost) in
+    let lb = splice sf.lb (fun i -> carr.(i).col_lb) in
+    let ub = splice sf.ub (fun i -> carr.(i).col_ub) in
+    let integer =
+      Array.init n' (fun j -> if j < n then sf.integer.(j) else false)
+    in
+    let var_names =
+      Array.init n' (fun j ->
+          if j < n then sf.var_names.(j) else carr.(j - n).col_name)
+    in
+    { sf with n_struct = n'; a; cost; lb; ub; integer; var_names }
+  end
+
 let user_objective sf internal = (sf.obj_factor *. internal) +. sf.obj_const
 
 let row_activity sf x =

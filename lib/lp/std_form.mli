@@ -29,6 +29,28 @@ val of_model : Model.t -> t
 val n_total : t -> int
 (** [n_struct + n_rows]. *)
 
+(** {2 Incremental columns (column generation)} *)
+
+type column = {
+  col_name : string;
+  col_cost : float;  (** objective coefficient in the {e model's} sense *)
+  col_lb : float;
+  col_ub : float;
+  col_entries : (int * float) list;  (** (row index, coefficient) pairs *)
+}
+
+val append_columns : t -> column list -> t
+(** A new form with the given columns inserted as {e structurals} — at
+    positions [n_struct .. n_struct + k - 1], before the logicals — so
+    all downstream index contracts survive: logicals remain the trailing
+    [n_rows] columns and old structural indices are unchanged.  A basis
+    of the old form maps onto the new one by shifting every index
+    [>= n_struct] up by [k] ({!Simplex.session_add_columns} does this
+    in-place on a live session).  New columns are continuous.  The
+    original form is not mutated; the sparse matrix is rebuilt in
+    O(nnz).
+    @raise Invalid_argument on a bad row index or crossed bounds. *)
+
 val user_objective : t -> float -> float
 (** Maps an internal (minimization) objective value back to the model's
     objective sense and offset. *)

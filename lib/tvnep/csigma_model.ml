@@ -19,7 +19,7 @@ let state_activity (ranges : Depgraph.event_ranges) req i =
   else if i >= s_hi && i <= e_lo - 1 then `Always
   else `Maybe
 
-let build ?(options = default_options) ?prof ?budget inst =
+let build ?(options = default_options) ?prof ?budget ?embeddings inst =
   (* Model construction does not tick the work clock, so these spans show
      ≈0 ticks under a deterministic budget — they exist to make the
      presolve (dependency-graph event ranges) and cut-separation passes
@@ -37,8 +37,11 @@ let build ?(options = default_options) ?prof ?budget inst =
   let n_nodes = Substrate.num_nodes sub and n_links = Substrate.num_links sub in
   let model = Lp.Model.create ~name:"csigma" () in
   let embeddings =
-    Formulation.add_embeddings model inst
-      ~relax_integrality:options.relax_integrality
+    match embeddings with
+    | Some factory -> factory model
+    | None ->
+      Formulation.add_embeddings model inst
+        ~relax_integrality:options.relax_integrality
   in
   let ranges =
     span "presolve" @@ fun () ->

@@ -26,10 +26,19 @@ val build :
   ?options:options ->
   ?prof:Runtime.Span.recorder ->
   ?budget:Runtime.Budget.t ->
+  ?embeddings:(Lp.Model.t -> Embedding.t array) ->
   Instance.t ->
   Formulation.t
 (** Builds the formulation.  With both [?prof] and [?budget], the
     dependency-graph presolve and the pairwise cut separation record
     ["presolve"] and ["cuts"] spans (build work does not tick the work
     clock, so their tick width is ≈0 under a deterministic budget; they
-    carry wall time when the recorder captures it). *)
+    carry wall time when the recorder captures it).
+
+    [?embeddings] swaps the per-request embedding layer: the factory is
+    called once on the fresh model and must return one {!Embedding.t} per
+    request.  The temporal machinery only consumes the
+    [node_alloc]/[link_alloc] expressions (plus [x_r]), so an alternative
+    flow formulation — e.g. {!Colgen_model}'s path-based restricted
+    master — plugs in here without touching the cΣ layer.  Default:
+    {!Formulation.add_embeddings} (the paper's arc-flow form). *)

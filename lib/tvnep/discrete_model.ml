@@ -218,5 +218,6 @@ let solve ?(options = default_options) ?(mip = Mip.Branch_bound.default_params)
     model_vars = Lp.Model.num_vars dm.model;
     model_rows = Lp.Model.num_constrs dm.model;
     hybrid = None;
+    colgen = None;
     stats = result.Mip.Branch_bound.stats;
   }

@@ -265,13 +265,18 @@ let lift_embedding inst ~req (emb : Embedding.t) (a : Solution.assignment) arr =
         set_expr_var arr (x_v (v, s)) value
       done
     done);
-  Array.iteri
-    (fun lv flows ->
-      List.iter
-        (fun (ls, frac) ->
-          arr.((emb.Embedding.x_e.(lv).(ls) :> int)) <- frac)
-        flows)
-    a.Solution.link_flows
+  (* Path-form embeddings carry no per-arc variables ([x_e = [||]]); their
+     aggregated flow/path columns cannot be reconstructed from a solution's
+     arc flows, so the lift leaves them at zero (the MIP layer re-verifies
+     lifted points and drops infeasible ones). *)
+  if Array.length emb.Embedding.x_e > 0 then
+    Array.iteri
+      (fun lv flows ->
+        List.iter
+          (fun (ls, frac) ->
+            arr.((emb.Embedding.x_e.(lv).(ls) :> int)) <- frac)
+          flows)
+      a.Solution.link_flows
 
 let lift_times fm (sol : Solution.t) arr =
   Array.iteri

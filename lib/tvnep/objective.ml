@@ -106,6 +106,24 @@ let disable_links (fm : Formulation.t) =
   let sub = inst.Instance.substrate in
   let n_links = Substrate.num_links sub in
   let big_m = float_of_int (max 1 (Instance.total_virtual_links inst)) in
+  (* Path-form embeddings ([x_e = [||]]) expose flow only through the
+     demand-scaled [link_alloc] aggregate, so the big-M must also cover
+     the total link demand (arc-form-only models keep the historical
+     coefficient unchanged). *)
+  let has_aggregated =
+    Array.exists
+      (fun (emb : Embedding.t) -> Array.length emb.Embedding.x_e = 0)
+      fm.Formulation.embeddings
+  in
+  let big_m =
+    if has_aggregated then
+      Float.max big_m
+        (Array.fold_left
+           (fun acc (r : Request.t) ->
+             acc +. Array.fold_left ( +. ) 0.0 r.Request.link_demand)
+           1.0 inst.Instance.requests)
+    else big_m
+  in
   let disabled =
     Array.init n_links (fun l ->
         Lp.Model.add_var model ~kind:Lp.Model.Binary (Printf.sprintf "D_%d" l))
@@ -115,9 +133,12 @@ let disable_links (fm : Formulation.t) =
       Lp.Expr.sum
         (Array.to_list fm.Formulation.embeddings
         |> List.concat_map (fun (emb : Embedding.t) ->
-               Array.to_list emb.Embedding.x_e
-               |> List.map (fun row ->
-                      Lp.Expr.var ((row.(l) : Lp.Model.var) :> int))))
+               if Array.length emb.Embedding.x_e = 0 then
+                 [ emb.Embedding.link_alloc.(l) ]
+               else
+                 Array.to_list emb.Embedding.x_e
+                 |> List.map (fun row ->
+                        Lp.Expr.var ((row.(l) : Lp.Model.var) :> int))))
     in
     (* Σ x_E <= M (1 - D): any flow on the link forbids disabling it. *)
     Lp.Model.add_le model

@@ -20,6 +20,15 @@ let method_of_string = function
   | "lp_only" -> Some Lp_only
   | _ -> None
 
+type flow_form = Arc | Path
+
+let flow_form_to_string = function Arc -> "arc" | Path -> "path"
+
+let flow_form_of_string = function
+  | "arc" -> Some Arc
+  | "path" -> Some Path
+  | _ -> None
+
 type status =
   | Optimal
   | Feasible
@@ -60,6 +69,8 @@ module Options = struct
     seed_with_greedy : bool;
     heavy_fraction : float;
     pinned : (int * float) list;
+    flow_form : flow_form;
+    colgen : Colgen_model.params;
     mip : Mip.Branch_bound.params;
     budget : Runtime.Budget.t option;
     trace : Runtime.Trace.sink option;
@@ -69,7 +80,8 @@ module Options = struct
   let make ?(method_ = Exact) ?(kind = Csigma)
       ?(objective = Objective.Access_control) ?(use_cuts = true)
       ?(pairwise_cuts = true) ?(seed_with_greedy = false)
-      ?(heavy_fraction = 0.3) ?(pinned = [])
+      ?(heavy_fraction = 0.3) ?(pinned = []) ?(flow_form = Arc)
+      ?(colgen = Colgen_model.default_params)
       ?(mip = Mip.Branch_bound.default_params) ?budget ?trace ?prof () =
     if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
       invalid_arg "Solver.Options.make: heavy_fraction outside [0, 1]";
@@ -82,6 +94,8 @@ module Options = struct
       seed_with_greedy;
       heavy_fraction;
       pinned;
+      flow_form;
+      colgen;
       mip;
       budget;
       trace;
@@ -92,6 +106,14 @@ module Options = struct
   let with_budget budget o = { o with budget }
   let with_pinned pinned o = { o with pinned }
 end
+
+type colgen_stats = {
+  columns_generated : int;
+  pricing_rounds : int;
+  master_flow_columns : int;
+  arc_flow_columns : int;
+  colgen_converged : bool;
+}
 
 type outcome = {
   status : status;
@@ -108,6 +130,7 @@ type outcome = {
   model_vars : int;
   model_rows : int;
   hybrid : hybrid_detail option;
+  colgen : colgen_stats option;
   stats : Runtime.Stats.t;
 }
 
@@ -192,6 +215,7 @@ let exhausted_outcome ~method_used stats =
     model_vars = 0;
     model_rows = 0;
     hybrid = None;
+    colgen = None;
     stats;
   }
 
@@ -284,6 +308,7 @@ let run_exact inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
     model_vars = Lp.Model.num_vars model;
     model_rows = Lp.Model.num_constrs model;
     hybrid = None;
+    colgen = None;
     stats;
   }
 
@@ -325,6 +350,7 @@ let run_lp_only inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
     model_vars = Lp.Model.num_vars fm.Formulation.model;
     model_rows = Lp.Model.num_constrs fm.Formulation.model;
     hybrid = None;
+    colgen = None;
     stats;
   }
 
@@ -358,6 +384,188 @@ let run_greedy inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
     model_vars = 0;
     model_rows = 0;
     hybrid = None;
+    colgen = None;
+    stats;
+  }
+
+(* --- path-form (column generation) dispatch ------------------------- *)
+
+let colgen_stats_of cg ~converged =
+  Some
+    {
+      columns_generated = Colgen_model.columns_generated cg;
+      pricing_rounds = Colgen_model.pricing_rounds cg;
+      master_flow_columns = Colgen_model.flow_columns cg;
+      arc_flow_columns = Colgen_model.arc_flow_columns cg;
+      colgen_converged = converged;
+    }
+
+(* Path-form counterpart of [build]: the restricted master replaces the
+   arc-flow embeddings, everything downstream (objective, pins) is
+   applied the same way.  Rows recorded for pricing keep their indices —
+   objective/pin edits only append rows or touch bounds. *)
+let build_path ?budget inst (o : Options.t) =
+  if o.Options.kind <> Csigma then
+    invalid_arg "Solver.run: flow_form Path requires the csigma model";
+  let cg =
+    Colgen_model.build
+      ~options:
+        {
+          Csigma_model.use_cuts = o.Options.use_cuts;
+          pairwise_cuts = o.Options.pairwise_cuts;
+          relax_integrality = false;
+        }
+      ~params:o.Options.colgen ?prof:o.Options.prof ?budget inst
+  in
+  let fm = Colgen_model.formulation cg in
+  let extras = Objective.apply fm o.Options.objective in
+  List.iter
+    (fun (req, start) ->
+      Lp.Model.fix_var fm.Formulation.model
+        fm.Formulation.embeddings.(req).Embedding.x_r 1.0;
+      Lp.Model.fix_var fm.Formulation.model fm.Formulation.t_start.(req) start)
+    o.Options.pinned;
+  (cg, extras)
+
+let colgen_build_phase inst (o : Options.t) ~budget ~stats ~t0 =
+  let sink = o.Options.trace in
+  let prof = o.Options.prof in
+  Trace.emit sink budget (Trace.Phase_start "build");
+  let cg, _extras =
+    Span.with_ prof budget "build" @@ fun () -> build_path ~budget inst o
+  in
+  let build_time = Budget.elapsed budget -. t0 in
+  stats.Rstats.build_time <- stats.Rstats.build_time +. build_time;
+  Trace.emit sink budget (Trace.Phase_end ("build", build_time));
+  cg
+
+let colgen_generate_phase cg (o : Options.t) ~budget ~stats ?fixed () =
+  let sink = o.Options.trace in
+  let prof = o.Options.prof in
+  Trace.emit sink budget (Trace.Phase_start "colgen");
+  let t_cg = Budget.elapsed budget in
+  let gen =
+    Span.with_ prof budget "colgen" @@ fun () ->
+    Colgen_model.generate ~jobs:o.Options.mip.Mip.Branch_bound.jobs
+      ~lp_params:o.Options.mip.Mip.Branch_bound.lp_params ~stats ?prof ?fixed
+      ~budget cg
+  in
+  Trace.emit sink budget
+    (Trace.Phase_end ("colgen", Budget.elapsed budget -. t_cg));
+  gen
+
+(* Exact solve over the path master: root column generation on the LP
+   relaxation, then branch-and-bound on the enlarged standard form —
+   every node inherits the root's columns.  With [colgen.price_at_nodes]
+   a branch-and-price-lite second pass re-prices against the
+   incumbent-fixed master LP and re-runs the search once when new
+   columns enter (seeded with the previous incumbent, zero-extended on
+   the new columns — still feasible).  Note the proved bound is for the
+   MIP over the generated columns; at the root LP it coincides with the
+   full arc-form bound once generation converged. *)
+let run_exact_path inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  let sink = o.Options.trace in
+  let prof = o.Options.prof in
+  let cg = colgen_build_phase inst o ~budget ~stats ~t0 in
+  let root = colgen_generate_phase cg o ~budget ~stats () in
+  let converged = ref root.Colgen_model.converged in
+  let search sf initial =
+    Trace.emit sink budget (Trace.Phase_start "search");
+    let result =
+      Span.with_ prof budget "search" @@ fun () ->
+      Mip.Branch_bound.solve_form ~params:o.Options.mip ?initial ~budget
+        ~stats ?trace:sink ?prof sf
+    in
+    stats.Rstats.search_time <-
+      stats.Rstats.search_time +. result.Mip.Branch_bound.solve_time;
+    Trace.emit sink budget
+      (Trace.Phase_end ("search", result.Mip.Branch_bound.solve_time));
+    result
+  in
+  let result = search root.Colgen_model.sf None in
+  let result =
+    match result.Mip.Branch_bound.incumbent with
+    | Some x
+      when o.Options.colgen.Colgen_model.price_at_nodes
+           && Budget.remaining budget > 0.0 ->
+      let re = colgen_generate_phase cg o ~budget ~stats ~fixed:x () in
+      converged := !converged && re.Colgen_model.converged;
+      if re.Colgen_model.generated = 0 then result
+      else begin
+        let pad =
+          re.Colgen_model.sf.Lp.Std_form.n_struct - Array.length x
+        in
+        search re.Colgen_model.sf (Some (Array.append x (Array.make pad 0.0)))
+      end
+    | _ -> result
+  in
+  let sf = Colgen_model.std_form cg in
+  let solution =
+    match result.Mip.Branch_bound.incumbent with
+    | None -> None
+    | Some x ->
+      let value_of id = x.(id) in
+      let objective =
+        match result.Mip.Branch_bound.objective with Some o -> o | None -> nan
+      in
+      Some (Colgen_model.extract_solution cg ~objective value_of)
+  in
+  {
+    status =
+      status_of_mip result.Mip.Branch_bound.status
+        ~has_incumbent:(solution <> None);
+    method_used = Exact;
+    mip_status = Some result.Mip.Branch_bound.status;
+    solution;
+    objective = result.Mip.Branch_bound.objective;
+    bound = result.Mip.Branch_bound.best_bound;
+    gap = result.Mip.Branch_bound.gap;
+    runtime = Budget.elapsed budget -. t0;
+    ticks = Budget.ticks budget - ticks0;
+    nodes = result.Mip.Branch_bound.nodes;
+    lp_iterations = result.Mip.Branch_bound.lp_iterations;
+    (* The enlarged form, not the seed model: generated columns count. *)
+    model_vars = sf.Lp.Std_form.n_struct;
+    model_rows = sf.Lp.Std_form.n_rows;
+    hybrid = None;
+    colgen = colgen_stats_of cg ~converged:!converged;
+    stats;
+  }
+
+(* Root LP of the path master.  [Optimal] only when generation converged
+   (no column prices in) — that is when the value equals the full LP
+   relaxation; a round-cap/tailing-off exit yields the restricted
+   master's optimum, reported as [Feasible]. *)
+let run_lp_path inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  let cg = colgen_build_phase inst o ~budget ~stats ~t0 in
+  let root = colgen_generate_phase cg o ~budget ~stats () in
+  let result = root.Colgen_model.lp in
+  let status, objective =
+    match result.Lp.Simplex.status with
+    | Lp.Simplex.Optimal ->
+      ( (if root.Colgen_model.converged then Optimal else Feasible),
+        Some result.Lp.Simplex.objective )
+    | Lp.Simplex.Infeasible -> (Infeasible, None)
+    | Lp.Simplex.Unbounded -> (Unbounded, None)
+    | Lp.Simplex.Iter_limit | Lp.Simplex.Time_limit -> (Budget_exhausted, None)
+    | Lp.Simplex.Numerical_failure -> (Failed, None)
+  in
+  {
+    status;
+    method_used = Lp_only;
+    mip_status = None;
+    solution = None;
+    objective;
+    bound = (match objective with Some v -> v | None -> nan);
+    gap = (match status with Optimal -> 0.0 | _ -> infinity);
+    runtime = Budget.elapsed budget -. t0;
+    ticks = Budget.ticks budget - ticks0;
+    nodes = 0;
+    lp_iterations = stats.Rstats.simplex_iterations;
+    model_vars = root.Colgen_model.sf.Lp.Std_form.n_struct;
+    model_rows = root.Colgen_model.sf.Lp.Std_form.n_rows;
+    hybrid = None;
+    colgen = colgen_stats_of cg ~converged:root.Colgen_model.converged;
     stats;
   }
 
@@ -380,11 +588,13 @@ let rec run inst (o : Options.t) =
        width is exactly [outcome.ticks] — which makes the phase tree's
        self-tick total equal the solve's total work ticks. *)
     Span.with_ o.Options.prof budget "solve" @@ fun () ->
-    match o.Options.method_ with
-    | Exact -> run_exact inst o ~budget ~stats ~ticks0 ~t0
-    | Lp_only -> run_lp_only inst o ~budget ~stats ~ticks0 ~t0
-    | Greedy -> run_greedy inst o ~budget ~stats ~ticks0 ~t0
-    | Hybrid -> run_hybrid inst o ~budget ~stats ~ticks0 ~t0
+    match (o.Options.method_, o.Options.flow_form) with
+    | Exact, Arc -> run_exact inst o ~budget ~stats ~ticks0 ~t0
+    | Exact, Path -> run_exact_path inst o ~budget ~stats ~ticks0 ~t0
+    | Lp_only, Arc -> run_lp_only inst o ~budget ~stats ~ticks0 ~t0
+    | Lp_only, Path -> run_lp_path inst o ~budget ~stats ~ticks0 ~t0
+    | Greedy, _ -> run_greedy inst o ~budget ~stats ~ticks0 ~t0
+    | Hybrid, _ -> run_hybrid inst o ~budget ~stats ~ticks0 ~t0
 
 (* The heavy-hitter split of the paper's conclusion: rank requests by
    revenue (duration × total node demand), solve the top fraction exactly
@@ -433,6 +643,7 @@ and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
         model_vars = 0;
         model_rows = 0;
         hybrid = None;
+        colgen = None;
         stats = Rstats.create ();
       }
     else
@@ -444,6 +655,7 @@ and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
            ~node_mappings:heavy_mappings ())
         (Options.make ~method_:Exact ~kind:o.Options.kind
            ~use_cuts:o.Options.use_cuts ~pairwise_cuts:o.Options.pairwise_cuts
+           ~flow_form:o.Options.flow_form ~colgen:o.Options.colgen
            ~mip:o.Options.mip
            ~budget:
              (Budget.sub ~time_limit:o.Options.mip.Mip.Branch_bound.time_limit
@@ -486,6 +698,7 @@ and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
     model_vars = heavy_outcome.model_vars;
     model_rows = heavy_outcome.model_rows;
     hybrid = Some { heavy; heavy_outcome };
+    colgen = heavy_outcome.colgen;
     stats;
   }
 
@@ -761,6 +974,23 @@ let rec outcome_to_json o =
                   (List.map (fun i -> Json.Num (float_of_int i)) h.heavy) );
               ("heavy_outcome", outcome_to_json h.heavy_outcome);
             ] );
+      (* Added without a schema bump: decoders treat absence (old
+         documents) and [null] (arc-form solves) identically. *)
+      ( "colgen",
+        match o.colgen with
+        | None -> Json.Null
+        | Some c ->
+          Json.Obj
+            [
+              ( "columns_generated",
+                Json.Num (float_of_int c.columns_generated) );
+              ("pricing_rounds", Json.Num (float_of_int c.pricing_rounds));
+              ( "master_flow_columns",
+                Json.Num (float_of_int c.master_flow_columns) );
+              ( "arc_flow_columns",
+                Json.Num (float_of_int c.arc_flow_columns) );
+              ("converged", Json.Bool c.colgen_converged);
+            ] );
       ("stats", stats_to_json o.stats);
     ]
 
@@ -826,6 +1056,31 @@ let rec outcome_of_json doc =
         in
         Ok (Some { heavy; heavy_outcome })
     in
+    let* colgen =
+      match Json.member "colgen" doc with
+      (* Absent in pre-colgen documents — same schema version, so both
+         forms must decode. *)
+      | None | Some Json.Null -> Ok None
+      | Some c ->
+        let* columns_generated = int_field "columns_generated" c in
+        let* pricing_rounds = int_field "pricing_rounds" c in
+        let* master_flow_columns = int_field "master_flow_columns" c in
+        let* arc_flow_columns = int_field "arc_flow_columns" c in
+        let* colgen_converged =
+          match Json.member "converged" c with
+          | Some (Json.Bool b) -> Ok b
+          | _ -> Error "colgen: missing boolean \"converged\""
+        in
+        Ok
+          (Some
+             {
+               columns_generated;
+               pricing_rounds;
+               master_flow_columns;
+               arc_flow_columns;
+               colgen_converged;
+             })
+    in
     let* stats =
       match Json.member "stats" doc with
       | None -> Ok (Rstats.create ())
@@ -855,6 +1110,7 @@ let rec outcome_of_json doc =
         model_vars;
         model_rows;
         hybrid;
+        colgen;
         stats;
       }
 

@@ -28,6 +28,19 @@ type method_ =
 val method_to_string : method_ -> string
 val method_of_string : string -> method_ option
 
+(** How the link flows enter the model. *)
+type flow_form =
+  | Arc   (** one flow variable per (virtual link, substrate arc) — the
+              paper's formulation *)
+  | Path  (** column generation: a path-based restricted master grown by
+              shortest-path pricing ({!Colgen_model}).  Requires the cΣ
+              model and fixed node mappings; applies to [Exact] and
+              [Lp_only] (and the hybrid's exact pass).  [Greedy] ignores
+              it. *)
+
+val flow_form_to_string : flow_form -> string
+val flow_form_of_string : string -> flow_form option
+
 (** Unified result classification across all methods.  For [Exact] it
     refines {!Mip.Branch_bound.status} (the raw MIP status is kept in
     [outcome.mip_status]): a limit status becomes [Feasible] when an
@@ -66,6 +79,11 @@ module Options : sig
             committed requests this way.  [Exact]/[Lp_only] fix the
             acceptance and start variables; [Greedy] pre-places them.
             Not supported by [Hybrid]. *)
+    flow_form : flow_form;
+        (** link-flow formulation; [Path] solves over {!Colgen_model}'s
+            restricted master instead of the arc form *)
+    colgen : Colgen_model.params;
+        (** column-generation knobs, used when [flow_form = Path] *)
     mip : Mip.Branch_bound.params;
     budget : Runtime.Budget.t option;
         (** shared solve budget; when [None] a private one is derived
@@ -97,6 +115,8 @@ module Options : sig
     ?seed_with_greedy:bool ->
     ?heavy_fraction:float ->
     ?pinned:(int * float) list ->
+    ?flow_form:flow_form ->
+    ?colgen:Colgen_model.params ->
     ?mip:Mip.Branch_bound.params ->
     ?budget:Runtime.Budget.t ->
     ?trace:Runtime.Trace.sink ->
@@ -104,8 +124,9 @@ module Options : sig
     unit ->
     t
   (** Defaults: [Exact] cΣ, access control, all cuts, no seeding,
-      [heavy_fraction = 0.3], nothing pinned, default MIP parameters, a
-      private budget, no trace, no profiling.
+      [heavy_fraction = 0.3], nothing pinned, [Arc] flow form with
+      {!Colgen_model.default_params}, default MIP parameters, a private
+      budget, no trace, no profiling.
       @raise Invalid_argument for a [heavy_fraction] outside [0, 1]. *)
 
   val default : t
@@ -119,6 +140,20 @@ module Options : sig
   val with_pinned : (int * float) list -> t -> t
   (** The same options with a different pinned set. *)
 end
+
+(** Column-generation counters, reported when [flow_form = Path]. *)
+type colgen_stats = {
+  columns_generated : int;  (** path columns priced in (seeds excluded) *)
+  pricing_rounds : int;
+  master_flow_columns : int;
+      (** flow-carrying master columns: paths + per-(request, link)
+          aggregates *)
+  arc_flow_columns : int;
+      (** what the arc form would have carried, for comparison *)
+  colgen_converged : bool;
+      (** pricing proved no column can enter — the master LP value equals
+          the full arc-form LP relaxation *)
+}
 
 type outcome = {
   status : status;
@@ -143,6 +178,10 @@ type outcome = {
   model_vars : int;
   model_rows : int;
   hybrid : hybrid_detail option;  (** [Hybrid] runs only *)
+  colgen : colgen_stats option;
+      (** [flow_form = Path] runs only (for [Hybrid], mirrors the heavy
+          pass); [None] for arc-form solves and pre-colgen JSON
+          documents *)
   stats : Runtime.Stats.t;
       (** structured counters for this solve: simplex pivots and
           refactorizations, LP solves, B&B nodes/incumbents/bound updates,
@@ -160,7 +199,17 @@ val run : Instance.t -> Options.t -> outcome
     @raise Invalid_argument when [pinned] entries are out of range,
     scheduled outside their request's window, duplicated, or combined
     with [Hybrid]; when [Greedy]/[Hybrid] run without fixed node
-    mappings. *)
+    mappings; when [flow_form = Path] is combined with a non-cΣ model or
+    an instance without fixed node mappings.
+
+    With [flow_form = Path], [Exact] runs root column generation on the
+    LP relaxation and then branch-and-bound over the enlarged form (every
+    node inherits the root's columns); the reported [bound] is exact for
+    the MIP over the generated columns.  [Lp_only] reports [Optimal] only
+    when pricing converged — a round-cap exit yields the restricted
+    master's value, reported as [Feasible].  Greedy seeding
+    ([seed_with_greedy]) is skipped in path form: the heuristic's
+    per-arc flows are not expressible in the column space. *)
 
 val build :
   ?budget:Runtime.Budget.t ->

@@ -118,6 +118,139 @@ let paths_tests =
         Alcotest.(check bool) "diagonal" true r.(1).(1));
   ]
 
+let yen_tests =
+  [
+    Alcotest.test_case "dijkstra matches floyd-warshall" `Quick (fun () ->
+        let g = Graphs.Generators.grid ~rows:3 ~cols:3 in
+        let weight (e : Graphs.Digraph.edge) =
+          float_of_int ((e.Graphs.Digraph.src + e.Graphs.Digraph.dst) mod 3)
+          +. 0.5
+        in
+        let fw = Graphs.Paths.floyd_warshall g ~weight in
+        let dist, _ = Graphs.Paths.dijkstra g ~weight ~src:0 in
+        Array.iteri
+          (fun t d -> Alcotest.(check (float 1e-9)) "dist" fw.(0).(t) d)
+          dist);
+    Alcotest.test_case "dijkstra rejects negative weights" `Quick (fun () ->
+        let g = Graphs.Generators.ring 3 in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Paths: negative arc weight") (fun () ->
+            ignore (Graphs.Paths.dijkstra g ~weight:(fun _ -> -1.0) ~src:0)));
+    Alcotest.test_case "yen on a diamond finds both paths" `Quick (fun () ->
+        (* 0->1->3 (cost 2), 0->2->3 (cost 3): exactly two simple paths,
+           asking for ten returns two, in cost order. *)
+        let g = Graphs.Digraph.create 4 in
+        let e01 = Graphs.Digraph.add_edge g ~src:0 ~dst:1 in
+        let e13 = Graphs.Digraph.add_edge g ~src:1 ~dst:3 in
+        let e02 = Graphs.Digraph.add_edge g ~src:0 ~dst:2 in
+        let e23 = Graphs.Digraph.add_edge g ~src:2 ~dst:3 in
+        let weight (e : Graphs.Digraph.edge) =
+          if e.Graphs.Digraph.id = e23 then 2.0 else 1.0
+        in
+        match Graphs.Paths.k_shortest_paths g ~weight ~src:0 ~dst:3 ~k:10 with
+        | [ p1; p2 ] ->
+          Alcotest.(check (list int)) "cheapest" [ e01; e13 ]
+            p1.Graphs.Paths.edges;
+          Alcotest.(check (list int)) "second" [ e02; e23 ]
+            p2.Graphs.Paths.edges;
+          Alcotest.(check (float 1e-9)) "costs" 2.0 p1.Graphs.Paths.cost;
+          Alcotest.(check (float 1e-9)) "costs" 3.0 p2.Graphs.Paths.cost
+        | l -> Alcotest.failf "expected 2 paths, got %d" (List.length l));
+    Alcotest.test_case "yen src = dst is the empty path" `Quick (fun () ->
+        let g = Graphs.Generators.ring 3 in
+        match
+          Graphs.Paths.k_shortest_paths g ~weight:(fun _ -> 1.0) ~src:1 ~dst:1
+            ~k:4
+        with
+        | [ p ] ->
+          Alcotest.(check (list int)) "empty" [] p.Graphs.Paths.edges;
+          Alcotest.(check (float 1e-9)) "zero" 0.0 p.Graphs.Paths.cost
+        | l -> Alcotest.failf "expected 1 path, got %d" (List.length l));
+    Alcotest.test_case "pricer verdict and threshold" `Quick (fun () ->
+        let g = Graphs.Generators.path 3 in
+        (* 0->1->2 with unit arc costs: path cost 2. *)
+        let c t =
+          { Graphs.Paths.Pricer.src = 0; dst = 2;
+            arc_cost = (fun _ -> 1.0); threshold = t }
+        in
+        let v = Graphs.Paths.Pricer.price g (c 3.0) in
+        Alcotest.(check (float 1e-9)) "reduced" (-1.0)
+          v.Graphs.Paths.Pricer.reduced_cost;
+        Alcotest.(check bool) "improves" true
+          (Graphs.Paths.Pricer.improves ~eps:1e-7 v);
+        let v = Graphs.Paths.Pricer.price g (c 2.0) in
+        Alcotest.(check bool) "at par does not improve" false
+          (Graphs.Paths.Pricer.improves ~eps:1e-7 v);
+        (* Unreachable: the path graph has no 2->0 arcs. *)
+        let v =
+          Graphs.Paths.Pricer.price g
+            { Graphs.Paths.Pricer.src = 2; dst = 0;
+              arc_cost = (fun _ -> 1.0); threshold = 100.0 }
+        in
+        Alcotest.(check bool) "unreachable" true
+          (v.Graphs.Paths.Pricer.path = None
+          && v.Graphs.Paths.Pricer.reduced_cost = infinity));
+  ]
+
+let yen_properties =
+  let is_simple g src (p : Graphs.Paths.weighted_path) =
+    let nodes = Graphs.Paths.path_nodes g p ~src in
+    List.length (List.sort_uniq compare nodes) = List.length nodes
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"yen: simple, ascending, distinct, head = dijkstra" ~count:40
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 17)) in
+           let n = 3 + Workload.Rng.int rng 7 in
+           let g =
+             Graphs.Generators.random_gnp ~n ~p:0.4 ~uniform:(fun () ->
+                 Workload.Rng.float rng)
+           in
+           let w = Array.init (Graphs.Digraph.num_edges g) (fun _ ->
+               Workload.Rng.float rng *. 4.0) in
+           let weight (e : Graphs.Digraph.edge) = w.(e.Graphs.Digraph.id) in
+           let src = Workload.Rng.int rng n
+           and dst = Workload.Rng.int rng n in
+           let k = 1 + Workload.Rng.int rng 5 in
+           let ps = Graphs.Paths.k_shortest_paths g ~weight ~src ~dst ~k in
+           let all_simple = List.for_all (is_simple g src) ps in
+           let rec ascending = function
+             | a :: (b :: _ as rest) ->
+               Graphs.Paths.compare_paths a b < 0 && ascending rest
+             | _ -> true
+           in
+           let head_ok =
+             match (ps, Graphs.Paths.shortest_weighted_path g ~weight ~src ~dst)
+             with
+             | [], None -> true
+             | p :: _, Some q -> Graphs.Paths.compare_paths p q = 0
+             | _ -> false
+           in
+           all_simple && ascending ps && List.length ps <= k && head_ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"yen: deterministic across calls" ~count:20
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 41)) in
+           let n = 3 + Workload.Rng.int rng 6 in
+           let g =
+             Graphs.Generators.random_gnp ~n ~p:0.5 ~uniform:(fun () ->
+                 Workload.Rng.float rng)
+           in
+           (* Integer-valued weights force cost ties; the edge-id
+              tie-break must still make the ranking reproducible. *)
+           let w = Array.init (Graphs.Digraph.num_edges g) (fun _ ->
+               float_of_int (1 + Workload.Rng.int rng 2)) in
+           let weight (e : Graphs.Digraph.edge) = w.(e.Graphs.Digraph.id) in
+           let run () =
+             Graphs.Paths.k_shortest_paths g ~weight ~src:0 ~dst:(n - 1) ~k:6
+           in
+           run () = run ()));
+  ]
+
 let path_properties =
   [
     QCheck_alcotest.to_alcotest
@@ -148,4 +281,5 @@ let suite =
     ("graphs.digraph", digraph_tests);
     ("graphs.generators", generator_tests);
     ("graphs.paths", paths_tests @ path_properties);
+    ("graphs.yen", yen_tests @ yen_properties);
   ]
