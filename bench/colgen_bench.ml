@@ -48,6 +48,7 @@ type run = {
   master_flow_columns : int;  (* -1 for the arc form *)
   arc_flow_columns : int;     (* -1 for the arc form *)
   wall_s : float;
+  gc_minor_words : float;
   json : string;  (* the outcome's versioned JSON document *)
 }
 
@@ -58,6 +59,7 @@ let solve_at ~inst ~time_limit ~flow_form jobs =
   let budget =
     Runtime.Budget.create ~deterministic:Figures.work_rate ~time_limit ()
   in
+  let gw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let o =
     Tvnep.Solver.run inst
@@ -65,6 +67,7 @@ let solve_at ~inst ~time_limit ~flow_form jobs =
          ~budget ())
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let gc_minor_words = Gc.minor_words () -. gw0 in
   let cg = o.Tvnep.Solver.colgen in
   let stat f = match cg with Some c -> f c | None -> -1 in
   {
@@ -80,6 +83,7 @@ let solve_at ~inst ~time_limit ~flow_form jobs =
     master_flow_columns = stat (fun c -> c.Tvnep.Solver.master_flow_columns);
     arc_flow_columns = stat (fun c -> c.Tvnep.Solver.arc_flow_columns);
     wall_s;
+    gc_minor_words;
     json = Statsutil.Json.to_string (Tvnep.Solver.outcome_to_json o);
   }
 
@@ -87,8 +91,8 @@ let json_of_runs runs =
   let open Statsutil.Json in
   Obj
     [
-      ("schema", Str "tvnep-bench-colgen/1");
-      ("schema_version", Num 1.0);
+      ("schema", Str "tvnep-bench-colgen/2");
+      ("schema_version", Num 2.0);
       ( "clock",
         Str
           (Printf.sprintf
@@ -116,6 +120,7 @@ let json_of_runs runs =
                    ( "arc_flow_columns",
                      Num (float_of_int r.arc_flow_columns) );
                    ("wall_s", Num r.wall_s);
+                   ("gc_minor_words", Num r.gc_minor_words);
                  ])
              runs) );
     ]
@@ -126,7 +131,7 @@ let validate_json_string s =
   | Error msg -> Error ("not valid JSON: " ^ msg)
   | Ok doc -> (
     match (member "schema" doc, member "schema_version" doc) with
-    | Some (Str "tvnep-bench-colgen/1"), Some (Num 1.0) -> (
+    | Some (Str "tvnep-bench-colgen/2"), Some (Num 2.0) -> (
       match Option.bind (member "runs" doc) to_list with
       | None | Some [] -> Error "missing or empty \"runs\" list"
       | Some runs ->
@@ -145,7 +150,7 @@ let validate_json_string s =
                 && num "lp_iterations" && num "model_vars"
                 && num "columns_generated" && num "pricing_rounds"
                 && num "master_flow_columns" && num "arc_flow_columns"
-                && num "wall_s"))
+                && num "wall_s" && num "gc_minor_words"))
             runs
         in
         if bad = [] then Ok (List.length runs)

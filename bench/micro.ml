@@ -76,6 +76,7 @@ type sim_case = {
   pivots : int;
   ticks : int;
   wall_s : float;
+  gc_minor_words : float;  (* minor-heap words allocated by the case *)
   per_rep_ticks : float list;
 }
 
@@ -89,6 +90,7 @@ let case_of_runs name runs =
 let cold_lp_case () =
   let sf = small_lp () in
   let reps = 50 in
+  let gw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let runs =
     List.init reps (fun _ ->
@@ -102,7 +104,7 @@ let cold_lp_case () =
     case_of_runs "simplex-cold-30v-20r" runs
   in
   { name; iterations; pivots; ticks; wall_s = Unix.gettimeofday () -. t0;
-    per_rep_ticks = per_rep }
+    gc_minor_words = Gc.minor_words () -. gw0; per_rep_ticks = per_rep }
 
 (* The LP hot path of every TVNEP figure: branch-and-bound re-solves of
    the cΣ node LPs.  A persistent session re-optimizes under a
@@ -131,6 +133,7 @@ let node_lp_case () =
   let rng = Workload.Rng.create 17L in
   let lb = Array.copy root_lb and ub = Array.copy root_ub in
   let resolves = 60 and plunge_depth = 5 in
+  let gw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let runs = ref [] in
   for step = 0 to resolves - 1 do
@@ -155,15 +158,105 @@ let node_lp_case () =
     case_of_runs "node-lp-resolve-csigma-k4" (List.rev !runs)
   in
   { name; iterations; pivots; ticks; wall_s = Unix.gettimeofday () -. t0;
-    per_rep_ticks = per_rep }
+    gc_minor_words = Gc.minor_words () -. gw0; per_rep_ticks = per_rep }
 
 let sim_cases () = [ cold_lp_case (); node_lp_case () ]
 
-let json_of_cases cases =
+(* --- sparse-kernel A/B gate -------------------------------------------- *)
+
+(* The ISSUE 7 acceptance bar: on the node-LP instance's optimal factored
+   basis, the reach-based sparse BTRAN/FTRAN must beat the dense-scan
+   triangular solves they replaced by >= [kernel_ab_floor] on median
+   per-solve wall, at the RHS sparsity the dual simplex actually feeds
+   them (a unit vector: one [unit_row] BTRAN per pivot).  Both kernels
+   run over the same factors, and every pair of solves is checked for
+   agreement, so the gate also pins the semantics. *)
+let kernel_ab_floor = 2.0
+
+type kernel_ab = {
+  btran_reach_us : float;  (* median per-solve wall, microseconds *)
+  btran_dense_us : float;
+  ftran_reach_us : float;
+  ftran_dense_us : float;
+}
+
+let kernel_ab_case () =
+  let module Slu = Lina.Lu.Sparse in
+  let inst = bench_instance () in
+  let fm = Tvnep.Csigma_model.build inst in
+  ignore (Tvnep.Objective.apply fm Tvnep.Objective.Access_control);
+  let sf = Lp.Std_form.of_model fm.Tvnep.Formulation.model in
+  let r = Lp.Simplex.solve sf in
+  assert (r.Lp.Simplex.status = Lp.Simplex.Optimal);
+  let basic = (Option.get r.Lp.Simplex.final_basis).Lp.Simplex.basic in
+  let n = sf.Lp.Std_form.n_rows in
+  let f =
+    Slu.factorize ~n ~col:(fun pos g ->
+        Lina.Csc.iter_col sf.Lp.Std_form.a basic.(pos) g)
+  in
+  let scratch = Slu.scratch n in
+  let b = Array.make n 0.0
+  and c = Array.make n 0.0
+  and work = Array.make n 0.0 in
+  (* Each RHS position is solved [inner] times back to back so the
+     per-solve wall rises above clock resolution; the median is over
+     positions. *)
+  let inner = 20 in
+  let median_us solve =
+    let samples =
+      List.init n (fun k ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to inner do
+            Array.fill b 0 n 0.0;
+            b.(k) <- 1.0;
+            solve b
+          done;
+          (Unix.gettimeofday () -. t0) /. float_of_int inner *. 1e6)
+    in
+    Statsutil.Stats.median samples
+  in
+  (* Agreement check at existing tolerances, every position, both
+     directions. *)
+  let check name reach dense =
+    for k = 0 to n - 1 do
+      Array.fill b 0 n 0.0;
+      b.(k) <- 1.0;
+      reach b;
+      Array.fill c 0 n 0.0;
+      c.(k) <- 1.0;
+      dense c;
+      for i = 0 to n - 1 do
+        if Float.abs (b.(i) -. c.(i)) > 1e-9 then begin
+          Printf.eprintf
+            "KERNEL AB MISMATCH: %s unit %d row %d: reach %g dense %g\n" name
+            k i b.(i) c.(i);
+          exit 1
+        end
+      done
+    done
+  in
+  check "btran"
+    (fun b -> ignore (Slu.btran_reach f scratch b : int))
+    (fun b -> Slu.btran_in_place f ~work b);
+  check "ftran"
+    (fun b -> ignore (Slu.ftran_reach f scratch b : int))
+    (fun b -> Slu.ftran_in_place f ~work b);
+  (* Warm the caches once before timing. *)
+  ignore (median_us (fun b -> ignore (Slu.btran_reach f scratch b : int)));
+  {
+    btran_reach_us =
+      median_us (fun b -> ignore (Slu.btran_reach f scratch b : int));
+    btran_dense_us = median_us (fun b -> Slu.btran_in_place f ~work b);
+    ftran_reach_us =
+      median_us (fun b -> ignore (Slu.ftran_reach f scratch b : int));
+    ftran_dense_us = median_us (fun b -> Slu.ftran_in_place f ~work b);
+  }
+
+let json_of_cases cases ab =
   let open Statsutil.Json in
   Obj
     [
-      ("schema", Str "tvnep-bench-simplex/1");
+      ("schema", Str "tvnep-bench-simplex/2");
       ("clock", Str "deterministic work ticks (1 tick = 1 work unit)");
       ( "cases",
         List
@@ -178,8 +271,18 @@ let json_of_cases cases =
                    ( "median_ticks_per_solve",
                      Num (Statsutil.Stats.median c.per_rep_ticks) );
                    ("wall_s", Num c.wall_s);
+                   ("gc_minor_words", Num c.gc_minor_words);
                  ])
              cases) );
+      ( "kernel_ab",
+        Obj
+          [
+            ("btran_reach_us", Num ab.btran_reach_us);
+            ("btran_dense_us", Num ab.btran_dense_us);
+            ("ftran_reach_us", Num ab.ftran_reach_us);
+            ("ftran_dense_us", Num ab.ftran_dense_us);
+            ("floor", Num kernel_ab_floor);
+          ] );
     ]
 
 (* Structural validation of an emitted file: used right after writing (so
@@ -191,10 +294,10 @@ let validate_json_string s =
   | Error msg -> Error ("not valid JSON: " ^ msg)
   | Ok doc -> (
     match member "schema" doc with
-    | Some (Str "tvnep-bench-simplex/1") -> (
+    | Some (Str "tvnep-bench-simplex/2") -> (
       match Option.bind (member "cases" doc) to_list with
       | None | Some [] -> Error "missing or empty \"cases\" list"
-      | Some cases ->
+      | Some cases -> (
         let bad =
           List.filter
             (fun c ->
@@ -202,15 +305,25 @@ let validate_json_string s =
               not
                 ((match member "name" c with Some (Str _) -> true | _ -> false)
                 && num "iterations" && num "pivots" && num "ticks"
-                && num "median_ticks_per_solve" && num "wall_s"))
+                && num "median_ticks_per_solve" && num "wall_s"
+                && num "gc_minor_words"))
             cases
         in
-        if bad = [] then Ok (List.length cases)
-        else Error "a case is missing a required field")
+        if bad <> [] then Error "a case is missing a required field"
+        else
+          match member "kernel_ab" doc with
+          | Some ab ->
+            let num k = Option.bind (member k ab) to_float <> None in
+            if
+              num "btran_reach_us" && num "btran_dense_us"
+              && num "ftran_reach_us" && num "ftran_dense_us" && num "floor"
+            then Ok (List.length cases)
+            else Error "\"kernel_ab\" is missing a required field"
+          | None -> Error "missing \"kernel_ab\""))
     | _ -> Error "missing or unexpected \"schema\"")
 
-let emit_json ~path cases =
-  let doc = json_of_cases cases in
+let emit_json ~path cases ab =
+  let doc = json_of_cases cases ab in
   let oc = open_out path in
   output_string oc (Statsutil.Json.to_string doc);
   close_out oc;
@@ -230,7 +343,9 @@ let run ?json_path () =
   let cases = sim_cases () in
   let table =
     Statsutil.Table.create
-      ~headers:[ "case"; "solves"; "pivots"; "ticks"; "med ticks/solve"; "wall" ]
+      ~headers:
+        [ "case"; "solves"; "pivots"; "ticks"; "med ticks/solve"; "wall";
+          "minor words" ]
   in
   List.iter
     (fun c ->
@@ -242,11 +357,30 @@ let run ?json_path () =
           string_of_int c.ticks;
           Printf.sprintf "%.0f" (Statsutil.Stats.median c.per_rep_ticks);
           Printf.sprintf "%.3f s" c.wall_s;
+          Printf.sprintf "%.0f" c.gc_minor_words;
         ])
     cases;
   Statsutil.Table.print table;
+  Printf.printf "\n== Sparse-kernel A/B (node-LP optimal basis, unit RHS) ==\n";
+  let ab = kernel_ab_case () in
+  let btran_speedup = ab.btran_dense_us /. Float.max 1e-9 ab.btran_reach_us in
+  let ftran_speedup = ab.ftran_dense_us /. Float.max 1e-9 ab.ftran_reach_us in
+  Printf.printf
+    "btran: reach %.2f us vs dense-scan %.2f us (%.2fx)\n\
+     ftran: reach %.2f us vs dense-scan %.2f us (%.2fx)\n"
+    ab.btran_reach_us ab.btran_dense_us btran_speedup ab.ftran_reach_us
+    ab.ftran_dense_us ftran_speedup;
+  if Float.min btran_speedup ftran_speedup < kernel_ab_floor then begin
+    Printf.eprintf
+      "KERNEL AB REGRESSION: median per-solve speedup %.2fx (btran) / %.2fx \
+       (ftran) under the %.1fx floor\n"
+      btran_speedup ftran_speedup kernel_ab_floor;
+    exit 1
+  end
+  else
+    Printf.printf "kernel A/B gate: >= %.1fx floor passed\n" kernel_ab_floor;
   (match json_path with
-  | Some path -> emit_json ~path cases
+  | Some path -> emit_json ~path cases ab
   | None -> ());
   Printf.printf "\n== Microbenchmarks (Bechamel, monotonic clock) ==\n";
   let ols =

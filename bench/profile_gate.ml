@@ -282,6 +282,72 @@ let run_colgen ~time_limit () =
     (List.length base.spans) base_generated;
   print_string (Span.render_tree ~rate:Figures.work_rate base.tree)
 
+(* --- allocation pass --------------------------------------------------- *)
+
+(* Minor-heap words a warm node-LP re-solve may allocate, on average over
+   the measured window.  The sparse-kernel path currently runs ~35k words
+   per re-solve (preallocated reach scratch, closure-free pivot scatter,
+   inlined eta extraction); the budget sits at about twice that, far
+   below the ~140k words of the boxing-heavy path it replaced — so a
+   regression that reintroduces per-solve [Array.make], float boxing
+   through cross-module calls, or closure-per-row column traversal trips
+   the gate while honest drift does not. *)
+let minor_words_per_resolve_budget = 70_000.0
+
+let run_alloc () =
+  Printf.printf
+    "\n== Profiling gate, allocation pass (warm node-LP re-solves) ==\n";
+  let rng_inst = Workload.Rng.create 3L in
+  let inst =
+    Tvnep.Scenario.generate rng_inst
+      { Tvnep.Scenario.scaled with num_requests = 4; flexibility = 1.0 }
+  in
+  let fm = Tvnep.Csigma_model.build inst in
+  ignore (Tvnep.Objective.apply fm Tvnep.Objective.Access_control);
+  let sf = Lp.Std_form.of_model fm.Tvnep.Formulation.model in
+  let n_total = Lp.Std_form.n_total sf in
+  let root_lb = Array.sub sf.Lp.Std_form.lb 0 n_total in
+  let root_ub = Array.sub sf.Lp.Std_form.ub 0 n_total in
+  let int_cols =
+    Array.of_list
+      (List.filter
+         (fun j -> sf.Lp.Std_form.integer.(j))
+         (List.init sf.Lp.Std_form.n_struct (fun j -> j)))
+  in
+  let session = Lp.Simplex.create_session sf in
+  let budget = Runtime.Budget.create ~deterministic:1.0 () in
+  let stats = Runtime.Stats.create () in
+  ignore
+    (Lp.Simplex.session_solve session ~budget ~stats ~lb:root_lb ~ub:root_ub ());
+  let rng = Workload.Rng.create 17L in
+  let lb = Array.copy root_lb and ub = Array.copy root_ub in
+  let warmup = 10 and measured = 30 and plunge_depth = 5 in
+  let gw0 = ref 0.0 in
+  for step = 0 to warmup + measured - 1 do
+    if step = warmup then gw0 := Gc.minor_words ();
+    if step mod plunge_depth = 0 then begin
+      Array.blit root_lb 0 lb 0 n_total;
+      Array.blit root_ub 0 ub 0 n_total
+    end;
+    let j = int_cols.(Workload.Rng.int rng (Array.length int_cols)) in
+    if Workload.Rng.bool rng then ub.(j) <- lb.(j) else lb.(j) <- ub.(j);
+    ignore (Lp.Simplex.session_solve session ~budget ~stats ~lb ~ub ())
+  done;
+  let per_resolve =
+    (Gc.minor_words () -. !gw0) /. float_of_int measured
+  in
+  if per_resolve > minor_words_per_resolve_budget then begin
+    Printf.eprintf
+      "PROFILE GATE: ALLOCATION REGRESSION: warm node-LP re-solve allocates \
+       %.0f minor words on average (budget %.0f) over %d measured re-solves\n"
+      per_resolve minor_words_per_resolve_budget measured;
+    exit 1
+  end;
+  Printf.printf
+    "allocation: %.0f minor words per warm re-solve (budget %.0f, %d \
+     re-solves measured after %d warm-up)\n"
+    per_resolve minor_words_per_resolve_budget measured warmup
+
 let run ?(time_limit = 30.0) () =
   Printf.printf "\n== Profiling smoke gate (contended c\xce\xa3 solve) ==\n";
   let inst = bench_instance () in
@@ -345,4 +411,5 @@ let run ?(time_limit = 30.0) () =
      ok, exports parse, jobs levels identical\n"
     (List.length base.spans) (Span.sum_self base.tree);
   print_string (Span.render_tree ~rate:Figures.work_rate base.tree);
-  run_colgen ~time_limit ()
+  run_colgen ~time_limit ();
+  run_alloc ()

@@ -33,12 +33,19 @@ type run = {
   jobs : int;
   summary : Service.Engine.summary;
   wall_s : float;
+  gc_minor_words : float;
 }
 
 let serve_at inst jobs =
+  let gw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let summary = Service.Engine.run ~config:(bench_config jobs) inst in
-  { jobs; summary; wall_s = Unix.gettimeofday () -. t0 }
+  {
+    jobs;
+    summary;
+    wall_s = Unix.gettimeofday () -. t0;
+    gc_minor_words = Gc.minor_words () -. gw0;
+  }
 
 (* The determinism fingerprint: every per-request decision plus the
    stream aggregates — everything but the wall clock. *)
@@ -62,7 +69,7 @@ let json_of_runs runs =
   let open Statsutil.Json in
   Obj
     [
-      ("schema", Str "tvnep-bench-service/1");
+      ("schema", Str "tvnep-bench-service/2");
       ( "clock",
         Str
           (Printf.sprintf
@@ -77,6 +84,7 @@ let json_of_runs runs =
                  [
                    ("jobs", Num (float_of_int r.jobs));
                    ("wall_s", Num r.wall_s);
+                   ("gc_minor_words", Num r.gc_minor_words);
                    ("summary", Service.Engine.summary_to_json r.summary);
                  ])
              runs) );
@@ -88,7 +96,7 @@ let validate_json_string s =
   | Error msg -> Error ("not valid JSON: " ^ msg)
   | Ok doc -> (
     match member "schema" doc with
-    | Some (Str "tvnep-bench-service/1") -> (
+    | Some (Str "tvnep-bench-service/2") -> (
       match member "identical_across_jobs" doc with
       | Some (Bool true) -> (
         match Option.bind (member "runs" doc) to_list with
@@ -102,6 +110,7 @@ let validate_json_string s =
           let run_ok r =
             Option.bind (member "jobs" r) to_float <> None
             && Option.bind (member "wall_s" r) to_float <> None
+            && Option.bind (member "gc_minor_words" r) to_float <> None
             &&
             match
               Option.bind

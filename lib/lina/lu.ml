@@ -130,7 +130,14 @@ module Sparse = struct
      diagonal, U strictly above with its diagonal stored separately.  The
      column order [q] is fixed up front (ascending nonzero count — the
      cheap static half of a Markowitz ordering); the row order [p] is
-     discovered during elimination by magnitude partial pivoting. *)
+     discovered during elimination by magnitude partial pivoting.
+
+     Alongside the column-compressed factors, each factorization carries
+     the row-compressed (transposed) adjacency of L and U plus the
+     inverse permutations: the transposed structures are what turn the
+     BTRAN gather loops into scatter loops that can follow a Gilbert–
+     Peierls reach, and the inverse permutations map a sparse RHS into
+     factor space without an O(n) search. *)
   type t = {
     n : int;
     l_ptr : int array;
@@ -142,10 +149,50 @@ module Sparse = struct
     u_diag : float array;
     p : int array;     (* factor row i came from original row p.(i) *)
     q : int array;     (* factor column j holds original column q.(j) *)
+    pinv : int array;  (* original row r lives at factor row pinv.(r) *)
+    qinv : int array;  (* original column c lives at factor col qinv.(c) *)
+    lr_ptr : int array;  (* rows of L: lr row i lists columns j < i *)
+    lr_idx : int array;
+    lr_val : float array;
+    ur_ptr : int array;  (* rows of U: ur row k lists columns j > k *)
+    ur_idx : int array;
+    ur_val : float array;
   }
 
   let dim f = f.n
   let nnz f = Array.length f.l_idx + Array.length f.u_idx + f.n
+
+  let inverse_perm p =
+    let n = Array.length p in
+    let inv = Array.make n 0 in
+    for i = 0 to n - 1 do
+      inv.(p.(i)) <- i
+    done;
+    inv
+
+  (* Row-compressed copy of a column-compressed factor (counting sort on
+     the row index).  One pass per refactorization, O(nnz). *)
+  let transpose_ccs n ptr idx value =
+    let m = Array.length idx in
+    let tptr = Array.make (n + 1) 0 in
+    for e = 0 to m - 1 do
+      tptr.(idx.(e) + 1) <- tptr.(idx.(e) + 1) + 1
+    done;
+    for i = 0 to n - 1 do
+      tptr.(i + 1) <- tptr.(i + 1) + tptr.(i)
+    done;
+    let tidx = Array.make m 0 and tval = Array.make m 0.0 in
+    let cursor = Array.copy tptr in
+    for j = 0 to n - 1 do
+      for e = ptr.(j) to ptr.(j + 1) - 1 do
+        let i = idx.(e) in
+        let at = cursor.(i) in
+        tidx.(at) <- j;
+        tval.(at) <- value.(e);
+        cursor.(i) <- at + 1
+      done
+    done;
+    (tptr, tidx, tval)
 
   let of_diagonal d =
     let n = Array.length d in
@@ -153,6 +200,7 @@ module Sparse = struct
       (fun i v ->
         if Float.abs v < Tol.pivot then raise (Singular i))
       d;
+    let id = Array.init n (fun i -> i) in
     {
       n;
       l_ptr = Array.make (n + 1) 0;
@@ -162,8 +210,16 @@ module Sparse = struct
       u_idx = [||];
       u_val = [||];
       u_diag = Array.copy d;
-      p = Array.init n (fun i -> i);
-      q = Array.init n (fun i -> i);
+      p = id;
+      q = Array.copy id;
+      pinv = Array.copy id;
+      qinv = Array.copy id;
+      lr_ptr = Array.make (n + 1) 0;
+      lr_idx = [||];
+      lr_val = [||];
+      ur_ptr = Array.make (n + 1) 0;
+      ur_idx = [||];
+      ur_val = [||];
     }
 
   (* Growable entry store for one factor. *)
@@ -273,17 +329,29 @@ module Sparse = struct
     for e = 0 to Array.length l_idx - 1 do
       l_idx.(e) <- pinv.(l_idx.(e))
     done;
+    let u_idx = Array.sub ug.g_idx 0 ug.g_len in
+    let u_val = Array.sub ug.g_val 0 ug.g_len in
+    let lr_ptr, lr_idx, lr_val = transpose_ccs n l_ptr l_idx l_val in
+    let ur_ptr, ur_idx, ur_val = transpose_ccs n u_ptr u_idx u_val in
     {
       n;
       l_ptr;
       l_idx;
       l_val;
       u_ptr;
-      u_idx = Array.sub ug.g_idx 0 ug.g_len;
-      u_val = Array.sub ug.g_val 0 ug.g_len;
+      u_idx;
+      u_val;
       u_diag;
       p;
       q;
+      pinv = Array.copy pinv;
+      qinv = inverse_perm q;
+      lr_ptr;
+      lr_idx;
+      lr_val;
+      ur_ptr;
+      ur_idx;
+      ur_val;
     }
 
   (* B x = b.  [b] is indexed by original row, the result by basis
@@ -339,6 +407,214 @@ module Sparse = struct
     for jf = 0 to n - 1 do
       c.(f.p.(jf)) <- work.(jf)
     done
+
+  (* --- reach-based sparse triangular solves --------------------------- *)
+
+  (* Scratch for the Gilbert–Peierls solves: a value workspace that is
+     all-zero between calls, stamp marks, an explicit DFS stack with
+     resume positions, and two reach buffers (one per triangular phase —
+     the second phase's DFS roots are the first phase's reach, so they
+     cannot share storage).  One scratch per basis representation; the
+     kernels never allocate. *)
+  type scratch = {
+    sw : float array;
+    smark : int array;
+    sstack : int array;
+    sedge : int array;
+    sr1 : int array;
+    sr2 : int array;
+    sroots : int array;
+    mutable sstamp : int;
+  }
+
+  let scratch n =
+    {
+      sw = Array.make n 0.0;
+      smark = Array.make n (-1);
+      sstack = Array.make n 0;
+      sedge = Array.make n 0;
+      sr1 = Array.make n 0;
+      sr2 = Array.make n 0;
+      sroots = Array.make n 0;
+      sstamp = 0;
+    }
+
+  (* RHS density above which the plain dense-scan solves win: the reach
+     bookkeeping only pays off while the solution stays sparse. *)
+  let dense_threshold = 0.25
+
+  (* Depth-first reach of [root] over one triangular adjacency, appended
+     to [reach] below [top] (filled from the end): after DFS-ing every
+     root, [reach.(top .. n-1)] lists the solution's nonzero pattern in
+     topological order — every node precedes the nodes it scatters into.
+     Nodes marked with the current stamp (from earlier roots) are
+     skipped, so the total cost is O(edges of the reach). *)
+  let dfs_reach ptr idx s root reach top =
+    if s.smark.(root) = s.sstamp then top
+    else begin
+      let top = ref top in
+      let depth = ref 0 in
+      s.sstack.(0) <- root;
+      s.sedge.(0) <- ptr.(root);
+      s.smark.(root) <- s.sstamp;
+      while !depth >= 0 do
+        let j = s.sstack.(!depth) in
+        let e = s.sedge.(!depth) in
+        if e < ptr.(j + 1) then begin
+          s.sedge.(!depth) <- e + 1;
+          let i = idx.(e) in
+          if s.smark.(i) <> s.sstamp then begin
+            s.smark.(i) <- s.sstamp;
+            incr depth;
+            s.sstack.(!depth) <- i;
+            s.sedge.(!depth) <- ptr.(i)
+          end
+        end
+        else begin
+          decr depth;
+          decr top;
+          reach.(!top) <- j
+        end
+      done;
+      !top
+    end
+
+  (* Gathers the nonzero positions of [b] into the scratch root buffer.
+     Exact zeros are excluded from the pattern — they contribute nothing
+     numerically, and the scan keeps the kernels allocation-free. *)
+  let gather_roots s b =
+    let n = Array.length b in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if b.(i) <> 0.0 then begin
+        s.sroots.(!k) <- i;
+        incr k
+      end
+    done;
+    !k
+
+  (* B x = b with work proportional to the solution's nonzero pattern:
+     L-solve over the reach of the RHS support, then U-solve over the
+     reach of the L-solution.  Falls back to the dense-scan solve when
+     the RHS support is above {!dense_threshold}.  Same index contract as
+     {!ftran_in_place}; returns the work performed (touched pattern
+     entries plus the O(n) support scan), which the caller bills to the
+     deterministic clock. *)
+  let ftran_reach f s b =
+    let n = f.n in
+    let nroots = gather_roots s b in
+    if float_of_int nroots > dense_threshold *. float_of_int n then begin
+      ftran_in_place f ~work:s.sw b;
+      Array.fill s.sw 0 n 0.0;
+      n + nnz f
+    end
+    else begin
+      let work = ref n in
+      (* Forward L pass on the reach of the (permuted) RHS support. *)
+      s.sstamp <- s.sstamp + 1;
+      let ltop = ref n in
+      for k = 0 to nroots - 1 do
+        ltop := dfs_reach f.l_ptr f.l_idx s f.pinv.(s.sroots.(k)) s.sr1 !ltop
+      done;
+      for k = 0 to nroots - 1 do
+        let r = s.sroots.(k) in
+        s.sw.(f.pinv.(r)) <- b.(r);
+        b.(r) <- 0.0
+      done;
+      for t = !ltop to n - 1 do
+        let jf = s.sr1.(t) in
+        let x = s.sw.(jf) in
+        work := !work + 1 + (f.l_ptr.(jf + 1) - f.l_ptr.(jf));
+        if x <> 0.0 then
+          for e = f.l_ptr.(jf) to f.l_ptr.(jf + 1) - 1 do
+            s.sw.(f.l_idx.(e)) <- s.sw.(f.l_idx.(e)) -. (f.l_val.(e) *. x)
+          done
+      done;
+      (* Backward U pass on the reach of the L-solution's pattern. *)
+      s.sstamp <- s.sstamp + 1;
+      let utop = ref n in
+      for t = !ltop to n - 1 do
+        utop := dfs_reach f.u_ptr f.u_idx s s.sr1.(t) s.sr2 !utop
+      done;
+      for t = !utop to n - 1 do
+        let jf = s.sr2.(t) in
+        let x = s.sw.(jf) /. f.u_diag.(jf) in
+        s.sw.(jf) <- x;
+        work := !work + 1 + (f.u_ptr.(jf + 1) - f.u_ptr.(jf));
+        if x <> 0.0 then
+          for e = f.u_ptr.(jf) to f.u_ptr.(jf + 1) - 1 do
+            s.sw.(f.u_idx.(e)) <- s.sw.(f.u_idx.(e)) -. (f.u_val.(e) *. x)
+          done
+      done;
+      (* The U reach contains every L-reach node (each was a root), so
+         scattering it out also resets the whole workspace. *)
+      for t = !utop to n - 1 do
+        let jf = s.sr2.(t) in
+        b.(f.q.(jf)) <- s.sw.(jf);
+        s.sw.(jf) <- 0.0
+      done;
+      !work
+    end
+
+  (* Bᵀ y = c via the transposed (row-compressed) adjacency: forward Uᵀ
+     pass, backward Lᵀ pass, both in scatter form over their reaches.
+     Same index contract as {!btran_in_place}; returns the work
+     performed. *)
+  let btran_reach f s c =
+    let n = f.n in
+    let nroots = gather_roots s c in
+    if float_of_int nroots > dense_threshold *. float_of_int n then begin
+      btran_in_place f ~work:s.sw c;
+      Array.fill s.sw 0 n 0.0;
+      n + nnz f
+    end
+    else begin
+      let work = ref n in
+      (* Forward Uᵀ pass: dependents of factor column k are the row-k
+         entries of U. *)
+      s.sstamp <- s.sstamp + 1;
+      let utop = ref n in
+      for k = 0 to nroots - 1 do
+        utop := dfs_reach f.ur_ptr f.ur_idx s f.qinv.(s.sroots.(k)) s.sr1 !utop
+      done;
+      for k = 0 to nroots - 1 do
+        let sl = s.sroots.(k) in
+        s.sw.(f.qinv.(sl)) <- c.(sl);
+        c.(sl) <- 0.0
+      done;
+      for t = !utop to n - 1 do
+        let k = s.sr1.(t) in
+        let x = s.sw.(k) /. f.u_diag.(k) in
+        s.sw.(k) <- x;
+        work := !work + 1 + (f.ur_ptr.(k + 1) - f.ur_ptr.(k));
+        if x <> 0.0 then
+          for e = f.ur_ptr.(k) to f.ur_ptr.(k + 1) - 1 do
+            s.sw.(f.ur_idx.(e)) <- s.sw.(f.ur_idx.(e)) -. (f.ur_val.(e) *. x)
+          done
+      done;
+      (* Backward Lᵀ pass: dependents of factor row i are the row-i
+         entries of L. *)
+      s.sstamp <- s.sstamp + 1;
+      let ltop = ref n in
+      for t = !utop to n - 1 do
+        ltop := dfs_reach f.lr_ptr f.lr_idx s s.sr1.(t) s.sr2 !ltop
+      done;
+      for t = !ltop to n - 1 do
+        let i = s.sr2.(t) in
+        let x = s.sw.(i) in
+        work := !work + 1 + (f.lr_ptr.(i + 1) - f.lr_ptr.(i));
+        if x <> 0.0 then
+          for e = f.lr_ptr.(i) to f.lr_ptr.(i + 1) - 1 do
+            s.sw.(f.lr_idx.(e)) <- s.sw.(f.lr_idx.(e)) -. (f.lr_val.(e) *. x)
+          done
+      done;
+      for t = !ltop to n - 1 do
+        let i = s.sr2.(t) in
+        c.(f.p.(i)) <- s.sw.(i);
+        s.sw.(i) <- 0.0
+      done;
+      !work
+    end
 end
 
 let determinant f =

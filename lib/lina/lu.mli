@@ -66,6 +66,43 @@ module Sparse : sig
   (** [btran_in_place f ~work c] overwrites [c] with the solution of
       [Bᵀ y = c]; [c] is indexed by basis position on input and by
       original row on output. *)
+
+  (** {3 Reach-based solves}
+
+      Gilbert–Peierls sparse triangular solves: the nonzero pattern of
+      the solution is the graph reach of the RHS support over the factor
+      adjacency, computed by a depth-first search whose cost is bounded
+      by the pattern's edges — so a solve against a sparse RHS (a unit
+      vector, an entering column, a near-empty cost vector) does work
+      proportional to its {e nonzeros}, not the basis dimension.  Above
+      {!dense_threshold} RHS density the kernels fall back to the plain
+      dense-scan solves, whose sequential passes win once most positions
+      are touched anyway. *)
+
+  type scratch
+  (** Preallocated workspace (value buffer, stamp marks, DFS stack, reach
+      buffers) for the reach solves.  One per basis representation; the
+      kernels never allocate.  Not domain-safe: callers on parallel
+      workers need one scratch each. *)
+
+  val scratch : int -> scratch
+  (** [scratch n] builds a workspace for dimension-[n] solves. *)
+
+  val dense_threshold : float
+  (** RHS density (support / dimension) above which {!ftran_reach} and
+      {!btran_reach} switch to the dense-scan path. *)
+
+  val ftran_reach : t -> scratch -> float array -> int
+  (** [ftran_reach f s b] — {!ftran_in_place} with reach-based work:
+      overwrites [b] (indexed by original row on input, basis position on
+      output) with the solution of [B x = b] and returns the work
+      performed (pattern entries touched plus the O(n) support scan), for
+      deterministic clock billing. *)
+
+  val btran_reach : t -> scratch -> float array -> int
+  (** [btran_reach f s c] — {!btran_in_place} with reach-based work over
+      the transposed factor adjacency; same contract as
+      {!ftran_reach}. *)
 end
 
 val determinant : t -> float

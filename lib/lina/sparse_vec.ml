@@ -26,14 +26,18 @@ let of_assoc pairs =
 
 let of_dense ?(skip = -1) dense =
   let n = Array.length dense in
+  (* The zero test is inlined ([Tol.is_zero] is a cross-module call whose
+     float argument would be boxed on every probe): this runs once per
+     simplex pivot over the full eta column. *)
+  let eps = Tol.eps in
   let count = ref 0 in
   for i = 0 to n - 1 do
-    if i <> skip && not (Tol.is_zero dense.(i)) then incr count
+    if i <> skip && Float.abs dense.(i) > eps then incr count
   done;
   let idx = Array.make !count 0 and value = Array.make !count 0.0 in
   let k = ref 0 in
   for i = 0 to n - 1 do
-    if i <> skip && not (Tol.is_zero dense.(i)) then begin
+    if i <> skip && Float.abs dense.(i) > eps then begin
       idx.(!k) <- i;
       value.(!k) <- dense.(i);
       incr k

@@ -16,6 +16,7 @@ type factored = {
   mutable etas : eta array;
   mutable n_eta : int;
   mutable eta_nnz : int;
+  scratch : Slu.scratch;  (* reach-solve workspace, one per representation *)
 }
 
 type rep = Dense of dense | Factored of factored
@@ -35,6 +36,7 @@ let create kind m =
           etas = Array.make 16 no_eta;
           n_eta = 0;
           eta_nnz = 0;
+          scratch = Slu.scratch m;
         }
   in
   { m; rep; work = Array.make m 0.0 }
@@ -79,21 +81,35 @@ let factorize t col =
 
 (* --- eta application --------------------------------------------------- *)
 
-(* w <- E_1⁻¹…E_k⁻¹ applied in append order (FTRAN direction). *)
+(* w <- E_1⁻¹…E_k⁻¹ applied in append order (FTRAN direction).  Etas whose
+   pivot entry is zero in the current RHS are skipped outright — their
+   transform is the identity there — so a sparse FTRAN only pays for the
+   etas it actually meets.  Returns work: one probe per skipped eta, the
+   eta's support otherwise. *)
 let etas_ftran f w =
+  let work = ref 0 in
   for k = 0 to f.n_eta - 1 do
     let e = f.etas.(k) in
-    let t = w.(e.e_r) /. e.e_diag in
-    if t <> 0.0 then Sv.axpy_dense (-.t) e.e_vec w;
-    w.(e.e_r) <- t
-  done
+    let wr = w.(e.e_r) in
+    if wr = 0.0 then incr work
+    else begin
+      let t = wr /. e.e_diag in
+      Sv.axpy_dense (-.t) e.e_vec w;
+      w.(e.e_r) <- t;
+      work := !work + 1 + Sv.nnz e.e_vec
+    end
+  done;
+  !work
 
-(* y <- E_k⁻ᵀ…E_1⁻ᵀ applied in reverse order (BTRAN direction). *)
+(* y <- E_k⁻ᵀ…E_1⁻ᵀ applied in reverse order (BTRAN direction).  The
+   transposed eta needs its sparse dot against [y] regardless of the pivot
+   entry, so the work is the full eta file. *)
 let etas_btran f y =
   for k = f.n_eta - 1 downto 0 do
     let e = f.etas.(k) in
     y.(e.e_r) <- (y.(e.e_r) -. Sv.dot_dense e.e_vec y) /. e.e_diag
-  done
+  done;
+  f.eta_nnz
 
 (* --- solves ------------------------------------------------------------ *)
 
@@ -101,18 +117,21 @@ let ftran_in_place t b =
   match t.rep with
   | Dense d ->
     let x = Dm.mult_vec d.binv b in
-    Array.blit x 0 b 0 t.m
+    Array.blit x 0 b 0 t.m;
+    t.m * t.m
   | Factored f ->
-    Slu.ftran_in_place f.lu ~work:t.work b;
-    etas_ftran f b
+    let lw = Slu.ftran_reach f.lu f.scratch b in
+    lw + etas_ftran f b
 
 let ftran_col t col w =
   match t.rep with
-  | Dense d -> col (fun i v -> Dm.col_axpy d.binv i v w)
+  | Dense d ->
+    col (fun i v -> Dm.col_axpy d.binv i v w);
+    t.m * t.m
   | Factored f ->
     col (fun i v -> w.(i) <- w.(i) +. v);
-    Slu.ftran_in_place f.lu ~work:t.work w;
-    etas_ftran f w
+    let lw = Slu.ftran_reach f.lu f.scratch w in
+    lw + etas_ftran f w
 
 let btran_in_place t c =
   match t.rep with
@@ -130,14 +149,17 @@ let btran_in_place t c =
         done
       end
     done;
-    Array.blit t.work 0 c 0 m
+    Array.blit t.work 0 c 0 m;
+    t.m * t.m
   | Factored f ->
-    etas_btran f c;
-    Slu.btran_in_place f.lu ~work:t.work c
+    let ew = etas_btran f c in
+    ew + Slu.btran_reach f.lu f.scratch c
 
 let unit_row t r out =
   match t.rep with
-  | Dense d -> Array.blit (Dm.raw d.binv) (r * t.m) out 0 t.m
+  | Dense d ->
+    Array.blit (Dm.raw d.binv) (r * t.m) out 0 t.m;
+    t.m * t.m
   | Factored _ ->
     Array.fill out 0 t.m 0.0;
     out.(r) <- 1.0;

@@ -30,9 +30,12 @@ val eta_count : t -> int
     {!Dense_inverse}. *)
 
 val solve_cost : t -> int
-(** Deterministic work units of one FTRAN or BTRAN at the current
-    representation size — [m²] dense, [nnz(L)+nnz(U)+nnz(etas)+m]
-    factored.  This is what the simplex bills to the budget clock. *)
+(** Deterministic {e upper bound} on the work of one FTRAN or BTRAN at
+    the current representation size — [m²] dense,
+    [nnz(L)+nnz(U)+nnz(etas)+m] factored.  Used to bill factorizations;
+    the solve operations themselves return the work they actually
+    performed (reach-bounded for the factored representation), which is
+    what the simplex bills to the budget clock. *)
 
 val load_identity : t -> float array -> unit
 (** [load_identity t signs] installs the basis [diag signs] (signs are
@@ -44,21 +47,28 @@ val factorize : t -> (int -> (int -> float -> unit) -> unit) -> unit
     the basis column at position [pos].  Clears the eta file.
     @raise Lina.Lu.Singular on a (numerically) singular basis. *)
 
-val ftran_col : t -> ((int -> float -> unit) -> unit) -> float array -> unit
+val ftran_col : t -> ((int -> float -> unit) -> unit) -> float array -> int
 (** [ftran_col t col w] accumulates [B⁻¹ a] into [w] (length [m],
-    caller-zeroed), where [col f] enumerates the entries of [a]. *)
+    caller-zeroed), where [col f] enumerates the entries of [a].  Returns
+    the work performed — reach-bounded sparse solves plus the eta file
+    actually met (pivot-zero etas are skipped) for {!Factored_lu}, [m²]
+    for {!Dense_inverse} — a deterministic function of the basis and the
+    RHS, suitable for clock billing. *)
 
-val ftran_in_place : t -> float array -> unit
+val ftran_in_place : t -> float array -> int
 (** [ftran_in_place t b] overwrites the dense [b] (indexed by row) with
-    [B⁻¹ b] (indexed by basis position). *)
+    [B⁻¹ b] (indexed by basis position).  Returns the work performed, as
+    in {!ftran_col}. *)
 
-val btran_in_place : t -> float array -> unit
+val btran_in_place : t -> float array -> int
 (** [btran_in_place t c] overwrites the dense [c] (indexed by basis
-    position) with [B⁻ᵀ c] (indexed by row). *)
+    position) with [B⁻ᵀ c] (indexed by row).  Returns the work
+    performed. *)
 
-val unit_row : t -> int -> float array -> unit
+val unit_row : t -> int -> float array -> int
 (** [unit_row t r out] fills [out] (length [m]) with row [r] of [B⁻¹] —
-    the BTRAN of [e_r], i.e. the pivot row of the dual simplex. *)
+    the BTRAN of [e_r], i.e. the pivot row of the dual simplex.  Returns
+    the work performed. *)
 
 val update : t -> r:int -> w:float array -> int
 (** [update t ~r ~w] installs the pivot that makes column [w = B⁻¹ a_q]

@@ -51,7 +51,7 @@ type result = {
   objective : float;
   internal_objective : float;
   duals : float array;
-  reduced_costs : float array;
+  reduced_costs : float array Lazy.t;
   iterations : int;
   final_basis : basis option;
 }
@@ -99,6 +99,8 @@ type state = {
   (* scratch buffers *)
   w : float array;  (* FTRAN result *)
   y : float array;  (* duals *)
+  rho : float array;  (* inverse-row scratch (dual pivot row, expulsion) *)
+  rowbuf : float array;  (* row-space scratch (RHS recompute, residual) *)
   (* partial pricing: surviving entering candidates from the last sweep *)
   cand : int array;
   cand_score : float array;
@@ -188,19 +190,22 @@ let col_dot_dense st j y =
    budget clock and the result's nonzero count to the stats. *)
 let ftran st j =
   Array.fill st.w 0 st.m 0.0;
-  Basis.ftran_col st.rep (fun f -> col_iter st j f) st.w;
+  let work = Basis.ftran_col st.rep (fun f -> col_iter st j f) st.w in
   let nnz = ref 0 in
   for i = 0 to st.m - 1 do
     if st.w.(i) <> 0.0 then incr nnz
   done;
   st.stats.Rstats.ftran_nnz <- st.stats.Rstats.ftran_nnz + !nnz;
-  tick_ftran st (Basis.solve_cost st.rep)
+  tick_ftran st work
 
 (* --- (re)factorization ---------------------------------------------- *)
 
-(* rhs_i = - sum over nonbasic columns of a_ij * x_j *)
+(* rhs_i = - sum over nonbasic columns of a_ij * x_j.  Fills and returns
+   the state's row-space scratch — hot on the session re-solve path, so
+   no per-call allocation. *)
 let nonbasic_rhs st =
-  let rhs = Array.make st.m 0.0 in
+  let rhs = st.rowbuf in
+  Array.fill rhs 0 st.m 0.0;
   for j = 0 to st.n_total + st.m - 1 do
     if st.vstat.(j) <> Basic && st.xval.(j) <> 0.0 then
       col_iter st j
@@ -213,13 +218,14 @@ let nonbasic_rhs st =
    plus eta file): cheap drift control between full refactorizations. *)
 let recompute_basics st =
   let rhs = nonbasic_rhs st in
-  Basis.ftran_in_place st.rep rhs;
+  tick_ftran st (Basis.ftran_in_place st.rep rhs);
   Array.iteri (fun pos j -> st.xval.(j) <- rhs.(pos)) st.basis
 
 (* Max-norm of A·x over all columns — exact feasibility residual of the
    equality system, O(nnz). *)
 let equation_residual st =
-  let r = Array.make st.m 0.0 in
+  let r = st.rowbuf in
+  Array.fill r 0 st.m 0.0;
   for j = 0 to st.n_total + st.m - 1 do
     if st.xval.(j) <> 0.0 then
       col_iter st j
@@ -237,7 +243,7 @@ let full_refactorize st =
   st.pivots_since_refactor <- 0;
   tick_factor st (Basis.solve_cost st.rep);
   let rhs = nonbasic_rhs st in
-  Basis.ftran_in_place st.rep rhs;
+  tick_ftran st (Basis.ftran_in_place st.rep rhs);
   Array.iteri (fun pos j -> st.xval.(j) <- rhs.(pos)) st.basis
 
 (* Periodic hygiene: recompute basics through the current inverse and only
@@ -273,13 +279,13 @@ let after_basis_update st =
 (* y = B⁻ᵀ c_B (BTRAN), billed like any other basis solve. *)
 let compute_duals st =
   Array.iteri (fun pos j -> st.y.(pos) <- st.cost.(j)) st.basis;
-  Basis.btran_in_place st.rep st.y;
+  let work = Basis.btran_in_place st.rep st.y in
   let nnz = ref 0 in
   for i = 0 to st.m - 1 do
     if st.y.(i) <> 0.0 then incr nnz
   done;
   st.stats.Rstats.btran_nnz <- st.stats.Rstats.btran_nnz + !nnz;
-  tick_btran st (Basis.solve_cost st.rep)
+  tick_btran st work
 
 (* Returns [Some (j, dir)] for the entering column and its direction of
    movement (+1 increase, -1 decrease), or [None] at (phase) optimality.
@@ -475,7 +481,8 @@ let check_limits st =
 (* One pivot of work: the per-solve counter, the solve-wide stats and the
    budget clock (deterministic time advances here).  Each iteration's
    clock charge is assembled from the work actually performed — a basis
-   solve ticks {!Basis.solve_cost}, pricing ticks the columns examined —
+   solve ticks the reach-bounded work it returns, pricing ticks the
+   columns examined —
    so work-seconds track wall-seconds across representations and across
    model sizes spanning orders of magnitude.  This helper bills the O(m)
    remainder (ratio test, primal update) so every iteration advances the
@@ -540,8 +547,8 @@ let expel_artificials st =
   for r = 0 to st.m - 1 do
     if st.basis.(r) >= st.n_total then begin
       (* Row r of the inverse gives the pivot weights of every column. *)
-      let rho = Array.make st.m 0.0 in
-      Basis.unit_row st.rep r rho;
+      let rho = st.rho in
+      tick_btran st (Basis.unit_row st.rep r rho);
       let best = ref (-1) and best_w = ref Lina.Tol.pivot in
       for j = 0 to st.n_total - 1 do
         if st.vstat.(j) <> Basic then begin
@@ -764,7 +771,7 @@ let dual_ws st =
 let dual_optimize st =
   let tol = st.params.primal_feas_tol in
   let piv_tol = Lina.Tol.pivot in
-  let rho = Array.make st.m 0.0 in
+  let rho = st.rho in
   let continue_ = ref true in
   (* Degenerate dual pivots can cycle; after a stall we fall back to a
      Bland-style smallest-index entering rule, and a hard per-call pivot
@@ -804,8 +811,7 @@ let dual_optimize st =
          that rho touches over the cached Aᵀ, so only columns actually
          meeting the row are visited (rho is sparse under the factored
          basis). *)
-      Basis.unit_row st.rep r rho;
-      tick_btran st (Basis.solve_cost st.rep);
+      tick_btran st (Basis.unit_row st.rep r rho);
       let rnnz = ref 0 in
       for i = 0 to st.m - 1 do
         if rho.(i) <> 0.0 then incr rnnz
@@ -816,17 +822,25 @@ let dual_optimize st =
       ws.d_stamp <- ws.d_stamp + 1;
       let stamp = ws.d_stamp in
       let ntouch = ref 0 in
+      (* Direct CSC traversal: an [iter_col] callback would allocate a
+         closure per touched row and box every coefficient — this loop
+         runs on every dual pivot. *)
+      let ptr = ws.d_at.Lina.Csc.col_ptr in
+      let ridx = ws.d_at.Lina.Csc.row_idx in
+      let rval = ws.d_at.Lina.Csc.value in
       for i = 0 to st.m - 1 do
         let ri = rho.(i) in
         if ri <> 0.0 then
-          Lina.Csc.iter_col ws.d_at i (fun j v ->
-              if ws.d_mark.(j) <> stamp then begin
-                ws.d_mark.(j) <- stamp;
-                ws.d_alpha.(j) <- 0.0;
-                ws.d_touch.(!ntouch) <- j;
-                incr ntouch
-              end;
-              ws.d_alpha.(j) <- ws.d_alpha.(j) +. (ri *. v))
+          for k = ptr.(i) to ptr.(i + 1) - 1 do
+            let j = ridx.(k) in
+            if ws.d_mark.(j) <> stamp then begin
+              ws.d_mark.(j) <- stamp;
+              ws.d_alpha.(j) <- 0.0;
+              ws.d_touch.(!ntouch) <- j;
+              incr ntouch
+            end;
+            ws.d_alpha.(j) <- ws.d_alpha.(j) +. (ri *. rval.(k))
+          done
       done;
       tick_pricing st (max 1 !ntouch);
       (* Dual ratio test: smallest d_j / (e·alpha_j) over admissible j. *)
@@ -926,8 +940,17 @@ let extract st status =
   let factor = sf.Std_form.obj_factor in
   let duals = Array.init st.m (fun i -> factor *. st.y.(i)) in
   let reduced =
-    Array.init n_struct (fun j ->
-        factor *. (st.real_cost.(j) -. col_dot_dense st j st.y))
+    (* Lazy: the O(nnz(A)) pricing of every structural column is wasted
+       work on the branch-and-bound hot path, which only reads bounds and
+       duals.  The closure snapshots [y] (the state buffer is recycled by
+       the next session re-solve) and prices against the immutable
+       standard form. *)
+    let a = sf.Std_form.a in
+    let cost = sf.Std_form.cost in
+    let y = Array.copy st.y in
+    lazy
+      (Array.init n_struct (fun j ->
+           factor *. (cost.(j) -. Lina.Csc.col_dot a j y)))
   in
   let final_basis =
     match status with
@@ -1012,6 +1035,8 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?prof ?lb ?ub ?warm
       ptk = fresh_ptk ();
       w = Array.make m 0.0;
       y = Array.make m 0.0;
+      rho = Array.make m 0.0;
+      rowbuf = Array.make m 0.0;
       cand = Array.make (n_total + m) 0;
       cand_score = Array.make (n_total + m) 0.0;
       cand_n = 0;
@@ -1094,17 +1119,32 @@ let fresh_state sf params budget stats sink prof lb ub =
     ptk = fresh_ptk ();
     w = Array.make m 0.0;
     y = Array.make m 0.0;
+    rho = Array.make m 0.0;
+    rowbuf = Array.make m 0.0;
     cand = Array.make (n_total + m) 0;
     cand_score = Array.make (n_total + m) 0.0;
     cand_n = 0;
     dualw = None;
   }
 
+(* Collapses within-tolerance crossed bounds (propagation round-off) on
+   the installed state arrays.  True crossings were already rejected by
+   the caller's read-only scan, so anything left is a collapse. *)
+let repair_crossed_bounds st =
+  for j = 0 to st.n_total - 1 do
+    if st.lb.(j) > st.ub.(j) then begin
+      let mid = 0.5 *. (st.lb.(j) +. st.ub.(j)) in
+      st.lb.(j) <- mid;
+      st.ub.(j) <- mid
+    end
+  done
+
 (* Mutable reset of the session state for new bounds, keeping basis, basis
    inverse and variable statuses intact. *)
 let rebound_state st lb ub =
   Array.blit lb 0 st.lb 0 st.n_total;
   Array.blit ub 0 st.ub 0 st.n_total;
+  repair_crossed_bounds st;
   for j = 0 to st.n_total - 1 do
     if st.vstat.(j) <> Basic then begin
       (* Re-home nonbasics whose bound moved or vanished. *)
@@ -1215,17 +1255,16 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm
   let budget = budget_of_params ?budget params in
   let stats = match stats with Some s -> s | None -> Rstats.create () in
   stats.Rstats.lp_solves <- stats.Rstats.lp_solves + 1;
-  let lb = Array.copy lb and ub = Array.copy ub in
+  (* Read-only crossed-bound scan: no defensive copies on the hot path.
+     Within-tolerance crossings are collapsed later, in place, on the
+     state's own arrays ([repair_crossed_bounds]) once the caller bounds
+     have been blitted in. *)
   let crossed = ref false in
   for j = 0 to n_total - 1 do
     if lb.(j) > ub.(j) then begin
       let scale = Float.max 1.0 (Float.abs lb.(j)) in
-      if lb.(j) -. ub.(j) <= params.primal_feas_tol *. scale then begin
-        let mid = 0.5 *. (lb.(j) +. ub.(j)) in
-        lb.(j) <- mid;
-        ub.(j) <- mid
-      end
-      else crossed := true
+      if lb.(j) -. ub.(j) > params.primal_feas_tol *. scale then
+        crossed := true
     end
   done;
   let finish st status =
@@ -1235,6 +1274,7 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm
   in
   let cold_solve () =
     let st = fresh_state sf params budget stats trace prof lb ub in
+    repair_crossed_bounds st;
     session.s_state <- Some st;
     let status =
       try
@@ -1262,7 +1302,10 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm
          nodes land on arbitrary workers. *)
       let st =
         match session.s_state with
-        | None -> fresh_state sf params budget stats trace prof lb ub
+        | None ->
+          let st = fresh_state sf params budget stats trace prof lb ub in
+          repair_crossed_bounds st;
+          st
         | Some st ->
           st.iterations <- 0;
           st.bland <- false;

@@ -52,7 +52,9 @@ type result = {
   objective : float;            (** user-facing objective (sense/offset applied) *)
   internal_objective : float;   (** minimization objective on the internal form *)
   duals : float array;          (** row duals, length [n_rows] *)
-  reduced_costs : float array;  (** structural reduced costs (internal sense) *)
+  reduced_costs : float array Lazy.t;
+      (** structural reduced costs (internal sense); priced on first force —
+          the branch-and-bound hot path never pays for them *)
   iterations : int;
   final_basis : basis option;   (** present when the run ended cleanly *)
 }

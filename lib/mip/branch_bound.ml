@@ -125,10 +125,23 @@ type search = {
          improvements for the [Bb_bound] trace event *)
   root_lb : float array;  (* full column space *)
   root_ub : float array;
+  wlb : float array array;  (* per-worker bound scratch, resident across *)
+  wub : float array array;  (* rounds like the sessions they feed *)
+  mutable round_batch : int;
+      (* nodes selected next round; grows geometrically (up to
+         [8 × batch_size]) each time a round fills, purely as a function
+         of batch-fill history — jobs-invariant by construction *)
 }
 
-let node_bounds s node =
-  let lb = Array.copy s.root_lb and ub = Array.copy s.root_ub in
+(* Reconstructing a node's boxes blits the root bounds into the worker's
+   resident scratch instead of allocating two fresh arrays per node: the
+   simplex copies (cold solve) or blits ([rebound_state]) the bounds on
+   entry, so every node evaluated by a worker may share that worker's
+   storage. *)
+let node_bounds s ~worker node =
+  let lb = s.wlb.(worker) and ub = s.wub.(worker) in
+  Array.blit s.root_lb 0 lb 0 (Array.length s.root_lb);
+  Array.blit s.root_ub 0 ub 0 (Array.length s.root_ub);
   List.iter
     (fun (j, lo, hi) ->
       lb.(j) <- Float.max lb.(j) lo;
@@ -274,7 +287,7 @@ type eval =
 let eval_node s ~worker ~fork ~fstats ~fprof node =
   Option.iter (fun r -> Span.set_domain r worker) fprof;
   Span.with_ fprof fork "eval" @@ fun () ->
-  let lb, ub = node_bounds s node in
+  let lb, ub = node_bounds s ~worker node in
   match
     if s.params.propagate then Propagate.run s.prop ~lb ~ub
     else Propagate.Tightened 0
@@ -378,12 +391,20 @@ let log_progress s =
    the gap test then stops the search mid-batch — so tick and counter
    totals are identical at every jobs level.  Only then are the search
    decisions replayed (phase B). *)
+let batch_cap params = 8 * max 1 params.batch_size
+
 let run_round s dispatch =
   let batch =
     Span.with_ s.prof s.budget "select" @@ fun () ->
-    select_batch s (max 1 s.params.batch_size)
+    select_batch s s.round_batch
   in
   let n = Array.length batch in
+  (* A round that filled (no queue exhaustion, no pruning slack) doubles
+     the next round, so fork/merge and worker wake-up overhead amortizes
+     on deep trees; a strong incumbent that prunes most selections keeps
+     rounds small.  [n] is jobs-invariant, hence so is the growth. *)
+  if n = s.round_batch then
+    s.round_batch <- min (2 * s.round_batch) (batch_cap s.params);
   if n > 0 then begin
     let iter_rem =
       max 0 (Budget.iter_limit s.budget - s.stats.Rstats.simplex_iterations)
@@ -475,8 +496,9 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace ?prof
     let requested =
       if params.jobs <= 0 then Pool.recommended_jobs () else params.jobs
     in
-    (* More workers than the batch size can never be busy at once. *)
-    max 1 (min requested (max 1 params.batch_size))
+    (* More workers than the largest (grown) batch can never be busy at
+       once. *)
+    max 1 (min requested (batch_cap params))
   in
   let s =
     {
@@ -501,6 +523,9 @@ let solve_form ?(params = default_params) ?initial ?budget ?stats ?trace ?prof
       emitted_bound = neg_infinity;
       root_lb = Array.append (Array.sub sf.Lp.Std_form.lb 0 n_total) [||];
       root_ub = Array.append (Array.sub sf.Lp.Std_form.ub 0 n_total) [||];
+      wlb = Array.init jobs (fun _ -> Array.make n_total 0.0);
+      wub = Array.init jobs (fun _ -> Array.make n_total 0.0);
+      round_batch = max 1 params.batch_size;
     }
   in
   (match initial with

@@ -49,11 +49,14 @@ type params = {
           calling domain; [<= 0] autodetects).  Any value yields the same
           result — [jobs] trades wall-clock time only. *)
   batch_size : int;
-      (** nodes selected per synchronous round (default 8).  Deliberately
-          independent of [jobs]: the selection — and hence the search —
-          must not change with the worker count.  Larger batches expose
-          more parallelism but may explore more nodes than strictly
-          best-bound order would. *)
+      (** {e initial} nodes selected per synchronous round (default 8).
+          Rounds that fill completely grow the next round geometrically,
+          up to [8 × batch_size], so per-round overhead (fork/merge,
+          worker wake-up) amortizes on deep trees.  Both the seed and the
+          growth rule are deliberately independent of [jobs]: the
+          selection — and hence the search — must not change with the
+          worker count.  Larger batches expose more parallelism but may
+          explore more nodes than strictly best-bound order would. *)
 }
 
 val default_params : params

@@ -85,8 +85,12 @@ let run t f tasks =
           match f ~worker tasks.(i) with
           | r -> results.(i) <- Some r
           | exception e ->
-            (* Keep the first failure; let in-flight tasks finish. *)
-            ignore (Atomic.compare_and_set failure None (Some e))
+            (* Keep the first failure with the backtrace captured on the
+               worker that raised — a plain [raise] after the drain would
+               rebuild the trace at the re-raise site and mask where the
+               job actually died. *)
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
       done
     in
     if t.size = 1 then share 0
@@ -105,7 +109,9 @@ let run t f tasks =
       t.job <- None;
       Mutex.unlock t.mu
     end;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.map
       (function Some r -> r | None -> assert false (* all tasks ran *))
       results

@@ -49,7 +49,9 @@ val run : t -> (worker:int -> 'a -> 'b) -> 'a array -> 'b array
     cursor, so the task→worker assignment is {e not} deterministic; only
     the result order is.  The first exception raised by any task is
     re-raised after the whole batch has drained (remaining tasks are
-    skipped, in-flight ones finish); the pool stays usable afterwards.
+    skipped, in-flight ones finish), {e with the backtrace captured at
+    the original raise site} — the drain barrier does not mask where the
+    job died; the pool stays usable afterwards.
     Must be called from the domain that created the pool, and calls must
     not be nested or overlapped. *)
 

@@ -267,15 +267,9 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
        fails the same way at any jobs level. *)
     deny ~pstats ~greedy:Solver.Failed Greedy
 
-let rec chunk n = function
-  | [] -> []
-  | l ->
-    let rec take k acc = function
-      | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
-      | rest -> (List.rev acc, rest)
-    in
-    let b, rest = take n [] l in
-    b :: chunk n rest
+let rec take k acc = function
+  | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+  | rest -> (List.rev acc, rest)
 
 (* Nearest-rank percentile of a sorted array. *)
 let percentile p sorted =
@@ -326,8 +320,7 @@ let run ?(config = default_config) ?on_commit inst =
   Fun.protect
     ~finally:(fun () -> match pool with Some p -> Pool.shutdown p | None -> ())
     (fun () ->
-      List.iter
-        (fun batch ->
+      let process_batch batch =
           let snapshot_committed = !committed in
           let snapshot_version = !version in
           (* Fork one slice per batch member, sequentially, before any
@@ -470,8 +463,30 @@ let run ?(config = default_config) ?on_commit inst =
                   reevaluated;
                 }
                 :: !records)
-            tasks)
-        (chunk config.batch_size order));
+            tasks
+      in
+      (* Adaptive batching, the branch-and-bound treatment applied to the
+         speculative stream: a batch whose speculation all held (no stale
+         re-evaluation) doubles the next one, up to [8 × batch_size], so
+         fork and worker wake-up overhead amortizes on accept-sparse
+         streams; any staleness resets to the configured size, since
+         commits invalidate the speculation of everything queued behind
+         them.  The growth depends only on the re-evaluation history,
+         which is deterministic, so decisions stay jobs-invariant. *)
+      let rec drive cur = function
+        | [] -> ()
+        | remaining ->
+          let batch, rest = take cur [] remaining in
+          let stale0 = stats.Rstats.service_reevals in
+          process_batch batch;
+          let next =
+            if stats.Rstats.service_reevals = stale0 then
+              min (2 * cur) (8 * config.batch_size)
+            else config.batch_size
+          in
+          drive next rest
+      in
+      drive config.batch_size order);
   let records = Array.of_list (List.rev !records) in
   let count p =
     Array.fold_left (fun n (r : record) -> if p r then n + 1 else n) 0 records

@@ -97,7 +97,11 @@ type config = {
       (** deterministic work-clock rate ([Some default_work_rate] by
           default — required for jobs-independent byte-identical output);
           [None] uses the wall clock *)
-  batch_size : int;                 (** arrivals admitted per batch *)
+  batch_size : int;
+      (** {e initial} arrivals evaluated speculatively per batch; batches
+          whose speculation all held double the next one (up to
+          [8 × batch_size]), any stale re-evaluation resets it —
+          deterministic, so decisions stay jobs-invariant *)
   jobs : int;                       (** worker domains for the batch *)
   trace : Runtime.Trace.sink option;
       (** receives a {!Runtime.Trace.Service_decision} per arrival, in

@@ -194,10 +194,99 @@ let lu_properties =
              Lina.Vec.nrm_inf r < 1e-6));
   ]
 
+(* --- reach-based sparse triangular solves ------------------------------ *)
+
+(* A sparse, diagonally dominant column accessor: always factorizable and
+   sparse enough that the reach path actually runs below the density
+   threshold. *)
+let random_sparse_cols rng n =
+  Array.init n (fun j ->
+      let entries = ref [ (j, Workload.Rng.float_range rng 3.0 8.0) ] in
+      for _ = 1 to Workload.Rng.int rng 3 do
+        let i = Workload.Rng.int rng n in
+        if i <> j && not (List.mem_assoc i !entries) then
+          entries := (i, Workload.Rng.float_range rng (-1.0) 1.0) :: !entries
+      done;
+      !entries)
+
+let reach_agrees ~trans f scratch n b =
+  let dense = Array.copy b and sparse = Array.copy b in
+  let work = Array.make n 0.0 in
+  let billed =
+    if trans then begin
+      Lina.Lu.Sparse.btran_in_place f ~work dense;
+      Lina.Lu.Sparse.btran_reach f scratch sparse
+    end
+    else begin
+      Lina.Lu.Sparse.ftran_in_place f ~work dense;
+      Lina.Lu.Sparse.ftran_reach f scratch sparse
+    end
+  in
+  let scale =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1.0 dense
+  in
+  billed >= n
+  && Array.for_all2
+       (fun a b -> Float.abs (a -. b) <= 1e-9 *. scale)
+       dense sparse
+
+let reach_properties =
+  let make_case ~name ~trans ~rhs_of =
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name ~count:60
+         QCheck2.Gen.(pair (int_range 1 40) (int_bound 100_000))
+         (fun (n, seed) ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 13)) in
+           let cols = random_sparse_cols rng n in
+           let f =
+             Lina.Lu.Sparse.factorize ~n ~col:(fun j emit ->
+                 List.iter (fun (i, v) -> emit i v) cols.(j))
+           in
+           let scratch = Lina.Lu.Sparse.scratch n in
+           (* Several solves through one scratch: a kernel that fails to
+              reset its workspace poisons the next call. *)
+           List.for_all
+             (fun k -> reach_agrees ~trans f scratch n (rhs_of rng n k))
+             [ 0; 1; 2 ]))
+  in
+  let sparse_rhs rng n _ =
+    Array.init n (fun _ ->
+        if Workload.Rng.int rng 4 = 0 then
+          Workload.Rng.float_range rng (-3.0) 3.0
+        else 0.0)
+  in
+  let dense_rhs rng n _ =
+    Array.init n (fun _ -> Workload.Rng.float_range rng (-3.0) 3.0)
+  in
+  let unit_rhs rng n k =
+    let b = Array.make n 0.0 in
+    ignore k;
+    b.(Workload.Rng.int rng n) <- Workload.Rng.float_range rng 0.5 2.0;
+    b
+  in
+  let zero_rhs _ n _ = Array.make n 0.0 in
+  [
+    make_case ~name:"ftran_reach = ftran (sparse rhs)" ~trans:false
+      ~rhs_of:sparse_rhs;
+    make_case ~name:"btran_reach = btran (sparse rhs)" ~trans:true
+      ~rhs_of:sparse_rhs;
+    make_case ~name:"ftran_reach = ftran (dense rhs fallback)" ~trans:false
+      ~rhs_of:dense_rhs;
+    make_case ~name:"btran_reach = btran (dense rhs fallback)" ~trans:true
+      ~rhs_of:dense_rhs;
+    make_case ~name:"ftran_reach single-nonzero rhs" ~trans:false
+      ~rhs_of:unit_rhs;
+    make_case ~name:"btran_reach single-nonzero rhs" ~trans:true
+      ~rhs_of:unit_rhs;
+    make_case ~name:"ftran_reach all-zero rhs" ~trans:false ~rhs_of:zero_rhs;
+    make_case ~name:"btran_reach all-zero rhs" ~trans:true ~rhs_of:zero_rhs;
+  ]
+
 let suite =
   [
     ("lina.vec", vec_tests);
     ("lina.sparse_vec", sparse_vec_tests);
     ("lina.csc", csc_tests);
     ("lina.lu", lu_tests @ lu_properties);
+    ("lina.lu.reach", reach_properties);
   ]

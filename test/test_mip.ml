@@ -441,6 +441,40 @@ let parallel_tests =
         let m = random_knapsack 31 in
         Alcotest.(check bool) "identical" true
           (fingerprint ~jobs:0 m = fingerprint ~jobs:1 m));
+    Alcotest.test_case "jobs 1 vs 4 byte-identical on the contended c\xce\xa3 \
+                        instance"
+      `Slow (fun () ->
+        (* The bnb bench's contended instance (several requests fighting
+           for a small grid): real batches, warm session re-solves on all
+           four workers, adaptive batch growth and the per-worker bound
+           scratch all engaged.  A short deterministic clock keeps the
+           search to a few rounds while still stopping mid-batch. *)
+        let rng = Workload.Rng.create 23L in
+        let inst =
+          Tvnep.Scenario.generate rng
+            { Tvnep.Scenario.scaled with num_requests = 8; flexibility = 2.0 }
+        in
+        let fm = Tvnep.Csigma_model.build inst in
+        ignore (Tvnep.Objective.apply fm Tvnep.Objective.Access_control);
+        let sf = Lp.Std_form.of_model fm.Tvnep.Formulation.model in
+        let solve jobs =
+          let budget =
+            Runtime.Budget.create ~deterministic:2e9 ~time_limit:0.02 ()
+          in
+          let stats = Runtime.Stats.create () in
+          let params = { Mip.Branch_bound.default_params with jobs } in
+          let r = Mip.Branch_bound.solve_form ~params ~budget ~stats sf in
+          ( ( Mip.Branch_bound.status_to_string r.Mip.Branch_bound.status,
+              r.Mip.Branch_bound.objective,
+              r.Mip.Branch_bound.best_bound,
+              r.Mip.Branch_bound.nodes,
+              r.Mip.Branch_bound.lp_iterations ),
+            (Runtime.Budget.ticks budget, Runtime.Stats.to_string stats) )
+        in
+        let base = solve 1 in
+        let par = solve 4 in
+        if par <> base then
+          Alcotest.failf "jobs=4 diverges from jobs=1 on the contended instance");
   ]
 
 let suite =

@@ -406,6 +406,60 @@ let pool_tests =
             Alcotest.(check (array int)) "next batch runs"
               (Array.init 10 (fun i -> i + 1))
               r));
+    Alcotest.test_case "worker failure re-raises with original backtrace"
+      `Quick (fun () ->
+        Printexc.record_backtrace true;
+        (* A raise site whose source line can only show up in the trace
+           if the worker's backtrace survived the drain barrier — a plain
+           [raise] after the drain would restart the trace inside
+           pool.ml. *)
+        let raise_line = ref 0 in
+        (* [opaque_identity] keeps [boom] out of the worker closure by
+           inlining, so its frame (and source line) must appear in a
+           preserved trace. *)
+        (* The [1 + ...] keeps the raise out of tail position, so this
+           frame stays alive while raising and the trace must cite the
+           [failwith] line recorded in [raise_line]. *)
+        let boom =
+          Sys.opaque_identity (fun () ->
+              raise_line := __LINE__ + 1;
+              1 + Sys.opaque_identity (failwith "bt-boom"))
+        in
+        (* Builds without frame recording would make the check vacuous;
+           probe once and skip the trace assertion if so. *)
+        let supported =
+          try
+            ignore (boom ());
+            false
+          with _ ->
+            Printexc.raw_backtrace_length (Printexc.get_raw_backtrace ()) > 0
+        in
+        match
+          Runtime.Pool.with_pool ~jobs:3 (fun p ->
+              Runtime.Pool.run p
+                (fun ~worker:_ i -> if i = 5 then boom () else i)
+                (Array.init 16 Fun.id))
+        with
+        | _ -> Alcotest.fail "expected the batch to fail"
+        | exception Failure msg ->
+          let bt = Printexc.get_raw_backtrace () in
+          Alcotest.(check string) "message" "bt-boom" msg;
+          if supported then begin
+            let s = Printexc.raw_backtrace_to_string bt in
+            let needle = Printf.sprintf "line %d" !raise_line in
+            let contains hay needle =
+              let lh = String.length hay and ln = String.length needle in
+              let ok = ref false in
+              for i = 0 to lh - ln do
+                if String.sub hay i ln = needle then ok := true
+              done;
+              !ok
+            in
+            if not (contains s needle) then
+              Alcotest.failf
+                "backtrace lost the original raise site (wanted %S):\n%s"
+                needle s
+          end);
     Alcotest.test_case "shutdown is idempotent; jobs clamp to >= 1" `Quick
       (fun () ->
         let p = Runtime.Pool.create ~jobs:2 in
