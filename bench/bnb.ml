@@ -39,7 +39,15 @@ let detect_cores () =
         (String.split_on_char ',' (String.trim line))
     with _ -> 0
   in
-  max 1 (max from_domain from_sys)
+  (* Conservative: take the *minimum* of the signals that report.  On
+     cgroup-constrained runners the cpuset shrinks one signal while the
+     other still reports the physical host, and believing the optimist
+     arms the wall-clock speedup gate on a box that cannot parallelize
+     (the gate then fails spuriously at jobs=4).  Missing signals (0)
+     don't vote. *)
+  match List.filter (fun c -> c > 0) [ from_domain; from_sys ] with
+  | [] -> 1
+  | c :: rest -> List.fold_left min c rest
 
 (* A contended cΣ instance: enough requests competing for a small grid
    that the search leaves a real tree (hundreds of nodes), so batches

@@ -423,6 +423,7 @@ module Sparse = struct
     sedge : int array;
     sr1 : int array;
     sr2 : int array;
+    sr3 : int array;  (* eta-extension roots of the Forrest–Tomlin solves *)
     sroots : int array;
     mutable sstamp : int;
   }
@@ -435,6 +436,7 @@ module Sparse = struct
       sedge = Array.make n 0;
       sr1 = Array.make n 0;
       sr2 = Array.make n 0;
+      sr3 = Array.make n 0;
       sroots = Array.make n 0;
       sstamp = 0;
     }
@@ -614,6 +616,607 @@ module Sparse = struct
         s.sw.(i) <- 0.0
       done;
       !work
+    end
+
+  (* --- Forrest–Tomlin updatable factors ------------------------------- *)
+
+  (* A basis column swap replaces one column of U with the spike
+     v = (etas ∘ L)⁻¹ a_q.  Instead of appending a product-form eta (whose
+     cost every later solve pays), the spike is eliminated against U in
+     place: factor column t = qinv(entering slot) logically moves to the
+     end of the triangular order, its row is emptied by a single row eta
+     E = I − e_t mᵀ with Ûᵀ m = (row t of U), and the spike becomes the new
+     column t with diagonal d = v_t − m·v.  Solves then stay
+     O(nnz(L)+nnz(U)+nnz(row etas)) where the row-eta file grows only by
+     the (usually tiny) elimination multipliers, not by a full spike per
+     pivot.
+
+     U is held in dynamic form — per-column and per-row growable entry
+     lists kept exactly in sync — because updates delete and insert
+     individual entries; L and the permutations stay those of the last
+     refactorization and are shared with the wrapped {!t}. *)
+
+  type ulist = {
+    mutable ul_idx : int array;
+    mutable ul_val : float array;
+    mutable ul_len : int;
+  }
+
+  let ul_make cap =
+    let cap = max 4 cap in
+    { ul_idx = Array.make cap 0; ul_val = Array.make cap 0.0; ul_len = 0 }
+
+  let ul_push l i v =
+    let cap = Array.length l.ul_idx in
+    if l.ul_len = cap then begin
+      let idx = Array.make (2 * cap) 0 and value = Array.make (2 * cap) 0.0 in
+      Array.blit l.ul_idx 0 idx 0 cap;
+      Array.blit l.ul_val 0 value 0 cap;
+      l.ul_idx <- idx;
+      l.ul_val <- value
+    end;
+    l.ul_idx.(l.ul_len) <- i;
+    l.ul_val.(l.ul_len) <- v;
+    l.ul_len <- l.ul_len + 1
+
+  (* Swap-with-last removal of the entry at index [i]; returns the number
+     of entries scanned (billed to the caller's work count). *)
+  let ul_delete l i =
+    let len = l.ul_len in
+    let at = ref (-1) in
+    let k = ref 0 in
+    while !at < 0 && !k < len do
+      if l.ul_idx.(!k) = i then at := !k;
+      incr k
+    done;
+    if !at < 0 then invalid_arg "Lu.Sparse: update lost a factor entry";
+    let last = len - 1 in
+    l.ul_idx.(!at) <- l.ul_idx.(last);
+    l.ul_val.(!at) <- l.ul_val.(last);
+    l.ul_len <- last;
+    !k
+
+  (* One row eta E = I − e_t mᵀ: FTRAN subtracts m·y from y_t, BTRAN
+     subtracts y_t·m from the support. *)
+  type reta = { rt : int; re_idx : int array; re_val : float array }
+
+  type ft = {
+    ft_n : int;
+    mutable base : t;           (* L + permutations of the last refresh *)
+    uc : ulist array;           (* U by factor column: rows i, pos i < pos j *)
+    ur : ulist array;           (* U by factor row: columns j, pos j > pos i *)
+    udiag : float array;
+    uorder : int array;         (* triangular position -> factor index *)
+    upos : int array;           (* factor index -> triangular position *)
+    mutable retas : reta array;
+    mutable n_reta : int;
+    mutable reta_nnz : int;
+    spike : float array;        (* spike of the last FTRAN, by factor row *)
+    spike_idx : int array;
+    mutable spike_n : int;      (* -1 = no spike stashed *)
+    mutable unnz : int;         (* current off-diagonal entries of U *)
+    mutable nnz0 : int;         (* nnz(L)+nnz(U)+n at the last refresh *)
+    mutable updates : int;      (* updates applied since the last refresh *)
+    mutable fill_in : int;      (* entries added by those updates *)
+    mutable stale : bool;       (* a rejected update left U inconsistent *)
+  }
+
+  let ft_dim f = f.ft_n
+
+  let ft_nnz f =
+    Array.length f.base.l_idx + f.unnz + f.ft_n + f.reta_nnz
+
+  let ft_updates f = f.updates
+  let ft_eta_nnz f = f.reta_nnz
+  let ft_fill f = f.fill_in
+
+  (* Current factor size relative to the fresh factorization: the fill
+     signal that drives the refactorization policy. *)
+  let ft_fill_ratio f =
+    if f.nnz0 = 0 then 1.0
+    else float_of_int (ft_nnz f) /. float_of_int f.nnz0
+
+  let ft_clear_spike f =
+    for k = 0 to f.spike_n - 1 do
+      f.spike.(f.spike_idx.(k)) <- 0.0
+    done;
+    f.spike_n <- -1
+
+  (* Re-arm the updatable factors around a fresh factorization, reusing
+     every buffer whose capacity still fits (the warm-re-solve path
+     refactorizes on install, so this runs often and must stay lean). *)
+  let ft_refresh f base =
+    let n = base.n in
+    if n <> f.ft_n then invalid_arg "Lu.Sparse.ft_refresh: dimension";
+    f.base <- base;
+    for j = 0 to n - 1 do
+      f.uc.(j).ul_len <- 0;
+      f.ur.(j).ul_len <- 0;
+      f.udiag.(j) <- base.u_diag.(j);
+      f.uorder.(j) <- j;
+      f.upos.(j) <- j
+    done;
+    for j = 0 to n - 1 do
+      for e = base.u_ptr.(j) to base.u_ptr.(j + 1) - 1 do
+        ul_push f.uc.(j) base.u_idx.(e) base.u_val.(e)
+      done
+    done;
+    for i = 0 to n - 1 do
+      for e = base.ur_ptr.(i) to base.ur_ptr.(i + 1) - 1 do
+        ul_push f.ur.(i) base.ur_idx.(e) base.ur_val.(e)
+      done
+    done;
+    f.n_reta <- 0;
+    f.reta_nnz <- 0;
+    ft_clear_spike f;
+    f.unnz <- Array.length base.u_idx;
+    f.nnz0 <- nnz base;
+    f.updates <- 0;
+    f.fill_in <- 0;
+    f.stale <- false
+
+  let ft_of_factors base =
+    let n = base.n in
+    let f =
+      {
+        ft_n = n;
+        base;
+        uc =
+          Array.init n (fun j -> ul_make (base.u_ptr.(j + 1) - base.u_ptr.(j)));
+        ur =
+          Array.init n (fun i ->
+              ul_make (base.ur_ptr.(i + 1) - base.ur_ptr.(i)));
+        udiag = Array.make n 0.0;
+        uorder = Array.make n 0;
+        upos = Array.make n 0;
+        retas = [||];
+        n_reta = 0;
+        reta_nnz = 0;
+        spike = Array.make n 0.0;
+        spike_idx = Array.make n 0;
+        spike_n = -1;
+        unnz = 0;
+        nnz0 = 0;
+        updates = 0;
+        fill_in = 0;
+        stale = false;
+      }
+    in
+    ft_refresh f base;
+    f
+
+  (* {!dfs_reach} over a dynamic (growable-list) adjacency. *)
+  let dfs_reach_ul (lists : ulist array) s root reach top =
+    if s.smark.(root) = s.sstamp then top
+    else begin
+      let top = ref top in
+      let depth = ref 0 in
+      s.sstack.(0) <- root;
+      s.sedge.(0) <- 0;
+      s.smark.(root) <- s.sstamp;
+      while !depth >= 0 do
+        let j = s.sstack.(!depth) in
+        let e = s.sedge.(!depth) in
+        let lj = lists.(j) in
+        if e < lj.ul_len then begin
+          s.sedge.(!depth) <- e + 1;
+          let i = lj.ul_idx.(e) in
+          if s.smark.(i) <> s.sstamp then begin
+            s.smark.(i) <- s.sstamp;
+            incr depth;
+            s.sstack.(!depth) <- i;
+            s.sedge.(!depth) <- 0
+          end
+        end
+        else begin
+          decr depth;
+          decr top;
+          reach.(!top) <- j
+        end
+      done;
+      !top
+    end
+
+  let ft_check_fresh f name =
+    if f.stale then
+      invalid_arg (name ^ ": stale factors after a rejected update")
+
+  (* Dense-scan FTRAN, used when the RHS support is above
+     {!dense_threshold}: permute, unit-L pass, row etas in creation
+     order, spike stash, U pass in triangular order. *)
+  let ft_ftran_dense f s b =
+    let n = f.ft_n in
+    let base = f.base in
+    let w = s.sw in
+    for i = 0 to n - 1 do
+      w.(i) <- b.(base.p.(i))
+    done;
+    for jf = 0 to n - 1 do
+      let x = w.(jf) in
+      if x <> 0.0 then
+        for e = base.l_ptr.(jf) to base.l_ptr.(jf + 1) - 1 do
+          let i = base.l_idx.(e) in
+          w.(i) <- w.(i) -. (base.l_val.(e) *. x)
+        done
+    done;
+    for k = 0 to f.n_reta - 1 do
+      let e = f.retas.(k) in
+      let acc = ref 0.0 in
+      for t = 0 to Array.length e.re_idx - 1 do
+        acc := !acc +. (e.re_val.(t) *. w.(e.re_idx.(t)))
+      done;
+      w.(e.rt) <- w.(e.rt) -. !acc
+    done;
+    ft_clear_spike f;
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      if w.(i) <> 0.0 then begin
+        f.spike.(i) <- w.(i);
+        f.spike_idx.(!m) <- i;
+        incr m
+      end
+    done;
+    f.spike_n <- !m;
+    for pi = n - 1 downto 0 do
+      let j = f.uorder.(pi) in
+      let x = w.(j) /. f.udiag.(j) in
+      w.(j) <- x;
+      if x <> 0.0 then begin
+        let cj = f.uc.(j) in
+        for e = 0 to cj.ul_len - 1 do
+          let i = cj.ul_idx.(e) in
+          w.(i) <- w.(i) -. (cj.ul_val.(e) *. x)
+        done
+      end
+    done;
+    for jf = 0 to n - 1 do
+      b.(base.q.(jf)) <- w.(jf);
+      w.(jf) <- 0.0
+    done;
+    n + ft_nnz f
+
+  (* B x = b on the updated factors; same index contract and reach
+     machinery as {!ftran_reach}, with the row-eta file applied between
+     the L and U passes.  Eta targets entering the pattern become extra
+     U-pass roots.  The vector entering the U solve (the spike) is
+     stashed so a following {!ft_update} can consume it.  Returns the
+     work performed. *)
+  let ft_ftran f s b =
+    ft_check_fresh f "Lu.Sparse.ft_ftran";
+    let n = f.ft_n in
+    let base = f.base in
+    let nroots = gather_roots s b in
+    if float_of_int nroots > dense_threshold *. float_of_int n then
+      ft_ftran_dense f s b
+    else begin
+      let work = ref n in
+      let w = s.sw in
+      s.sstamp <- s.sstamp + 1;
+      let ltop = ref n in
+      for k = 0 to nroots - 1 do
+        ltop :=
+          dfs_reach base.l_ptr base.l_idx s base.pinv.(s.sroots.(k)) s.sr1 !ltop
+      done;
+      for k = 0 to nroots - 1 do
+        let r = s.sroots.(k) in
+        w.(base.pinv.(r)) <- b.(r);
+        b.(r) <- 0.0
+      done;
+      for t = !ltop to n - 1 do
+        let jf = s.sr1.(t) in
+        let x = w.(jf) in
+        work := !work + 1 + (base.l_ptr.(jf + 1) - base.l_ptr.(jf));
+        if x <> 0.0 then
+          for e = base.l_ptr.(jf) to base.l_ptr.(jf + 1) - 1 do
+            w.(base.l_idx.(e)) <- w.(base.l_idx.(e)) -. (base.l_val.(e) *. x)
+          done
+      done;
+      let nx = ref 0 in
+      for k = 0 to f.n_reta - 1 do
+        let e = f.retas.(k) in
+        let sup = Array.length e.re_idx in
+        work := !work + 1 + sup;
+        let acc = ref 0.0 in
+        for t = 0 to sup - 1 do
+          acc := !acc +. (e.re_val.(t) *. w.(e.re_idx.(t)))
+        done;
+        if !acc <> 0.0 then begin
+          if s.smark.(e.rt) <> s.sstamp then begin
+            s.smark.(e.rt) <- s.sstamp;
+            s.sr3.(!nx) <- e.rt;
+            incr nx
+          end;
+          w.(e.rt) <- w.(e.rt) -. !acc
+        end
+      done;
+      ft_clear_spike f;
+      let m = ref 0 in
+      for t = !ltop to n - 1 do
+        let i = s.sr1.(t) in
+        if w.(i) <> 0.0 then begin
+          f.spike.(i) <- w.(i);
+          f.spike_idx.(!m) <- i;
+          incr m
+        end
+      done;
+      for k = 0 to !nx - 1 do
+        let i = s.sr3.(k) in
+        if w.(i) <> 0.0 then begin
+          f.spike.(i) <- w.(i);
+          f.spike_idx.(!m) <- i;
+          incr m
+        end
+      done;
+      f.spike_n <- !m;
+      s.sstamp <- s.sstamp + 1;
+      let utop = ref n in
+      for t = !ltop to n - 1 do
+        utop := dfs_reach_ul f.uc s s.sr1.(t) s.sr2 !utop
+      done;
+      for k = 0 to !nx - 1 do
+        utop := dfs_reach_ul f.uc s s.sr3.(k) s.sr2 !utop
+      done;
+      for t = !utop to n - 1 do
+        let j = s.sr2.(t) in
+        let x = w.(j) /. f.udiag.(j) in
+        w.(j) <- x;
+        let cj = f.uc.(j) in
+        work := !work + 1 + cj.ul_len;
+        if x <> 0.0 then
+          for e = 0 to cj.ul_len - 1 do
+            w.(cj.ul_idx.(e)) <- w.(cj.ul_idx.(e)) -. (cj.ul_val.(e) *. x)
+          done
+      done;
+      for t = !utop to n - 1 do
+        let j = s.sr2.(t) in
+        b.(base.q.(j)) <- w.(j);
+        w.(j) <- 0.0
+      done;
+      !work
+    end
+
+  let ft_btran_dense f s c =
+    let n = f.ft_n in
+    let base = f.base in
+    let w = s.sw in
+    for jf = 0 to n - 1 do
+      w.(jf) <- c.(base.q.(jf))
+    done;
+    for pi = 0 to n - 1 do
+      let j = f.uorder.(pi) in
+      let acc = ref w.(j) in
+      let cj = f.uc.(j) in
+      for e = 0 to cj.ul_len - 1 do
+        acc := !acc -. (cj.ul_val.(e) *. w.(cj.ul_idx.(e)))
+      done;
+      w.(j) <- !acc /. f.udiag.(j)
+    done;
+    for k = f.n_reta - 1 downto 0 do
+      let e = f.retas.(k) in
+      let yt = w.(e.rt) in
+      if yt <> 0.0 then
+        for t = 0 to Array.length e.re_idx - 1 do
+          let i = e.re_idx.(t) in
+          w.(i) <- w.(i) -. (e.re_val.(t) *. yt)
+        done
+    done;
+    for jf = n - 1 downto 0 do
+      let acc = ref w.(jf) in
+      for e = base.l_ptr.(jf) to base.l_ptr.(jf + 1) - 1 do
+        acc := !acc -. (base.l_val.(e) *. w.(base.l_idx.(e)))
+      done;
+      w.(jf) <- !acc
+    done;
+    for jf = 0 to n - 1 do
+      c.(base.p.(jf)) <- w.(jf);
+      w.(jf) <- 0.0
+    done;
+    n + ft_nnz f
+
+  (* Bᵀ y = c on the updated factors: Uᵀ pass over the dynamic row
+     adjacency, row etas transposed in reverse creation order (targets
+     they wake become extra Lᵀ roots), then the static Lᵀ pass.  Returns
+     the work performed. *)
+  let ft_btran f s c =
+    ft_check_fresh f "Lu.Sparse.ft_btran";
+    let n = f.ft_n in
+    let base = f.base in
+    let nroots = gather_roots s c in
+    if float_of_int nroots > dense_threshold *. float_of_int n then
+      ft_btran_dense f s c
+    else begin
+      let work = ref n in
+      let w = s.sw in
+      s.sstamp <- s.sstamp + 1;
+      let utop = ref n in
+      for k = 0 to nroots - 1 do
+        utop := dfs_reach_ul f.ur s base.qinv.(s.sroots.(k)) s.sr1 !utop
+      done;
+      for k = 0 to nroots - 1 do
+        let sl = s.sroots.(k) in
+        w.(base.qinv.(sl)) <- c.(sl);
+        c.(sl) <- 0.0
+      done;
+      for t = !utop to n - 1 do
+        let j = s.sr1.(t) in
+        let x = w.(j) /. f.udiag.(j) in
+        w.(j) <- x;
+        let rj = f.ur.(j) in
+        work := !work + 1 + rj.ul_len;
+        if x <> 0.0 then
+          for e = 0 to rj.ul_len - 1 do
+            w.(rj.ul_idx.(e)) <- w.(rj.ul_idx.(e)) -. (rj.ul_val.(e) *. x)
+          done
+      done;
+      let nx = ref 0 in
+      for k = f.n_reta - 1 downto 0 do
+        let e = f.retas.(k) in
+        let yt = w.(e.rt) in
+        work := !work + 1;
+        if yt <> 0.0 then begin
+          let sup = Array.length e.re_idx in
+          work := !work + sup;
+          for t = 0 to sup - 1 do
+            let i = e.re_idx.(t) in
+            if s.smark.(i) <> s.sstamp then begin
+              s.smark.(i) <- s.sstamp;
+              s.sr3.(!nx) <- i;
+              incr nx
+            end;
+            w.(i) <- w.(i) -. (e.re_val.(t) *. yt)
+          done
+        end
+      done;
+      s.sstamp <- s.sstamp + 1;
+      let ltop = ref n in
+      for t = !utop to n - 1 do
+        ltop := dfs_reach base.lr_ptr base.lr_idx s s.sr1.(t) s.sr2 !ltop
+      done;
+      for k = 0 to !nx - 1 do
+        ltop := dfs_reach base.lr_ptr base.lr_idx s s.sr3.(k) s.sr2 !ltop
+      done;
+      for t = !ltop to n - 1 do
+        let i = s.sr2.(t) in
+        let x = w.(i) in
+        work := !work + 1 + (base.lr_ptr.(i + 1) - base.lr_ptr.(i));
+        if x <> 0.0 then
+          for e = base.lr_ptr.(i) to base.lr_ptr.(i + 1) - 1 do
+            w.(base.lr_idx.(e)) <- w.(base.lr_idx.(e)) -. (base.lr_val.(e) *. x)
+          done
+      done;
+      for t = !ltop to n - 1 do
+        let i = s.sr2.(t) in
+        c.(base.p.(i)) <- w.(i);
+        w.(i) <- 0.0
+      done;
+      !work
+    end
+
+  type update_result = { upd_work : int; upd_added : int }
+
+  (* Swap basis slot [r]'s factor column for the spike stashed by the
+     last {!ft_ftran}.  Returns [None] when the new diagonal would fall
+     below the pivot tolerance — the factors are then flagged stale and
+     the caller must refactorize (the basis change itself is fine; only
+     this update form cannot represent it stably). *)
+  let ft_update f s ~r =
+    ft_check_fresh f "Lu.Sparse.ft_update";
+    if f.spike_n < 0 then invalid_arg "Lu.Sparse.ft_update: no spike stashed";
+    let n = f.ft_n in
+    let base = f.base in
+    let t = base.qinv.(r) in
+    let w = s.sw in
+    let work = ref 1 in
+    (* The old column t leaves U; its row entries go with it so the
+       elimination solve below runs on U without row/column t. *)
+    let ct = f.uc.(t) in
+    for e = 0 to ct.ul_len - 1 do
+      work := !work + ul_delete f.ur.(ct.ul_idx.(e)) t
+    done;
+    f.unnz <- f.unnz - ct.ul_len;
+    ct.ul_len <- 0;
+    (* Row-t elimination multipliers: Ûᵀ m = (row t of U), solved over
+       its reach of the dynamic row adjacency. *)
+    let rt = f.ur.(t) in
+    let mtop = ref n in
+    if rt.ul_len > 0 then begin
+      s.sstamp <- s.sstamp + 1;
+      for e = 0 to rt.ul_len - 1 do
+        mtop := dfs_reach_ul f.ur s rt.ul_idx.(e) s.sr1 !mtop
+      done;
+      for e = 0 to rt.ul_len - 1 do
+        w.(rt.ul_idx.(e)) <- rt.ul_val.(e)
+      done;
+      for tt = !mtop to n - 1 do
+        let k = s.sr1.(tt) in
+        let x = w.(k) /. f.udiag.(k) in
+        w.(k) <- x;
+        let rk = f.ur.(k) in
+        work := !work + 1 + rk.ul_len;
+        if x <> 0.0 then
+          for e = 0 to rk.ul_len - 1 do
+            w.(rk.ul_idx.(e)) <- w.(rk.ul_idx.(e)) -. (rk.ul_val.(e) *. x)
+          done
+      done
+    end;
+    let d = ref f.spike.(t) in
+    for tt = !mtop to n - 1 do
+      let k = s.sr1.(tt) in
+      d := !d -. (w.(k) *. f.spike.(k))
+    done;
+    if Float.abs !d < Tol.pivot then begin
+      for tt = !mtop to n - 1 do
+        w.(s.sr1.(tt)) <- 0.0
+      done;
+      ft_clear_spike f;
+      f.stale <- true;
+      None
+    end
+    else begin
+      (* Row t collapses to the new diagonal. *)
+      for e = 0 to rt.ul_len - 1 do
+        work := !work + ul_delete f.uc.(rt.ul_idx.(e)) t
+      done;
+      f.unnz <- f.unnz - rt.ul_len;
+      rt.ul_len <- 0;
+      (* The spike becomes the new column t. *)
+      let added = ref 0 in
+      for k = 0 to f.spike_n - 1 do
+        let i = f.spike_idx.(k) in
+        if i <> t then begin
+          let v = f.spike.(i) in
+          ul_push f.uc.(t) i v;
+          ul_push f.ur.(i) t v;
+          incr added
+        end
+      done;
+      f.unnz <- f.unnz + !added;
+      f.udiag.(t) <- !d;
+      work := !work + !added;
+      (* Record the row eta that emptied row t. *)
+      let msup = ref 0 in
+      for tt = !mtop to n - 1 do
+        if w.(s.sr1.(tt)) <> 0.0 then incr msup
+      done;
+      if !msup > 0 then begin
+        let re_idx = Array.make !msup 0 and re_val = Array.make !msup 0.0 in
+        let at = ref 0 in
+        for tt = !mtop to n - 1 do
+          let k = s.sr1.(tt) in
+          if w.(k) <> 0.0 then begin
+            re_idx.(!at) <- k;
+            re_val.(!at) <- w.(k);
+            incr at
+          end
+        done;
+        if f.n_reta = Array.length f.retas then begin
+          let cap = max 8 (2 * f.n_reta) in
+          let retas = Array.make cap { rt = 0; re_idx = [||]; re_val = [||] } in
+          Array.blit f.retas 0 retas 0 f.n_reta;
+          f.retas <- retas
+        end;
+        f.retas.(f.n_reta) <- { rt = t; re_idx; re_val };
+        f.n_reta <- f.n_reta + 1;
+        f.reta_nnz <- f.reta_nnz + !msup;
+        work := !work + !msup
+      end;
+      for tt = !mtop to n - 1 do
+        w.(s.sr1.(tt)) <- 0.0
+      done;
+      (* Column t logically moves to the end of the triangular order. *)
+      let pt = f.upos.(t) in
+      for k = pt to n - 2 do
+        let j = f.uorder.(k + 1) in
+        f.uorder.(k) <- j;
+        f.upos.(j) <- k
+      done;
+      f.uorder.(n - 1) <- t;
+      f.upos.(t) <- n - 1;
+      work := !work + (n - 1 - pt);
+      f.updates <- f.updates + 1;
+      f.fill_in <- f.fill_in + !added + !msup;
+      ft_clear_spike f;
+      Some { upd_work = !work; upd_added = !added + !msup }
     end
 end
 

@@ -103,6 +103,74 @@ module Sparse : sig
   (** [btran_reach f s c] — {!btran_in_place} with reach-based work over
       the transposed factor adjacency; same contract as
       {!ftran_reach}. *)
+
+  (** {3 Forrest–Tomlin updatable factors}
+
+      In-place sparse LU update for a basis column swap: instead of
+      appending a product-form eta whose cost every later solve pays,
+      the spike [v = (etas ∘ L)⁻¹ a_q] is eliminated against [U] — the
+      replaced factor column logically moves to the end of the
+      triangular order, its row is emptied by one {e row eta}
+      [E = I − e_t·mᵀ] of elimination multipliers, and the spike becomes
+      the new column.  Solves stay O(nnz(L)+nnz(U)+nnz(row etas)), where
+      the row-eta file grows only by the multipliers (typically a few
+      entries per update), not by a full spike per pivot. *)
+
+  type ft
+  (** Updatable factors: the static [L] and permutations of the last
+      refactorization plus a dynamic [U] (synchronized per-column and
+      per-row entry lists) and the row-eta file. *)
+
+  type update_result = { upd_work : int; upd_added : int }
+  (** Work performed by an update and the entries it added (spike fill
+      plus eta multipliers), for clock billing and fill telemetry. *)
+
+  val ft_of_factors : t -> ft
+  (** Wrap a fresh factorization for updating. *)
+
+  val ft_refresh : ft -> t -> unit
+  (** [ft_refresh f base] re-arms [f] around a fresh factorization of
+      the same dimension, reusing its buffers (the warm-re-solve path
+      refactorizes on every install, so this must stay allocation-lean).
+      @raise Invalid_argument on a dimension mismatch. *)
+
+  val ft_dim : ft -> int
+
+  val ft_nnz : ft -> int
+  (** Stored entries of [L], [U] (diagonal included) and the row-eta
+      file: the cost of one solve against the updated factors. *)
+
+  val ft_updates : ft -> int
+  (** Updates applied since the last refresh. *)
+
+  val ft_eta_nnz : ft -> int
+  (** Row-eta multiplier entries accumulated since the last refresh. *)
+
+  val ft_fill : ft -> int
+  (** Entries added by updates since the last refresh (spike fill plus
+      eta multipliers) — the fill telemetry counter. *)
+
+  val ft_fill_ratio : ft -> float
+  (** [ft_nnz] relative to the fresh factorization's nnz: the fill
+      signal driving the refactorization policy. *)
+
+  val ft_ftran : ft -> scratch -> float array -> int
+  (** [ft_ftran f s b] — {!ftran_reach} against the updated factors;
+      same index contract, returns the work performed.  The vector
+      entering the [U] solve (the spike of [b]'s column) is stashed so
+      an immediately following {!ft_update} can consume it. *)
+
+  val ft_btran : ft -> scratch -> float array -> int
+  (** [ft_btran f s c] — {!btran_reach} against the updated factors. *)
+
+  val ft_update : ft -> scratch -> r:int -> update_result option
+  (** [ft_update f s ~r] swaps basis slot [r]'s factor column for the
+      spike stashed by the last {!ft_ftran}.  Returns [None] when the
+      updated diagonal would fall below {!Tol.pivot}: the factors are
+      then flagged stale and every further operation raises until
+      {!ft_refresh} — the caller refactorizes from the new basis.
+      @raise Invalid_argument when no spike is stashed or the factors
+      are stale. *)
 end
 
 val determinant : t -> float

@@ -2,7 +2,7 @@ module Dm = Lina.Dense_matrix
 module Slu = Lina.Lu.Sparse
 module Sv = Lina.Sparse_vec
 
-type kind = Dense_inverse | Factored_lu
+type kind = Dense_inverse | Factored_lu | Updatable_lu
 
 (* Product-form eta: the basis after pivoting column [r] is
    B' = B·E with E = I + (w − e_r)·e_rᵀ, w = B⁻¹a_entering.  [diag] is
@@ -19,9 +19,19 @@ type factored = {
   scratch : Slu.scratch;  (* reach-solve workspace, one per representation *)
 }
 
-type rep = Dense of dense | Factored of factored
+(* Forrest–Tomlin: the factors themselves absorb each pivot
+   (Lina.Lu.Sparse.ft_update), so there is no product-form file to pay
+   on later solves — only the bounded row-eta multipliers inside. *)
+type updated = {
+  mutable ft : Slu.ft;
+  uscratch : Slu.scratch;
+}
+
+type rep = Dense of dense | Factored of factored | Updated of updated
 
 type t = { m : int; rep : rep; work : float array }
+
+type update_result = Applied of { work : int; added : int } | Rejected
 
 let no_eta = { e_r = 0; e_diag = 1.0; e_vec = Sv.empty }
 
@@ -38,20 +48,46 @@ let create kind m =
           eta_nnz = 0;
           scratch = Slu.scratch m;
         }
+    | Updatable_lu ->
+      Updated
+        {
+          ft = Slu.ft_of_factors (Slu.of_diagonal (Array.make m 1.0));
+          uscratch = Slu.scratch m;
+        }
   in
   { m; rep; work = Array.make m 0.0 }
 
 let kind t =
-  match t.rep with Dense _ -> Dense_inverse | Factored _ -> Factored_lu
+  match t.rep with
+  | Dense _ -> Dense_inverse
+  | Factored _ -> Factored_lu
+  | Updated _ -> Updatable_lu
 
 let dim t = t.m
 
-let eta_count t = match t.rep with Dense _ -> 0 | Factored f -> f.n_eta
+let eta_count t =
+  match t.rep with Dense _ | Updated _ -> 0 | Factored f -> f.n_eta
+
+let update_count t =
+  match t.rep with
+  | Dense _ | Factored _ -> 0
+  | Updated u -> Slu.ft_updates u.ft
+
+let fill_added t =
+  match t.rep with
+  | Dense _ | Factored _ -> 0
+  | Updated u -> Slu.ft_fill u.ft
+
+let fill_ratio t =
+  match t.rep with
+  | Dense _ | Factored _ -> 1.0
+  | Updated u -> Slu.ft_fill_ratio u.ft
 
 let solve_cost t =
   match t.rep with
   | Dense _ -> t.m * t.m
   | Factored f -> Slu.nnz f.lu + f.eta_nnz + t.m
+  | Updated u -> Slu.ft_nnz u.ft + t.m
 
 let clear_etas f =
   f.n_eta <- 0;
@@ -66,6 +102,7 @@ let load_identity t signs =
   | Factored f ->
     f.lu <- Slu.of_diagonal signs;
     clear_etas f
+  | Updated u -> Slu.ft_refresh u.ft (Slu.of_diagonal signs)
 
 let factorize t col =
   match t.rep with
@@ -78,6 +115,7 @@ let factorize t col =
   | Factored f ->
     f.lu <- Slu.factorize ~n:t.m ~col;
     clear_etas f
+  | Updated u -> Slu.ft_refresh u.ft (Slu.factorize ~n:t.m ~col)
 
 (* --- eta application --------------------------------------------------- *)
 
@@ -122,6 +160,7 @@ let ftran_in_place t b =
   | Factored f ->
     let lw = Slu.ftran_reach f.lu f.scratch b in
     lw + etas_ftran f b
+  | Updated u -> Slu.ft_ftran u.ft u.uscratch b
 
 let ftran_col t col w =
   match t.rep with
@@ -132,6 +171,9 @@ let ftran_col t col w =
     col (fun i v -> w.(i) <- w.(i) +. v);
     let lw = Slu.ftran_reach f.lu f.scratch w in
     lw + etas_ftran f w
+  | Updated u ->
+    col (fun i v -> w.(i) <- w.(i) +. v);
+    Slu.ft_ftran u.ft u.uscratch w
 
 let btran_in_place t c =
   match t.rep with
@@ -154,13 +196,14 @@ let btran_in_place t c =
   | Factored f ->
     let ew = etas_btran f c in
     ew + Slu.btran_reach f.lu f.scratch c
+  | Updated u -> Slu.ft_btran u.ft u.uscratch c
 
 let unit_row t r out =
   match t.rep with
   | Dense d ->
     Array.blit (Dm.raw d.binv) (r * t.m) out 0 t.m;
     t.m * t.m
-  | Factored _ ->
+  | Factored _ | Updated _ ->
     Array.fill out 0 t.m 0.0;
     out.(r) <- 1.0;
     btran_in_place t out
@@ -171,7 +214,7 @@ let update t ~r ~w =
   match t.rep with
   | Dense d ->
     Dm.pivot_update d.binv w r;
-    0
+    Applied { work = 0; added = 0 }
   | Factored f ->
     let diag = w.(r) in
     if Float.abs diag < Lina.Tol.pivot then
@@ -186,4 +229,9 @@ let update t ~r ~w =
     f.n_eta <- f.n_eta + 1;
     let added = Sv.nnz vec + 1 in
     f.eta_nnz <- f.eta_nnz + added;
-    added
+    Applied { work = added; added }
+  | Updated u -> (
+    match Slu.ft_update u.ft u.uscratch ~r with
+    | Some { Slu.upd_work; upd_added } ->
+      Applied { work = upd_work; added = upd_added }
+    | None -> Rejected)

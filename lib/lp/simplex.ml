@@ -30,7 +30,9 @@ type params = {
   primal_feas_tol : float;
   factorization : Basis.kind;
   eta_limit : int;
+  fill_limit : float;
   partial_pricing : bool;
+  devex : bool;
 }
 
 let default_params =
@@ -40,9 +42,11 @@ let default_params =
     refactor_every = 100;
     dual_feas_tol = 1e-7;
     primal_feas_tol = Lina.Tol.feas;
-    factorization = Basis.Factored_lu;
+    factorization = Basis.Updatable_lu;
     eta_limit = 64;
+    fill_limit = 3.0;
     partial_pricing = true;
+    devex = true;
   }
 
 type result = {
@@ -67,6 +71,13 @@ type prof_ticks = {
   mutable pf_ftran : int;
   mutable pf_btran : int;
   mutable pf_pricing : int;
+  (* per-solve basis-update telemetry, mirrored into "lp.*" metrics when a
+     recorder is attached *)
+  mutable pf_updates : int;
+  mutable pf_spike_fill : int;
+  mutable pf_rfill : int;
+  mutable pf_rdrift : int;
+  mutable pf_rforced : int;
 }
 
 (* Internal solver state.  Columns 0 .. n_total-1 are the structural and
@@ -106,6 +117,11 @@ type state = {
   cand_score : float array;
   mutable cand_n : int;
   mutable dualw : dual_ws option;  (* dual pricing workspace, built lazily *)
+  (* devex reference-framework weights: [refw] per column (primal
+     pricing), [drefw] per basis position (dual row selection).  Reset to
+     the unit framework at every solve start. *)
+  refw : float array;
+  drefw : float array;
 }
 
 (* Row-scatter workspace of the dual simplex's pivot-row computation:
@@ -128,13 +144,29 @@ let budget_of_params ?budget (params : params) =
   | Some b -> b
   | None -> Budget.create ~time_limit:params.time_limit ()
 
-let fresh_ptk () = { pf_factor = 0; pf_ftran = 0; pf_btran = 0; pf_pricing = 0 }
+let fresh_ptk () =
+  {
+    pf_factor = 0;
+    pf_ftran = 0;
+    pf_btran = 0;
+    pf_pricing = 0;
+    pf_updates = 0;
+    pf_spike_fill = 0;
+    pf_rfill = 0;
+    pf_rdrift = 0;
+    pf_rforced = 0;
+  }
 
 let reset_ptk p =
   p.pf_factor <- 0;
   p.pf_ftran <- 0;
   p.pf_btran <- 0;
-  p.pf_pricing <- 0
+  p.pf_pricing <- 0;
+  p.pf_updates <- 0;
+  p.pf_spike_fill <- 0;
+  p.pf_rfill <- 0;
+  p.pf_rdrift <- 0;
+  p.pf_rforced <- 0
 
 (* Category-tagged clock charges: same [Budget.tick] as before, plus the
    per-category accumulator the profiler reads at solve end. *)
@@ -161,7 +193,7 @@ let tick_pricing st n =
 let emit_prof_leaves st =
   match st.prof with
   | None -> ()
-  | Some _ ->
+  | Some rec_ ->
     let p = st.ptk in
     let tot = p.pf_factor + p.pf_ftran + p.pf_btran + p.pf_pricing in
     let cur = ref (Budget.ticks st.budget - tot) in
@@ -174,7 +206,16 @@ let emit_prof_leaves st =
     leaf "factorize" p.pf_factor;
     leaf "ftran" p.pf_ftran;
     leaf "btran" p.pf_btran;
-    leaf "pricing" p.pf_pricing
+    leaf "pricing" p.pf_pricing;
+    (* Basis-update telemetry: counters in the recorder's metrics
+       registry, merged deterministically across domains like the rest. *)
+    let mt = Span.metrics rec_ in
+    let c name n = if n > 0 then Runtime.Metrics.incr ~by:n mt name in
+    c "lp.basis_updates" p.pf_updates;
+    c "lp.spike_fill" p.pf_spike_fill;
+    c "lp.refactor_fill" p.pf_rfill;
+    c "lp.refactor_drift" p.pf_rdrift;
+    c "lp.refactor_forced" p.pf_rforced
 
 (* --- column access -------------------------------------------------- *)
 
@@ -259,20 +300,62 @@ let refactorize st =
     let a = Float.abs st.xval.(j) in
     if a > !scale then scale := a
   done;
-  if equation_residual st > 1e-7 *. !scale then full_refactorize st
+  if equation_residual st > 1e-7 *. !scale then begin
+    st.stats.Rstats.refactor_drift <- st.stats.Rstats.refactor_drift + 1;
+    st.ptk.pf_rdrift <- st.ptk.pf_rdrift + 1;
+    full_refactorize st
+  end
 
-(* Post-pivot refactorization policy: the factored representation
-   refactorizes when the eta file hits its cap (every solve pays for the
-   whole file, and a sparse refactorization is cheap); both
-   representations get the periodic drift check every [refactor_every]
-   pivots. *)
+(* Post-pivot refactorization policy, driven by measured representation
+   growth rather than a fixed pivot count: the eta file's cap for the
+   product-form representation (every solve pays for the whole file), the
+   measured fill ratio for the Forrest–Tomlin representation (solve cost
+   only grows with actual spike/multiplier fill, so updates keep going
+   while the factors stay lean); both get the periodic residual-drift
+   check every [refactor_every] pivots. *)
 let after_basis_update st =
   st.pivots_since_refactor <- st.pivots_since_refactor + 1;
   try
-    if Basis.eta_count st.rep >= st.params.eta_limit then full_refactorize st
+    let fill_bound =
+      match Basis.kind st.rep with
+      | Basis.Factored_lu -> Basis.eta_count st.rep >= st.params.eta_limit
+      | Basis.Updatable_lu -> Basis.fill_ratio st.rep > st.params.fill_limit
+      | Basis.Dense_inverse -> false
+    in
+    if fill_bound then begin
+      st.stats.Rstats.refactor_fill <- st.stats.Rstats.refactor_fill + 1;
+      st.ptk.pf_rfill <- st.ptk.pf_rfill + 1;
+      full_refactorize st
+    end
     else if st.pivots_since_refactor >= st.params.refactor_every then
       refactorize st
   with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure)
+
+(* Installs the pivot into the basis representation.  A [Rejected] update
+   (Forrest–Tomlin singular spike) is not an error: the basis change is
+   already recorded in [st.basis], so a full refactorization from the new
+   basis both repairs the representation and absorbs the pivot. *)
+let commit_pivot st ~r =
+  match
+    try Basis.update st.rep ~r ~w:st.w
+    with Invalid_argument _ -> raise (Solver_stop Numerical_failure)
+  with
+  | Basis.Applied { work; added } ->
+    (match Basis.kind st.rep with
+    | Basis.Updatable_lu ->
+      st.stats.Rstats.basis_updates <- st.stats.Rstats.basis_updates + 1;
+      st.stats.Rstats.spike_fill <- st.stats.Rstats.spike_fill + added;
+      st.ptk.pf_updates <- st.ptk.pf_updates + 1;
+      st.ptk.pf_spike_fill <- st.ptk.pf_spike_fill + added;
+      tick_factor st work
+    | Basis.Dense_inverse | Basis.Factored_lu ->
+      st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added);
+    after_basis_update st
+  | Basis.Rejected -> (
+    st.stats.Rstats.refactor_forced <- st.stats.Rstats.refactor_forced + 1;
+    st.ptk.pf_rforced <- st.ptk.pf_rforced + 1;
+    try full_refactorize st
+    with Lina.Lu.Singular _ -> raise (Solver_stop Numerical_failure))
 
 (* --- pricing --------------------------------------------------------- *)
 
@@ -328,9 +411,17 @@ let price st =
     !best
   end
   else begin
-    let best = ref None and best_score = ref tol in
+    (* Devex scoring d²/γ_j approximates the steepest-edge criterion;
+       Dantzig |d| remains the A/B reference.  Eligibility already
+       requires |d| beyond the dual tolerance, so the devex floor of 0
+       admits exactly the Dantzig-eligible columns. *)
+    let devex = st.params.devex in
+    let score_of j d =
+      if devex then d *. d /. Float.max 1.0 st.refw.(j) else Float.abs d
+    in
+    let best = ref None and best_score = ref (if devex then 0.0 else tol) in
     let take j d dir =
-      let score = Float.abs d in
+      let score = score_of j d in
       if score > !best_score then begin
         best := Some (j, dir);
         best_score := score
@@ -365,7 +456,7 @@ let price st =
         match eligible j with
         | Some (d, dir) ->
           st.cand.(!found) <- j;
-          st.cand_score.(!found) <- Float.abs d;
+          st.cand_score.(!found) <- score_of j d;
           incr found;
           take j d dir
         | None -> ()
@@ -434,6 +525,119 @@ let ratio_test st dir =
   done;
   (!t_best, !leave)
 
+(* --- dual pricing workspace ------------------------------------------ *)
+
+(* Lazily-built Aᵀ plus scatter scratch; cached on the state so session
+   re-solves pay the transpose once.  Shared by the dual simplex's pivot
+   row and the primal devex weight propagation (both need the same
+   α_j = ρ·A_j row scatter). *)
+let dual_ws st =
+  match st.dualw with
+  | Some ws -> ws
+  | None ->
+    let ws =
+      {
+        d_at = Lina.Csc.transpose st.sf.Std_form.a;
+        d_alpha = Array.make st.n_total 0.0;
+        d_mark = Array.make st.n_total (-1);
+        d_touch = Array.make st.n_total 0;
+        d_stamp = 0;
+      }
+    in
+    st.dualw <- Some ws;
+    ws
+
+(* Scatters the pivot row α_j = ρ·A_j over the cached Aᵀ, so only the
+   columns actually meeting the (sparse) inverse row are visited.  Direct
+   CSC traversal: an [iter_col] callback would allocate a closure per
+   touched row and box every coefficient — this runs on every dual pivot
+   and every devex weight update.  Returns the touched-column count; the
+   alphas and touch list live in the workspace under the new stamp. *)
+let pivot_row_scatter st ws rho =
+  ws.d_stamp <- ws.d_stamp + 1;
+  let stamp = ws.d_stamp in
+  let ntouch = ref 0 in
+  let ptr = ws.d_at.Lina.Csc.col_ptr in
+  let ridx = ws.d_at.Lina.Csc.row_idx in
+  let rval = ws.d_at.Lina.Csc.value in
+  for i = 0 to st.m - 1 do
+    let ri = rho.(i) in
+    if ri <> 0.0 then
+      for k = ptr.(i) to ptr.(i + 1) - 1 do
+        let j = ridx.(k) in
+        if ws.d_mark.(j) <> stamp then begin
+          ws.d_mark.(j) <- stamp;
+          ws.d_alpha.(j) <- 0.0;
+          ws.d_touch.(!ntouch) <- j;
+          incr ntouch
+        end;
+        ws.d_alpha.(j) <- ws.d_alpha.(j) +. (ri *. rval.(k))
+      done
+  done;
+  !ntouch
+
+(* Primal devex reference-framework propagation: after row [r] is chosen
+   for entering column [q], the pivot-row alphas carry the entering
+   weight to every nonbasic they price against,
+   γ_j ← max(γ_j, (α_j/α_q)²·γ_q), and the leaving variable re-enters
+   the nonbasic pool at γ = max(γ_q/α_q², 1).  Must run before the basis
+   arrays are mutated (it reads the pre-pivot statuses and
+   [st.basis.(r)]); the BTRAN of e_r and the scatter exist only to
+   maintain the pricing weights (the pivot itself never consumes the
+   row), so all of it is billed to the pricing category, unlike the dual
+   pricer's structurally identical computation whose row feeds the ratio
+   test.  On framework overflow the weights restart from the unit
+   framework (the standard devex reset).
+
+   Returns [true] when it ran: the pivot row ρ it computes doubles as
+   the incremental dual update y ← y + (d_q/α_q)·ρ (the same textbook
+   step the dual simplex applies), so the caller can skip the per-pivot
+   BTRAN of c_B.  [false] (devex off, Bland active, or a sub-tolerance
+   α_q) means the duals were not maintained and must be recomputed. *)
+let devex_primal_update st ~q ~r =
+  if st.params.devex && not st.bland then begin
+    let alpha_q = st.w.(r) in
+    if Float.abs alpha_q > Lina.Tol.pivot then begin
+      let gq = Float.max 1.0 st.refw.(q) in
+      let rho = st.rho in
+      tick_pricing st (Basis.unit_row st.rep r rho);
+      (* Incremental dual step while ρ and y are both pre-pivot. *)
+      let d_q = st.cost.(q) -. col_dot_dense st q st.y in
+      let theta = d_q /. alpha_q in
+      if theta <> 0.0 then
+        for i = 0 to st.m - 1 do
+          if rho.(i) <> 0.0 then st.y.(i) <- st.y.(i) +. (theta *. rho.(i))
+        done;
+      let ws = dual_ws st in
+      let ntouch = pivot_row_scatter st ws rho in
+      tick_pricing st (max 1 ntouch);
+      let overflow = ref false in
+      for k = 0 to ntouch - 1 do
+        let j = ws.d_touch.(k) in
+        if j <> q && st.vstat.(j) <> Basic then begin
+          let ratio = ws.d_alpha.(j) /. alpha_q in
+          let cand = ratio *. ratio *. gq in
+          if cand > st.refw.(j) then st.refw.(j) <- cand;
+          if cand > 1e12 then overflow := true
+        end
+      done;
+      st.refw.(st.basis.(r)) <- Float.max 1.0 (gq /. (alpha_q *. alpha_q));
+      if !overflow then Array.fill st.refw 0 (Array.length st.refw) 1.0;
+      true
+    end
+    else false
+  end
+  else false
+
+(* Devex weights restart from the unit reference framework at every
+   solve start (and when phase 2 installs the real objective): the
+   weights approximate steepest-edge norms relative to a reference
+   basis, and carrying them across unrelated solves or phases degrades
+   them into noise. *)
+let reset_devex st =
+  Array.fill st.refw 0 (Array.length st.refw) 1.0;
+  Array.fill st.drefw 0 st.m 1.0
+
 (* --- pivot application ----------------------------------------------- *)
 
 let apply_step st q dir t =
@@ -449,6 +653,7 @@ let apply_step st q dir t =
   end
 
 let do_pivot st q dir r hit =
+  let duals_maintained = devex_primal_update st ~q ~r in
   let leaving = st.basis.(r) in
   (* Pin the leaving variable exactly onto its bound to stop drift. *)
   (match hit with
@@ -458,15 +663,13 @@ let do_pivot st q dir r hit =
   st.vstat.(leaving) <- hit;
   st.basis.(r) <- q;
   st.vstat.(q) <- Basic;
-  (match
-     try Some (Basis.update st.rep ~r ~w:st.w)
-     with Invalid_argument _ -> None
-   with
-  | Some added ->
-    st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added
-  | None -> raise (Solver_stop Numerical_failure));
   ignore dir;
-  after_basis_update st
+  commit_pivot st ~r;
+  (* The devex update already carried y across the pivot; recompute only
+     when it could not, or when a refactorization/hygiene pass rebuilt
+     the factors the incremental y accumulated against. *)
+  if (not duals_maintained) || st.pivots_since_refactor = 0 then
+    compute_duals st
 
 (* --- main loop -------------------------------------------------------- *)
 
@@ -495,11 +698,21 @@ let count_iteration st =
 (* Runs simplex iterations on the current cost vector until (phase)
    optimality.  Raises [Solver_stop] on limits or numerical trouble. *)
 let optimize st ~allow_unbounded =
+  (* One BTRAN of c_B anchors the duals; bound flips leave the basis (and
+     hence y) untouched, and pivots carry y forward incrementally inside
+     [do_pivot], so the loop only re-solves for y when a pivot could not
+     maintain it.  The anchor is deferred past the first [check_limits]
+     so a solve entering exactly at its deadline stops before billing
+     (nodes at the budget edge keep their pre-update semantics). *)
+  let anchored = ref false in
   let continue_ = ref true in
   while !continue_ do
     check_limits st;
     count_iteration st;
-    compute_duals st;
+    if not !anchored then begin
+      compute_duals st;
+      anchored := true
+    end;
     match price st with
     | None -> continue_ := false
     | Some (q, dir) ->
@@ -568,14 +781,7 @@ let expel_artificials st =
         st.vstat.(q) <- Basic;
         st.vstat.(art) <- At_lower;
         st.xval.(art) <- 0.0;
-        (match
-           try Some (Basis.update st.rep ~r ~w:st.w)
-           with Invalid_argument _ -> None
-         with
-        | Some added ->
-          st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added
-        | None -> raise (Solver_stop Numerical_failure));
-        after_basis_update st
+        commit_pivot st ~r
       end
     end
   done
@@ -599,7 +805,10 @@ let phase1 st ~any_artificial =
     st.xval.(j) <- 0.0;
     st.cost.(j) <- 0.0
   done;
-  Array.blit st.real_cost 0 st.cost 0 st.n_total
+  Array.blit st.real_cost 0 st.cost 0 st.n_total;
+  (* Phase-1 pivots skewed the devex framework against the wrong
+     objective; phase 2 restarts from the unit reference. *)
+  reset_devex st
 
 (* --- initial basis construction --------------------------------------- *)
 
@@ -666,6 +875,7 @@ let cold_start st =
   done;
   Basis.load_identity st.rep signs;
   st.cand_n <- 0;
+  reset_devex st;
   if !any_artificial then
     (* phase-1 objective: zero on real columns *)
     Array.fill st.cost 0 st.n_total 0.0
@@ -712,6 +922,7 @@ let install_warm_basis st (warm : basis) =
       done;
       Array.blit warm.basic 0 st.basis 0 st.m;
       Array.blit st.real_cost 0 st.cost 0 st.n_total;
+      reset_devex st;
       match full_refactorize st with
       | () -> true
       | exception Lina.Lu.Singular _ -> false
@@ -745,24 +956,6 @@ let dual_feasible st =
 
 (* --- dual simplex ------------------------------------------------------ *)
 
-(* Lazily-built Aᵀ plus scatter scratch; cached on the state so session
-   re-solves pay the transpose once. *)
-let dual_ws st =
-  match st.dualw with
-  | Some ws -> ws
-  | None ->
-    let ws =
-      {
-        d_at = Lina.Csc.transpose st.sf.Std_form.a;
-        d_alpha = Array.make st.n_total 0.0;
-        d_mark = Array.make st.n_total (-1);
-        d_touch = Array.make st.n_total 0;
-        d_stamp = 0;
-      }
-    in
-    st.dualw <- Some ws;
-    ws
-
 (* Bounded-variable dual simplex: starting from a dual-feasible basis
    (typically the parent LP optimum in branch-and-bound, with child bounds
    installed), repairs primal feasibility while maintaining dual
@@ -772,6 +965,17 @@ let dual_optimize st =
   let tol = st.params.primal_feas_tol in
   let piv_tol = Lina.Tol.pivot in
   let rho = st.rho in
+  (* Duals are maintained incrementally across dual pivots
+     (y ← y + (d_q/α_q)·ρ, the textbook dual update along the pivot
+     row's BTRAN, which zeroes the entering reduced cost exactly), so the
+     loop pays one basis solve per pivot for the pivot row instead of
+     two.  A fresh BTRAN of c_B re-anchors y here at entry and after
+     every refactorization/hygiene pass (detected below via
+     [pivots_since_refactor] returning to 0), so incremental drift never
+     outlives the factors it accumulated against.  The anchor is deferred
+     past the first [check_limits] so a solve entering exactly at its
+     deadline stops before billing. *)
+  let anchored = ref false in
   let continue_ = ref true in
   (* Degenerate dual pivots can cycle; after a stall we fall back to a
      Bland-style smallest-index entering rule, and a hard per-call pivot
@@ -782,24 +986,35 @@ let dual_optimize st =
   while !continue_ do
     check_limits st;
     count_iteration st;
+    if not !anchored then begin
+      compute_duals st;
+      anchored := true
+    end;
     incr pivots;
     if !pivots > budget then raise (Solver_stop Numerical_failure);
     if !stall > 50 + st.m then bland := true;
-    (* Leaving variable: the basic with the largest bound violation. *)
-    let r = ref (-1) and worst = ref tol and too_high = ref false in
+    (* Leaving variable: the basic with the worst bound violation, scored
+       through the dual devex reference framework (violation²/δ_i — the
+       row analogue of the primal's d²/γ_j) unless Bland's rule is
+       active; the plain violation is the A/B reference. *)
+    let r = ref (-1) and best_sc = ref 0.0 and too_high = ref false in
+    let dual_devex = st.params.devex in
     for i = 0 to st.m - 1 do
       let bj = st.basis.(i) in
       let below = st.lb.(bj) -. st.xval.(bj)
       and above = st.xval.(bj) -. st.ub.(bj) in
-      if below > !worst then begin
-        worst := below;
-        r := i;
-        too_high := false
-      end;
-      if above > !worst then begin
-        worst := above;
-        r := i;
-        too_high := true
+      let viol = Float.max below above in
+      if viol > tol then begin
+        let sc =
+          if dual_devex && not !bland then
+            viol *. viol /. Float.max 1.0 st.drefw.(i)
+          else viol
+        in
+        if sc > !best_sc then begin
+          best_sc := sc;
+          r := i;
+          too_high := above > below
+        end
       end
     done;
     if !r < 0 then continue_ := false
@@ -817,35 +1032,12 @@ let dual_optimize st =
         if rho.(i) <> 0.0 then incr rnnz
       done;
       st.stats.Rstats.btran_nnz <- st.stats.Rstats.btran_nnz + !rnnz;
-      compute_duals st;
       let ws = dual_ws st in
-      ws.d_stamp <- ws.d_stamp + 1;
-      let stamp = ws.d_stamp in
-      let ntouch = ref 0 in
-      (* Direct CSC traversal: an [iter_col] callback would allocate a
-         closure per touched row and box every coefficient — this loop
-         runs on every dual pivot. *)
-      let ptr = ws.d_at.Lina.Csc.col_ptr in
-      let ridx = ws.d_at.Lina.Csc.row_idx in
-      let rval = ws.d_at.Lina.Csc.value in
-      for i = 0 to st.m - 1 do
-        let ri = rho.(i) in
-        if ri <> 0.0 then
-          for k = ptr.(i) to ptr.(i + 1) - 1 do
-            let j = ridx.(k) in
-            if ws.d_mark.(j) <> stamp then begin
-              ws.d_mark.(j) <- stamp;
-              ws.d_alpha.(j) <- 0.0;
-              ws.d_touch.(!ntouch) <- j;
-              incr ntouch
-            end;
-            ws.d_alpha.(j) <- ws.d_alpha.(j) +. (ri *. rval.(k))
-          done
-      done;
-      tick_pricing st (max 1 !ntouch);
+      let ntouch = pivot_row_scatter st ws rho in
+      tick_pricing st (max 1 ntouch);
       (* Dual ratio test: smallest d_j / (e·alpha_j) over admissible j. *)
       let best = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0.0 in
-      for k = 0 to !ntouch - 1 do
+      for k = 0 to ntouch - 1 do
         let j = ws.d_touch.(k) in
         if st.vstat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
           let alpha = ws.d_alpha.(j) in
@@ -881,6 +1073,16 @@ let dual_optimize st =
       if !best < 0 then raise (Solver_stop Infeasible)
       else begin
         let q = !best in
+        (* Incremental dual step: θ = d_q/α_q along ρ zeroes the entering
+           reduced cost; only the rows ρ touches move, and the O(m) scan
+           rides the iteration's existing max(1,m) charge like the primal
+           update sweep below.  Must read ρ and y pre-pivot. *)
+        let d_q = st.cost.(q) -. col_dot_dense st q st.y in
+        let theta = d_q /. !best_alpha in
+        if theta <> 0.0 then
+          for i = 0 to st.m - 1 do
+            if rho.(i) <> 0.0 then st.y.(i) <- st.y.(i) +. (theta *. rho.(i))
+          done;
         ftran st q;
         let alpha_q = st.w.(r) in
         if Float.abs alpha_q < piv_tol then raise (Solver_stop Numerical_failure);
@@ -888,6 +1090,24 @@ let dual_optimize st =
         let target = if !too_high then st.ub.(leaving) else st.lb.(leaving) in
         let delta_q = (st.xval.(leaving) -. target) /. alpha_q in
         if Float.abs delta_q > 1e-10 then stall := 0 else incr stall;
+        (* Dual devex propagation: row weights follow the pivot column
+           w = B⁻¹a_q, δ_i ← max(δ_i, (w_i/w_r)²·δ_r), leaving row to
+           max(δ_r/w_r², 1); unit-framework restart on overflow.  The
+           O(m) sweep rides the iteration's existing max(1,m) charge. *)
+        if dual_devex && not !bland then begin
+          let dr = Float.max 1.0 st.drefw.(r) in
+          let overflow = ref false in
+          for i = 0 to st.m - 1 do
+            if i <> r && st.w.(i) <> 0.0 then begin
+              let ratio = st.w.(i) /. alpha_q in
+              let cand = ratio *. ratio *. dr in
+              if cand > st.drefw.(i) then st.drefw.(i) <- cand;
+              if cand > 1e12 then overflow := true
+            end
+          done;
+          st.drefw.(r) <- Float.max 1.0 (dr /. (alpha_q *. alpha_q));
+          if !overflow then Array.fill st.drefw 0 st.m 1.0
+        end;
         (* Primal update: x_q moves off its bound by delta_q; every basic
            moves by -w_i · delta_q (which lands the leaving variable
            exactly on its violated bound). *)
@@ -902,14 +1122,10 @@ let dual_optimize st =
         st.vstat.(leaving) <- (if !too_high then At_upper else At_lower);
         st.basis.(r) <- q;
         st.vstat.(q) <- Basic;
-        (match
-           try Some (Basis.update st.rep ~r ~w:st.w)
-           with Invalid_argument _ -> None
-         with
-        | Some added ->
-          st.stats.Rstats.eta_entries <- st.stats.Rstats.eta_entries + added
-        | None -> raise (Solver_stop Numerical_failure));
-        after_basis_update st
+        commit_pivot st ~r;
+        (* Any refactorization/hygiene pass resets the counter; re-anchor
+           the incremental duals against the fresh factors. *)
+        if st.pivots_since_refactor = 0 then compute_duals st
       end
     end
   done
@@ -1041,6 +1257,8 @@ let solve ?(params = default_params) ?budget ?stats ?trace ?prof ?lb ?ub ?warm
       cand_score = Array.make (n_total + m) 0.0;
       cand_n = 0;
       dualw = None;
+      refw = Array.make (n_total + m) 1.0;
+      drefw = Array.make m 1.0;
     }
   in
   if !crossed then extract st Infeasible
@@ -1125,6 +1343,8 @@ let fresh_state sf params budget stats sink prof lb ub =
     cand_score = Array.make (n_total + m) 0.0;
     cand_n = 0;
     dualw = None;
+    refw = Array.make (n_total + m) 1.0;
+    drefw = Array.make m 1.0;
   }
 
 (* Collapses within-tolerance crossed bounds (propagation round-off) on
@@ -1230,6 +1450,7 @@ let session_add_columns session ?budget ?stats cols =
           cand_score = Array.make (n_total' + m) 0.0;
           cand_n = 0;
           dualw = None;
+          refw = Array.make (n_total' + m) 1.0;
         }
       in
       session.s_state <- Some st';
@@ -1347,6 +1568,7 @@ let session_solve session ?time_limit ?budget ?stats ?trace ?prof ?warm
         let st = { st with params; budget; stats; sink = trace; prof } in
         session.s_state <- Some st;
         rebound_state st lb ub;
+        reset_devex st;
         let run body =
           match (try body (); Optimal with Solver_stop s -> s) with
           | Numerical_failure ->

@@ -2,19 +2,28 @@
 
     Solves the computational form produced by {!Std_form}:
     [min cᵀx  s.t.  A·x = 0,  lb <= x <= ub].  The basis is kept in a
-    {!Basis} representation — by default sparse LU factors with a
-    product-form eta file appended per pivot ({!Basis.Factored_lu}), so
-    FTRAN/BTRAN cost O(nnz) instead of O(m²); the dense explicit inverse
-    ({!Basis.Dense_inverse}) remains available as the reference path.
-    Refactorization happens when the eta file reaches [eta_limit] or the
-    periodic residual check (every [refactor_every] pivots) detects
-    drift.  Phase 1 minimizes the sum of artificial variables introduced
-    only on rows whose logical variable cannot start feasibly.
+    {!Basis} representation — by default sparse LU factors updated in
+    place by a Forrest–Tomlin update per pivot ({!Basis.Updatable_lu}),
+    so FTRAN/BTRAN stay O(nnz(factors)) with no grow-forever eta file;
+    the product-form eta representation ({!Basis.Factored_lu}) and the
+    dense explicit inverse ({!Basis.Dense_inverse}) remain available as
+    A/B reference paths.  Refactorization is driven by measured
+    representation growth — the eta file reaching [eta_limit] (factored)
+    or the fill ratio exceeding [fill_limit] (updatable) — plus the
+    periodic residual check (every [refactor_every] pivots) for drift,
+    and immediately when an update is rejected (singular spike).  Phase 1
+    minimizes the sum of artificial variables introduced only on rows
+    whose logical variable cannot start feasibly.
 
-    Pricing: Dantzig over a candidate list refreshed by periodic full
-    sweeps ([partial_pricing], on by default; optimality is only ever
-    declared by a full sweep), with an automatic switch to Bland's
-    full-scan rule after a run of degenerate pivots. *)
+    Pricing: devex reference-framework scoring by default ([devex]) —
+    d²/γ_j in the primal entering choice, violation²/δ_i in the dual
+    leaving choice, weights restarted from the unit framework each solve
+    — over a candidate list refreshed by periodic full sweeps
+    ([partial_pricing], on by default; optimality is only ever declared
+    by a full sweep), with an automatic switch to Bland's full-scan rule
+    after a run of degenerate pivots.  [devex = false] falls back to
+    Dantzig (largest reduced cost / largest violation), kept as the A/B
+    reference. *)
 
 type status =
   | Optimal
@@ -39,9 +48,15 @@ type params = {
   refactor_every : int;     (** pivots between residual/drift checks *)
   dual_feas_tol : float;    (** reduced-cost tolerance *)
   primal_feas_tol : float;  (** bound-violation tolerance *)
-  factorization : Basis.kind;  (** basis representation (default factored) *)
-  eta_limit : int;          (** eta columns before a forced refactorization *)
+  factorization : Basis.kind;  (** basis representation (default updatable) *)
+  eta_limit : int;          (** eta columns before a forced refactorization
+                                ({!Basis.Factored_lu} only) *)
+  fill_limit : float;       (** factor-size growth ratio before a forced
+                                refactorization ({!Basis.Updatable_lu}
+                                only; fresh factorization = 1.0) *)
   partial_pricing : bool;   (** candidate-list pricing (default on) *)
+  devex : bool;             (** devex reference-framework pricing (default
+                                on); [false] = Dantzig, the A/B reference *)
 }
 
 val default_params : params

@@ -5,6 +5,11 @@ type t = {
   mutable ftran_nnz : int;
   mutable btran_nnz : int;
   mutable eta_entries : int;
+  mutable basis_updates : int;
+  mutable spike_fill : int;
+  mutable refactor_fill : int;
+  mutable refactor_drift : int;
+  mutable refactor_forced : int;
   mutable pricing_hits : int;
   mutable pricing_sweeps : int;
   mutable bb_nodes : int;
@@ -32,6 +37,11 @@ let create () =
     ftran_nnz = 0;
     btran_nnz = 0;
     eta_entries = 0;
+    basis_updates = 0;
+    spike_fill = 0;
+    refactor_fill = 0;
+    refactor_drift = 0;
+    refactor_forced = 0;
     pricing_hits = 0;
     pricing_sweeps = 0;
     bb_nodes = 0;
@@ -58,6 +68,11 @@ let merge ~into s =
   into.ftran_nnz <- into.ftran_nnz + s.ftran_nnz;
   into.btran_nnz <- into.btran_nnz + s.btran_nnz;
   into.eta_entries <- into.eta_entries + s.eta_entries;
+  into.basis_updates <- into.basis_updates + s.basis_updates;
+  into.spike_fill <- into.spike_fill + s.spike_fill;
+  into.refactor_fill <- into.refactor_fill + s.refactor_fill;
+  into.refactor_drift <- into.refactor_drift + s.refactor_drift;
+  into.refactor_forced <- into.refactor_forced + s.refactor_forced;
   into.pricing_hits <- into.pricing_hits + s.pricing_hits;
   into.pricing_sweeps <- into.pricing_sweeps + s.pricing_sweeps;
   into.bb_nodes <- into.bb_nodes + s.bb_nodes;
@@ -81,15 +96,18 @@ let add = merge
 let to_string s =
   let base =
     Printf.sprintf
-      "%d LP solves, %d simplex iters, %d refactorizations | basis: %d \
-       ftran nnz, %d btran nnz, %d eta entries | pricing: %d list hits, %d \
+      "%d LP solves, %d simplex iters, %d refactorizations (%d fill, %d \
+       drift, %d forced) | basis: %d ftran nnz, %d btran nnz, %d eta \
+       entries, %d FT updates, %d spike fill | pricing: %d list hits, %d \
        sweeps | %d nodes, %d incumbents, %d bound updates | greedy: %d \
        LPs, %d candidates, %d accepted | phases: greedy %.3fs, build \
        %.3fs, search %.3fs"
-      s.lp_solves s.simplex_iterations s.refactorizations s.ftran_nnz
-      s.btran_nnz s.eta_entries s.pricing_hits s.pricing_sweeps s.bb_nodes
-      s.incumbents s.bound_updates s.greedy_lp_solves s.greedy_candidates
-      s.greedy_accepted s.greedy_time s.build_time s.search_time
+      s.lp_solves s.simplex_iterations s.refactorizations s.refactor_fill
+      s.refactor_drift s.refactor_forced s.ftran_nnz s.btran_nnz
+      s.eta_entries s.basis_updates s.spike_fill s.pricing_hits
+      s.pricing_sweeps s.bb_nodes s.incumbents s.bound_updates
+      s.greedy_lp_solves s.greedy_candidates s.greedy_accepted s.greedy_time
+      s.build_time s.search_time
   in
   if s.service_requests = 0 then base
   else

@@ -754,6 +754,11 @@ let stats_to_json (s : Rstats.t) =
       ("ftran_nnz", i s.Rstats.ftran_nnz);
       ("btran_nnz", i s.Rstats.btran_nnz);
       ("eta_entries", i s.Rstats.eta_entries);
+      ("basis_updates", i s.Rstats.basis_updates);
+      ("spike_fill", i s.Rstats.spike_fill);
+      ("refactor_fill", i s.Rstats.refactor_fill);
+      ("refactor_drift", i s.Rstats.refactor_drift);
+      ("refactor_forced", i s.Rstats.refactor_forced);
       ("pricing_hits", i s.Rstats.pricing_hits);
       ("pricing_sweeps", i s.Rstats.pricing_sweeps);
       ("bb_nodes", i s.Rstats.bb_nodes);
@@ -803,6 +808,11 @@ let stats_of_json doc =
     let* () = geti "ftran_nnz" (fun n -> s.Rstats.ftran_nnz <- n) in
     let* () = geti "btran_nnz" (fun n -> s.Rstats.btran_nnz <- n) in
     let* () = geti "eta_entries" (fun n -> s.Rstats.eta_entries <- n) in
+    let* () = geti "basis_updates" (fun n -> s.Rstats.basis_updates <- n) in
+    let* () = geti "spike_fill" (fun n -> s.Rstats.spike_fill <- n) in
+    let* () = geti "refactor_fill" (fun n -> s.Rstats.refactor_fill <- n) in
+    let* () = geti "refactor_drift" (fun n -> s.Rstats.refactor_drift <- n) in
+    let* () = geti "refactor_forced" (fun n -> s.Rstats.refactor_forced <- n) in
     let* () = geti "pricing_hits" (fun n -> s.Rstats.pricing_hits <- n) in
     let* () = geti "pricing_sweeps" (fun n -> s.Rstats.pricing_sweeps <- n) in
     let* () = geti "bb_nodes" (fun n -> s.Rstats.bb_nodes <- n) in

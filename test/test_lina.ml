@@ -282,6 +282,175 @@ let reach_properties =
     make_case ~name:"btran_reach all-zero rhs" ~trans:true ~rhs_of:zero_rhs;
   ]
 
+(* --- Forrest–Tomlin updatable factors ---------------------------------- *)
+
+module Slu = Lina.Lu.Sparse
+
+let factorize_cols n cols =
+  Slu.factorize ~n ~col:(fun j emit ->
+      List.iter (fun (i, v) -> emit i v) cols.(j))
+
+(* A replacement column with a dominant entry on row [r]: keeps the basis
+   diagonally dominant, so the updated diagonal stays healthy and the
+   update is accepted. *)
+let replacement_col rng n r =
+  let entries = ref [ (r, Workload.Rng.float_range rng 3.0 8.0) ] in
+  for _ = 1 to Workload.Rng.int rng 3 do
+    let i = Workload.Rng.int rng n in
+    if i <> r && not (List.mem_assoc i !entries) then
+      entries := (i, Workload.Rng.float_range rng (-1.0) 1.0) :: !entries
+  done;
+  !entries
+
+let close_to a b =
+  let scale =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1.0 b
+  in
+  Array.for_all2 (fun u v -> Float.abs (u -. v) <= 1e-8 *. scale) a b
+
+(* N successive updates through one [ft], each checked against a fresh
+   factorization of the mutated basis: ftran and btran must agree on
+   random (sparse and dense) right-hand sides. *)
+let ft_agrees_with_fresh rng n updates =
+  let cols = random_sparse_cols rng n in
+  let ft = Slu.ft_of_factors (factorize_cols n cols) in
+  let scratch = Slu.scratch n in
+  let ok = ref true in
+  for _ = 1 to updates do
+    if !ok then begin
+      let r = Workload.Rng.int rng n in
+      let entries = replacement_col rng n r in
+      cols.(r) <- entries;
+      let w = Array.make n 0.0 in
+      List.iter (fun (i, v) -> w.(i) <- w.(i) +. v) entries;
+      ignore (Slu.ft_ftran ft scratch w : int);
+      match Slu.ft_update ft scratch ~r with
+      | None -> ok := false
+      | Some { Slu.upd_work; upd_added } ->
+        if upd_work <= 0 || upd_added < 0 then ok := false
+        else begin
+          let fresh = factorize_cols n cols in
+          let fscr = Slu.scratch n in
+          let b =
+            Array.init n (fun _ ->
+                if Workload.Rng.int rng 3 = 0 then
+                  Workload.Rng.float_range rng (-2.0) 2.0
+                else 0.0)
+          in
+          let x_ft = Array.copy b and x_fr = Array.copy b in
+          ignore (Slu.ft_ftran ft scratch x_ft : int);
+          ignore (Slu.ftran_reach fresh fscr x_fr : int);
+          let c =
+            Array.init n (fun _ -> Workload.Rng.float_range rng (-2.0) 2.0)
+          in
+          let y_ft = Array.copy c and y_fr = Array.copy c in
+          ignore (Slu.ft_btran ft scratch y_ft : int);
+          ignore (Slu.btran_reach fresh fscr y_fr : int);
+          if not (close_to x_ft x_fr && close_to y_ft y_fr) then ok := false
+        end
+    end
+  done;
+  (* The fill ratio can legitimately dip below 1: a replacement column
+     sparser than the one it evicts shrinks U. *)
+  !ok && Slu.ft_updates ft = updates && Slu.ft_fill_ratio ft > 0.0
+
+let ft_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"N Forrest–Tomlin updates agree with fresh refactorization"
+         ~count:40
+         QCheck2.Gen.(pair (int_range 2 30) (int_bound 100_000))
+         (fun (n, seed) ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 29)) in
+           let updates = 1 + Workload.Rng.int rng (min 20 (2 * n)) in
+           ft_agrees_with_fresh rng n updates));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"random pivot sequences keep ft_nnz = solve cost coherent"
+         ~count:30
+         QCheck2.Gen.(int_bound 100_000)
+         (fun seed ->
+           let rng = Workload.Rng.create (Int64.of_int (seed + 71)) in
+           let n = 3 + Workload.Rng.int rng 20 in
+           let cols = random_sparse_cols rng n in
+           let ft = Slu.ft_of_factors (factorize_cols n cols) in
+           let scratch = Slu.scratch n in
+           let nnz0 = Slu.ft_nnz ft in
+           let ok = ref (nnz0 > 0 && Slu.ft_eta_nnz ft = 0) in
+           for _ = 1 to 12 do
+             if !ok then begin
+               let r = Workload.Rng.int rng n in
+               let entries = replacement_col rng n r in
+               cols.(r) <- entries;
+               let w = Array.make n 0.0 in
+               List.iter (fun (i, v) -> w.(i) <- w.(i) +. v) entries;
+               ignore (Slu.ft_ftran ft scratch w : int);
+               match Slu.ft_update ft scratch ~r with
+               | None -> ok := false
+               | Some _ ->
+                 (* The billed solve work is bounded by the advertised
+                    solve cost (ft_nnz plus the O(n) permute passes). *)
+                 let b =
+                   Array.init n (fun _ ->
+                       Workload.Rng.float_range rng (-2.0) 2.0)
+                 in
+                 let billed = Slu.ft_ftran ft scratch b in
+                 if billed <= 0 || billed > Slu.ft_nnz ft + (4 * n) then
+                   ok := false
+             end
+           done;
+           !ok));
+  ]
+
+let ft_tests =
+  [
+    Alcotest.test_case "singular spike is rejected and flags stale" `Quick
+      (fun () ->
+        let n = 4 in
+        let cols =
+          Array.init n (fun j -> [ (j, 2.0 +. float_of_int j) ])
+        in
+        let ft = Slu.ft_of_factors (factorize_cols n cols) in
+        let scratch = Slu.scratch n in
+        (* Replacing column 2 with e_0 collides with column 0: the
+           updated diagonal is exactly zero. *)
+        let w = Array.make n 0.0 in
+        w.(0) <- 1.0;
+        ignore (Slu.ft_ftran ft scratch w : int);
+        (match Slu.ft_update ft scratch ~r:2 with
+        | None -> ()
+        | Some _ -> Alcotest.fail "singular spike must be rejected");
+        (* Stale factors refuse every operation until refreshed. *)
+        let b = Array.make n 1.0 in
+        (match Slu.ft_ftran ft scratch b with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "stale ftran must raise");
+        (match Slu.ft_btran ft scratch b with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "stale btran must raise");
+        (* A refresh from a sound factorization re-arms the factors. *)
+        Slu.ft_refresh ft (factorize_cols n cols);
+        let x = Array.make n 1.0 in
+        ignore (Slu.ft_ftran ft scratch x : int);
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check (float 1e-9)) "refreshed solve"
+              (1.0 /. (2.0 +. float_of_int i)) v)
+          x;
+        Alcotest.(check int) "updates reset by refresh" 0
+          (Slu.ft_updates ft));
+    Alcotest.test_case "update without a stashed spike is rejected" `Quick
+      (fun () ->
+        let n = 3 in
+        let cols = Array.init n (fun j -> [ (j, 1.0) ]) in
+        let ft = Slu.ft_of_factors (factorize_cols n cols) in
+        let scratch = Slu.scratch n in
+        match Slu.ft_update ft scratch ~r:0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "update must require a stashed spike");
+  ]
+
 let suite =
   [
     ("lina.vec", vec_tests);
@@ -289,4 +458,5 @@ let suite =
     ("lina.csc", csc_tests);
     ("lina.lu", lu_tests @ lu_properties);
     ("lina.lu.reach", reach_properties);
+    ("lina.lu.ft", ft_tests @ ft_properties);
   ]

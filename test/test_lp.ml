@@ -445,6 +445,139 @@ let basis_tests =
         Alcotest.(check int) "eta file length" 40
           (Lp.Basis.eta_count rep);
         check_roundtrip "after 40 pivots");
+    Alcotest.test_case
+      "FTRAN/BTRAN round-trip through Forrest–Tomlin updates" `Quick
+      (fun () ->
+        let rng = Workload.Rng.create 2025L in
+        let m = 25 in
+        let cols =
+          Array.init m (fun pos ->
+              let c =
+                Array.init m (fun _ ->
+                    if Workload.Rng.int rng 100 < 25 then
+                      Workload.Rng.float_range rng (-1.0) 1.0
+                    else 0.0)
+              in
+              c.(pos) <- c.(pos) +. 4.0;
+              c)
+        in
+        let rep = Lp.Basis.create Lp.Basis.Updatable_lu m in
+        Lp.Basis.factorize rep (fun pos f ->
+            Array.iteri (fun i v -> if v <> 0.0 then f i v) cols.(pos));
+        let mul_b x =
+          let y = Array.make m 0.0 in
+          Array.iteri
+            (fun pos c ->
+              let xp = x.(pos) in
+              if xp <> 0.0 then
+                Array.iteri (fun i v -> y.(i) <- y.(i) +. (v *. xp)) c)
+            cols;
+          y
+        in
+        let mul_bt y =
+          Array.map
+            (fun c ->
+              let acc = ref 0.0 in
+              Array.iteri (fun i v -> acc := !acc +. (v *. y.(i))) c;
+              !acc)
+            cols
+        in
+        let check_roundtrip tag =
+          let b =
+            Array.init m (fun _ -> Workload.Rng.float_range rng (-2.0) 2.0)
+          in
+          let x = Array.copy b in
+          ignore (Lp.Basis.ftran_in_place rep x : int);
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check (float 1e-5)) (tag ^ ": B.(ftran b) = b")
+                b.(i) v)
+            (mul_b x);
+          let c =
+            Array.init m (fun _ -> Workload.Rng.float_range rng (-2.0) 2.0)
+          in
+          let y = Array.copy c in
+          ignore (Lp.Basis.btran_in_place rep y : int);
+          Array.iteri
+            (fun pos v ->
+              Alcotest.(check (float 1e-5)) (tag ^ ": Bt.(btran c) = c")
+                c.(pos) v)
+            (mul_bt y)
+        in
+        check_roundtrip "fresh factorization";
+        (* 40 pivots absorbed in place; a Rejected update mirrors the
+           simplex policy — refactorize from the already-swapped basis. *)
+        let w = Array.make m 0.0 in
+        let pivots = ref 0 and rejections = ref 0 in
+        while !pivots < 40 do
+          let a =
+            Array.init m (fun _ ->
+                if Workload.Rng.int rng 100 < 30 then
+                  Workload.Rng.float_range rng (-2.0) 2.0
+                else 0.0)
+          in
+          Array.fill w 0 m 0.0;
+          ignore
+            (Lp.Basis.ftran_col rep
+               (fun f -> Array.iteri (fun i v -> if v <> 0.0 then f i v) a)
+               w
+              : int);
+          let r = Workload.Rng.int rng m in
+          if Float.abs w.(r) > 1e-3 then begin
+            cols.(r) <- a;
+            (match Lp.Basis.update rep ~r ~w with
+            | Lp.Basis.Applied { work; added } ->
+              Alcotest.(check bool) "positive update work" true (work > 0);
+              Alcotest.(check bool) "non-negative fill" true (added >= 0)
+            | Lp.Basis.Rejected ->
+              incr rejections;
+              Lp.Basis.factorize rep (fun pos f ->
+                  Array.iteri
+                    (fun i v -> if v <> 0.0 then f i v)
+                    cols.(pos)));
+            incr pivots;
+            if !pivots mod 8 = 0 then
+              check_roundtrip (Printf.sprintf "after %d pivots" !pivots)
+          end
+        done;
+        Alcotest.(check int) "no eta file on the update form" 0
+          (Lp.Basis.eta_count rep);
+        (* A refactorization (after a rejection) resets the update count,
+           so only the rejection-free run pins it exactly. *)
+        if !rejections = 0 then
+          Alcotest.(check int) "all 40 pivots absorbed as updates" 40
+            (Lp.Basis.update_count rep);
+        Alcotest.(check bool) "fill ratio meaningful" true
+          (Lp.Basis.fill_ratio rep > 0.0);
+        check_roundtrip "after 40 pivots");
+    Alcotest.test_case "update telemetry reaches solve stats" `Quick
+      (fun () ->
+        (* One mid-sized LP under each representation: the update form
+           reports FT updates and no eta entries, the eta form the
+           reverse — the counters the bench telemetry is built on. *)
+        let rng = Workload.Rng.create 404L in
+        let model, _, _ = random_lp rng ~n:8 ~m_rows:8 in
+        let run kind =
+          let stats = Runtime.Stats.create () in
+          let params =
+            { Lp.Simplex.default_params with
+              Lp.Simplex.factorization = kind }
+          in
+          let r = Lp.Simplex.solve ~params ~stats (Lp.Std_form.of_model model) in
+          Alcotest.(check bool) "solved" true
+            (r.Lp.Simplex.status = Lp.Simplex.Optimal);
+          stats
+        in
+        let upd = run Lp.Basis.Updatable_lu in
+        let eta = run Lp.Basis.Factored_lu in
+        Alcotest.(check int) "update form appends no etas" 0
+          upd.Runtime.Stats.eta_entries;
+        Alcotest.(check bool) "update form counts updates" true
+          (upd.Runtime.Stats.basis_updates > 0);
+        Alcotest.(check int) "eta form counts no updates" 0
+          eta.Runtime.Stats.basis_updates;
+        Alcotest.(check bool) "eta form appends etas" true
+          (eta.Runtime.Stats.eta_entries > 0));
   ]
 
 let basis_properties =
@@ -473,14 +606,34 @@ let basis_properties =
       { dflt with
         Lp.Simplex.factorization = Lp.Basis.Dense_inverse;
         partial_pricing = false }
-      dflt;
+      { dflt with Lp.Simplex.factorization = Lp.Basis.Factored_lu };
     agree "tiny eta limit forces refactorizations without changing optima"
-      30 911 dflt
-      { dflt with Lp.Simplex.eta_limit = 2; refactor_every = 5 };
+      30 911
+      { dflt with Lp.Simplex.factorization = Lp.Basis.Factored_lu }
+      { dflt with
+        Lp.Simplex.factorization = Lp.Basis.Factored_lu;
+        eta_limit = 2;
+        refactor_every = 5 };
     agree "partial pricing finds the same optimum as full Dantzig sweeps"
       30 424
       { dflt with Lp.Simplex.partial_pricing = false }
       dflt;
+    agree "Forrest–Tomlin updates agree with the eta-file path" 40 551
+      { dflt with Lp.Simplex.factorization = Lp.Basis.Factored_lu }
+      { dflt with Lp.Simplex.factorization = Lp.Basis.Updatable_lu };
+    agree "Forrest–Tomlin updates agree with the dense inverse" 30 662
+      { dflt with Lp.Simplex.factorization = Lp.Basis.Dense_inverse }
+      { dflt with Lp.Simplex.factorization = Lp.Basis.Updatable_lu };
+    agree "tiny fill limit forces refactorizations without changing optima"
+      30 733 dflt
+      { dflt with Lp.Simplex.fill_limit = 1.01; refactor_every = 3 };
+    agree "devex and Dantzig pricing find the same optimum" 40 844
+      { dflt with Lp.Simplex.devex = false }
+      dflt;
+    agree
+      "drift checks on every pivot do not change optima (regression)"
+      30 955 dflt
+      { dflt with Lp.Simplex.refactor_every = 1 };
   ]
 
 let suite =
