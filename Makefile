@@ -32,11 +32,15 @@ bench-bnb: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
 	  --no-service --no-profile --no-colgen
 
-# Online admission service gate: serves the same arrival stream at
-# jobs 1 and 4 on the deterministic work clock, fails if any decision,
-# rung, schedule, tick count or the revenue differs, if any rung of the
-# exact → greedy → deny chain never fired, or if the committed state
-# fails the validator; writes BENCH_service.json.
+# Online service gate: serves one churn stream (arrivals + departures)
+# at jobs 1, 2 and 4 on the deterministic work clock.  Fails if any
+# decision, rung, schedule, migration, tick count or the revenue
+# differs across jobs levels, if fewer than 30% of the arrivals depart
+# inside the stream, if ignoring departures does not strictly lose
+# admissions and revenue, if any rung (exact, greedy, budget, and
+# priced on the dedicated pricing run) never fired, or if any run's
+# committed state fails the validator; writes BENCH_service.json
+# (schema tvnep-bench-service/3, validated after writing).
 bench-service: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
 	  --no-bnb --no-profile --no-colgen

@@ -1,33 +1,60 @@
-(* Online admission service benchmark: the identical arrival stream served
-   at jobs = 1 and jobs = 4 on the deterministic work clock.
+(* Online service benchmark: one churn stream (arrivals + departures)
+   served at jobs = 1, 2 and 4 on the deterministic work clock.
 
-   Like {!Bnb}, this is a regression gate, not just a perf tracker: the
-   run *fails* (exit 1) when any per-request decision, rung, committed
-   schedule, tick count or the total revenue differs between jobs levels
-   — the deterministic batch-merge contract of Service.Engine asserted on
-   a real stream.  The scenario is tuned so all three rungs of the
-   degradation chain fire: exact admissions, greedy-fallback admissions,
-   and denials (greedy rejections and budget exhaustion).  Results land
-   in BENCH_service.json (validated after writing). *)
+   Like {!Bnb}, this is a regression gate, not just a perf tracker.  The
+   run *fails* (exit 1) when:
 
-let jobs_levels = [ 1; 4 ]
+   - any per-event decision, rung, committed schedule, migration, tick
+     count or the total revenue differs between jobs levels — the
+     deterministic event-merge contract of Service.Engine asserted on a
+     real churn stream;
+   - the stream shows too little churn (< 30% of arrivals departing
+     inside the stream) — capacity must be reclaimed for the lifecycle
+     to mean anything;
+   - serving the same stream with departures ignored (the historical
+     monotone service) does NOT lose admissions and revenue — reclaiming
+     capacity must pay, strictly;
+   - the degradation chain loses coverage: exact admissions,
+     greedy-fallback admissions, denials, budget denials and (on the
+     dedicated pricing run) priced denials must all fire;
+   - the final committed state of any run fails the independent
+     validator.
+
+   Results land in BENCH_service.json, schema tvnep-bench-service/3
+   (validated after writing). *)
+
+let jobs_levels = [ 1; 2; 4 ]
 
 (* Slices sized against the 2e9 ticks/s work clock so the exact rung
    (5% of the slice) dies on the later, contended arrivals while the
    greedy fallback still has room to finish — the mix that exercises the
-   whole chain on this seed. *)
-let bench_config jobs =
-  {
-    Service.Engine.default_config with
-    slice = 1e-4;
-    exact_fraction = 0.05;
-    jobs;
-  }
+   whole chain on this seed; a global deadline just short of the
+   stream's total work denies the tail at the budget rung. *)
+let bench_config ~departures jobs =
+  Service.Engine.Config.make ~slice:1e-4 ~exact_fraction:0.05
+    ~time_limit:2.4e-4 ~jobs ~departures ~reconfigure:true ()
 
+(* Churn scenario: shorter durations than the admission-only bench so
+   early commitments depart while later requests are still arriving —
+   the stream interleaves arrivals with endogenous departures. *)
 let bench_instance () =
   let rng = Workload.Rng.create 1L in
   Tvnep.Scenario.generate rng
-    { Tvnep.Scenario.scaled with num_requests = 8 }
+    {
+      Tvnep.Scenario.scaled with
+      num_requests = 12;
+      weibull_scale = 1.5;
+      flexibility = 1.0;
+    }
+
+(* A dedicated pricing run: the floor is set high enough that some
+   admissible arrival's revenue cannot cover its priced cost, proving
+   the Priced rung actually gates. *)
+let pricing_config jobs =
+  Service.Engine.Config.make ~slice:1e-4 ~exact_fraction:0.05 ~jobs
+    ~departures:true ~pricing:true
+    ~price:(Service.Pricing.make_params ~floor:2.0 ())
+    ()
 
 type run = {
   jobs : int;
@@ -36,10 +63,10 @@ type run = {
   gc_minor_words : float;
 }
 
-let serve_at inst jobs =
+let serve_at inst config jobs =
   let gw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  let summary = Service.Engine.run ~config:(bench_config jobs) inst in
+  let summary = Service.Engine.serve ~config:(config jobs) inst in
   {
     jobs;
     summary;
@@ -47,47 +74,65 @@ let serve_at inst jobs =
     gc_minor_words = Gc.minor_words () -. gw0;
   }
 
-(* The determinism fingerprint: every per-request decision plus the
-   stream aggregates — everything but the wall clock. *)
+(* The determinism fingerprint: every per-event decision plus the stream
+   aggregates — everything but the wall clock. *)
 let fingerprint r =
   let s = r.summary in
   ( Array.to_list
       (Array.map
          (fun (rec_ : Service.Engine.record) ->
            ( rec_.Service.Engine.request,
+             Service.Event.kind_to_string rec_.Service.Engine.event,
              rec_.Service.Engine.admitted,
              Service.Engine.rung_to_string rec_.Service.Engine.rung,
              rec_.Service.Engine.ticks,
              (* nan <> nan, so compare the denied-request sentinel as bits *)
-             Int64.bits_of_float rec_.Service.Engine.t_start,
+             ( Int64.bits_of_float rec_.Service.Engine.t_start,
+               Int64.bits_of_float rec_.Service.Engine.priced_cost,
+               rec_.Service.Engine.moved ),
              rec_.Service.Engine.revenue ))
          s.Service.Engine.records),
     s.Service.Engine.revenue,
+    s.Service.Engine.migrations,
     s.Service.Engine.total_ticks )
 
-let json_of_runs runs =
+let comparison_json ~lifecycle ~ignored =
   let open Statsutil.Json in
+  let s (r : run) = r.summary in
   Obj
     [
-      ("schema", Str "tvnep-bench-service/2");
+      ("lifecycle_accepted", Num (float_of_int (s lifecycle).Service.Engine.accepted));
+      ("ignored_accepted", Num (float_of_int (s ignored).Service.Engine.accepted));
+      ("lifecycle_revenue", Num (s lifecycle).Service.Engine.revenue);
+      ("ignored_revenue", Num (s ignored).Service.Engine.revenue);
+      ("departed", Num (float_of_int (s lifecycle).Service.Engine.departed));
+      ("migrations", Num (float_of_int (s lifecycle).Service.Engine.migrations));
+    ]
+
+let json_of_runs runs ~ignored ~pricing =
+  let open Statsutil.Json in
+  let run_json r =
+    Obj
+      [
+        ("jobs", Num (float_of_int r.jobs));
+        ("wall_s", Num r.wall_s);
+        ("gc_minor_words", Num r.gc_minor_words);
+        ("summary", Service.Engine.summary_to_json r.summary);
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "tvnep-bench-service/3");
       ( "clock",
         Str
           (Printf.sprintf
              "deterministic work ticks (%.0e ticks = 1 budget second)"
              Service.Engine.default_work_rate) );
       ("identical_across_jobs", Bool true);
-      ( "runs",
-        List
-          (List.map
-             (fun r ->
-               Obj
-                 [
-                   ("jobs", Num (float_of_int r.jobs));
-                   ("wall_s", Num r.wall_s);
-                   ("gc_minor_words", Num r.gc_minor_words);
-                   ("summary", Service.Engine.summary_to_json r.summary);
-                 ])
-             runs) );
+      ("comparison", comparison_json ~lifecycle:(List.hd runs) ~ignored);
+      ("runs", List (List.map run_json runs));
+      ("ignored_run", run_json ignored);
+      ("pricing_run", run_json pricing);
     ]
 
 let validate_json_string s =
@@ -96,12 +141,12 @@ let validate_json_string s =
   | Error msg -> Error ("not valid JSON: " ^ msg)
   | Ok doc -> (
     match member "schema" doc with
-    | Some (Str "tvnep-bench-service/2") -> (
+    | Some (Str "tvnep-bench-service/3") -> (
       match member "identical_across_jobs" doc with
       | Some (Bool true) -> (
         match Option.bind (member "runs" doc) to_list with
         | None | Some [] -> Error "missing or empty \"runs\" list"
-        | Some runs ->
+        | Some runs -> (
           let record_ok r =
             match Service.Engine.record_of_json r with
             | Ok _ -> true
@@ -120,13 +165,30 @@ let validate_json_string s =
             | Some (_ :: _ as records) -> List.for_all record_ok records
             | _ -> false
           in
-          if List.for_all run_ok runs then Ok (List.length runs)
-          else Error "a run is missing a field or carries a bad record")
+          let aux_ok name =
+            match member name doc with Some r -> run_ok r | None -> false
+          in
+          if not (List.for_all run_ok runs) then
+            Error "a run is missing a field or carries a bad record"
+          else if not (aux_ok "ignored_run" && aux_ok "pricing_run") then
+            Error "missing or invalid ignored_run/pricing_run"
+          else
+            match member "comparison" doc with
+            | Some c -> (
+              match
+                ( Option.bind (member "lifecycle_revenue" c) to_float,
+                  Option.bind (member "ignored_revenue" c) to_float )
+              with
+              | Some l, Some i when l > i -> Ok (List.length runs)
+              | Some _, Some _ ->
+                Error "comparison: lifecycle revenue not above ignored"
+              | _ -> Error "comparison: missing revenue fields")
+            | None -> Error "missing \"comparison\""))
       | _ -> Error "\"identical_across_jobs\" is not true")
     | _ -> Error "missing or unexpected \"schema\"")
 
-let emit_json ~path runs =
-  let doc = json_of_runs runs in
+let emit_json ~path runs ~ignored ~pricing =
+  let doc = json_of_runs runs ~ignored ~pricing in
   let oc = open_out path in
   output_string oc (Statsutil.Json.to_string doc);
   close_out oc;
@@ -140,39 +202,54 @@ let emit_json ~path runs =
     Printf.eprintf "BENCH JSON INVALID (%s): %s\n" path msg;
     exit 1
 
+let check_final_state ~label inst (s : Service.Engine.summary) =
+  match Tvnep.Validator.check inst s.Service.Engine.solution with
+  | Ok () -> ()
+  | Error es ->
+    Printf.eprintf "SERVICE FINAL STATE INVALID (%s): %s\n" label
+      (String.concat "; " es);
+    exit 1
+
 let run ?json_path () =
   Printf.printf
-    "\n== Online admission service benchmark (deterministic work clock) ==\n";
+    "\n== Online service benchmark: churn stream (deterministic work clock) \
+     ==\n";
   let inst = bench_instance () in
-  let runs = List.map (serve_at inst) jobs_levels in
+  let runs = List.map (serve_at inst (bench_config ~departures:true)) jobs_levels in
+  let ignored = serve_at inst (bench_config ~departures:false) 1 in
+  let pricing = serve_at inst pricing_config 1 in
   let table =
     Statsutil.Table.create
       ~headers:
-        [ "jobs"; "admitted"; "revenue"; "exact"; "greedy"; "denied";
-          "budget-denied"; "p50 ticks"; "p99 ticks"; "wall" ]
+        [ "jobs"; "admitted"; "revenue"; "exact"; "greedy"; "migrated";
+          "departed"; "denied"; "budget"; "priced"; "wall" ]
   in
-  List.iter
-    (fun r ->
-      let s = r.summary in
-      Statsutil.Table.add_row table
-        [
-          string_of_int r.jobs;
-          Printf.sprintf "%d/%d" s.Service.Engine.accepted
-            (Array.length s.Service.Engine.records);
-          Printf.sprintf "%g" s.Service.Engine.revenue;
-          string_of_int s.Service.Engine.admitted_exact;
-          string_of_int s.Service.Engine.admitted_greedy;
-          string_of_int s.Service.Engine.denied;
-          string_of_int s.Service.Engine.denied_budget;
-          string_of_int s.Service.Engine.ticks_p50;
-          string_of_int s.Service.Engine.ticks_p99;
-          Printf.sprintf "%.3f s" r.wall_s;
-        ])
-    runs;
+  let add_row label r =
+    let s = r.summary in
+    Statsutil.Table.add_row table
+      [
+        label;
+        Printf.sprintf "%d/%d" s.Service.Engine.accepted
+          (s.Service.Engine.accepted + s.Service.Engine.denied);
+        Printf.sprintf "%g" s.Service.Engine.revenue;
+        string_of_int s.Service.Engine.admitted_exact;
+        string_of_int s.Service.Engine.admitted_greedy;
+        string_of_int s.Service.Engine.admitted_migrated;
+        string_of_int s.Service.Engine.departed;
+        string_of_int s.Service.Engine.denied;
+        string_of_int s.Service.Engine.denied_budget;
+        string_of_int s.Service.Engine.denied_priced;
+        Printf.sprintf "%.3f s" r.wall_s;
+      ]
+  in
+  List.iter (fun r -> add_row (string_of_int r.jobs) r) runs;
+  add_row "no-dep" ignored;
+  add_row "priced" pricing;
   Statsutil.Table.print table;
   let base = List.hd runs in
   (* Hard determinism gate: every jobs level must reproduce jobs=1's
-     decisions, rungs, schedules, ticks and revenue exactly. *)
+     decisions, rungs, schedules, migrations, ticks and revenue
+     exactly. *)
   let mismatches =
     List.filter (fun r -> fingerprint r <> fingerprint base) runs
   in
@@ -181,20 +258,52 @@ let run ?json_path () =
       (fun r ->
         Printf.eprintf
           "SERVICE DETERMINISM VIOLATION: jobs=%d served the stream \
-           differently than jobs=%d (decisions, rungs, schedules, ticks or \
-           revenue)\n"
+           differently than jobs=%d (decisions, rungs, schedules, \
+           migrations, ticks or revenue)\n"
           r.jobs base.jobs)
       mismatches;
     exit 1
   end;
   Printf.printf
     "determinism: all jobs levels identical (%d admitted, revenue %g, %d \
-     total ticks)\n"
+     departed, %d total ticks)\n"
     base.summary.Service.Engine.accepted base.summary.Service.Engine.revenue
+    base.summary.Service.Engine.departed
     base.summary.Service.Engine.total_ticks;
-  (* Coverage gate: the scenario must exercise the whole degradation
-     chain, or the bench is no longer testing what it claims to. *)
   let s = base.summary in
+  let arrivals = s.Service.Engine.accepted + s.Service.Engine.denied in
+  (* Churn gate: capacity must actually be reclaimed during the stream —
+     at least 30% of the arrivals depart before the last event. *)
+  if 10 * s.Service.Engine.departed < 3 * arrivals then begin
+    Printf.eprintf
+      "SERVICE CHURN REGRESSION: only %d of %d arrivals departed inside the \
+       stream (< 30%%)\n"
+      s.Service.Engine.departed arrivals;
+    exit 1
+  end;
+  (* Lifecycle payoff gate: the same stream served without departures
+     must do strictly worse on both admissions and revenue. *)
+  let si = ignored.summary in
+  if
+    s.Service.Engine.accepted <= si.Service.Engine.accepted
+    || s.Service.Engine.revenue <= si.Service.Engine.revenue
+  then begin
+    Printf.eprintf
+      "SERVICE LIFECYCLE REGRESSION: departures did not pay (%d/%g admitted/\
+       revenue with releases vs %d/%g without)\n"
+      s.Service.Engine.accepted s.Service.Engine.revenue
+      si.Service.Engine.accepted si.Service.Engine.revenue;
+    exit 1
+  end;
+  Printf.printf
+    "lifecycle: releases reclaimed capacity %d times and paid (%d admitted, \
+     revenue %g, vs %d / %g with departures ignored)\n"
+    s.Service.Engine.departed s.Service.Engine.accepted
+    s.Service.Engine.revenue si.Service.Engine.accepted
+    si.Service.Engine.revenue;
+  (* Coverage gate: the streams must exercise the whole degradation
+     chain, or the bench is no longer testing what it claims to. *)
+  let sp = pricing.summary in
   let missing =
     List.filter_map
       (fun (label, n) -> if n = 0 then Some label else None)
@@ -203,6 +312,8 @@ let run ?json_path () =
         ("a greedy-fallback admission", s.Service.Engine.admitted_greedy);
         ("a denial", s.Service.Engine.denied);
         ("a budget-exhausted denial", s.Service.Engine.denied_budget);
+        ("a departure", s.Service.Engine.departed);
+        ("a priced denial (pricing run)", sp.Service.Engine.denied_priced);
       ]
   in
   if missing <> [] then begin
@@ -211,14 +322,22 @@ let run ?json_path () =
     exit 1
   end;
   Printf.printf
-    "coverage: all three rungs fired (%d exact, %d greedy-fallback \
-     admissions; %d greedy, %d budget denials)\n"
+    "coverage: chain complete (%d exact, %d greedy-fallback, %d migrated \
+     admissions; %d greedy, %d budget denials; %d priced denials on the \
+     pricing run)\n"
     s.Service.Engine.admitted_exact s.Service.Engine.admitted_greedy
-    s.Service.Engine.denied_greedy s.Service.Engine.denied_budget;
-  (* The committed state must survive the independent validator. *)
-  (match Tvnep.Validator.check inst s.Service.Engine.solution with
-  | Ok () -> ()
-  | Error es ->
-    Printf.eprintf "SERVICE FINAL STATE INVALID: %s\n" (String.concat "; " es);
-    exit 1);
-  match json_path with Some path -> emit_json ~path runs | None -> ()
+    s.Service.Engine.admitted_migrated s.Service.Engine.denied_greedy
+    s.Service.Engine.denied_budget sp.Service.Engine.denied_priced;
+  (* Every run's committed state must survive the independent
+     validator. *)
+  List.iter
+    (fun r ->
+      check_final_state
+        ~label:(Printf.sprintf "jobs=%d" r.jobs)
+        inst r.summary)
+    runs;
+  check_final_state ~label:"departures-ignored" inst ignored.summary;
+  check_final_state ~label:"pricing" inst pricing.summary;
+  match json_path with
+  | Some path -> emit_json ~path runs ~ignored ~pricing
+  | None -> ()

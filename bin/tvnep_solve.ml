@@ -330,8 +330,54 @@ let serve_cmd =
           ~doc:"Use the wall clock instead of the deterministic work clock \
                 (results then depend on machine speed and --jobs).")
   in
+  let events_arg =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:"Serve the full event stream: committed requests depart at \
+                their t_end and release capacity (plus any --cancel-prob \
+                cancellations).  Without this flag the historical \
+                arrival-only service runs.")
+  in
+  let cancel_prob_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "cancel-prob" ] ~docv:"P"
+          ~doc:"With --events: cancel each arrival with probability P at a \
+                uniform time inside its window (drawn from --seed).")
+  in
+  let reconfigure_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "reconfigure" ] ~docv:"N"
+          ~doc:"Enable the reconfiguration rung: on a proven denial, \
+                re-optimize up to N not-yet-started committed requests with \
+                a move-cost objective (0 = off).")
+  in
+  let move_cost_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "move-cost" ] ~docv:"W"
+          ~doc:"Objective weight per unit of schedule displacement in \
+                reconfiguration solves.")
+  in
+  let pricing_arg =
+    Arg.(
+      value & flag
+      & info [ "pricing" ]
+          ~doc:"Enable price-based admission: arrivals whose revenue does \
+                not cover the priced cost of their assignment (from \
+                committed utilization) are denied.")
+  in
+  let price_floor_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "price-floor" ] ~docv:"F"
+          ~doc:"Baseline resource price per demand-hour under --pricing.")
+  in
   let run file seed requests slice exact_fraction batch time_limit jobs
-      wall_clock verbose json profile =
+      wall_clock events cancel_prob reconfigure move_cost pricing price_floor
+      verbose json profile =
     setup_logs verbose;
     let inst =
       match file with
@@ -343,38 +389,53 @@ let serve_cmd =
     in
     let prof = Option.map (fun _ -> Runtime.Span.create ()) profile in
     let config =
-      {
-        Service.Engine.default_config with
-        slice;
-        exact_fraction;
-        batch_size = batch;
-        time_limit;
-        jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
-        deterministic =
-          (if wall_clock then None
-           else Some Service.Engine.default_work_rate);
-        prof;
-      }
+      Service.Engine.Config.make ~slice ~exact_fraction ~batch_size:batch
+        ~time_limit
+        ~jobs:(if jobs = 0 then Domain.recommended_domain_count () else jobs)
+        ~deterministic:
+          (if wall_clock then None else Some Service.Engine.default_work_rate)
+        ~departures:events ~reconfigure:(reconfigure > 0)
+        ~reconfigure_limit:(max 0 reconfigure) ~move_cost ~pricing
+        ~price:(Service.Pricing.make_params ~floor:price_floor ())
+        ?prof ()
     in
-    let s = Service.Engine.run ~config inst in
+    let stream =
+      if events && cancel_prob > 0.0 then
+        Some
+          (Service.Event.with_cancellations
+             (Workload.Rng.create (Int64.of_int (seed + 0x5eed)))
+             ~prob:cancel_prob inst
+             (Service.Event.arrivals inst))
+      else None
+    in
+    let s = Service.Engine.serve ~config ?events:stream inst in
     (match (profile, prof) with
     | Some path, Some r -> write_profile path r
     | _ -> ());
     if json then
       print_endline (Statsutil.Json.to_string (Service.Engine.summary_to_json s))
     else begin
-      Printf.printf "arrival stream: %d requests\n"
-        (Array.length s.Service.Engine.records);
+      Printf.printf "event stream: %d events (%d arrivals)\n"
+        s.Service.Engine.events
+        (s.Service.Engine.accepted + s.Service.Engine.denied);
       Printf.printf
-        "  %-8s %9s  %-8s %-7s %10s %10s %12s %6s\n"
-        "request" "arrival" "decision" "rung" "t_start" "revenue" "ticks" "re";
+        "  %-8s %9s  %-9s %-8s %-9s %10s %10s %12s %6s\n"
+        "request" "time" "event" "decision" "rung" "t_start" "revenue" "ticks"
+        "re";
       Array.iter
         (fun (r : Service.Engine.record) ->
-          Printf.printf "  %-8s %9.3f  %-8s %-7s %10s %10g %12d %6s\n"
-            r.Service.Engine.name r.Service.Engine.arrival
-            (if r.Service.Engine.admitted then "admit" else "deny")
+          let decision =
+            match r.Service.Engine.event with
+            | Service.Event.Departure -> "release"
+            | Service.Event.Arrival ->
+              if r.Service.Engine.admitted then "admit" else "deny"
+          in
+          Printf.printf "  %-8s %9.3f  %-9s %-8s %-9s %10s %10g %12d %6s\n"
+            r.Service.Engine.name r.Service.Engine.time
+            (Service.Event.kind_to_string r.Service.Engine.event)
+            decision
             (Service.Engine.rung_to_string r.Service.Engine.rung)
-            (if r.Service.Engine.admitted then
+            (if Float.is_finite r.Service.Engine.t_start then
                Printf.sprintf "%.3f" r.Service.Engine.t_start
              else "-")
             r.Service.Engine.revenue r.Service.Engine.ticks
@@ -382,14 +443,27 @@ let serve_cmd =
         s.Service.Engine.records;
       Printf.printf
         "summary: %d/%d admitted (%.0f%%), revenue %g | rungs: %d exact, %d \
-         greedy, %d budget-denied | ticks p50 %d, p99 %d | %.3fs\n"
+         greedy, %d migrated, %d budget-denied, %d priced-denied | %d \
+         departed, %d migrations | ticks p50 %d, p99 %d | %.3fs\n"
         s.Service.Engine.accepted
-        (Array.length s.Service.Engine.records)
+        (s.Service.Engine.accepted + s.Service.Engine.denied)
         (100.0 *. s.Service.Engine.acceptance_ratio)
         s.Service.Engine.revenue s.Service.Engine.admitted_exact
-        s.Service.Engine.admitted_greedy s.Service.Engine.denied_budget
+        s.Service.Engine.admitted_greedy s.Service.Engine.admitted_migrated
+        s.Service.Engine.denied_budget s.Service.Engine.denied_priced
+        s.Service.Engine.departed s.Service.Engine.migrations
         s.Service.Engine.ticks_p50 s.Service.Engine.ticks_p99
         s.Service.Engine.runtime;
+      if pricing then
+        Printf.printf "prices: nodes [%s] links [%s]\n"
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%.3f")
+                   s.Service.Engine.node_prices)))
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%.3f")
+                   s.Service.Engine.link_prices)));
       Printf.printf "counters:  %s\n"
         (Runtime.Stats.to_string s.Service.Engine.stats)
     end;
@@ -397,13 +471,16 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve the instance's requests as an online arrival stream with \
-             deadline-budgeted admission (exact, then greedy fallback, then \
-             denial)")
+       ~doc:"Serve the instance's requests as an online event stream with \
+             deadline-budgeted admission (exact, optional reconfiguration, \
+             greedy fallback, optional pricing, then denial) and \
+             validator-gated departures")
     Term.(
       const run $ file_opt_arg $ seed_arg $ requests_arg $ slice_arg
       $ exact_fraction_arg $ batch_arg $ global_limit_arg $ jobs_arg
-      $ wall_clock_arg $ verbose_arg $ json_arg $ profile_arg)
+      $ wall_clock_arg $ events_arg $ cancel_prob_arg $ reconfigure_arg
+      $ move_cost_arg $ pricing_arg $ price_floor_arg $ verbose_arg $ json_arg
+      $ profile_arg)
 
 (* ---- explain ------------------------------------------------------------ *)
 

@@ -8,148 +8,211 @@ module Instance = Tvnep.Instance
 module Request = Tvnep.Request
 module Solution = Tvnep.Solution
 module Solver = Tvnep.Solver
+module Objective = Tvnep.Objective
 module Validator = Tvnep.Validator
 module Json = Statsutil.Json
 
-type rung = Exact | Greedy | Budget
+type rung = Exact | Greedy | Budget | Priced | Migrated
 
 let rung_to_string = function
   | Exact -> "exact"
   | Greedy -> "greedy"
   | Budget -> "budget"
+  | Priced -> "priced"
+  | Migrated -> "migrated"
 
 let rung_of_string = function
   | "exact" -> Some Exact
   | "greedy" -> Some Greedy
   | "budget" -> Some Budget
+  | "priced" -> Some Priced
+  | "migrated" -> Some Migrated
   | _ -> None
 
 type record = {
   request : int;
   name : string;
-  arrival : float;
+  time : float;
+  event : Event.kind;
   admitted : bool;
   rung : rung;
   exact_status : Tvnep.Solver.status option;
   greedy_status : Tvnep.Solver.status option;
   revenue : float;
+  priced_cost : float;
   t_start : float;
   t_end : float;
   ticks : int;
   reevaluated : bool;
+  moved : int list;
 }
 
 type summary = {
   records : record array;
   solution : Tvnep.Solution.t;
+  events : int;
   accepted : int;
   denied : int;
+  departed : int;
+  migrations : int;
   acceptance_ratio : float;
   revenue : float;
   admitted_exact : int;
   admitted_greedy : int;
+  admitted_migrated : int;
   denied_exact : int;
   denied_greedy : int;
   denied_budget : int;
+  denied_priced : int;
   ticks_p50 : int;
   ticks_p99 : int;
   total_ticks : int;
   runtime : float;
+  node_prices : float array;
+  link_prices : float array;
   stats : Runtime.Stats.t;
-}
-
-type config = {
-  kind : Tvnep.Solver.model_kind;
-  use_cuts : bool;
-  pairwise_cuts : bool;
-  mip : Mip.Branch_bound.params;
-  slice : float;
-  exact_fraction : float;
-  time_limit : float;
-  deterministic : float option;
-  batch_size : int;
-  jobs : int;
-  trace : Runtime.Trace.sink option;
-  prof : Runtime.Span.recorder option;
 }
 
 (* Same rate as the bench harness's deterministic work clock, so service
    tick counts are comparable with the solver benches. *)
 let default_work_rate = 2e9
 
-let default_config =
-  {
-    kind = Solver.Csigma;
-    use_cuts = true;
-    pairwise_cuts = true;
-    mip = Mip.Branch_bound.default_params;
-    slice = 0.5;
-    exact_fraction = 0.7;
-    time_limit = infinity;
-    deterministic = Some default_work_rate;
-    batch_size = 4;
-    jobs = 1;
-    trace = None;
-    prof = None;
+module Config = struct
+  type t = {
+    kind : Tvnep.Solver.model_kind;
+    use_cuts : bool;
+    pairwise_cuts : bool;
+    mip : Mip.Branch_bound.params;
+    slice : float;
+    exact_fraction : float;
+    time_limit : float;
+    deterministic : float option;
+    batch_size : int;
+    jobs : int;
+    departures : bool;
+    reconfigure : bool;
+    reconfigure_limit : int;
+    move_cost : float;
+    pricing : bool;
+    price : Pricing.params;
+    trace : Runtime.Trace.sink option;
+    prof : Runtime.Span.recorder option;
   }
 
-(* A speculative admission decision for one arrival, computed against a
-   snapshot of the committed state.  [p_solution] is the full proposed
-   committed state on the original instance (snapshot assignments with
-   the participants' re-optimized flows and the arrival's schedule),
-   already validated — applying it is a plain array replacement. *)
+  let make ?(kind = Solver.Csigma) ?(use_cuts = true) ?(pairwise_cuts = true)
+      ?(mip = Mip.Branch_bound.default_params) ?(slice = 0.5)
+      ?(exact_fraction = 0.7) ?(time_limit = infinity)
+      ?(deterministic = Some default_work_rate) ?(batch_size = 4) ?(jobs = 1)
+      ?(departures = true) ?(reconfigure = false) ?(reconfigure_limit = 2)
+      ?(move_cost = 0.1) ?(pricing = false)
+      ?(price = Pricing.default_params) ?trace ?prof () =
+    if slice <= 0.0 || not (Float.is_finite slice) then
+      invalid_arg "Engine.Config.make: non-positive slice";
+    if exact_fraction < 0.0 || exact_fraction > 1.0 then
+      invalid_arg "Engine.Config.make: exact_fraction outside [0, 1]";
+    if batch_size < 1 then
+      invalid_arg "Engine.Config.make: non-positive batch_size";
+    if jobs < 1 then invalid_arg "Engine.Config.make: non-positive jobs";
+    if time_limit <= 0.0 then
+      invalid_arg "Engine.Config.make: non-positive time_limit";
+    if reconfigure_limit < 0 then
+      invalid_arg "Engine.Config.make: negative reconfigure_limit";
+    if move_cost < 0.0 || not (Float.is_finite move_cost) then
+      invalid_arg "Engine.Config.make: negative move_cost";
+    {
+      kind;
+      use_cuts;
+      pairwise_cuts;
+      mip;
+      slice;
+      exact_fraction;
+      time_limit;
+      deterministic;
+      batch_size;
+      jobs;
+      departures;
+      reconfigure;
+      reconfigure_limit;
+      move_cost;
+      pricing;
+      price;
+      trace;
+      prof;
+    }
+
+  let default = make ()
+end
+
+(* A speculative decision for one arrival, computed against a snapshot of
+   the committed state.  [p_solution] is the full proposed committed
+   state on the original instance (snapshot assignments with the
+   participants' re-optimized flows and the arrival's schedule), already
+   validated — applying it is a plain array replacement.  [p_moved] lists
+   the committed requests whose start the proposal migrates. *)
 type proposal = {
   p_admit : bool;
   p_rung : rung;
   p_exact : Solver.status option;
   p_greedy : Solver.status option;
   p_solution : Solution.t option;
+  p_priced_cost : float;
+  p_moved : int list;
   p_stats : Runtime.Stats.t;
 }
 
-let deny ~pstats ?exact ?greedy rung =
+let deny ~pstats ?exact ?greedy ?(priced_cost = nan) rung =
   {
     p_admit = false;
     p_rung = rung;
     p_exact = exact;
     p_greedy = greedy;
     p_solution = None;
+    p_priced_cost = priced_cost;
+    p_moved = [];
     p_stats = pstats;
   }
 
 (* Evaluate one arrival against the committed snapshot on a private
    budget fork.  Pure speculation: no shared state is written, so batch
-   members may run concurrently; the merge loop decides what commits. *)
-let evaluate cfg inst (assignments : Solution.assignment array) committed req
-    ~fork ~fprof =
+   members may run concurrently; the merge loop decides what commits.
+   [now] is the arrival's event time; [prices] is a snapshot of the
+   pricing state when the pricing policy is on. *)
+let evaluate (cfg : Config.t) inst (assignments : Solution.assignment array)
+    committed req ~now ~prices ~fork ~fprof =
   let pstats = Rstats.create () in
   Span.with_ fprof fork "arrival" @@ fun () ->
   try
+    let r = Instance.request inst req in
     (* The evaluation instance: every committed request — window narrowed
        to exactly its committed interval and schedule pinned, so the
        solver may re-route its flows but never move or evict it — plus
-       the arrival with its original flexibility. *)
+       the arrival with its window clipped to the present. *)
     let idxs = committed @ [ req ] in
-    let requests =
-      Array.of_list
-        (List.map
-           (fun i ->
-             let r = Instance.request inst i in
-             if i = req then r
-             else
-               let a = assignments.(i) in
-               Request.make ~name:r.Request.name ~graph:r.Request.graph
-                 ~node_demand:r.Request.node_demand
-                 ~link_demand:r.Request.link_demand
-                 ~duration:r.Request.duration ~start_min:a.Solution.t_start
-                 ~end_max:(a.Solution.t_start +. r.Request.duration))
-           idxs)
+    let narrowed i =
+      let r = Instance.request inst i in
+      if i = req then
+        Request.make ~name:r.Request.name ~graph:r.Request.graph
+          ~node_demand:r.Request.node_demand
+          ~link_demand:r.Request.link_demand ~duration:r.Request.duration
+          ~start_min:(Float.max r.Request.start_min now)
+          ~end_max:r.Request.end_max
+      else
+        let a = assignments.(i) in
+        Request.make ~name:r.Request.name ~graph:r.Request.graph
+          ~node_demand:r.Request.node_demand
+          ~link_demand:r.Request.link_demand ~duration:r.Request.duration
+          ~start_min:a.Solution.t_start
+          ~end_max:(a.Solution.t_start +. r.Request.duration)
     in
     let mappings =
       Array.of_list
         (List.map (fun i -> Option.get (Instance.node_mapping inst i)) idxs)
     in
-    let ev = Instance.with_requests inst requests ~node_mappings:mappings () in
+    let ev =
+      Instance.with_requests inst
+        (Array.of_list (List.map narrowed idxs))
+        ~node_mappings:mappings ()
+    in
     let cand_pos = List.length committed in
     let pinned =
       List.mapi (fun pos i -> (pos, assignments.(i).Solution.t_start)) committed
@@ -181,22 +244,166 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
       end
       else None
     in
+    (* Pricing gate: revenue must cover the priced cost of the admitted
+       assignment, else the arrival is denied at the [Priced] rung. *)
+    let price_check (lifted : Solution.t) =
+      match prices with
+      | None -> Ok nan
+      | Some pr ->
+        let cost =
+          Pricing.assignment_cost pr inst req
+            lifted.Solution.assignments.(req)
+        in
+        let revenue = r.Request.duration *. Request.total_node_demand r in
+        if revenue +. 1e-9 < cost then Error cost else Ok cost
+    in
+    let admit ~rung ?exact ?greedy ?(moved = []) lifted cost =
+      {
+        p_admit = true;
+        p_rung = rung;
+        p_exact = exact;
+        p_greedy = greedy;
+        p_solution = Some lifted;
+        p_priced_cost = cost;
+        p_moved = moved;
+        p_stats = pstats;
+      }
+    in
+    (* Reconfiguration rung: a bounded set of committed requests that have
+       not started yet ([t⁺ > now]) gets its windows re-opened and its
+       acceptance forced, the candidate stays free, and the objective
+       charges [move_cost] per unit of schedule displacement — an
+       admission enabled by migrations must pay for them in-model.  Only
+       attempted on a {e proven} denial of the pinned solve. *)
+    let attempt_reconfigure ~exact () =
+      if
+        (not cfg.Config.reconfigure)
+        || cfg.Config.reconfigure_limit = 0
+        || B.remaining fork <= 0.0
+      then None
+      else begin
+        let movable =
+          List.filter
+            (fun i -> assignments.(i).Solution.t_start > now +. 1e-9)
+            committed
+        in
+        let movable =
+          List.sort
+            (fun a b ->
+              compare
+                (assignments.(a).Solution.t_start, a)
+                (assignments.(b).Solution.t_start, b))
+            movable
+        in
+        let movable, _ =
+          let rec take k acc = function
+            | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+            | rest -> (List.rev acc, rest)
+          in
+          take cfg.Config.reconfigure_limit [] movable
+        in
+        if movable = [] then None
+        else begin
+          let widened i =
+            let r = Instance.request inst i in
+            if List.mem i movable then
+              Request.make ~name:r.Request.name ~graph:r.Request.graph
+                ~node_demand:r.Request.node_demand
+                ~link_demand:r.Request.link_demand
+                ~duration:r.Request.duration
+                ~start_min:(Float.max r.Request.start_min now)
+                ~end_max:r.Request.end_max
+            else narrowed i
+          in
+          let ev2 =
+            Instance.with_requests inst
+              (Array.of_list (List.map widened idxs))
+              ~node_mappings:mappings ()
+          in
+          let forced = ref [] and pinned2 = ref [] and reference = ref [] in
+          List.iteri
+            (fun pos i ->
+              if i <> req then
+                if List.mem i movable then begin
+                  forced := pos :: !forced;
+                  reference :=
+                    (pos, assignments.(i).Solution.t_start) :: !reference
+                end
+                else
+                  pinned2 := (pos, assignments.(i).Solution.t_start) :: !pinned2)
+            idxs;
+          let rbudget =
+            B.sub
+              ~time_limit:
+                (cfg.Config.exact_fraction *. Float.max 0.0 (B.remaining fork))
+              fork
+          in
+          let mip =
+            {
+              cfg.Config.mip with
+              Mip.Branch_bound.time_limit = infinity;
+              jobs = 1;
+              log_every = 0;
+            }
+          in
+          let ro =
+            Span.with_ fprof fork "reconfigure" @@ fun () ->
+            Solver.run ev2
+              (Solver.Options.make ~method_:Solver.Exact
+                 ~kind:cfg.Config.kind ~use_cuts:cfg.Config.use_cuts
+                 ~pairwise_cuts:cfg.Config.pairwise_cuts ~mip ~budget:rbudget
+                 ~pinned:(List.rev !pinned2) ~forced:(List.rev !forced)
+                 ~objective:
+                   (Objective.Access_with_move_cost
+                      {
+                        weight = cfg.Config.move_cost;
+                        reference = List.rev !reference;
+                      })
+                 ?prof:fprof ())
+          in
+          Rstats.merge ~into:pstats ro.Solver.stats;
+          match (ro.Solver.status, ro.Solver.solution) with
+          | (Solver.Optimal | Solver.Feasible), Some sol -> (
+            match gate sol with
+            | Some lifted -> (
+              let moved =
+                List.filter
+                  (fun i ->
+                    Float.abs
+                      (lifted.Solution.assignments.(i).Solution.t_start
+                      -. assignments.(i).Solution.t_start)
+                    > 1e-9)
+                  movable
+              in
+              match price_check lifted with
+              | Ok cost ->
+                Some (admit ~rung:Migrated ?exact ~moved lifted cost)
+              | Error cost ->
+                Some (deny ~pstats ?exact ~priced_cost:cost Priced))
+            | None -> None)
+          | _ -> None
+        end
+      end
+    in
     (* Rung 1: exact branch-and-bound on a fraction of the slice. *)
     let mip =
       {
-        cfg.mip with
+        cfg.Config.mip with
         Mip.Branch_bound.time_limit = infinity;
         jobs = 1;
         log_every = 0;
       }
     in
-    let exact_budget = B.sub ~time_limit:(cfg.exact_fraction *. cfg.slice) fork in
+    let exact_budget =
+      B.sub ~time_limit:(cfg.Config.exact_fraction *. cfg.Config.slice) fork
+    in
     let xo =
       Span.with_ fprof fork "exact" @@ fun () ->
       Solver.run ev
-        (Solver.Options.make ~method_:Solver.Exact ~kind:cfg.kind
-           ~use_cuts:cfg.use_cuts ~pairwise_cuts:cfg.pairwise_cuts ~mip
-           ~budget:exact_budget ~pinned ?prof:fprof ())
+        (Solver.Options.make ~method_:Solver.Exact ~kind:cfg.Config.kind
+           ~use_cuts:cfg.Config.use_cuts
+           ~pairwise_cuts:cfg.Config.pairwise_cuts ~mip ~budget:exact_budget
+           ~pinned ?prof:fprof ())
     in
     Rstats.merge ~into:pstats xo.Solver.stats;
     let exact = Some xo.Solver.status in
@@ -206,22 +413,22 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
       | _ -> None
     in
     match exact_admission with
-    | Some lifted ->
-      {
-        p_admit = true;
-        p_rung = Exact;
-        p_exact = exact;
-        p_greedy = None;
-        p_solution = Some lifted;
-        p_stats = pstats;
-      }
+    | Some lifted -> (
+      match price_check lifted with
+      | Ok cost -> admit ~rung:Exact ?exact lifted cost
+      | Error cost -> deny ~pstats ?exact ~priced_cost:cost Priced)
     | None ->
       if
         (* A proved optimum that rejects the arrival is a proven denial:
            with every committed request pinned, the objective differs
-           from "admit the arrival" only in the arrival's own term. *)
+           from "admit the arrival" only in the arrival's own term.  A
+           re-embedding of not-yet-started commitments may still flip it
+           — the reconfiguration rung's job. *)
         xo.Solver.status = Solver.Optimal
-      then deny ~pstats ?exact Exact
+      then
+        match attempt_reconfigure ~exact () with
+        | Some p -> p
+        | None -> deny ~pstats ?exact Exact
       else if B.remaining fork <= 0.0 then
         (* Slice gone before the fallback could run. *)
         deny ~pstats ?exact Budget
@@ -243,15 +450,11 @@ let evaluate cfg inst (assignments : Solution.assignment array) committed req
           Rstats.merge ~into:pstats go.Solver.stats;
           let greedy = Some go.Solver.status in
           match Option.bind go.Solver.solution gate with
-          | Some lifted ->
-            {
-              p_admit = true;
-              p_rung = Greedy;
-              p_exact = exact;
-              p_greedy = greedy;
-              p_solution = Some lifted;
-              p_stats = pstats;
-            }
+          | Some lifted -> (
+            match price_check lifted with
+            | Ok cost -> admit ~rung:Greedy ?exact ?greedy lifted cost
+            | Error cost ->
+              deny ~pstats ?exact ?greedy ~priced_cost:cost Priced)
           | None ->
             (* Rung 3: denial — by the heuristic's verdict, or because
                the slice died under it. *)
@@ -279,100 +482,197 @@ let percentile p sorted =
     sorted.(min (n - 1)
               (max 0 (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
 
-let run ?(config = default_config) ?on_commit inst =
+let validate_events inst events =
+  let k = Instance.num_requests inst in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Event.t) ->
+      if ev.Event.request < 0 || ev.Event.request >= k then
+        invalid_arg "Engine.serve: event request out of range";
+      if not (Float.is_finite ev.Event.time) then
+        invalid_arg "Engine.serve: non-finite event time";
+      if ev.Event.kind = Event.Arrival then begin
+        if Hashtbl.mem seen ev.Event.request then
+          invalid_arg "Engine.serve: request arrives twice";
+        Hashtbl.replace seen ev.Event.request ()
+      end)
+    events
+
+let serve ?(config = Config.default) ?on_commit ?events inst =
   if not (Instance.has_fixed_mappings inst) then
-    invalid_arg "Engine.run: fixed node mappings required";
-  if config.slice <= 0.0 then invalid_arg "Engine.run: non-positive slice";
-  if config.exact_fraction < 0.0 || config.exact_fraction > 1.0 then
-    invalid_arg "Engine.run: exact_fraction outside [0, 1]";
-  if config.batch_size < 1 then
-    invalid_arg "Engine.run: non-positive batch_size";
+    invalid_arg "Engine.serve: fixed node mappings required";
+  let events =
+    match events with
+    | Some evs -> Event.normalize evs
+    | None -> Event.arrivals inst
+  in
+  validate_events inst events;
   let global =
-    match config.deterministic with
-    | Some rate -> B.create ~deterministic:rate ~time_limit:config.time_limit ()
-    | None -> B.create ~time_limit:config.time_limit ()
+    match config.Config.deterministic with
+    | Some rate ->
+      B.create ~deterministic:rate ~time_limit:config.Config.time_limit ()
+    | None -> B.create ~time_limit:config.Config.time_limit ()
   in
   let stats = Rstats.create () in
   let t0 = B.elapsed global in
   let k = Instance.num_requests inst in
-  (* The arrival stream: Poisson start_min values from the scenario
-     generator, index-tiebroken for a total order. *)
-  let order =
-    List.sort
-      (fun a b ->
-        compare
-          ((Instance.request inst a).Request.start_min, a)
-          ((Instance.request inst b).Request.start_min, b))
-      (List.init k (fun i -> i))
-  in
   let assignments =
     Array.init k (fun i -> Solution.rejected (Instance.request inst i))
   in
   let committed = ref [] in
   let version = ref 0 in
   let records = ref [] in
+  (* Lifecycle state alongside the assignments: the rung that admitted
+     each committed request (reported again by its departure record) and
+     the time its capacity returns (endogenous departure). *)
+  let admit_rung = Array.make k Exact in
+  let release_at = Array.make k None in
+  let price_state =
+    if config.Config.pricing then
+      Some (Pricing.create inst config.Config.price)
+    else None
+  in
   let current_solution () =
     let s = { Solution.assignments = Array.copy assignments; objective = 0.0 } in
     { s with Solution.objective = Solution.access_control_value inst s }
   in
-  let pool = if config.jobs > 1 then Some (Pool.create ~jobs:config.jobs) else None in
+  let reprice () =
+    match price_state with
+    | Some pr -> Pricing.update pr inst (current_solution ())
+    | None -> ()
+  in
+  (* Release one committed request, validator-gated: the post-release
+     state must equal the committed one minus exactly this assignment and
+     still be feasible on its own.  A failure here is an engine invariant
+     violation — the committed state was gated on commit — so it is fatal
+     rather than a denial. *)
+  let release ~time req =
+    let before = current_solution () in
+    let after = Solution.release inst before req in
+    (match Validator.check_release inst ~before ~after ~released:req with
+    | Ok () -> ()
+    | Error es ->
+      failwith
+        (Printf.sprintf "Engine.serve: release of request %d rejected: %s" req
+           (String.concat "; " es)));
+    let released = assignments.(req) in
+    assignments.(req) <- Solution.rejected (Instance.request inst req);
+    committed := List.filter (fun i -> i <> req) !committed;
+    release_at.(req) <- None;
+    incr version;
+    reprice ();
+    records :=
+      {
+        request = req;
+        name = (Instance.request inst req).Request.name;
+        time;
+        event = Event.Departure;
+        admitted = false;
+        rung = admit_rung.(req);
+        exact_status = None;
+        greedy_status = None;
+        revenue = 0.0;
+        priced_cost = nan;
+        t_start = released.Solution.t_start;
+        t_end = released.Solution.t_end;
+        ticks = 0;
+        reevaluated = false;
+        moved = [];
+      }
+      :: !records
+  in
+  (* Endogenous departures: every committed request whose interval has
+     closed by [now] releases, ordered by (departure time, request) so
+     the merge stream stays total-ordered and jobs-invariant. *)
+  let process_due now =
+    let due =
+      List.filter_map
+        (fun i ->
+          match release_at.(i) with
+          | Some t when t <= now +. 1e-12 -> Some (t, i)
+          | _ -> None)
+        !committed
+    in
+    List.iter (fun (t, i) -> release ~time:t i) (List.sort compare due)
+  in
+  let pool =
+    if config.Config.jobs > 1 then Some (Pool.create ~jobs:config.Config.jobs)
+    else None
+  in
   let dead_proposal () = deny ~pstats:(Rstats.create ()) Budget in
   Fun.protect
     ~finally:(fun () -> match pool with Some p -> Pool.shutdown p | None -> ())
     (fun () ->
       let process_batch batch =
-          let snapshot_committed = !committed in
-          let snapshot_version = !version in
-          (* Fork one slice per batch member, sequentially, before any
-             evaluation: every fork snapshots the same batch-start clock,
-             so deadlines do not depend on scheduling. *)
-          let tasks =
-            Array.of_list
-              (List.map
-                 (fun req ->
-                   if B.remaining global <= 0.0 then (req, None)
-                   else
-                     let fork = B.fork (B.sub ~time_limit:config.slice global) in
-                     (* One child recorder per slice, rebased to the fork's
-                        private clock; grafted back at merge time. *)
-                     let fprof =
-                       match config.prof with
-                       | None -> None
-                       | Some _ -> Some (Span.create ~base:(B.ticks fork) ())
-                     in
-                     (req, Some (fork, B.ticks fork, fprof)))
-                 batch)
-          in
-          let eval ~worker (req, f) =
-            match f with
-            | None -> None
-            | Some (fork, _, fprof) ->
-              Option.iter (fun r -> Span.set_domain r worker) fprof;
-              Some
-                (evaluate config inst assignments snapshot_committed req ~fork
-                   ~fprof)
-          in
-          let proposals =
-            match pool with
-            | Some p when Array.length tasks > 1 ->
-              Pool.run p (fun ~worker t -> eval ~worker t) tasks
-            | _ -> Array.map (eval ~worker:0) tasks
-          in
-          (* Deterministic merge in arrival order: join each fork back
-             into the global budget, then commit or deny.  A speculative
-             result computed before an earlier arrival committed is stale
-             — discard it and re-evaluate against the current state. *)
-          Array.iteri
-            (fun i (req, f) ->
-              let r = Instance.request inst req in
+        let snapshot_committed = !committed in
+        let snapshot_version = !version in
+        let snapshot_prices = Option.map Pricing.copy price_state in
+        (* Fork one slice per arrival in the batch, sequentially, before
+           any evaluation: every fork snapshots the same batch-start
+           clock, so deadlines do not depend on scheduling.  Departures
+           carry no fork — they are merge-time state transitions. *)
+        let tasks =
+          Array.of_list
+            (List.map
+               (fun (ev : Event.t) ->
+                 if ev.Event.kind = Event.Departure then (ev, None)
+                 else if B.remaining global <= 0.0 then (ev, None)
+                 else
+                   let fork =
+                     B.fork (B.sub ~time_limit:config.Config.slice global)
+                   in
+                   (* One child recorder per slice, rebased to the fork's
+                      private clock; grafted back at merge time. *)
+                   let fprof =
+                     match config.Config.prof with
+                     | None -> None
+                     | Some _ -> Some (Span.create ~base:(B.ticks fork) ())
+                   in
+                   (ev, Some (fork, B.ticks fork, fprof)))
+               batch)
+        in
+        let eval ~worker ((ev : Event.t), f) =
+          match f with
+          | None -> None
+          | Some (fork, _, fprof) ->
+            Option.iter (fun r -> Span.set_domain r worker) fprof;
+            Some
+              (evaluate config inst assignments snapshot_committed
+                 ev.Event.request ~now:ev.Event.time ~prices:snapshot_prices
+                 ~fork ~fprof)
+        in
+        let proposals =
+          match pool with
+          | Some p when Array.length tasks > 1 ->
+            Pool.run p (fun ~worker t -> eval ~worker t) tasks
+          | _ -> Array.map (eval ~worker:0) tasks
+        in
+        (* Deterministic merge in event order: release whatever departed
+           by each event's time, join each fork back into the global
+           budget, then commit or deny.  A speculative result computed
+           before an earlier commit or release changed the state is stale
+           — discard it and re-evaluate against the current state. *)
+        Array.iteri
+          (fun i ((ev : Event.t), f) ->
+            let req = ev.Event.request in
+            let r = Instance.request inst req in
+            process_due ev.Event.time;
+            match ev.Event.kind with
+            | Event.Departure ->
+              (* Exogenous departure (cancellation): release if the
+                 request still holds capacity; a departure for a denied
+                 or already-departed request is a no-op. *)
+              if config.Config.departures && assignments.(req).Solution.accepted
+              then release ~time:ev.Event.time req
+            | Event.Arrival ->
               let proposal, ticks, reevaluated =
                 match f with
                 | None -> (dead_proposal (), 0, false)
                 | Some (fork, ft0, fprof) ->
-                  (* Graft the slice's spans onto the global timeline at the
-                     pre-join tick count, so the merged trace tiles exactly
-                     and is identical at any jobs level. *)
-                  (match (config.prof, fprof) with
+                  (* Graft the slice's spans onto the global timeline at
+                     the pre-join tick count, so the merged trace tiles
+                     exactly and is identical at any jobs level. *)
+                  (match (config.Config.prof, fprof) with
                   | Some into, Some child ->
                     Span.graft ~into ~at:(B.ticks global) child
                   | _ -> ());
@@ -386,18 +686,22 @@ let run ?(config = default_config) ?on_commit inst =
                     if B.remaining global <= 0.0 then
                       (dead_proposal (), spec_ticks, true)
                     else begin
-                      let fork2 = B.fork (B.sub ~time_limit:config.slice global) in
+                      let fork2 =
+                        B.fork (B.sub ~time_limit:config.Config.slice global)
+                      in
                       let ft2 = B.ticks fork2 in
                       let fprof2 =
-                        match config.prof with
+                        match config.Config.prof with
                         | None -> None
                         | Some _ -> Some (Span.create ~base:(B.ticks fork2) ())
                       in
                       let p =
                         evaluate config inst assignments !committed req
+                          ~now:ev.Event.time
+                          ~prices:(Option.map Pricing.copy price_state)
                           ~fork:fork2 ~fprof:fprof2
                       in
-                      (match (config.prof, fprof2) with
+                      (match (config.Config.prof, fprof2) with
                       | Some into, Some child ->
                         Span.graft ~into ~at:(B.ticks global) child
                       | _ -> ());
@@ -414,15 +718,27 @@ let run ?(config = default_config) ?on_commit inst =
                 let sol = Option.get proposal.p_solution in
                 Array.blit sol.Solution.assignments 0 assignments 0 k;
                 committed := !committed @ [ req ];
+                admit_rung.(req) <- proposal.p_rung;
+                if config.Config.departures then begin
+                  release_at.(req) <- Some assignments.(req).Solution.t_end;
+                  (* Migrations move schedules — their departures move
+                     with them. *)
+                  List.iter
+                    (fun j ->
+                      release_at.(j) <- Some assignments.(j).Solution.t_end)
+                    proposal.p_moved
+                end;
                 incr version;
-                stats.Rstats.service_admitted <- stats.Rstats.service_admitted + 1;
+                reprice ();
+                stats.Rstats.service_admitted <-
+                  stats.Rstats.service_admitted + 1;
                 match on_commit with
                 | Some f -> f req (current_solution ())
                 | None -> ()
               end
               else
                 stats.Rstats.service_denied <- stats.Rstats.service_denied + 1;
-              (match config.prof with
+              (match config.Config.prof with
               | Some into ->
                 let m = Span.metrics into in
                 Metrics.incr m
@@ -432,7 +748,7 @@ let run ?(config = default_config) ?on_commit inst =
                 if reevaluated then Metrics.incr m "service.reevals";
                 Metrics.observe m "service.arrival_ticks" (float_of_int ticks)
               | None -> ());
-              Trace.emit config.trace global
+              Trace.emit config.Config.trace global
                 (Trace.Service_decision
                    {
                      request = req;
@@ -444,7 +760,8 @@ let run ?(config = default_config) ?on_commit inst =
                 {
                   request = req;
                   name = r.Request.name;
-                  arrival = r.Request.start_min;
+                  time = ev.Event.time;
+                  event = Event.Arrival;
                   admitted = proposal.p_admit;
                   rung = proposal.p_rung;
                   exact_status = proposal.p_exact;
@@ -453,6 +770,7 @@ let run ?(config = default_config) ?on_commit inst =
                     (if proposal.p_admit then
                        r.Request.duration *. Request.total_node_demand r
                      else 0.0);
+                  priced_cost = proposal.p_priced_cost;
                   t_start =
                     (if proposal.p_admit then assignments.(req).Solution.t_start
                      else nan);
@@ -461,9 +779,10 @@ let run ?(config = default_config) ?on_commit inst =
                      else nan);
                   ticks;
                   reevaluated;
+                  moved = proposal.p_moved;
                 }
                 :: !records)
-            tasks
+          tasks
       in
       (* Adaptive batching, the branch-and-bound treatment applied to the
          speculative stream: a batch whose speculation all held (no stale
@@ -481,50 +800,127 @@ let run ?(config = default_config) ?on_commit inst =
           process_batch batch;
           let next =
             if stats.Rstats.service_reevals = stale0 then
-              min (2 * cur) (8 * config.batch_size)
-            else config.batch_size
+              min (2 * cur) (8 * config.Config.batch_size)
+            else config.Config.batch_size
           in
           drive next rest
       in
-      drive config.batch_size order);
+      drive config.Config.batch_size events);
   let records = Array.of_list (List.rev !records) in
-  let count p =
-    Array.fold_left (fun n (r : record) -> if p r then n + 1 else n) 0 records
+  let arrivals_only =
+    Array.of_list
+      (List.filter
+         (fun (r : record) -> r.event = Event.Arrival)
+         (Array.to_list records))
   in
+  let count p =
+    Array.fold_left
+      (fun n (r : record) -> if p r then n + 1 else n)
+      0 arrivals_only
+  in
+  let n_arrivals = Array.length arrivals_only in
   let accepted = count (fun r -> r.admitted) in
   let revenue =
-    Array.fold_left (fun acc (r : record) -> acc +. r.revenue) 0.0 records
+    Array.fold_left
+      (fun acc (r : record) -> acc +. r.revenue)
+      0.0 arrivals_only
   in
-  let tick_values = Array.map (fun (r : record) -> r.ticks) records in
+  let tick_values = Array.map (fun (r : record) -> r.ticks) arrivals_only in
   Array.sort compare tick_values;
   let runtime = B.elapsed global -. t0 in
-  stats.Rstats.service_requests <- stats.Rstats.service_requests + k;
+  stats.Rstats.service_requests <- stats.Rstats.service_requests + n_arrivals;
   stats.Rstats.service_time <- stats.Rstats.service_time +. runtime;
   {
     records;
     solution = current_solution ();
+    events = Array.length records;
     accepted;
-    denied = k - accepted;
-    acceptance_ratio = (if k = 0 then 0.0 else float_of_int accepted /. float_of_int k);
+    denied = n_arrivals - accepted;
+    departed =
+      Array.fold_left
+        (fun n (r : record) -> if r.event = Event.Departure then n + 1 else n)
+        0 records;
+    migrations =
+      Array.fold_left
+        (fun n (r : record) -> n + List.length r.moved)
+        0 records;
+    acceptance_ratio =
+      (if n_arrivals = 0 then 0.0
+       else float_of_int accepted /. float_of_int n_arrivals);
     revenue;
     admitted_exact = count (fun r -> r.admitted && r.rung = Exact);
     admitted_greedy = count (fun r -> r.admitted && r.rung = Greedy);
+    admitted_migrated = count (fun r -> r.admitted && r.rung = Migrated);
     denied_exact = count (fun r -> (not r.admitted) && r.rung = Exact);
     denied_greedy = count (fun r -> (not r.admitted) && r.rung = Greedy);
     denied_budget = count (fun r -> (not r.admitted) && r.rung = Budget);
+    denied_priced = count (fun r -> (not r.admitted) && r.rung = Priced);
     ticks_p50 = percentile 0.50 tick_values;
     ticks_p99 = percentile 0.99 tick_values;
     total_ticks =
       Array.fold_left (fun acc (r : record) -> acc + r.ticks) 0 records;
     runtime;
+    node_prices =
+      (match price_state with Some p -> Pricing.node_prices p | None -> [||]);
+    link_prices =
+      (match price_state with Some p -> Pricing.link_prices p | None -> [||]);
     stats;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated pre-[serve] surface                                     *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  kind : Tvnep.Solver.model_kind;
+  use_cuts : bool;
+  pairwise_cuts : bool;
+  mip : Mip.Branch_bound.params;
+  slice : float;
+  exact_fraction : float;
+  time_limit : float;
+  deterministic : float option;
+  batch_size : int;
+  jobs : int;
+  trace : Runtime.Trace.sink option;
+  prof : Runtime.Span.recorder option;
+}
+
+let default_config =
+  {
+    kind = Solver.Csigma;
+    use_cuts = true;
+    pairwise_cuts = true;
+    mip = Mip.Branch_bound.default_params;
+    slice = 0.5;
+    exact_fraction = 0.7;
+    time_limit = infinity;
+    deterministic = Some default_work_rate;
+    batch_size = 4;
+    jobs = 1;
+    trace = None;
+    prof = None;
+  }
+
+let run ?(config = default_config) ?on_commit inst =
+  (* The historical arrival-only stream: every request at its window
+     opening, no departures, no reconfiguration, no pricing.  Every field
+     of the old record forwards into [Config.make]. *)
+  let c =
+    Config.make ~kind:config.kind ~use_cuts:config.use_cuts
+      ~pairwise_cuts:config.pairwise_cuts ~mip:config.mip ~slice:config.slice
+      ~exact_fraction:config.exact_fraction ~time_limit:config.time_limit
+      ~deterministic:config.deterministic ~batch_size:config.batch_size
+      ~jobs:config.jobs ~departures:false ~reconfigure:false ~pricing:false
+      ?trace:config.trace ?prof:config.prof ()
+  in
+  serve ~config:c ?on_commit inst
 
 (* ------------------------------------------------------------------ *)
 (* Versioned JSON encoding                                            *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 1
+let schema_version = 2
 
 let json_of_float f =
   if Float.is_finite f then Json.Num f else Json.Str (string_of_float f)
@@ -548,16 +944,20 @@ let record_to_json r =
       ("schema_version", Json.Num (float_of_int schema_version));
       ("request", Json.Num (float_of_int r.request));
       ("name", Json.Str r.name);
-      ("arrival", json_of_float r.arrival);
+      ("time", json_of_float r.time);
+      ("event", Json.Str (Event.kind_to_string r.event));
       ("admitted", Json.Bool r.admitted);
       ("rung", Json.Str (rung_to_string r.rung));
       ("exact_status", status_opt_to_json r.exact_status);
       ("greedy_status", status_opt_to_json r.greedy_status);
       ("revenue", json_of_float r.revenue);
+      ("priced_cost", json_of_float r.priced_cost);
       ("t_start", json_of_float r.t_start);
       ("t_end", json_of_float r.t_end);
       ("ticks", Json.Num (float_of_int r.ticks));
       ("reevaluated", Json.Bool r.reevaluated);
+      ( "moved",
+        Json.List (List.map (fun i -> Json.Num (float_of_int i)) r.moved) );
     ]
 
 let ( let* ) = Result.bind
@@ -589,7 +989,7 @@ let record_of_json doc =
     | Some _ -> Error (Printf.sprintf "%s: expected a string or null" name)
   in
   let* version = intf "schema_version" in
-  if version <> schema_version then
+  if version <> 1 && version <> schema_version then
     Error (Printf.sprintf "unsupported schema_version %d" version)
   else
     let* request = intf "request" in
@@ -598,7 +998,19 @@ let record_of_json doc =
       | Some (Json.Str s) -> Ok s
       | _ -> Error "missing \"name\""
     in
-    let* arrival = floatf "arrival" in
+    (* Version 1 called the event time "arrival" — every record was
+       one. *)
+    let* time = if version = 1 then floatf "arrival" else floatf "time" in
+    let* event =
+      if version = 1 then Ok Event.Arrival
+      else
+        match Json.member "event" doc with
+        | Some (Json.Str s) -> (
+          match Event.kind_of_string s with
+          | Some k -> Ok k
+          | None -> Error (Printf.sprintf "unknown event kind %S" s))
+        | _ -> Error "missing \"event\""
+    in
     let* admitted = boolf "admitted" in
     let* rung =
       match Json.member "rung" doc with
@@ -611,45 +1023,77 @@ let record_of_json doc =
     let* exact_status = status_opt "exact_status" in
     let* greedy_status = status_opt "greedy_status" in
     let* revenue = floatf "revenue" in
+    let* priced_cost =
+      match Json.member "priced_cost" doc with
+      | None -> Ok nan
+      | Some v -> float_of_json v
+    in
     let* t_start = floatf "t_start" in
     let* t_end = floatf "t_end" in
     let* ticks = intf "ticks" in
     let* reevaluated = boolf "reevaluated" in
+    let* moved =
+      match Json.member "moved" doc with
+      | None -> Ok []
+      | Some (Json.List l) ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match v with
+            | Json.Num n -> Ok (int_of_float n :: acc)
+            | _ -> Error "moved: expected integers")
+          (Ok []) l
+        |> Result.map List.rev
+      | Some _ -> Error "moved: expected a list"
+    in
     Ok
       {
         request;
         name;
-        arrival;
+        time;
+        event;
         admitted;
         rung;
         exact_status;
         greedy_status;
         revenue;
+        priced_cost;
         t_start;
         t_end;
         ticks;
         reevaluated;
+        moved;
       }
 
 let summary_to_json s =
   let i n = Json.Num (float_of_int n) in
+  let floats a =
+    Json.List (Array.to_list (Array.map json_of_float a))
+  in
   Json.Obj
     [
-      ("schema", Json.Str "tvnep-service/1");
+      ("schema", Json.Str "tvnep-service/2");
       ("schema_version", i schema_version);
-      ("requests", i (Array.length s.records));
+      ("events", i s.events);
+      ("requests", i (s.accepted + s.denied));
       ("accepted", i s.accepted);
       ("denied", i s.denied);
+      ("departed", i s.departed);
+      ("migrations", i s.migrations);
       ("acceptance_ratio", json_of_float s.acceptance_ratio);
       ("revenue", json_of_float s.revenue);
       ("admitted_exact", i s.admitted_exact);
       ("admitted_greedy", i s.admitted_greedy);
+      ("admitted_migrated", i s.admitted_migrated);
       ("denied_exact", i s.denied_exact);
       ("denied_greedy", i s.denied_greedy);
       ("denied_budget", i s.denied_budget);
+      ("denied_priced", i s.denied_priced);
       ("ticks_p50", i s.ticks_p50);
       ("ticks_p99", i s.ticks_p99);
       ("total_ticks", i s.total_ticks);
       ("runtime", json_of_float s.runtime);
+      ("node_prices", floats s.node_prices);
+      ("link_prices", floats s.link_prices);
       ("records", Json.List (Array.to_list (Array.map record_to_json s.records)));
     ]

@@ -1,0 +1,55 @@
+module Instance = Tvnep.Instance
+module Request = Tvnep.Request
+module Distributions = Workload.Distributions
+
+type kind = Departure | Arrival
+
+type t = { time : float; kind : kind; request : int }
+
+let kind_to_string = function Departure -> "departure" | Arrival -> "arrival"
+
+let kind_of_string = function
+  | "departure" -> Some Departure
+  | "arrival" -> Some Arrival
+  | _ -> None
+
+(* Departures sort before arrivals at equal times: capacity released at
+   [t] must be visible to an admission decision made at [t]. *)
+let compare a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let rank = function Departure -> 0 | Arrival -> 1 in
+    let c = Int.compare (rank a.kind) (rank b.kind) in
+    if c <> 0 then c else Int.compare a.request b.request
+
+let arrival ~time request = { time; kind = Arrival; request }
+let departure ~time request = { time; kind = Departure; request }
+
+let arrivals inst =
+  List.sort compare
+    (List.init (Instance.num_requests inst) (fun i ->
+         arrival ~time:(Instance.request inst i).Request.start_min i))
+
+let normalize events = List.stable_sort compare events
+
+let with_cancellations rng ~prob inst events =
+  if prob < 0.0 || prob > 1.0 then
+    invalid_arg "Event.with_cancellations: prob outside [0, 1]";
+  let extra =
+    List.filter_map
+      (fun ev ->
+        match ev.kind with
+        | Departure -> None
+        | Arrival ->
+          (* Both draws happen unconditionally so the RNG stream — and
+             with it every later cancellation — depends only on the seed,
+             never on an earlier coin flip. *)
+          let cancelled = Distributions.bernoulli rng ~p:prob in
+          let r = Instance.request inst ev.request in
+          let hi = Float.max r.Request.end_max ev.time in
+          let at = Distributions.uniform rng ~lo:ev.time ~hi in
+          if cancelled then Some (departure ~time:at ev.request) else None)
+      events
+  in
+  normalize (events @ extra)

@@ -1,0 +1,45 @@
+(** Typed events of the online service.
+
+    The engine consumes one time-ordered stream of arrivals and
+    departures instead of the historical implicit arrival-only stream.
+    Ordering is total: ties at equal times are broken by kind —
+    departures first, so capacity freed at [t] is already available to an
+    arrival at [t] (consistent with the open-interval activity of
+    Definition 2.1) — then by request index. *)
+
+type kind = Departure | Arrival
+
+type t = {
+  time : float;  (** event time on the instance clock *)
+  kind : kind;
+  request : int;  (** request index into the instance *)
+}
+
+val kind_to_string : kind -> string
+(** ["departure"] / ["arrival"] — the JSON wire names. *)
+
+val kind_of_string : string -> kind option
+
+val compare : t -> t -> int
+(** Total order by [(time, kind, request)] with [Departure < Arrival] at
+    equal times. *)
+
+val arrival : time:float -> int -> t
+val departure : time:float -> int -> t
+
+val arrivals : Tvnep.Instance.t -> t list
+(** One [Arrival] per request at its window opening [start_min], sorted —
+    the stream the deprecated arrival-only entry points are defined
+    over. *)
+
+val normalize : t list -> t list
+(** Stable sort under {!compare}. *)
+
+val with_cancellations :
+  Workload.Rng.t -> prob:float -> Tvnep.Instance.t -> t list -> t list
+(** Inject exogenous early departures: every [Arrival] in the stream is
+    cancelled with probability [prob] at a time drawn uniformly between
+    its arrival and its window close [end_max].  Two draws are consumed
+    per arrival whatever the outcome, so the stream shape depends only on
+    the RNG seed.  The result is {!normalize}d.
+    @raise Invalid_argument when [prob] lies outside [0, 1]. *)

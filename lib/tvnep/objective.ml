@@ -4,6 +4,10 @@ type t =
   | Balance_node_load of float
   | Disable_links
   | Min_makespan
+  | Access_with_move_cost of {
+      weight : float;
+      reference : (int * float) list;
+    }
 
 let name = function
   | Access_control -> "access-control"
@@ -11,9 +15,10 @@ let name = function
   | Balance_node_load _ -> "load-balance"
   | Disable_links -> "disable-links"
   | Min_makespan -> "makespan"
+  | Access_with_move_cost _ -> "access-move-cost"
 
 let requires_full_embedding = function
-  | Access_control -> false
+  | Access_control | Access_with_move_cost _ -> false
   | Max_earliness | Balance_node_load _ | Disable_links | Min_makespan -> true
 
 type extras = {
@@ -30,20 +35,60 @@ let fix_all_embedded (fm : Formulation.t) =
       Lp.Model.fix_var fm.Formulation.model emb.Embedding.x_r 1.0)
     fm.Formulation.embeddings
 
-let access_control (fm : Formulation.t) =
+let access_terms (fm : Formulation.t) =
   let inst = fm.Formulation.inst in
-  let terms =
-    Array.to_list
-      (Array.mapi
-         (fun req (emb : Embedding.t) ->
-           let r = Instance.request inst req in
-           Lp.Expr.var
-             ~coeff:(r.Request.duration *. Request.total_node_demand r)
-             ((emb.Embedding.x_r :> int)))
-         fm.Formulation.embeddings)
-  in
+  Array.to_list
+    (Array.mapi
+       (fun req (emb : Embedding.t) ->
+         let r = Instance.request inst req in
+         Lp.Expr.var
+           ~coeff:(r.Request.duration *. Request.total_node_demand r)
+           ((emb.Embedding.x_r :> int)))
+       fm.Formulation.embeddings)
+
+let access_control (fm : Formulation.t) =
   Lp.Model.set_objective fm.Formulation.model Lp.Model.Maximize
-    (Lp.Expr.sum terms);
+    (Lp.Expr.sum (access_terms fm));
+  no_extras
+
+(* Access control with a linear move penalty: one auxiliary continuous
+   variable per referenced request, lower-bounded by both signs of
+   [t⁺ − ref], priced at −weight.  Maximization drives each MV to exactly
+   |t⁺ − ref|, so an admission that needs migrations only survives when
+   its revenue covers the weighted schedule displacement it causes. *)
+let access_with_move_cost (fm : Formulation.t) ~weight ~reference =
+  if weight < 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Objective: move-cost weight must be finite and nonnegative";
+  let model = fm.Formulation.model in
+  let inst = fm.Formulation.inst in
+  let k = Array.length fm.Formulation.embeddings in
+  let seen = Hashtbl.create 8 in
+  let move_terms =
+    List.map
+      (fun (req, ref_start) ->
+        if req < 0 || req >= k then
+          invalid_arg "Objective: move-cost reference out of range";
+        if Hashtbl.mem seen req then
+          invalid_arg "Objective: request referenced twice in move cost";
+        Hashtbl.replace seen req ();
+        let mv =
+          Lp.Model.add_var model ~lb:0.0 ~ub:inst.Instance.horizon
+            (Printf.sprintf "MV_%d" req)
+        in
+        let t = Lp.Expr.var ((fm.Formulation.t_start.(req) :> int)) in
+        let m = Lp.Expr.var ((mv :> int)) in
+        Lp.Model.add_le model
+          ~name:(Printf.sprintf "mv_hi_%d" req)
+          (Lp.Expr.sub t m) ref_start;
+        Lp.Model.add_le model
+          ~name:(Printf.sprintf "mv_lo_%d" req)
+          (Lp.Expr.sub (Lp.Expr.scale (-1.0) t) m)
+          (-.ref_start);
+        Lp.Expr.var ~coeff:(-.weight) ((mv :> int)))
+      reference
+  in
+  Lp.Model.set_objective model Lp.Model.Maximize
+    (Lp.Expr.sum (access_terms fm @ move_terms));
   no_extras
 
 let max_earliness (fm : Formulation.t) =
@@ -184,3 +229,5 @@ let apply fm = function
   | Balance_node_load fraction -> balance_node_load fm fraction
   | Disable_links -> disable_links fm
   | Min_makespan -> min_makespan fm
+  | Access_with_move_cost { weight; reference } ->
+    access_with_move_cost fm ~weight ~reference

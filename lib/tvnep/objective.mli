@@ -21,6 +21,17 @@ type t =
       (** minimize the time by which every request has completed (the
           "makespan minimization" named in the paper's contribution
           list) *)
+  | Access_with_move_cost of {
+      weight : float;
+      reference : (int * float) list;
+    }
+      (** access-control revenue minus [weight · Σ |t⁺_R − ref_R|] over
+          the referenced requests — the reconfiguration objective of the
+          online service: an admission enabled by migrating committed
+          requests must pay for the schedule moves it causes.  Each
+          referenced request gets an auxiliary continuous move variable
+          [MV_R ≥ |t⁺_R − ref_R|] entering the objective at [−weight];
+          acceptance stays free, exactly as under plain access control. *)
 
 val name : t -> string
 
@@ -40,4 +51,6 @@ val apply : Formulation.t -> t -> extras
     binaries and rows an objective needs, and fixing [x_R = 1] when
     {!requires_full_embedding}.
     @raise Invalid_argument for [Balance_node_load f] with [f] outside
-    (0, 1). *)
+    (0, 1), and for [Access_with_move_cost] with a negative or non-finite
+    weight, an out-of-range reference index, or a request referenced
+    twice. *)

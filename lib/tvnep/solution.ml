@@ -37,6 +37,22 @@ let access_control_value inst t =
     t.assignments;
   !total
 
+(* Releasing a departed request replaces its assignment with the
+   rejected placeholder, so every load query from now on sees the
+   capacity as free.  The objective is reduced by the released revenue
+   only when the solution was scored under access control — callers
+   re-deriving value use {!access_control_value} anyway. *)
+let release inst t req =
+  let k = Array.length t.assignments in
+  if req < 0 || req >= k then invalid_arg "Solution.release: out of range";
+  let r = Instance.request inst req in
+  let assignments =
+    Array.mapi
+      (fun i a -> if i = req then rejected r else a)
+      t.assignments
+  in
+  { t with assignments }
+
 (* A request is active at [time] when time lies strictly inside
    (t_start, t_end) — the open-interval convention of Definition 2.1. *)
 let active a ~time = a.accepted && time > a.t_start && time < a.t_end

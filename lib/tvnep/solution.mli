@@ -24,6 +24,14 @@ val num_accepted : t -> int
 
 val accepted_indices : t -> int list
 
+val release : Instance.t -> t -> int -> t
+(** [release inst t req] replaces request [req]'s assignment with the
+    {!rejected} placeholder, freeing its node and link allocations over
+    the whole horizon — the departure path of the online service.  The
+    [objective] field is left untouched (re-derive it with
+    {!access_control_value} when needed).
+    @raise Invalid_argument when [req] is out of range. *)
+
 val access_control_value : Instance.t -> t -> float
 (** [Σ accepted d_R · Σ c_R(N_v)] — recomputes the paper's access-control
     objective from the assignment (used to cross-check solver output). *)

@@ -69,6 +69,7 @@ module Options = struct
     seed_with_greedy : bool;
     heavy_fraction : float;
     pinned : (int * float) list;
+    forced : int list;
     flow_form : flow_form;
     colgen : Colgen_model.params;
     mip : Mip.Branch_bound.params;
@@ -80,7 +81,8 @@ module Options = struct
   let make ?(method_ = Exact) ?(kind = Csigma)
       ?(objective = Objective.Access_control) ?(use_cuts = true)
       ?(pairwise_cuts = true) ?(seed_with_greedy = false)
-      ?(heavy_fraction = 0.3) ?(pinned = []) ?(flow_form = Arc)
+      ?(heavy_fraction = 0.3) ?(pinned = []) ?(forced = [])
+      ?(flow_form = Arc)
       ?(colgen = Colgen_model.default_params)
       ?(mip = Mip.Branch_bound.default_params) ?budget ?trace ?prof () =
     if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
@@ -94,6 +96,7 @@ module Options = struct
       seed_with_greedy;
       heavy_fraction;
       pinned;
+      forced;
       flow_form;
       colgen;
       mip;
@@ -105,6 +108,7 @@ module Options = struct
   let default = make ()
   let with_budget budget o = { o with budget }
   let with_pinned pinned o = { o with pinned }
+  let with_forced forced o = { o with forced }
 end
 
 type colgen_stats = {
@@ -168,6 +172,24 @@ let validate_pinned inst pinned =
              r.Request.name))
     pinned
 
+(* Forced requests fix acceptance ([x_R = 1]) while leaving the start
+   time a decision variable — the pinned-start relaxation used by the
+   service's reconfiguration rung.  A request cannot be both forced and
+   pinned: the pin already implies acceptance. *)
+let validate_forced inst pinned forced =
+  let k = Instance.num_requests inst in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun req ->
+      if req < 0 || req >= k then
+        invalid_arg "Solver.run: forced request out of range";
+      if Hashtbl.mem seen req then
+        invalid_arg "Solver.run: request forced twice";
+      Hashtbl.replace seen req ();
+      if List.mem_assoc req pinned then
+        invalid_arg "Solver.run: request both pinned and forced")
+    forced
+
 let build ?budget inst (o : Options.t) =
   let fm =
     match o.Options.kind with
@@ -193,6 +215,11 @@ let build ?budget inst (o : Options.t) =
         fm.Formulation.embeddings.(req).Embedding.x_r 1.0;
       Lp.Model.fix_var fm.Formulation.model fm.Formulation.t_start.(req) start)
     o.Options.pinned;
+  List.iter
+    (fun req ->
+      Lp.Model.fix_var fm.Formulation.model
+        fm.Formulation.embeddings.(req).Embedding.x_r 1.0)
+    o.Options.forced;
   (fm, extras)
 
 (* An outcome for a solve that never started: the caller's budget was
@@ -357,6 +384,8 @@ let run_lp_only inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
 let run_greedy inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
   if not (Instance.has_fixed_mappings inst) then
     invalid_arg "Solver.run: Greedy requires fixed node mappings";
+  if o.Options.forced <> [] then
+    invalid_arg "Solver.run: forced requests are not supported with Greedy";
   let sink = o.Options.trace in
   let prof = o.Options.prof in
   Trace.emit sink budget (Trace.Phase_start "greedy");
@@ -425,6 +454,11 @@ let build_path ?budget inst (o : Options.t) =
         fm.Formulation.embeddings.(req).Embedding.x_r 1.0;
       Lp.Model.fix_var fm.Formulation.model fm.Formulation.t_start.(req) start)
     o.Options.pinned;
+  List.iter
+    (fun req ->
+      Lp.Model.fix_var fm.Formulation.model
+        fm.Formulation.embeddings.(req).Embedding.x_r 1.0)
+    o.Options.forced;
   (cg, extras)
 
 let colgen_build_phase inst (o : Options.t) ~budget ~stats ~t0 =
@@ -575,6 +609,7 @@ let revenue inst req =
 
 let rec run inst (o : Options.t) =
   validate_pinned inst o.Options.pinned;
+  validate_forced inst o.Options.pinned o.Options.forced;
   let budget = budget_of_options o in
   let stats = Rstats.create () in
   let ticks0 = Budget.ticks budget in
@@ -605,6 +640,8 @@ and run_hybrid inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
     invalid_arg "Solver.run: Hybrid requires fixed node mappings";
   if o.Options.pinned <> [] then
     invalid_arg "Solver.run: pinned requests are not supported with Hybrid";
+  if o.Options.forced <> [] then
+    invalid_arg "Solver.run: forced requests are not supported with Hybrid";
   let k = Instance.num_requests inst in
   let by_revenue =
     List.sort

@@ -79,6 +79,12 @@ module Options : sig
             committed requests this way.  [Exact]/[Lp_only] fix the
             acceptance and start variables; [Greedy] pre-places them.
             Not supported by [Hybrid]. *)
+    forced : int list;
+        (** request indices forced to be accepted ([x_R = 1]) while their
+            start time stays a decision variable — the pinned-start
+            relaxation used by the service's reconfiguration rung to let
+            committed requests move inside their windows.  [Exact] and
+            [Lp_only] only; disjoint from [pinned]. *)
     flow_form : flow_form;
         (** link-flow formulation; [Path] solves over {!Colgen_model}'s
             restricted master instead of the arc form *)
@@ -115,6 +121,7 @@ module Options : sig
     ?seed_with_greedy:bool ->
     ?heavy_fraction:float ->
     ?pinned:(int * float) list ->
+    ?forced:int list ->
     ?flow_form:flow_form ->
     ?colgen:Colgen_model.params ->
     ?mip:Mip.Branch_bound.params ->
@@ -139,6 +146,9 @@ module Options : sig
 
   val with_pinned : (int * float) list -> t -> t
   (** The same options with a different pinned set. *)
+
+  val with_forced : int list -> t -> t
+  (** The same options with a different forced set. *)
 end
 
 (** Column-generation counters, reported when [flow_form = Path]. *)
@@ -198,9 +208,11 @@ val run : Instance.t -> Options.t -> outcome
 
     @raise Invalid_argument when [pinned] entries are out of range,
     scheduled outside their request's window, duplicated, or combined
-    with [Hybrid]; when [Greedy]/[Hybrid] run without fixed node
-    mappings; when [flow_form = Path] is combined with a non-cΣ model or
-    an instance without fixed node mappings.
+    with [Hybrid]; when [forced] entries are out of range, duplicated,
+    also pinned, or combined with [Greedy]/[Hybrid]; when
+    [Greedy]/[Hybrid] run without fixed node mappings; when
+    [flow_form = Path] is combined with a non-cΣ model or an instance
+    without fixed node mappings.
 
     With [flow_form = Path], [Exact] runs root column generation on the
     LP relaxation and then branch-and-bound over the enlarged form (every

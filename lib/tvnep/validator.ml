@@ -188,6 +188,44 @@ let check ?(tol = 1e-5) inst sol =
 let is_feasible ?tol inst sol =
   match check ?tol inst sol with Ok () -> true | Error _ -> false
 
+(* The departure gate of the online service: a release must only remove
+   the departed assignment — every other request keeps its embedding and
+   schedule bit-for-bit — and the post-release state must still satisfy
+   Definition 2.1 on its own.  Structural equality on the assignment
+   records is exact here because a release copies, never recomputes. *)
+let check_release ?tol inst ~(before : Solution.t) ~(after : Solution.t)
+    ~released =
+  let k = Array.length before.Solution.assignments in
+  let errors = ref [] in
+  if Array.length after.Solution.assignments <> k then
+    errors := "release changed the assignment count" :: !errors
+  else if released < 0 || released >= k then
+    errors :=
+      Printf.sprintf "released request %d out of range" released :: !errors
+  else begin
+    if not before.Solution.assignments.(released).Solution.accepted then
+      errors :=
+        Printf.sprintf "released request %d was not committed" released
+        :: !errors;
+    if after.Solution.assignments.(released).Solution.accepted then
+      errors :=
+        Printf.sprintf "request %d still holds capacity after release"
+          released
+        :: !errors;
+    for i = 0 to k - 1 do
+      if
+        i <> released
+        && before.Solution.assignments.(i) <> after.Solution.assignments.(i)
+      then
+        errors :=
+          Printf.sprintf "release of %d disturbed request %d" released i
+          :: !errors
+    done
+  end;
+  match List.rev !errors with
+  | e :: es -> Error (e :: es)
+  | [] -> check ?tol inst after
+
 let explain inst sol =
   match check inst sol with
   | Ok () -> "feasible"

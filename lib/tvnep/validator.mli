@@ -21,5 +21,19 @@ val check : ?tol:float -> Instance.t -> Solution.t -> (unit, violation list) res
 
 val is_feasible : ?tol:float -> Instance.t -> Solution.t -> bool
 
+val check_release :
+  ?tol:float ->
+  Instance.t ->
+  before:Solution.t ->
+  after:Solution.t ->
+  released:int ->
+  (unit, violation list) result
+(** Gate for a departure: [after] must equal [before] with exactly the
+    [released] assignment freed (every other assignment unchanged,
+    compared structurally), the released request must have been committed
+    in [before] and hold no capacity in [after], and [after] must itself
+    pass {!check}.  Used by the service engine before a post-release
+    state becomes visible. *)
+
 val explain : Instance.t -> Solution.t -> string
 (** Multi-line report: "feasible" or the list of violations. *)

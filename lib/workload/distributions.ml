@@ -1,5 +1,9 @@
 let uniform rng ~lo ~hi = Rng.float_range rng lo hi
 
+let bernoulli rng ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Distributions.bernoulli";
+  Rng.float rng < p
+
 let exponential rng ~rate =
   if rate <= 0.0 then invalid_arg "Distributions.exponential";
   (* 1 - U avoids log 0 since U ∈ [0, 1). *)

@@ -7,6 +7,10 @@
 
 val uniform : Rng.t -> lo:float -> hi:float -> float
 
+val bernoulli : Rng.t -> p:float -> bool
+(** True with probability [p] (one {!Rng.float} draw).
+    @raise Invalid_argument when [p] lies outside [0, 1]. *)
+
 val exponential : Rng.t -> rate:float -> float
 (** Mean [1/rate].  @raise Invalid_argument when [rate <= 0]. *)
 

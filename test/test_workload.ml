@@ -88,6 +88,26 @@ let distribution_tests =
         Alcotest.(check bool) "sorted" true (increasing arrivals);
         Alcotest.(check bool) "within horizon" true
           (List.for_all (fun t -> t >= 0.0 && t < 50.0) arrivals));
+    Alcotest.test_case "bernoulli mean and determinism" `Quick (fun () ->
+        let draws seed =
+          let rng = Workload.Rng.create seed in
+          List.init 10_000 (fun _ ->
+              Workload.Distributions.bernoulli rng ~p:0.3)
+        in
+        Alcotest.(check bool) "same seed, same draws" true
+          (draws 29L = draws 29L);
+        let hits = List.length (List.filter Fun.id (draws 29L)) in
+        Alcotest.(check (float 0.02)) "mean p"
+          0.3
+          (float_of_int hits /. 10_000.0);
+        let rng = Workload.Rng.create 31L in
+        Alcotest.(check bool) "p=0 never" false
+          (Workload.Distributions.bernoulli rng ~p:0.0);
+        Alcotest.(check bool) "p=1 always" true
+          (Workload.Distributions.bernoulli rng ~p:1.0);
+        Alcotest.check_raises "p outside [0,1]"
+          (Invalid_argument "Distributions.bernoulli") (fun () ->
+            ignore (Workload.Distributions.bernoulli rng ~p:1.5)));
     Alcotest.test_case "poisson_arrivals count" `Quick (fun () ->
         let rng = Workload.Rng.create 23L in
         let a = Workload.Distributions.poisson_arrivals rng ~rate:1.0 ~count:20 in
