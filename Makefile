@@ -38,9 +38,13 @@ bench-bnb: build
 # differs across jobs levels, if fewer than 30% of the arrivals depart
 # inside the stream, if ignoring departures does not strictly lose
 # admissions and revenue, if any rung (exact, greedy, budget, and
-# priced on the dedicated pricing run) never fired, or if any run's
+# priced on the dedicated pricing run) never fired, if the rounding
+# ablation regresses (the Rounded chain must decide arrivals at the
+# rounded rung, admit >= the greedy-only chain, spend <= the exact
+# chain's ticks, and be byte-identical at jobs 1/2/4), or if any run's
 # committed state fails the validator; writes BENCH_service.json
-# (schema tvnep-bench-service/3, validated after writing).
+# (schema tvnep-bench-service/4, validated after writing — documents
+# without the rounding comparison are rejected).
 bench-service: build
 	dune exec bench/main.exe -- --no-figures --no-ablations --no-micro \
 	  --no-bnb --no-profile --no-colgen
@@ -66,6 +70,8 @@ bench-colgen: build
 
 # API documentation via odoc, when the toolchain has it; a clean skip
 # otherwise (the docs below are the odoc comments in the .mli files).
+# Under `make check` this is a hard gate whenever odoc is installed: a
+# doc-comment syntax error fails the build instead of rotting silently.
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 	  dune build @doc && \
@@ -75,7 +81,7 @@ doc:
 	the same documentation)"; \
 	fi
 
-check: build test bench-smoke bench-micro bench-bnb bench-service \
+check: build test doc bench-smoke bench-micro bench-bnb bench-service \
 	bench-profile bench-colgen
 
 clean:

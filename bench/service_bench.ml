@@ -17,11 +17,18 @@
    - the degradation chain loses coverage: exact admissions,
      greedy-fallback admissions, denials, budget denials and (on the
      dedicated pricing run) priced denials must all fire;
+   - the rounding ablation regresses: on the same churn stream, freed of
+     the global deadline, the Rounded chain (exact off, LP rounding on)
+     must actually decide arrivals at the rounded rung, admit at least
+     as much as the greedy-only chain, spend no more ticks than the
+     exact-leaning chain, and reproduce its decisions byte-identically
+     at jobs 1, 2 and 4;
    - the final committed state of any run fails the independent
      validator.
 
-   Results land in BENCH_service.json, schema tvnep-bench-service/3
-   (validated after writing). *)
+   Results land in BENCH_service.json, schema tvnep-bench-service/4
+   (validated after writing; documents without the rounding comparison
+   are rejected). *)
 
 let jobs_levels = [ 1; 2; 4 ]
 
@@ -42,7 +49,7 @@ let bench_instance () =
   Tvnep.Scenario.generate rng
     {
       Tvnep.Scenario.scaled with
-      num_requests = 12;
+      num_requests = 16;
       weibull_scale = 1.5;
       flexibility = 1.0;
     }
@@ -55,6 +62,16 @@ let pricing_config jobs =
     ~departures:true ~pricing:true
     ~price:(Service.Pricing.make_params ~floor:2.0 ())
     ()
+
+(* Rounding ablation: the same churn stream served by three chains with
+   no global deadline, so they are compared on equal footing.  The
+   exact-leaning chain is the quality/cost ceiling, the greedy-only
+   chain the floor; the rounded chain replaces branch-and-bound with the
+   LP-rounding rung.  The slice is wide enough that the relaxation fits
+   in the rung's half-of-remaining sub-budget. *)
+let chain_config ~exact_fraction ~rounding jobs =
+  Service.Engine.Config.make ~slice:2e-3 ~exact_fraction ~rounding ~jobs
+    ~departures:true ()
 
 type run = {
   jobs : int;
@@ -109,7 +126,32 @@ let comparison_json ~lifecycle ~ignored =
       ("migrations", Num (float_of_int (s lifecycle).Service.Engine.migrations));
     ]
 
-let json_of_runs runs ~ignored ~pricing =
+(* The rounding-ablation comparison, with the three gated quantities
+   (rounded decisions, acceptance vs greedy, ticks vs exact) spelled out
+   so the validator can re-check them from the document alone. *)
+let rounding_json ~exact_chain ~greedy_chain ~rounded_chain =
+  let open Statsutil.Json in
+  let s (r : run) = r.summary in
+  let n v = Num (float_of_int v) in
+  Obj
+    [
+      ("exact_accepted", n (s exact_chain).Service.Engine.accepted);
+      ("greedy_accepted", n (s greedy_chain).Service.Engine.accepted);
+      ("rounded_accepted", n (s rounded_chain).Service.Engine.accepted);
+      ("exact_revenue", Num (s exact_chain).Service.Engine.revenue);
+      ("greedy_revenue", Num (s greedy_chain).Service.Engine.revenue);
+      ("rounded_revenue", Num (s rounded_chain).Service.Engine.revenue);
+      ("exact_ticks", n (s exact_chain).Service.Engine.total_ticks);
+      ("greedy_ticks", n (s greedy_chain).Service.Engine.total_ticks);
+      ("rounded_ticks", n (s rounded_chain).Service.Engine.total_ticks);
+      ( "rounded_decided",
+        n
+          ((s rounded_chain).Service.Engine.admitted_rounded
+          + (s rounded_chain).Service.Engine.denied_rounded) );
+    ]
+
+let json_of_runs runs ~ignored ~pricing ~exact_chain ~greedy_chain
+    ~rounded_chains =
   let open Statsutil.Json in
   let run_json r =
     Obj
@@ -122,7 +164,7 @@ let json_of_runs runs ~ignored ~pricing =
   in
   Obj
     [
-      ("schema", Str "tvnep-bench-service/3");
+      ("schema", Str "tvnep-bench-service/4");
       ( "clock",
         Str
           (Printf.sprintf
@@ -130,9 +172,15 @@ let json_of_runs runs ~ignored ~pricing =
              Service.Engine.default_work_rate) );
       ("identical_across_jobs", Bool true);
       ("comparison", comparison_json ~lifecycle:(List.hd runs) ~ignored);
+      ( "rounding",
+        rounding_json ~exact_chain ~greedy_chain
+          ~rounded_chain:(List.hd rounded_chains) );
       ("runs", List (List.map run_json runs));
       ("ignored_run", run_json ignored);
       ("pricing_run", run_json pricing);
+      ("exact_chain_run", run_json exact_chain);
+      ("greedy_chain_run", run_json greedy_chain);
+      ("rounded_chain_runs", List (List.map run_json rounded_chains));
     ]
 
 let validate_json_string s =
@@ -141,7 +189,7 @@ let validate_json_string s =
   | Error msg -> Error ("not valid JSON: " ^ msg)
   | Ok doc -> (
     match member "schema" doc with
-    | Some (Str "tvnep-bench-service/3") -> (
+    | Some (Str "tvnep-bench-service/4") -> (
       match member "identical_across_jobs" doc with
       | Some (Bool true) -> (
         match Option.bind (member "runs" doc) to_list with
@@ -168,27 +216,68 @@ let validate_json_string s =
           let aux_ok name =
             match member name doc with Some r -> run_ok r | None -> false
           in
+          let rounding_ok () =
+            (* The rounding ablation is mandatory: the document must
+               carry the comparison and its gated inequalities must hold
+               as written. *)
+            match member "rounding" doc with
+            | None -> Error "missing \"rounding\" comparison"
+            | Some c -> (
+              let f k = Option.bind (member k c) to_float in
+              match
+                ( (f "rounded_accepted", f "greedy_accepted"),
+                  (f "rounded_ticks", f "exact_ticks"),
+                  f "rounded_decided" )
+              with
+              | (Some ra, Some ga), (Some rt, Some et), Some rd ->
+                if rd < 1.0 then
+                  Error "rounding: the rounded rung never decided an arrival"
+                else if ra < ga then
+                  Error "rounding: rounded acceptance below greedy-only"
+                else if rt > et then
+                  Error "rounding: rounded ticks above the exact chain"
+                else Ok ()
+              | _ -> Error "rounding: missing comparison fields")
+          in
           if not (List.for_all run_ok runs) then
             Error "a run is missing a field or carries a bad record"
           else if not (aux_ok "ignored_run" && aux_ok "pricing_run") then
             Error "missing or invalid ignored_run/pricing_run"
+          else if
+            not (aux_ok "exact_chain_run" && aux_ok "greedy_chain_run")
+          then Error "missing or invalid exact_chain_run/greedy_chain_run"
+          else if
+            not
+              (match
+                 Option.bind (member "rounded_chain_runs" doc) to_list
+               with
+              | Some (_ :: _ as rs) -> List.for_all run_ok rs
+              | _ -> false)
+          then Error "missing or invalid rounded_chain_runs"
           else
-            match member "comparison" doc with
-            | Some c -> (
-              match
-                ( Option.bind (member "lifecycle_revenue" c) to_float,
-                  Option.bind (member "ignored_revenue" c) to_float )
-              with
-              | Some l, Some i when l > i -> Ok (List.length runs)
-              | Some _, Some _ ->
-                Error "comparison: lifecycle revenue not above ignored"
-              | _ -> Error "comparison: missing revenue fields")
-            | None -> Error "missing \"comparison\""))
+            match rounding_ok () with
+            | Error _ as e -> e
+            | Ok () -> (
+              match member "comparison" doc with
+              | Some c -> (
+                match
+                  ( Option.bind (member "lifecycle_revenue" c) to_float,
+                    Option.bind (member "ignored_revenue" c) to_float )
+                with
+                | Some l, Some i when l > i -> Ok (List.length runs)
+                | Some _, Some _ ->
+                  Error "comparison: lifecycle revenue not above ignored"
+                | _ -> Error "comparison: missing revenue fields")
+              | None -> Error "missing \"comparison\"")))
       | _ -> Error "\"identical_across_jobs\" is not true")
     | _ -> Error "missing or unexpected \"schema\"")
 
-let emit_json ~path runs ~ignored ~pricing =
-  let doc = json_of_runs runs ~ignored ~pricing in
+let emit_json ~path runs ~ignored ~pricing ~exact_chain ~greedy_chain
+    ~rounded_chains =
+  let doc =
+    json_of_runs runs ~ignored ~pricing ~exact_chain ~greedy_chain
+      ~rounded_chains
+  in
   let oc = open_out path in
   output_string oc (Statsutil.Json.to_string doc);
   close_out oc;
@@ -218,11 +307,23 @@ let run ?json_path () =
   let runs = List.map (serve_at inst (bench_config ~departures:true)) jobs_levels in
   let ignored = serve_at inst (bench_config ~departures:false) 1 in
   let pricing = serve_at inst pricing_config 1 in
+  let exact_chain =
+    serve_at inst (chain_config ~exact_fraction:0.9 ~rounding:false) 1
+  in
+  let greedy_chain =
+    serve_at inst (chain_config ~exact_fraction:0.0 ~rounding:false) 1
+  in
+  let rounded_chains =
+    List.map
+      (serve_at inst (chain_config ~exact_fraction:0.0 ~rounding:true))
+      jobs_levels
+  in
   let table =
     Statsutil.Table.create
       ~headers:
-        [ "jobs"; "admitted"; "revenue"; "exact"; "greedy"; "migrated";
-          "departed"; "denied"; "budget"; "priced"; "wall" ]
+        [ "run"; "admitted"; "revenue"; "exact"; "rounded"; "greedy";
+          "migrated"; "departed"; "denied"; "budget"; "priced"; "ticks";
+          "wall" ]
   in
   let add_row label r =
     let s = r.summary in
@@ -233,18 +334,25 @@ let run ?json_path () =
           (s.Service.Engine.accepted + s.Service.Engine.denied);
         Printf.sprintf "%g" s.Service.Engine.revenue;
         string_of_int s.Service.Engine.admitted_exact;
+        string_of_int s.Service.Engine.admitted_rounded;
         string_of_int s.Service.Engine.admitted_greedy;
         string_of_int s.Service.Engine.admitted_migrated;
         string_of_int s.Service.Engine.departed;
         string_of_int s.Service.Engine.denied;
         string_of_int s.Service.Engine.denied_budget;
         string_of_int s.Service.Engine.denied_priced;
+        string_of_int s.Service.Engine.total_ticks;
         Printf.sprintf "%.3f s" r.wall_s;
       ]
   in
-  List.iter (fun r -> add_row (string_of_int r.jobs) r) runs;
+  List.iter (fun r -> add_row (Printf.sprintf "jobs=%d" r.jobs) r) runs;
   add_row "no-dep" ignored;
   add_row "priced" pricing;
+  add_row "exact-chain" exact_chain;
+  add_row "greedy-chain" greedy_chain;
+  List.iter
+    (fun r -> add_row (Printf.sprintf "rounded j=%d" r.jobs) r)
+    rounded_chains;
   Statsutil.Table.print table;
   let base = List.hd runs in
   (* Hard determinism gate: every jobs level must reproduce jobs=1's
@@ -328,6 +436,57 @@ let run ?json_path () =
     s.Service.Engine.admitted_exact s.Service.Engine.admitted_greedy
     s.Service.Engine.admitted_migrated s.Service.Engine.denied_greedy
     s.Service.Engine.denied_budget sp.Service.Engine.denied_priced;
+  (* Rounding gates: on the deadline-free ablation the rounded rung must
+     genuinely decide arrivals, sit between the greedy-only chain's
+     acceptance and the exact-leaning chain's cost, and be byte-identical
+     at every jobs level. *)
+  let rbase = List.hd rounded_chains in
+  let rmismatches =
+    List.filter (fun r -> fingerprint r <> fingerprint rbase) rounded_chains
+  in
+  if rmismatches <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf
+          "SERVICE ROUNDING DETERMINISM VIOLATION: jobs=%d served the \
+           rounded chain differently than jobs=%d\n"
+          r.jobs rbase.jobs)
+      rmismatches;
+    exit 1
+  end;
+  let sr = rbase.summary
+  and se = exact_chain.summary
+  and sg = greedy_chain.summary in
+  let rounded_decided =
+    sr.Service.Engine.admitted_rounded + sr.Service.Engine.denied_rounded
+  in
+  if rounded_decided = 0 then begin
+    Printf.eprintf
+      "SERVICE ROUNDING REGRESSION: the rounded rung never decided an \
+       arrival on the churn stream\n";
+    exit 1
+  end;
+  if sr.Service.Engine.accepted < sg.Service.Engine.accepted then begin
+    Printf.eprintf
+      "SERVICE ROUNDING REGRESSION: rounded chain admitted %d < greedy-only \
+       %d\n"
+      sr.Service.Engine.accepted sg.Service.Engine.accepted;
+    exit 1
+  end;
+  if sr.Service.Engine.total_ticks > se.Service.Engine.total_ticks then begin
+    Printf.eprintf
+      "SERVICE ROUNDING REGRESSION: rounded chain spent %d ticks > exact \
+       chain's %d\n"
+      sr.Service.Engine.total_ticks se.Service.Engine.total_ticks;
+    exit 1
+  end;
+  Printf.printf
+    "rounding: %d rounded decisions (%d admitted); acceptance %d >= greedy \
+     %d, ticks %d <= exact %d (exact admits %d), identical at jobs 1/2/4\n"
+    rounded_decided sr.Service.Engine.admitted_rounded
+    sr.Service.Engine.accepted sg.Service.Engine.accepted
+    sr.Service.Engine.total_ticks se.Service.Engine.total_ticks
+    se.Service.Engine.accepted;
   (* Every run's committed state must survive the independent
      validator. *)
   List.iter
@@ -338,6 +497,16 @@ let run ?json_path () =
     runs;
   check_final_state ~label:"departures-ignored" inst ignored.summary;
   check_final_state ~label:"pricing" inst pricing.summary;
+  check_final_state ~label:"exact-chain" inst exact_chain.summary;
+  check_final_state ~label:"greedy-chain" inst greedy_chain.summary;
+  List.iter
+    (fun r ->
+      check_final_state
+        ~label:(Printf.sprintf "rounded-chain jobs=%d" r.jobs)
+        inst r.summary)
+    rounded_chains;
   match json_path with
-  | Some path -> emit_json ~path runs ~ignored ~pricing
+  | Some path ->
+    emit_json ~path runs ~ignored ~pricing ~exact_chain ~greedy_chain
+      ~rounded_chains
   | None -> ()

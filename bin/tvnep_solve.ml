@@ -361,6 +361,16 @@ let serve_cmd =
           ~doc:"Objective weight per unit of schedule displacement in \
                 reconfiguration solves.")
   in
+  let rounding_arg =
+    Arg.(
+      value & flag
+      & info [ "rounding" ]
+          ~doc:"Enable the LP-rounding rung between exact and greedy: solve \
+                the cΣ relaxation of the pinned instance, decompose it into \
+                a convex combination of start-time candidates and round \
+                with validator-checked repair; an infeasible relaxation is \
+                a proven denial.")
+  in
   let pricing_arg =
     Arg.(
       value & flag
@@ -376,8 +386,8 @@ let serve_cmd =
           ~doc:"Baseline resource price per demand-hour under --pricing.")
   in
   let run file seed requests slice exact_fraction batch time_limit jobs
-      wall_clock events cancel_prob reconfigure move_cost pricing price_floor
-      verbose json profile =
+      wall_clock events cancel_prob reconfigure move_cost rounding pricing
+      price_floor verbose json profile =
     setup_logs verbose;
     let inst =
       match file with
@@ -395,7 +405,7 @@ let serve_cmd =
         ~deterministic:
           (if wall_clock then None else Some Service.Engine.default_work_rate)
         ~departures:events ~reconfigure:(reconfigure > 0)
-        ~reconfigure_limit:(max 0 reconfigure) ~move_cost ~pricing
+        ~reconfigure_limit:(max 0 reconfigure) ~move_cost ~rounding ~pricing
         ~price:(Service.Pricing.make_params ~floor:price_floor ())
         ?prof ()
     in
@@ -443,13 +453,14 @@ let serve_cmd =
         s.Service.Engine.records;
       Printf.printf
         "summary: %d/%d admitted (%.0f%%), revenue %g | rungs: %d exact, %d \
-         greedy, %d migrated, %d budget-denied, %d priced-denied | %d \
-         departed, %d migrations | ticks p50 %d, p99 %d | %.3fs\n"
+         rounded, %d greedy, %d migrated, %d budget-denied, %d priced-denied \
+         | %d departed, %d migrations | ticks p50 %d, p99 %d | %.3fs\n"
         s.Service.Engine.accepted
         (s.Service.Engine.accepted + s.Service.Engine.denied)
         (100.0 *. s.Service.Engine.acceptance_ratio)
         s.Service.Engine.revenue s.Service.Engine.admitted_exact
-        s.Service.Engine.admitted_greedy s.Service.Engine.admitted_migrated
+        s.Service.Engine.admitted_rounded s.Service.Engine.admitted_greedy
+        s.Service.Engine.admitted_migrated
         s.Service.Engine.denied_budget s.Service.Engine.denied_priced
         s.Service.Engine.departed s.Service.Engine.migrations
         s.Service.Engine.ticks_p50 s.Service.Engine.ticks_p99
@@ -473,14 +484,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve the instance's requests as an online event stream with \
              deadline-budgeted admission (exact, optional reconfiguration, \
-             greedy fallback, optional pricing, then denial) and \
-             validator-gated departures")
+             optional LP rounding, greedy fallback, optional pricing, then \
+             denial) and validator-gated departures")
     Term.(
       const run $ file_opt_arg $ seed_arg $ requests_arg $ slice_arg
       $ exact_fraction_arg $ batch_arg $ global_limit_arg $ jobs_arg
       $ wall_clock_arg $ events_arg $ cancel_prob_arg $ reconfigure_arg
-      $ move_cost_arg $ pricing_arg $ price_floor_arg $ verbose_arg $ json_arg
-      $ profile_arg)
+      $ move_cost_arg $ rounding_arg $ pricing_arg $ price_floor_arg
+      $ verbose_arg $ json_arg $ profile_arg)
 
 (* ---- explain ------------------------------------------------------------ *)
 

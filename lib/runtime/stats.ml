@@ -18,6 +18,10 @@ type t = {
   mutable greedy_lp_solves : int;
   mutable greedy_candidates : int;
   mutable greedy_accepted : int;
+  mutable rounding_attempts : int;
+  mutable rounding_candidates : int;
+  mutable rounding_repairs : int;
+  mutable rounding_fallbacks : int;
   mutable service_requests : int;
   mutable service_admitted : int;
   mutable service_denied : int;
@@ -50,6 +54,10 @@ let create () =
     greedy_lp_solves = 0;
     greedy_candidates = 0;
     greedy_accepted = 0;
+    rounding_attempts = 0;
+    rounding_candidates = 0;
+    rounding_repairs = 0;
+    rounding_fallbacks = 0;
     service_requests = 0;
     service_admitted = 0;
     service_denied = 0;
@@ -81,6 +89,10 @@ let merge ~into s =
   into.greedy_lp_solves <- into.greedy_lp_solves + s.greedy_lp_solves;
   into.greedy_candidates <- into.greedy_candidates + s.greedy_candidates;
   into.greedy_accepted <- into.greedy_accepted + s.greedy_accepted;
+  into.rounding_attempts <- into.rounding_attempts + s.rounding_attempts;
+  into.rounding_candidates <- into.rounding_candidates + s.rounding_candidates;
+  into.rounding_repairs <- into.rounding_repairs + s.rounding_repairs;
+  into.rounding_fallbacks <- into.rounding_fallbacks + s.rounding_fallbacks;
   into.service_requests <- into.service_requests + s.service_requests;
   into.service_admitted <- into.service_admitted + s.service_admitted;
   into.service_denied <- into.service_denied + s.service_denied;
@@ -108,6 +120,15 @@ let to_string s =
       s.pricing_sweeps s.bb_nodes s.incumbents s.bound_updates
       s.greedy_lp_solves s.greedy_candidates s.greedy_accepted s.greedy_time
       s.build_time s.search_time
+  in
+  let base =
+    if s.rounding_attempts = 0 then base
+    else
+      base
+      ^ Printf.sprintf
+          " | rounding: %d attempts, %d candidates, %d repairs, %d fallbacks"
+          s.rounding_attempts s.rounding_candidates s.rounding_repairs
+          s.rounding_fallbacks
   in
   if s.service_requests = 0 then base
   else

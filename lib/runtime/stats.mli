@@ -37,6 +37,15 @@ type t = {
   mutable greedy_lp_solves : int;    (** feasibility LPs of the greedy *)
   mutable greedy_candidates : int;   (** candidate start times probed *)
   mutable greedy_accepted : int;     (** requests the greedy admitted *)
+  (* randomized rounding (LP-decomposition rung) *)
+  mutable rounding_attempts : int;   (** rounding draws realized (first
+                                         attempt + every repair retry) *)
+  mutable rounding_candidates : int; (** integral (start, weight) candidates
+                                         produced by LP decomposition *)
+  mutable rounding_repairs : int;    (** retries after an infeasible draw *)
+  mutable rounding_fallbacks : int;  (** rounded solves that exhausted their
+                                         repair budget (or lost the LP) and
+                                         fell through to plain greedy *)
   (* service (online admission loop) *)
   mutable service_requests : int;    (** arrivals processed *)
   mutable service_admitted : int;    (** arrivals committed *)

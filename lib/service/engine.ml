@@ -12,10 +12,11 @@ module Objective = Tvnep.Objective
 module Validator = Tvnep.Validator
 module Json = Statsutil.Json
 
-type rung = Exact | Greedy | Budget | Priced | Migrated
+type rung = Exact | Rounded | Greedy | Budget | Priced | Migrated
 
 let rung_to_string = function
   | Exact -> "exact"
+  | Rounded -> "rounded"
   | Greedy -> "greedy"
   | Budget -> "budget"
   | Priced -> "priced"
@@ -23,6 +24,7 @@ let rung_to_string = function
 
 let rung_of_string = function
   | "exact" -> Some Exact
+  | "rounded" -> Some Rounded
   | "greedy" -> Some Greedy
   | "budget" -> Some Budget
   | "priced" -> Some Priced
@@ -58,9 +60,11 @@ type summary = {
   acceptance_ratio : float;
   revenue : float;
   admitted_exact : int;
+  admitted_rounded : int;
   admitted_greedy : int;
   admitted_migrated : int;
   denied_exact : int;
+  denied_rounded : int;
   denied_greedy : int;
   denied_budget : int;
   denied_priced : int;
@@ -93,6 +97,7 @@ module Config = struct
     reconfigure : bool;
     reconfigure_limit : int;
     move_cost : float;
+    rounding : bool;
     pricing : bool;
     price : Pricing.params;
     trace : Runtime.Trace.sink option;
@@ -104,7 +109,7 @@ module Config = struct
       ?(exact_fraction = 0.7) ?(time_limit = infinity)
       ?(deterministic = Some default_work_rate) ?(batch_size = 4) ?(jobs = 1)
       ?(departures = true) ?(reconfigure = false) ?(reconfigure_limit = 2)
-      ?(move_cost = 0.1) ?(pricing = false)
+      ?(move_cost = 0.1) ?(rounding = false) ?(pricing = false)
       ?(price = Pricing.default_params) ?trace ?prof () =
     if slice <= 0.0 || not (Float.is_finite slice) then
       invalid_arg "Engine.Config.make: non-positive slice";
@@ -134,6 +139,7 @@ module Config = struct
       reconfigure;
       reconfigure_limit;
       move_cost;
+      rounding;
       pricing;
       price;
       trace;
@@ -385,6 +391,61 @@ let evaluate (cfg : Config.t) inst (assignments : Solution.assignment array)
         end
       end
     in
+    (* Randomized-rounding rung: solve the cΣ LP relaxation of the pinned
+       evaluation instance, decompose it into a convex combination of
+       integral schedules, and round with bounded repair
+       ([Solver.Rounded]).  Runs between exact and greedy when the exact
+       rung was inconclusive.  The rounding seed is a function of the
+       request index alone — independent of batch shape or worker
+       domain, so decisions stay jobs-invariant.  The rung gets half of
+       whatever remains of the slice, leaving the other half for the
+       greedy fallback when rounding produces nothing. *)
+    let attempt_rounded ~exact () =
+      if (not cfg.Config.rounding) || B.remaining fork <= 0.0 then None
+      else begin
+        let mip =
+          {
+            cfg.Config.mip with
+            Mip.Branch_bound.time_limit = infinity;
+            jobs = 1;
+            log_every = 0;
+          }
+        in
+        let rbudget =
+          B.sub ~time_limit:(0.5 *. Float.max 0.0 (B.remaining fork)) fork
+        in
+        let rounding =
+          {
+            Tvnep.Rounding.default_params with
+            seed = Int64.of_int (0x5eed1 + req);
+          }
+        in
+        match
+          Span.with_ fprof fork "rounded" @@ fun () ->
+          Solver.run ev
+            (Solver.Options.make ~method_:Solver.Rounded ~kind:cfg.Config.kind
+               ~use_cuts:cfg.Config.use_cuts
+               ~pairwise_cuts:cfg.Config.pairwise_cuts ~mip ~budget:rbudget
+               ~pinned ~rounding ?prof:fprof ())
+        with
+        | exception Invalid_argument _ -> None
+        | ro -> (
+          Rstats.merge ~into:pstats ro.Solver.stats;
+          if ro.Solver.status = Solver.Infeasible then
+            (* The LP relaxation of the pinned instance is infeasible, so
+               no completion can admit the arrival: a proven denial,
+               cheaper than the exact rung's. *)
+            Some (deny ~pstats ?exact Rounded)
+          else
+            match Option.bind ro.Solver.solution gate with
+            | Some lifted -> (
+              match price_check lifted with
+              | Ok cost -> Some (admit ~rung:Rounded ?exact lifted cost)
+              | Error cost ->
+                Some (deny ~pstats ?exact ~priced_cost:cost Priced))
+            | None -> None)
+      end
+    in
     (* Rung 1: exact branch-and-bound on a fraction of the slice. *)
     let mip =
       {
@@ -429,40 +490,48 @@ let evaluate (cfg : Config.t) inst (assignments : Solution.assignment array)
         match attempt_reconfigure ~exact () with
         | Some p -> p
         | None -> deny ~pstats ?exact Exact
-      else if B.remaining fork <= 0.0 then
-        (* Slice gone before the fallback could run. *)
-        deny ~pstats ?exact Budget
       else begin
-        (* Rung 2: greedy fallback on the rest of the slice.  The
-           heuristic raises when even the committed preplacements cannot
-           be re-established — with a validator-gated committed state
-           that only happens when the slice dies under its feasibility
-           LP, so treat it as budget exhaustion. *)
-        match
-          Span.with_ fprof fork "greedy" @@ fun () ->
-          Solver.run ev
-            (Solver.Options.make ~method_:Solver.Greedy ~budget:fork ~pinned
-               ?prof:fprof ())
-        with
-        | exception Invalid_argument _ ->
-          deny ~pstats ?exact ~greedy:Solver.Budget_exhausted Budget
-        | go -> (
-          Rstats.merge ~into:pstats go.Solver.stats;
-          let greedy = Some go.Solver.status in
-          match Option.bind go.Solver.solution gate with
-          | Some lifted -> (
-            match price_check lifted with
-            | Ok cost -> admit ~rung:Greedy ?exact ?greedy lifted cost
-            | Error cost ->
-              deny ~pstats ?exact ?greedy ~priced_cost:cost Priced)
-          | None ->
-            (* Rung 3: denial — by the heuristic's verdict, or because
-               the slice died under it. *)
-            let rung =
-              if go.Solver.status = Solver.Budget_exhausted then Budget
-              else Greedy
-            in
-            deny ~pstats ?exact ?greedy rung)
+        (* Between exact and greedy: the randomized-rounding rung (when
+           configured) gets the first shot at an inconclusive exact
+           outcome; its failures fall through to the heuristic. *)
+        match attempt_rounded ~exact () with
+        | Some p -> p
+        | None ->
+          if B.remaining fork <= 0.0 then
+            (* Slice gone before the fallback could run. *)
+            deny ~pstats ?exact Budget
+          else begin
+            (* Greedy fallback on the rest of the slice.  The heuristic
+               raises when even the committed preplacements cannot be
+               re-established — with a validator-gated committed state
+               that only happens when the slice dies under its
+               feasibility LP, so treat it as budget exhaustion. *)
+            match
+              Span.with_ fprof fork "greedy" @@ fun () ->
+              Solver.run ev
+                (Solver.Options.make ~method_:Solver.Greedy ~budget:fork
+                   ~pinned ?prof:fprof ())
+            with
+            | exception Invalid_argument _ ->
+              deny ~pstats ?exact ~greedy:Solver.Budget_exhausted Budget
+            | go -> (
+              Rstats.merge ~into:pstats go.Solver.stats;
+              let greedy = Some go.Solver.status in
+              match Option.bind go.Solver.solution gate with
+              | Some lifted -> (
+                match price_check lifted with
+                | Ok cost -> admit ~rung:Greedy ?exact ?greedy lifted cost
+                | Error cost ->
+                  deny ~pstats ?exact ?greedy ~priced_cost:cost Priced)
+              | None ->
+                (* Final rung: denial — by the heuristic's verdict, or
+                   because the slice died under it. *)
+                let rung =
+                  if go.Solver.status = Solver.Budget_exhausted then Budget
+                  else Greedy
+                in
+                deny ~pstats ?exact ?greedy rung)
+          end
       end
   with _ ->
     (* Defensive: an unexpected solver failure denies the arrival instead
@@ -849,9 +918,11 @@ let serve ?(config = Config.default) ?on_commit ?events inst =
        else float_of_int accepted /. float_of_int n_arrivals);
     revenue;
     admitted_exact = count (fun r -> r.admitted && r.rung = Exact);
+    admitted_rounded = count (fun r -> r.admitted && r.rung = Rounded);
     admitted_greedy = count (fun r -> r.admitted && r.rung = Greedy);
     admitted_migrated = count (fun r -> r.admitted && r.rung = Migrated);
     denied_exact = count (fun r -> (not r.admitted) && r.rung = Exact);
+    denied_rounded = count (fun r -> (not r.admitted) && r.rung = Rounded);
     denied_greedy = count (fun r -> (not r.admitted) && r.rung = Greedy);
     denied_budget = count (fun r -> (not r.admitted) && r.rung = Budget);
     denied_priced = count (fun r -> (not r.admitted) && r.rung = Priced);
@@ -1083,9 +1154,11 @@ let summary_to_json s =
       ("acceptance_ratio", json_of_float s.acceptance_ratio);
       ("revenue", json_of_float s.revenue);
       ("admitted_exact", i s.admitted_exact);
+      ("admitted_rounded", i s.admitted_rounded);
       ("admitted_greedy", i s.admitted_greedy);
       ("admitted_migrated", i s.admitted_migrated);
       ("denied_exact", i s.denied_exact);
+      ("denied_rounded", i s.denied_rounded);
       ("denied_greedy", i s.denied_greedy);
       ("denied_budget", i s.denied_budget);
       ("denied_priced", i s.denied_priced);

@@ -15,6 +15,14 @@
       again, a move-cost term charging every unit of schedule
       displacement — so an admission enabled by migrations must pay for
       them in-model;
+    + {b rounded} (optional): when the exact rung was skipped or
+      inconclusive, solve the cΣ LP relaxation of the pinned instance,
+      decompose the fractional solution into a convex combination of
+      start-time candidates ({!Tvnep.Rounding}) and round it with
+      validator-checked repair — a middle rung that keeps the LP's
+      global view at a fraction of the branch-and-bound's cost.  An
+      infeasible relaxation is a {e proven} denial, recorded at this
+      rung; repair exhaustion falls through to greedy;
     + {b greedy}: on budget exhaustion or an inconclusive exact outcome,
       the polynomial heuristic tries to admit the arrival around the
       committed schedule, on whatever remains of the slice;
@@ -52,6 +60,9 @@
 (** Which rung of the degradation chain decided an event. *)
 type rung =
   | Exact    (** the exact solve concluded (admit, or proven denial) *)
+  | Rounded
+      (** the LP-rounding rung concluded (admit, or proven denial from an
+          infeasible relaxation) *)
   | Greedy   (** fell back to the greedy heuristic *)
   | Budget   (** the global budget or the request's slice was exhausted *)
   | Priced   (** denied: revenue below the priced cost of the assignment *)
@@ -106,9 +117,11 @@ type summary = {
   acceptance_ratio : float;      (** over arrivals *)
   revenue : float;               (** Σ admitted d·Σc *)
   admitted_exact : int;
+  admitted_rounded : int;
   admitted_greedy : int;
   admitted_migrated : int;
   denied_exact : int;
+  denied_rounded : int;
   denied_greedy : int;
   denied_budget : int;
   denied_priced : int;
@@ -168,6 +181,11 @@ module Config : sig
         (** objective weight per unit of schedule displacement in the
             reconfiguration solve
             ({!Tvnep.Objective.Access_with_move_cost}) *)
+    rounding : bool;
+        (** enable the LP-rounding rung between exact and greedy; the
+            rung runs on half of the slice's remaining budget with a
+            per-request deterministic seed, so decisions stay
+            jobs-invariant *)
     pricing : bool;                   (** enable the pricing policy *)
     price : Pricing.params;
     trace : Runtime.Trace.sink option;
@@ -176,7 +194,8 @@ module Config : sig
     prof : Runtime.Span.recorder option;
         (** optional span recorder: each slice records an ["arrival"]
             span (its width is exactly the record's [ticks]) with
-            ["exact"]/["reconfigure"]/["greedy"]/["validate"] children
+            ["exact"]/["reconfigure"]/["rounded"]/["greedy"]/["validate"]
+            children
             and the full solver span tree below them, recorded on a
             per-slice child recorder tagged with the evaluating worker's
             domain and grafted back onto the global timeline at merge
@@ -202,6 +221,7 @@ module Config : sig
     ?reconfigure:bool ->
     ?reconfigure_limit:int ->
     ?move_cost:float ->
+    ?rounding:bool ->
     ?pricing:bool ->
     ?price:Pricing.params ->
     ?trace:Runtime.Trace.sink ->
@@ -211,7 +231,7 @@ module Config : sig
   (** Defaults: cΣ with all cuts, 0.5 s slices (70% exact), no global
       limit, deterministic clock, batches of 4, [jobs = 1], departures
       {e on}, reconfiguration off ([reconfigure_limit = 2],
-      [move_cost = 0.1] when enabled), pricing off
+      [move_cost = 0.1] when enabled), rounding off, pricing off
       ({!Pricing.default_params} when enabled).
       @raise Invalid_argument for a non-positive or non-finite [slice],
       an [exact_fraction] outside [0, 1], a [batch_size]/[jobs] below 1,

@@ -1,0 +1,120 @@
+module Rng = Workload.Rng
+module Rstats = Runtime.Stats
+
+type params = { seed : int64; max_repairs : int; eps : float }
+
+let default_params = { seed = 1L; max_repairs = 4; eps = 1e-6 }
+
+let check_params p =
+  if p.max_repairs < 0 then
+    invalid_arg "Rounding: max_repairs must be non-negative";
+  if not (p.eps >= 0.0 && p.eps < 1.0) then
+    invalid_arg "Rounding: eps must lie in [0, 1)"
+
+type candidate = { event : int; weight : float; start : float }
+
+type request_decomposition = {
+  request : int;
+  accept_prob : float;
+  candidates : candidate array;
+}
+
+type t = request_decomposition array
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let decompose ?(eps = 1e-6) ?(skip = fun _ -> false) inst (fm : Formulation.t)
+    ~value =
+  let decomp = ref [] in
+  for r = Instance.num_requests inst - 1 downto 0 do
+    if not (skip r) then begin
+      let req = Instance.request inst r in
+      let lo = req.Request.start_min
+      and hi = req.Request.end_max -. req.Request.duration in
+      let emb = fm.Formulation.embeddings.(r) in
+      let xr = clamp 0.0 1.0 (value (emb.Embedding.x_r :> int)) in
+      if xr > eps then begin
+        let cands =
+          Array.to_list fm.Formulation.chi_start.(r)
+          |> List.filter_map (fun ((ev : int), (v : Lp.Model.var)) ->
+                 let w = value (v :> int) in
+                 if w > eps then
+                   Some
+                     {
+                       event = ev;
+                       weight = w;
+                       start =
+                         clamp lo hi (value (fm.Formulation.t_event.(ev) :> int));
+                     }
+                 else None)
+        in
+        (* Numerical corner: x_R above eps but every χ⁺ entry below it.
+           The LP's own t⁺ value is still a valid (clamped) start. *)
+        let cands =
+          match cands with
+          | [] ->
+              [
+                {
+                  event = -1;
+                  weight = xr;
+                  start = clamp lo hi (value (fm.Formulation.t_start.(r) :> int));
+                };
+              ]
+          | cs -> cs
+        in
+        let total = List.fold_left (fun acc c -> acc +. c.weight) 0.0 cands in
+        let candidates =
+          Array.of_list (List.map (fun c -> { c with weight = c.weight /. total }) cands)
+        in
+        decomp := { request = r; accept_prob = xr; candidates } :: !decomp
+      end
+    end
+  done;
+  Array.of_list !decomp
+
+let num_candidates (t : t) =
+  Array.fold_left (fun acc d -> acc + Array.length d.candidates) 0 t
+
+let sample rng (t : t) =
+  let chosen = ref [] in
+  Array.iter
+    (fun d ->
+      (* Two draws per request whatever the outcome, so the stream
+         position of every later request is independent of earlier
+         acceptance decisions. *)
+      let u = Rng.float rng in
+      let v = Rng.float rng in
+      if u < d.accept_prob && Array.length d.candidates > 0 then begin
+        let n = Array.length d.candidates in
+        let acc = ref 0.0 and pick = ref (n - 1) and found = ref false in
+        for i = 0 to n - 1 do
+          if not !found then begin
+            acc := !acc +. d.candidates.(i).weight;
+            if v < !acc then begin
+              pick := i;
+              found := true
+            end
+          end
+        done;
+        chosen := (d.request, d.candidates.(!pick).start) :: !chosen
+      end)
+    t;
+  List.rev !chosen
+
+let round ~rng ~max_repairs ?stats (t : t) ~realize =
+  if max_repairs < 0 then invalid_arg "Rounding.round: max_repairs < 0";
+  let bump f = match stats with Some s -> f s | None -> () in
+  let rec go attempt =
+    bump (fun s ->
+        s.Rstats.rounding_attempts <- s.Rstats.rounding_attempts + 1);
+    match realize (sample rng t) with
+    | Some x -> Some x
+    | None ->
+        if attempt >= max_repairs then None
+        else begin
+          bump (fun s ->
+              s.Rstats.rounding_repairs <- s.Rstats.rounding_repairs + 1);
+          go (attempt + 1)
+        end
+  in
+  go 0

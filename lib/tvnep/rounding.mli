@@ -1,0 +1,104 @@
+(** Randomized rounding of the cΣ LP relaxation (the Rost–Schmid
+    approximation line adapted to the temporal layer).
+
+    The LP relaxation of the cΣ model assigns each request a fractional
+    acceptance [x_R ∈ [0,1]] and spreads its start over the event-mapping
+    variables χ⁺ (Constraint (10): [Σ_i χ⁺(R, e_i) = x_R]).  With node
+    mappings fixed, that fractional solution {e is} a convex combination
+    of integral (accept, start-time) decisions per request:
+
+    - [x_R] is the total probability mass of accepting [R];
+    - each χ⁺ value [χ⁺(R, e_i)] is the mass of starting [R] at the LP
+      time of event [e_i] (the [t_{e_i}] value, clamped into the
+      request's start window [[t^s, t^e - d]]).
+
+    {!decompose} reads that combination off a solved {!Formulation.t};
+    {!sample} draws one integral candidate per request from it;
+    {!round} repeats the draw with bounded validator-checked repair until
+    a [realize] callback (in the solver: the greedy with the drawn starts
+    pre-placed) accepts one.
+
+    {b Determinism.}  Everything is driven by an explicit seeded
+    {!Workload.Rng.t}: the decomposition is in request order, each
+    request consumes exactly two draws per attempt (accept coin, then
+    candidate pick) whatever the outcome, and repair retries re-draw from
+    the same stream.  Equal seeds therefore give byte-identical rounding
+    decisions, on any host and at any parallelism level of the caller. *)
+
+(** Tunables of the rounding step, carried by
+    {!Solver.Options.make}[ ~rounding]. *)
+type params = {
+  seed : int64;  (** RNG seed; equal seeds give identical decisions *)
+  max_repairs : int;
+      (** retries after an infeasible draw before the solver falls
+          through to plain greedy (so up to [max_repairs + 1] attempts) *)
+  eps : float;
+      (** LP mass below which a fractional value is treated as zero *)
+}
+
+val default_params : params
+(** [{ seed = 1L; max_repairs = 4; eps = 1e-6 }]. *)
+
+val check_params : params -> unit
+(** @raise Invalid_argument for a negative [max_repairs] or an [eps]
+    outside [[0, 1)]. *)
+
+(** One integral start-time candidate of a request, with its probability
+    mass in the convex combination. *)
+type candidate = {
+  event : int;
+      (** cΣ event index the mass comes from; [-1] for the synthetic
+          candidate built from the LP [t⁺] value when every χ⁺ entry is
+          below [eps] *)
+  weight : float;  (** normalized: weights of a request sum to 1 *)
+  start : float;   (** start time, clamped into [[t^s, t^e - d]] *)
+}
+
+(** Convex-combination view of one request in the LP solution. *)
+type request_decomposition = {
+  request : int;        (** request index in the instance *)
+  accept_prob : float;  (** LP value of [x_R], clamped into [[0, 1]] *)
+  candidates : candidate array;  (** in event order — deterministic *)
+}
+
+type t = request_decomposition array
+(** In request order; requests with [x_R ≤ eps] (and skipped ones) are
+    absent. *)
+
+val decompose :
+  ?eps:float ->
+  ?skip:(int -> bool) ->
+  Instance.t ->
+  Formulation.t ->
+  value:(int -> float) ->
+  t
+(** [decompose inst fm ~value] reads the convex combination off a solved
+    formulation, querying LP values through [value] (indexed by model
+    variable id).  [skip] excludes requests whose decision is already
+    fixed (the service's pinned commitments); default: none. *)
+
+val num_candidates : t -> int
+(** Total integral candidates across all requests (the
+    [rounding_candidates] stat). *)
+
+val sample : Workload.Rng.t -> t -> (int * float) list
+(** One integral draw: per request (in order) an accept coin against
+    [accept_prob], then a candidate pick by cumulative weight.  Returns
+    the accepted [(request, start)] pairs in request order.  Exactly two
+    RNG draws are consumed per request whatever the outcome. *)
+
+val round :
+  rng:Workload.Rng.t ->
+  max_repairs:int ->
+  ?stats:Runtime.Stats.t ->
+  t ->
+  realize:((int * float) list -> 'a option) ->
+  'a option
+(** The repair loop: {!sample}, hand the draw to [realize], and on
+    [None] (infeasible / rejected draw) retry with fresh draws, at most
+    [max_repairs] times.  Returns the first realized value, or [None]
+    after exhausting [1 + max_repairs] attempts — the caller's cue to
+    fall through to its non-randomized fallback.  [stats] receives
+    [rounding_attempts] (one per realization try) and [rounding_repairs]
+    (one per retry).
+    @raise Invalid_argument when [max_repairs < 0]. *)

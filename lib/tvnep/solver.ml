@@ -5,19 +5,21 @@ let model_kind_to_string = function
   | Sigma -> "sigma"
   | Csigma -> "csigma"
 
-type method_ = Exact | Greedy | Hybrid | Lp_only
+type method_ = Exact | Greedy | Hybrid | Lp_only | Rounded
 
 let method_to_string = function
   | Exact -> "exact"
   | Greedy -> "greedy"
   | Hybrid -> "hybrid"
   | Lp_only -> "lp_only"
+  | Rounded -> "rounded"
 
 let method_of_string = function
   | "exact" -> Some Exact
   | "greedy" -> Some Greedy
   | "hybrid" -> Some Hybrid
   | "lp_only" -> Some Lp_only
+  | "rounded" -> Some Rounded
   | _ -> None
 
 type flow_form = Arc | Path
@@ -55,6 +57,7 @@ let status_of_string = function
   | _ -> None
 
 module Budget = Runtime.Budget
+module Rng = Workload.Rng
 module Rstats = Runtime.Stats
 module Trace = Runtime.Trace
 module Span = Runtime.Span
@@ -72,6 +75,7 @@ module Options = struct
     forced : int list;
     flow_form : flow_form;
     colgen : Colgen_model.params;
+    rounding : Rounding.params;
     mip : Mip.Branch_bound.params;
     budget : Runtime.Budget.t option;
     trace : Runtime.Trace.sink option;
@@ -84,9 +88,11 @@ module Options = struct
       ?(heavy_fraction = 0.3) ?(pinned = []) ?(forced = [])
       ?(flow_form = Arc)
       ?(colgen = Colgen_model.default_params)
+      ?(rounding = Rounding.default_params)
       ?(mip = Mip.Branch_bound.default_params) ?budget ?trace ?prof () =
     if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
       invalid_arg "Solver.Options.make: heavy_fraction outside [0, 1]";
+    Rounding.check_params rounding;
     {
       method_;
       kind;
@@ -99,6 +105,7 @@ module Options = struct
       forced;
       flow_form;
       colgen;
+      rounding;
       mip;
       budget;
       trace;
@@ -603,6 +610,199 @@ let run_lp_path inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
     stats;
   }
 
+(* --- randomized rounding (Rost–Schmid approximation line) ----------- *)
+
+(* Solve the cΣ LP relaxation (arc form, or the path-form restricted
+   master when [flow_form = Path]), decompose the fractional point into a
+   convex combination of integral (accept, start) candidates per request
+   ({!Rounding.decompose}), and round with bounded validator-checked
+   repair: each draw is realized by the greedy with the drawn starts
+   pre-placed (the greedy's feasibility LPs are the validity check — an
+   infeasible draw raises and is re-drawn).  On repair exhaustion, or an
+   LP that produced no usable fractional point, the solve falls through
+   to plain greedy so the caller always gets the heuristic's quality as
+   a floor.  The LP optimum is a valid dual bound for the MIP (arc form,
+   or a converged path master), so the outcome reports a genuine gap —
+   unlike [Greedy], which proves nothing. *)
+let run_rounded inst (o : Options.t) ~budget ~stats ~ticks0 ~t0 =
+  if not (Instance.has_fixed_mappings inst) then
+    invalid_arg "Solver.run: Rounded requires fixed node mappings";
+  if o.Options.forced <> [] then
+    invalid_arg "Solver.run: forced requests are not supported with Rounded";
+  let sink = o.Options.trace in
+  let prof = o.Options.prof in
+  let params = o.Options.rounding in
+  (* Phase 1: the LP relaxation.  The model is built with integrality
+     marks (warm-path sharing with the exact solve), which the simplex
+     ignores — exactly how [Lp_only] obtains the relaxation. *)
+  Trace.emit sink budget (Trace.Phase_start "lp_relax");
+  let t_lp = Budget.elapsed budget in
+  let fm, lp_status, lp_objective, value, lp_bound_valid, colgen, model_vars,
+      model_rows =
+    Span.with_ prof budget "lp_relax" @@ fun () ->
+    match o.Options.flow_form with
+    | Arc ->
+      let fm, _extras = build ~budget inst o in
+      let result =
+        Lp.Simplex.solve_model ~budget ~stats ?trace:sink ?prof
+          fm.Formulation.model
+      in
+      ( fm,
+        result.Lp.Simplex.status,
+        result.Lp.Simplex.objective,
+        (fun id -> result.Lp.Simplex.x.(id)),
+        true,
+        None,
+        Lp.Model.num_vars fm.Formulation.model,
+        Lp.Model.num_constrs fm.Formulation.model )
+    | Path ->
+      let cg, _extras = build_path ~budget inst o in
+      let root =
+        Colgen_model.generate ~jobs:o.Options.mip.Mip.Branch_bound.jobs
+          ~lp_params:o.Options.mip.Mip.Branch_bound.lp_params ~stats ?prof
+          ~budget cg
+      in
+      let result = root.Colgen_model.lp in
+      ( Colgen_model.formulation cg,
+        result.Lp.Simplex.status,
+        result.Lp.Simplex.objective,
+        (fun id -> result.Lp.Simplex.x.(id)),
+        (* An unconverged restricted master under-estimates the full LP:
+           not a valid dual bound for the MIP. *)
+        root.Colgen_model.converged,
+        colgen_stats_of cg ~converged:root.Colgen_model.converged,
+        root.Colgen_model.sf.Lp.Std_form.n_struct,
+        root.Colgen_model.sf.Lp.Std_form.n_rows )
+  in
+  Trace.emit sink budget
+    (Trace.Phase_end ("lp_relax", Budget.elapsed budget -. t_lp));
+  let finish ~status ~bound solution =
+    {
+      status;
+      method_used = Rounded;
+      mip_status = None;
+      solution;
+      objective =
+        (match solution with
+        | Some s -> Some s.Solution.objective
+        | None -> None);
+      bound;
+      gap =
+        (match solution with
+        | Some s when Float.is_finite bound ->
+          let diff = Float.abs (bound -. s.Solution.objective) in
+          if diff <= 1e-12 then 0.0
+          else diff /. Float.max 1e-10 (Float.abs s.Solution.objective)
+        | _ -> infinity);
+      runtime = Budget.elapsed budget -. t0;
+      ticks = Budget.ticks budget - ticks0;
+      nodes = 0;
+      lp_iterations = stats.Rstats.simplex_iterations;
+      model_vars;
+      model_rows;
+      hybrid = None;
+      colgen;
+      stats;
+    }
+  in
+  let feasible_status () =
+    if Budget.remaining budget <= 0.0 then Budget_exhausted else Feasible
+  in
+  (* Plain greedy, no rounding guidance: the exhaustion fall-through. *)
+  let greedy_fallback ~bound () =
+    stats.Rstats.rounding_fallbacks <- stats.Rstats.rounding_fallbacks + 1;
+    match
+      Span.with_ prof budget "greedy" @@ fun () ->
+      Greedy.run ~budget ~stats ?trace:sink ?prof ~preplaced:o.Options.pinned
+        inst
+    with
+    | solution, _gstats -> finish ~status:(feasible_status ()) ~bound (Some solution)
+    | exception Invalid_argument _ ->
+      (* Pinned set jointly infeasible for the heuristic (possible when
+         the clock died under its feasibility LPs). *)
+      finish
+        ~status:
+          (if Budget.remaining budget <= 0.0 then Budget_exhausted else Failed)
+        ~bound None
+  in
+  match lp_status with
+  | Lp.Simplex.Infeasible ->
+    (* The relaxation is infeasible, hence so is the MIP: a proven
+       denial, reported as such so the service chain can stop here. *)
+    finish ~status:Infeasible ~bound:nan None
+  | Lp.Simplex.Unbounded -> finish ~status:Unbounded ~bound:nan None
+  | Lp.Simplex.Iter_limit | Lp.Simplex.Time_limit
+  | Lp.Simplex.Numerical_failure ->
+    (* No usable fractional point; degrade to the heuristic on whatever
+       remains of the clock. *)
+    if Budget.remaining budget <= 0.0 then
+      finish ~status:Budget_exhausted ~bound:nan None
+    else greedy_fallback ~bound:nan ()
+  | Lp.Simplex.Optimal ->
+    let bound = if lp_bound_valid then lp_objective else nan in
+    (* Phase 2: read the convex combination off the fractional point. *)
+    let decomp =
+      Span.with_ prof budget "decompose" @@ fun () ->
+      let skip r = List.mem_assoc r o.Options.pinned in
+      Rounding.decompose ~eps:params.Rounding.eps ~skip inst fm ~value
+    in
+    stats.Rstats.rounding_candidates <-
+      stats.Rstats.rounding_candidates + Rounding.num_candidates decomp;
+    (* Phases 3 and 4: draw and realize, then bounded repair.  The
+       realization is the greedy with the drawn starts pre-placed: its
+       feasibility LPs are the validity check, and the remaining
+       requests are completed greedily (they can only add revenue). *)
+    let rng = Rng.create params.Rounding.seed in
+    let realize chosen =
+      if Budget.remaining budget <= 0.0 then None
+      else
+        match
+          Greedy.run ~budget ~stats ?trace:sink ?prof
+            ~preplaced:(o.Options.pinned @ chosen) inst
+        with
+        | solution, _gstats -> Some solution
+        | exception Invalid_argument _ -> None
+    in
+    let first =
+      Trace.emit sink budget (Trace.Phase_start "round");
+      let t_round = Budget.elapsed budget in
+      let r =
+        Span.with_ prof budget "round" @@ fun () ->
+        Rounding.round ~rng ~max_repairs:0 ~stats decomp ~realize
+      in
+      Trace.emit sink budget
+        (Trace.Phase_end ("round", Budget.elapsed budget -. t_round));
+      r
+    in
+    let rounded =
+      match first with
+      | Some _ -> first
+      | None ->
+        if params.Rounding.max_repairs = 0 then None
+        else begin
+          Trace.emit sink budget (Trace.Phase_start "repair");
+          let t_rep = Budget.elapsed budget in
+          (* The first retry is a repair too; [Rounding.round] only
+             counts the retries between its own attempts. *)
+          stats.Rstats.rounding_repairs <- stats.Rstats.rounding_repairs + 1;
+          let r =
+            Span.with_ prof budget "repair" @@ fun () ->
+            Rounding.round ~rng
+              ~max_repairs:(params.Rounding.max_repairs - 1)
+              ~stats decomp ~realize
+          in
+          Trace.emit sink budget
+            (Trace.Phase_end ("repair", Budget.elapsed budget -. t_rep));
+          r
+        end
+    in
+    (match rounded with
+    | Some solution -> finish ~status:(feasible_status ()) ~bound (Some solution)
+    | None ->
+      if Budget.remaining budget <= 0.0 then
+        finish ~status:Budget_exhausted ~bound None
+      else greedy_fallback ~bound ())
+
 let revenue inst req =
   let r = Instance.request inst req in
   r.Request.duration *. Request.total_node_demand r
@@ -629,6 +829,7 @@ let rec run inst (o : Options.t) =
     | Lp_only, Arc -> run_lp_only inst o ~budget ~stats ~ticks0 ~t0
     | Lp_only, Path -> run_lp_path inst o ~budget ~stats ~ticks0 ~t0
     | Greedy, _ -> run_greedy inst o ~budget ~stats ~ticks0 ~t0
+    | Rounded, _ -> run_rounded inst o ~budget ~stats ~ticks0 ~t0
     | Hybrid, _ -> run_hybrid inst o ~budget ~stats ~ticks0 ~t0
 
 (* The heavy-hitter split of the paper's conclusion: rank requests by
@@ -804,6 +1005,12 @@ let stats_to_json (s : Rstats.t) =
       ("greedy_lp_solves", i s.Rstats.greedy_lp_solves);
       ("greedy_candidates", i s.Rstats.greedy_candidates);
       ("greedy_accepted", i s.Rstats.greedy_accepted);
+      (* Added without a schema bump, like [colgen]: decoders default
+         absent counters (old documents) to zero. *)
+      ("rounding_attempts", i s.Rstats.rounding_attempts);
+      ("rounding_candidates", i s.Rstats.rounding_candidates);
+      ("rounding_repairs", i s.Rstats.rounding_repairs);
+      ("rounding_fallbacks", i s.Rstats.rounding_fallbacks);
       ("service_requests", i s.Rstats.service_requests);
       ("service_admitted", i s.Rstats.service_admitted);
       ("service_denied", i s.Rstats.service_denied);
@@ -858,6 +1065,10 @@ let stats_of_json doc =
     let* () = geti "greedy_lp_solves" (fun n -> s.Rstats.greedy_lp_solves <- n) in
     let* () = geti "greedy_candidates" (fun n -> s.Rstats.greedy_candidates <- n) in
     let* () = geti "greedy_accepted" (fun n -> s.Rstats.greedy_accepted <- n) in
+    let* () = geti "rounding_attempts" (fun n -> s.Rstats.rounding_attempts <- n) in
+    let* () = geti "rounding_candidates" (fun n -> s.Rstats.rounding_candidates <- n) in
+    let* () = geti "rounding_repairs" (fun n -> s.Rstats.rounding_repairs <- n) in
+    let* () = geti "rounding_fallbacks" (fun n -> s.Rstats.rounding_fallbacks <- n) in
     let* () = geti "service_requests" (fun n -> s.Rstats.service_requests <- n) in
     let* () = geti "service_admitted" (fun n -> s.Rstats.service_admitted <- n) in
     let* () = geti "service_denied" (fun n -> s.Rstats.service_denied <- n) in

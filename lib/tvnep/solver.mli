@@ -24,6 +24,12 @@ type method_ =
   | Greedy   (** the polynomial heuristic cΣ_A^G (fixed mappings only) *)
   | Hybrid   (** exact on the heavy hitters, greedy around them *)
   | Lp_only  (** root LP relaxation of the chosen formulation *)
+  | Rounded
+      (** randomized rounding ({!Rounding}): solve the LP relaxation,
+          decompose it into a convex combination of integral
+          (accept, start) candidates, round with bounded
+          validator-checked repair, fall through to greedy on
+          exhaustion.  Fixed mappings only. *)
 
 val method_to_string : method_ -> string
 val method_of_string : string -> method_ option
@@ -90,6 +96,9 @@ module Options : sig
             restricted master instead of the arc form *)
     colgen : Colgen_model.params;
         (** column-generation knobs, used when [flow_form = Path] *)
+    rounding : Rounding.params;
+        (** rounding knobs (RNG seed, repair bound, mass cutoff), used
+            when [method_ = Rounded] *)
     mip : Mip.Branch_bound.params;
     budget : Runtime.Budget.t option;
         (** shared solve budget; when [None] a private one is derived
@@ -124,6 +133,7 @@ module Options : sig
     ?forced:int list ->
     ?flow_form:flow_form ->
     ?colgen:Colgen_model.params ->
+    ?rounding:Rounding.params ->
     ?mip:Mip.Branch_bound.params ->
     ?budget:Runtime.Budget.t ->
     ?trace:Runtime.Trace.sink ->
@@ -132,9 +142,10 @@ module Options : sig
     t
   (** Defaults: [Exact] cΣ, access control, all cuts, no seeding,
       [heavy_fraction = 0.3], nothing pinned, [Arc] flow form with
-      {!Colgen_model.default_params}, default MIP parameters, a private
-      budget, no trace, no profiling.
-      @raise Invalid_argument for a [heavy_fraction] outside [0, 1]. *)
+      {!Colgen_model.default_params}, {!Rounding.default_params},
+      default MIP parameters, a private budget, no trace, no profiling.
+      @raise Invalid_argument for a [heavy_fraction] outside [0, 1] or
+      rounding parameters rejected by {!Rounding.check_params}. *)
 
   val default : t
   (** [make ()]. *)
@@ -209,10 +220,24 @@ val run : Instance.t -> Options.t -> outcome
     @raise Invalid_argument when [pinned] entries are out of range,
     scheduled outside their request's window, duplicated, or combined
     with [Hybrid]; when [forced] entries are out of range, duplicated,
-    also pinned, or combined with [Greedy]/[Hybrid]; when
-    [Greedy]/[Hybrid] run without fixed node mappings; when
+    also pinned, or combined with [Greedy]/[Hybrid]/[Rounded]; when
+    [Greedy]/[Hybrid]/[Rounded] run without fixed node mappings; when
     [flow_form = Path] is combined with a non-cΣ model or an instance
     without fixed node mappings.
+
+    [Rounded] runs four phases, visible as [lp_relax] / [decompose] /
+    [round] / [repair] spans and counted by the [rounding_*] stats: the
+    LP relaxation (arc form, or the path-form restricted master under
+    [flow_form = Path]), the {!Rounding.decompose} convex-combination
+    read-off, one rounding draw realized by the greedy with the drawn
+    starts pre-placed, and bounded re-draws ([rounding.max_repairs])
+    after infeasible draws.  Repair exhaustion falls through to plain
+    greedy ([rounding_fallbacks]).  An [Infeasible] LP relaxation is a
+    {e proven} denial and is reported as [Infeasible]; otherwise the
+    outcome is [Feasible] with [bound] set to the LP optimum (a valid
+    dual bound in arc form or under converged path pricing, [nan]
+    otherwise), so rounded outcomes carry a genuine [gap] — unlike
+    [Greedy], which proves nothing.
 
     With [flow_form = Path], [Exact] runs root column generation on the
     LP relaxation and then branch-and-bound over the enlarged form (every

@@ -267,8 +267,8 @@ let event_tests =
             Alcotest.(check bool)
               (Engine.rung_to_string r ^ " round-trips") true
               (Engine.rung_of_string (Engine.rung_to_string r) = Some r))
-          [ Engine.Exact; Engine.Greedy; Engine.Budget; Engine.Priced;
-            Engine.Migrated ];
+          [ Engine.Exact; Engine.Rounded; Engine.Greedy; Engine.Budget;
+            Engine.Priced; Engine.Migrated ];
         Alcotest.(check bool) "unknown rung" true
           (Engine.rung_of_string "bogus" = None));
     Alcotest.test_case "departures sort before arrivals at equal times"
@@ -606,6 +606,93 @@ let stream_tests =
           (Tvnep.Validator.is_feasible inst s1.Engine.solution));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The LP-rounding rung: with [exact_fraction = 0] and [rounding] on,
+   every arrival is decided by the relaxation-rounding pipeline (or its
+   greedy fall-through), never by branch-and-bound. *)
+
+let rounding_config ?(jobs = 1) ?(slice = 2e-3) () =
+  Engine.Config.make ~slice ~exact_fraction:0.0 ~rounding:true ~jobs
+    ~departures:true ()
+
+let rounding_tests =
+  [
+    Alcotest.test_case
+      "the rounded rung decides arrivals and stays jobs-invariant" `Slow
+      (fun () ->
+        let inst = scenario ~k:12 3L in
+        let events =
+          Service.Event.with_cancellations
+            (Workload.Rng.create 9L)
+            ~prob:0.3 inst
+            (Service.Event.arrivals inst)
+        in
+        let serve jobs =
+          Engine.serve ~config:(rounding_config ~jobs ()) ~events inst
+        in
+        let s1 = serve 1 in
+        Alcotest.(check bool) "the rounded rung decided something" true
+          (s1.Engine.admitted_rounded + s1.Engine.denied_rounded >= 1);
+        Alcotest.(check int) "exact never ran" 0
+          (s1.Engine.admitted_exact + s1.Engine.denied_exact);
+        Alcotest.(check bool) "rounding attempts billed" true
+          (s1.Engine.stats.Runtime.Stats.rounding_attempts >= 1);
+        Alcotest.(check bool) "final state valid" true
+          (Tvnep.Validator.is_feasible inst s1.Engine.solution);
+        (* Jobs-invariance with the rung on: per-request seeds are a
+           function of the request index alone, so speculative forks draw
+           the same streams at any parallelism level. *)
+        let s4 = serve 4 in
+        Alcotest.(check int) "same record count" s1.Engine.events
+          s4.Engine.events;
+        Array.iter2
+          (fun (a : Engine.record) (b : Engine.record) ->
+            Alcotest.(check int)
+              (Printf.sprintf "event %s/%d identical"
+                 (Service.Event.kind_to_string a.Engine.event)
+                 a.Engine.request)
+              0 (Stdlib.compare a b))
+          s1.Engine.records s4.Engine.records;
+        Alcotest.(check (float 0.0)) "same revenue" s1.Engine.revenue
+          s4.Engine.revenue;
+        Alcotest.(check int) "same ticks" s1.Engine.total_ticks
+          s4.Engine.total_ticks);
+    Alcotest.test_case "every rounded commit passes the validator" `Slow
+      (fun () ->
+        let inst = scenario ~k:10 7L in
+        let s =
+          Engine.serve ~config:(rounding_config ())
+            ~on_commit:(fun req sol ->
+              match Tvnep.Validator.check inst sol with
+              | Ok () -> ()
+              | Error es ->
+                Alcotest.fail
+                  (Printf.sprintf "commit of request %d broke the state: %s"
+                     req (String.concat "; " es)))
+            inst
+        in
+        Alcotest.(check bool) "someone was admitted" true
+          (s.Engine.accepted >= 1);
+        Alcotest.(check bool) "final state valid" true
+          (Tvnep.Validator.is_feasible inst s.Engine.solution));
+    Alcotest.test_case "summary JSON carries the rounded-rung aggregates"
+      `Quick (fun () ->
+        let inst = scenario ~k:6 3L in
+        let s = Engine.serve ~config:(rounding_config ()) inst in
+        match Engine.summary_to_json s with
+        | Statsutil.Json.Obj fields ->
+          let num k =
+            match List.assoc_opt k fields with
+            | Some (Statsutil.Json.Num v) -> int_of_float v
+            | _ -> Alcotest.fail (k ^ " missing from the summary document")
+          in
+          Alcotest.(check int) "admitted_rounded"
+            s.Engine.admitted_rounded (num "admitted_rounded");
+          Alcotest.(check int) "denied_rounded" s.Engine.denied_rounded
+            (num "denied_rounded")
+        | _ -> Alcotest.fail "summary did not encode as an object");
+  ]
+
 let v1_fixture =
   {|{"schema_version": 1, "request": 3, "name": "r3", "arrival": 2.5,
      "admitted": true, "rung": "greedy", "exact_status": "budget_exhausted",
@@ -646,4 +733,5 @@ let suite =
     ("service.lifecycle", release_tests @ reconfigure_tests);
     ("service.pricing", pricing_tests);
     ("service.streams", stream_tests);
+    ("service.rounding", rounding_tests);
   ]
